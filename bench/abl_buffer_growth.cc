@@ -1,0 +1,50 @@
+// Ablation A5: output-buffer occupancy vs checkpoint interval. Upstream
+// output buffers exist so failed tasks can replay (Sec. II-B); the
+// checkpoint protocol trims them. This bench quantifies the memory the
+// trimming protocol saves, and what running without checkpoints (Storm
+// source replay) costs instead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace ppa;
+
+int64_t RunOne(FtMode mode, int interval_seconds) {
+  auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
+  PPA_CHECK_OK(workload.status());
+  EventLoop loop;
+  JobConfig config = bench::PaperJobConfig(mode);
+  config.checkpoint_interval = Duration::Seconds(interval_seconds);
+  StreamingJob job(workload->topo, config, &loop);
+  PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
+  PPA_CHECK_OK(PlaceSyntheticRecoveryWorkload(*workload, &job).status());
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(90));
+  return job.PeakBufferedTuples();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A5: peak upstream-buffer occupancy (tuples), window 30 s, "
+      "1000 tuples/s, 90 s run\n");
+  std::printf("%-24s %18s\n", "configuration", "peak buffered");
+  for (int interval : {2, 5, 15, 30}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "checkpoint every %ds", interval);
+    std::printf("%-24s %18lld\n", label,
+                static_cast<long long>(RunOne(FtMode::kCheckpoint,
+                                              interval)));
+  }
+  std::printf("%-24s %18lld\n", "source replay (Storm)",
+              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15)));
+  std::printf(
+      "\nExpected: buffers grow linearly with the checkpoint interval "
+      "(trimming waits\nfor downstream checkpoints); Storm's no-checkpoint "
+      "mode must retain a full\nreplay window instead.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation A2: delta checkpoints (Hwang et al., cited Sec. VII) vs full
+// checkpoints on the Fig. 6 workload. Deltas make short checkpoint
+// intervals affordable — the knob Fig. 9 shows to be prohibitively
+// expensive with full snapshots — at the price of a longer state-load
+// chain during recovery.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace ppa;
+
+struct Row {
+  double cpu_ratio = 0.0;
+  double recovery_seconds = 0.0;
+};
+
+Row RunOne(int interval_seconds, bool delta) {
+  auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
+  PPA_CHECK_OK(workload.status());
+  EventLoop loop;
+  JobConfig config = bench::PaperJobConfig(FtMode::kCheckpoint);
+  config.checkpoint_interval = Duration::Seconds(interval_seconds);
+  config.delta_checkpoints = delta;
+  config.max_delta_chain = 8;
+  StreamingJob job(workload->topo, config, &loop);
+  PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
+  auto nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
+  PPA_CHECK_OK(nodes.status());
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40.4));
+  PPA_CHECK_OK(job.InjectNodeFailure((*nodes)[4]));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(70));
+
+  Row row;
+  PPA_CHECK(job.recovery_reports().size() == 1);
+  row.recovery_seconds = job.recovery_reports()[0].TotalLatency().seconds();
+  double ratio = 0;
+  int counted = 0;
+  for (OperatorId op :
+       {workload->o1, workload->o2, workload->o3, workload->o4}) {
+    for (TaskId t : workload->topo.op(op).tasks) {
+      if (job.ProcessingCostUs(t) > 0) {
+        ratio += job.CheckpointCostUs(t) / job.ProcessingCostUs(t);
+        ++counted;
+      }
+    }
+  }
+  row.cpu_ratio = counted > 0 ? ratio / counted : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Ablation A2: full vs delta checkpoints, window 30 s, 1000 "
+      "tuples/s\n");
+  std::printf("%-10s %12s %12s %14s %14s\n", "interval", "full ratio",
+              "delta ratio", "full rec (s)", "delta rec (s)");
+  for (int interval : {1, 5, 15}) {
+    Row full = RunOne(interval, false);
+    Row delta = RunOne(interval, true);
+    std::printf("%-10d %12.3f %12.3f %14.2f %14.2f\n", interval,
+                full.cpu_ratio, delta.cpu_ratio, full.recovery_seconds,
+                delta.recovery_seconds);
+  }
+  std::printf(
+      "\nExpected: delta checkpointing slashes the CPU ratio (it only "
+      "serializes the\nwindow's fresh slices), making 1-second intervals "
+      "practical; recovery latency\nstays comparable (shorter replay, "
+      "slightly larger state-load chain).\n");
+  return 0;
+}

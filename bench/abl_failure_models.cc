@@ -1,0 +1,73 @@
+// Ablation A4: independent vs correlated failure models. The paper's
+// motivation (Sec. I) is that planning tuned for independent single-node
+// failures breaks down under correlated failures. This bench makes that
+// concrete: two planners — the expected-fidelity planner (optimal for
+// independent single failures) and the structure-aware planner (built for
+// the correlated worst case) — evaluated under *both* objectives on 100
+// random topologies.
+
+#include <cstdio>
+
+#include "common/random.h"
+#include "fidelity/expected.h"
+#include "planner/expected_fidelity_planner.h"
+#include "planner/structure_aware_planner.h"
+#include "topology/random_topology.h"
+
+int main() {
+  using namespace ppa;
+
+  std::printf(
+      "Ablation A4: planning for the wrong failure model (means over 100 "
+      "random topologies)\n\n");
+  std::printf("%-12s %14s %14s %14s %14s\n", "consumption", "E[OF]-indep",
+              "E[OF]-SA", "worstOF-indep", "worstOF-SA");
+
+  RandomTopologyOptions opts;
+  opts.min_operators = 5;
+  opts.max_operators = 10;
+  opts.min_parallelism = 1;
+  opts.max_parallelism = 6;
+  opts.join_fraction = 0.3;
+
+  for (double consumption : {0.1, 0.2, 0.4, 0.6}) {
+    Rng rng(4242);
+    double e_indep = 0, e_sa = 0, w_indep = 0, w_sa = 0;
+    const int kTrials = 100;
+    for (int i = 0; i < kTrials; ++i) {
+      auto topo = GenerateRandomTopology(opts, &rng);
+      PPA_CHECK_OK(topo.status());
+      const int budget =
+          static_cast<int>(consumption * topo->num_tasks() + 0.5);
+      // One failure expected per window, uniformly spread over tasks.
+      std::vector<double> p(static_cast<size_t>(topo->num_tasks()),
+                            0.9 / topo->num_tasks());
+      ExpectedFidelityPlanner indep(p);
+      StructureAwarePlanner sa;
+      auto indep_plan = indep.Plan(*topo, budget);
+      auto sa_plan = sa.Plan(*topo, budget);
+      PPA_CHECK_OK(indep_plan.status());
+      PPA_CHECK_OK(sa_plan.status());
+      auto indep_expected =
+          ExpectedFidelitySingleFailure(*topo, indep_plan->replicated, p);
+      auto sa_expected =
+          ExpectedFidelitySingleFailure(*topo, sa_plan->replicated, p);
+      PPA_CHECK_OK(indep_expected.status());
+      PPA_CHECK_OK(sa_expected.status());
+      e_indep += *indep_expected;
+      e_sa += *sa_expected;
+      w_indep += indep_plan->output_fidelity;
+      w_sa += sa_plan->output_fidelity;
+    }
+    std::printf("%-12.1f %14.3f %14.3f %14.3f %14.3f\n", consumption,
+                e_indep / kTrials, e_sa / kTrials, w_indep / kTrials,
+                w_sa / kTrials);
+  }
+  std::printf(
+      "\nExpected: under the independent objective (E[OF]) both planners "
+      "are close —\nsingle failures are forgiving. Under the correlated "
+      "worst case (worstOF) the\nindependent-optimal plan collapses while "
+      "SA's structure-aware trees survive:\nthe reason PPA plans for "
+      "correlated failures explicitly.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation A1: cost of MC-tree enumeration and of the three planners as
+// the topology grows. The DP planner's exponential blow-up (Sec. IV-A) is
+// the reason the structure-aware heuristic exists; this microbenchmark
+// quantifies it. Uses google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "fidelity/mc_tree.h"
+#include "planner/dp_planner.h"
+#include "planner/greedy_planner.h"
+#include "planner/structure_aware_planner.h"
+#include "topology/random_topology.h"
+
+namespace ppa {
+namespace {
+
+/// Deterministic topology for a given (operators, parallelism) size class.
+Topology MakeTopology(int num_operators, int max_parallelism) {
+  RandomTopologyOptions options;
+  options.min_operators = num_operators;
+  options.max_operators = num_operators;
+  options.min_parallelism = 1;
+  options.max_parallelism = max_parallelism;
+  options.join_fraction = 0.5;
+  Rng rng(1234);
+  auto topo = GenerateRandomTopology(options, &rng);
+  PPA_CHECK_OK(topo.status());
+  return *std::move(topo);
+}
+
+void BM_EnumerateMcTrees(benchmark::State& state) {
+  Topology topo = MakeTopology(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto trees = EnumerateMcTrees(topo);
+    PPA_CHECK_OK(trees.status());
+    benchmark::DoNotOptimize(trees->size());
+  }
+  state.counters["tasks"] = topo.num_tasks();
+}
+BENCHMARK(BM_EnumerateMcTrees)
+    ->Args({4, 3})
+    ->Args({6, 3})
+    ->Args({8, 4})
+    ->Args({10, 6});
+
+void BM_DpPlanner(benchmark::State& state) {
+  Topology topo = MakeTopology(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  const int budget = topo.num_tasks() / 2;
+  DpPlanner planner;
+  for (auto _ : state) {
+    auto plan = planner.Plan(topo, budget);
+    PPA_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan->output_fidelity);
+  }
+  state.counters["tasks"] = topo.num_tasks();
+}
+BENCHMARK(BM_DpPlanner)->Args({4, 3})->Args({6, 3})->Args({8, 4});
+
+void BM_StructureAwarePlanner(benchmark::State& state) {
+  Topology topo = MakeTopology(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  const int budget = topo.num_tasks() / 2;
+  StructureAwarePlanner planner;
+  for (auto _ : state) {
+    auto plan = planner.Plan(topo, budget);
+    PPA_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan->output_fidelity);
+  }
+  state.counters["tasks"] = topo.num_tasks();
+}
+BENCHMARK(BM_StructureAwarePlanner)
+    ->Args({4, 3})
+    ->Args({6, 3})
+    ->Args({8, 4})
+    ->Args({10, 6})
+    ->Args({10, 16});
+
+void BM_GreedyPlanner(benchmark::State& state) {
+  Topology topo = MakeTopology(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(1)));
+  const int budget = topo.num_tasks() / 2;
+  GreedyPlanner planner;
+  for (auto _ : state) {
+    auto plan = planner.Plan(topo, budget);
+    PPA_CHECK_OK(plan.status());
+    benchmark::DoNotOptimize(plan->output_fidelity);
+  }
+  state.counters["tasks"] = topo.num_tasks();
+}
+BENCHMARK(BM_GreedyPlanner)
+    ->Args({4, 3})
+    ->Args({6, 3})
+    ->Args({8, 4})
+    ->Args({10, 6})
+    ->Args({10, 16});
+
+}  // namespace
+}  // namespace ppa
+
+BENCHMARK_MAIN();

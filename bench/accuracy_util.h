@@ -1,0 +1,78 @@
+#ifndef PPA_BENCH_ACCURACY_UTIL_H_
+#define PPA_BENCH_ACCURACY_UTIL_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/status_or.h"
+#include "runtime/streaming_job.h"
+#include "sim/event_loop.h"
+#include "workloads/accuracy.h"
+
+namespace ppa {
+namespace bench {
+
+/// How a tentative-accuracy experiment is run and evaluated.
+struct AccuracyExperiment {
+  /// Builds and binds a job on the given loop; must be repeatable.
+  std::function<std::unique_ptr<StreamingJob>(EventLoop*)> make_job;
+  /// Accuracy functional: (test records, reference records, from, to).
+  std::function<double(const std::vector<SinkRecord>&,
+                       const std::vector<SinkRecord>&, int64_t, int64_t)>
+      accuracy;
+  double fail_at_seconds = 25.2;
+  double run_for_seconds = 110.0;
+  /// Tentative-output measurement starts this many batches after detection
+  /// (stale pre-failure window state keeps accuracy artificially high
+  /// until it expires).
+  int64_t stale_grace_batches = 16;
+};
+
+/// Measured tentative accuracy of `plan` under a correlated failure of
+/// every primary (sources included), against a failure-free reference run.
+inline StatusOr<double> MeasureTentativeAccuracy(
+    const AccuracyExperiment& experiment, const TaskSet& plan) {
+  // Reference run.
+  EventLoop clean_loop;
+  std::unique_ptr<StreamingJob> clean = experiment.make_job(&clean_loop);
+  PPA_RETURN_IF_ERROR(clean->Start());
+  clean_loop.RunUntil(TimePoint::Zero() +
+                      Duration::Seconds(experiment.run_for_seconds));
+
+  // Failure run.
+  EventLoop loop;
+  std::unique_ptr<StreamingJob> job = experiment.make_job(&loop);
+  PPA_RETURN_IF_ERROR(job->SetActiveReplicaSet(plan));
+  PPA_RETURN_IF_ERROR(job->Start());
+  loop.RunUntil(TimePoint::Zero() +
+                Duration::Seconds(experiment.fail_at_seconds));
+  PPA_RETURN_IF_ERROR(job->InjectCorrelatedFailure(/*include_sources=*/true));
+  loop.RunUntil(TimePoint::Zero() +
+                Duration::Seconds(experiment.run_for_seconds));
+  if (job->recovery_reports().empty()) {
+    return Internal("no recovery report");
+  }
+  const RecoveryReport& report = job->recovery_reports()[0];
+  const int64_t batch_us = job->config().batch_interval.micros();
+  const int64_t detect_batch = report.detection_time.micros() / batch_us;
+  const int64_t passive_end =
+      (report.detection_time + report.PassiveLatency()).micros() / batch_us;
+  const int64_t from = detect_batch + experiment.stale_grace_batches;
+  const int64_t to =
+      std::min<int64_t>(passive_end - 1,
+                        static_cast<int64_t>(experiment.run_for_seconds) - 2);
+  if (to < from) {
+    return Internal("tentative window too short; slow down recovery");
+  }
+  const auto timely =
+      FilterTimely(job->sink_records(), job->config().batch_interval, 0);
+  return experiment.accuracy(timely, clean->sink_records(), from, to);
+}
+
+}  // namespace bench
+}  // namespace ppa
+
+#endif  // PPA_BENCH_ACCURACY_UTIL_H_

@@ -1,0 +1,79 @@
+// Reproduces Figure 10: recovery latency of a correlated failure under PPA
+// replication plans that consume different amounts of active-replication
+// resources: PPA-1.0 (every task replicated), PPA-0.5 (half, chosen by the
+// structure-aware planner), PPA-0 (purely passive). PPA-0.5-active is the
+// recovery latency of just the actively replicated tasks in the PPA-0.5
+// plan — the moment tentative outputs can start flowing.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "planner/structure_aware_planner.h"
+
+int main() {
+  using namespace ppa;
+  using bench::Fig6Options;
+  using bench::RunFig6;
+
+  for (double rate : {1000.0, 2000.0}) {
+    std::printf(
+        "Figure 10%s: correlated-failure recovery latency (s), window 30 "
+        "s, rate %.0f tuples/s\n",
+        rate == 1000.0 ? "(a)" : "(b)", rate);
+    std::printf("%-18s %12s %12s %12s\n", "plan", "cp=5s", "cp=15s",
+                "cp=30s");
+
+    // Plans are computed once per rate (rates do not change the topology
+    // shape, but keep it faithful).
+    auto workload = MakeSyntheticRecoveryWorkload(rate, 30);
+    PPA_CHECK_OK(workload.status());
+    const int n = workload->topo.num_tasks();
+    StructureAwarePlanner planner;
+    auto half_plan = planner.Plan(workload->topo, n / 2);
+    PPA_CHECK_OK(half_plan.status());
+    const TaskSet all = TaskSet::All(n);
+    const TaskSet half = half_plan->replicated;
+    const TaskSet none(n);
+
+    struct PlanRow {
+      const char* label;
+      const TaskSet* active_set;
+      bool report_active_only;
+    };
+    const PlanRow rows[] = {
+        {"PPA-1.0", &all, false},
+        {"PPA-0.5-active", &half, true},
+        {"PPA-0.5", &half, false},
+        {"PPA-0", &none, false},
+    };
+    for (const PlanRow& row : rows) {
+      std::printf("%-18s", row.label);
+      for (int interval : {5, 15, 30}) {
+        Fig6Options options;
+        options.mode = FtMode::kPpa;
+        options.rate_per_task = rate;
+        options.window_batches = 30;
+        options.checkpoint_interval = Duration::Seconds(interval);
+        options.correlated = true;
+        options.active_set = row.active_set;
+        options.run_for_seconds = 70.0;
+        auto result = RunFig6(options);
+        if (!result.ok()) {
+          std::printf(" %12s", result.status().ToString().c_str());
+        } else {
+          const Duration latency = row.report_active_only
+                                       ? result->active_latency
+                                       : result->total_latency;
+          std::printf(" %12.2f", latency.seconds());
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper): PPA-1.0 < PPA-0.5 < PPA-0 overall; "
+      "PPA-0.5-active is\nnearly as fast as PPA-1.0, so tentative outputs "
+      "start up to an order of magnitude\nbefore full recovery completes.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Reproduces Figure 12: does the Output Fidelity metric predict the actual
+// quality of tentative outputs better than the Internal Completeness
+// baseline? For each resource budget, the structure-aware planner
+// optimizes once for OF and once for IC (by planning on a
+// correlation-blind copy of the topology); the table reports the metric
+// values and the measured tentative accuracy of both plans on Q1 (top-100
+// over the WorldCup-style log) and Q2 (incident-detection join).
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/accuracy_util.h"
+#include "bench/bench_util.h"
+#include "fidelity/metrics.h"
+#include "planner/structure_aware_planner.h"
+#include "workloads/incident.h"
+#include "workloads/topk.h"
+
+namespace {
+
+using namespace ppa;
+
+JobConfig AccuracyJobConfig() {
+  JobConfig config = bench::PaperJobConfig(FtMode::kPpa);
+  config.num_worker_nodes = 25;
+  config.num_standby_nodes = 25;
+  config.checkpoint_interval = Duration::Seconds(10);
+  // Slow passive recovery: the tentative phase must span the whole
+  // measurement window.
+  config.recovery.replay_rate_tuples_per_sec = 150.0;
+  config.recovery.task_restart_delay = Duration::Seconds(10);
+  return config;
+}
+
+void RunQuery(const char* title, const Topology& topo,
+              const bench::AccuracyExperiment& experiment) {
+  std::printf("%s\n", title);
+  std::printf("%-12s %8s %14s %8s %14s\n", "consumption", "OF",
+              "OF-SA-Accuracy", "IC", "IC-SA-Accuracy");
+  for (double consumption : {0.2, 0.4, 0.6, 0.8}) {
+    const int budget =
+        static_cast<int>(consumption * topo.num_tasks() + 0.5);
+    StructureAwarePlanner planner;
+    auto of_plan = planner.Plan(topo, budget);
+    PPA_CHECK_OK(of_plan.status());
+    StructureAwareOptions ic_options;
+    ic_options.metric = LossModel::kInternalCompleteness;
+    StructureAwarePlanner ic_planner(ic_options);
+    auto ic_plan = ic_planner.Plan(topo, budget);
+    PPA_CHECK_OK(ic_plan.status());
+
+    auto of_accuracy =
+        bench::MeasureTentativeAccuracy(experiment, of_plan->replicated);
+    auto ic_accuracy =
+        bench::MeasureTentativeAccuracy(experiment, ic_plan->replicated);
+    PPA_CHECK_OK(of_accuracy.status());
+    PPA_CHECK_OK(ic_accuracy.status());
+    std::printf("%-12.1f %8.3f %14.3f %8.3f %14.3f\n", consumption,
+                PlanOutputFidelity(topo, of_plan->replicated), *of_accuracy,
+                PlanInternalCompleteness(topo, ic_plan->replicated),
+                *ic_accuracy);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // ------------------------------------------------------------- Q1 --
+  WorldCupSource::Options source;
+  source.tuples_per_batch_per_task = 500;
+  source.url_population = 1000;
+  auto q1 = MakeTopKWorkload(source, /*count_window_batches=*/15, /*k=*/100);
+  PPA_CHECK_OK(q1.status());
+  bench::AccuracyExperiment q1_exp;
+  q1_exp.make_job = [&q1](EventLoop* loop) {
+    auto job = std::make_unique<StreamingJob>(q1->topo, AccuracyJobConfig(),
+                                              loop);
+    PPA_CHECK_OK(BindTopKWorkload(*q1, job.get()));
+    return job;
+  };
+  q1_exp.accuracy = PerBatchSetAccuracy;
+  q1_exp.stale_grace_batches = 16;  // Top-k freshness window + 1.
+  RunQuery("Figure 12(a): Q1 top-100 aggregate query", q1->topo, q1_exp);
+
+  // ------------------------------------------------------------- Q2 --
+  IncidentSchedule::Options schedule_options;
+  schedule_options.num_segments = 300;
+  schedule_options.num_users = 30000;
+  static IncidentSchedule schedule(schedule_options);
+  auto q2 = MakeIncidentWorkload(schedule_options,
+                                 /*location_rate_per_task=*/1000);
+  PPA_CHECK_OK(q2.status());
+  bench::AccuracyExperiment q2_exp;
+  q2_exp.make_job = [&q2](EventLoop* loop) {
+    auto job = std::make_unique<StreamingJob>(q2->topo, AccuracyJobConfig(),
+                                              loop);
+    PPA_CHECK_OK(BindIncidentWorkload(*q2, &schedule, job.get()));
+    return job;
+  };
+  q2_exp.accuracy = DistinctSetAccuracy;
+  q2_exp.stale_grace_batches = 4;  // Join speed-freshness window + 1.
+  RunQuery("Figure 12(b): Q2 incident detection query", q2->topo, q2_exp);
+
+  std::printf(
+      "Expected shape (paper): on Q1 both metrics predict accuracy "
+      "reasonably; on Q2\nIC keeps rising with budget while the measured "
+      "accuracy of IC-optimized plans\nstalls - IC ignores the join's "
+      "stream correlation, OF does not.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Q2 example: the community-navigation incident-detection query
+// (Sec. VI-B): a correlated-input join between a per-segment average-speed
+// stream and a deduplicated user-report stream. Demonstrates why the join
+// makes the Internal Completeness metric mispredict tentative accuracy
+// while Output Fidelity gets it right.
+
+#include <cstdio>
+
+#include "fidelity/metrics.h"
+#include "planner/structure_aware_planner.h"
+#include "runtime/streaming_job.h"
+#include "sim/event_loop.h"
+#include "workloads/accuracy.h"
+#include "workloads/incident.h"
+
+namespace {
+
+ppa::JobConfig IncidentConfig() {
+  ppa::JobConfig config;
+  config.ft_mode = ppa::FtMode::kPpa;
+  config.num_worker_nodes = 25;
+  config.num_standby_nodes = 25;
+  config.checkpoint_interval = ppa::Duration::Seconds(10);
+  config.detection_interval = ppa::Duration::Seconds(5);
+  config.recovery.replay_rate_tuples_per_sec = 500.0;
+  config.recovery.task_restart_delay = ppa::Duration::Seconds(3);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppa;
+
+  IncidentSchedule::Options schedule_options;
+  schedule_options.num_segments = 1000;
+  schedule_options.num_users = 100000;
+  schedule_options.zipf_s = 0.5;  // The paper's user distribution.
+  IncidentSchedule schedule(schedule_options);
+  auto workload = MakeIncidentWorkload(schedule_options,
+                                       /*location_rate_per_task=*/2500);
+  PPA_CHECK_OK(workload.status());
+  const Topology& topo = workload->topo;
+  std::printf("Q2 topology: %d tasks; join operator is correlated-input\n",
+              topo.num_tasks());
+
+  // Show the OF-vs-IC disagreement: fail the (low-rate) report stream.
+  // Losing it starves the join completely — no alarms can ever fire — yet
+  // IC barely drops because the lost stream carries only a tiny fraction
+  // of the input tuples.
+  TaskSet reports_failed(topo.num_tasks());
+  for (TaskId t : topo.op(workload->distinct).tasks) {
+    reports_failed.Add(t);
+  }
+  std::printf(
+      "if the report stream fails: OF=%.3f (the join starves), IC=%.3f "
+      "(ignores stream correlation and barely notices)\n",
+      ComputeOutputFidelity(topo, reports_failed),
+      ComputeInternalCompleteness(topo, reports_failed));
+
+  // Reference clean run.
+  EventLoop clean_loop;
+  StreamingJob clean(topo, IncidentConfig(), &clean_loop);
+  PPA_CHECK_OK(BindIncidentWorkload(*workload, &schedule, &clean));
+  PPA_CHECK_OK(clean.Start());
+  clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+
+  // PPA run with a 50% replication budget and a correlated failure.
+  StructureAwarePlanner planner;
+  auto plan = planner.Plan(topo, topo.num_tasks() / 2);
+  PPA_CHECK_OK(plan.status());
+  EventLoop loop;
+  StreamingJob job(topo, IncidentConfig(), &loop);
+  PPA_CHECK_OK(BindIncidentWorkload(*workload, &schedule, &job));
+  PPA_CHECK_OK(job.SetActiveReplicaSet(plan->replicated));
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(20.2));
+  PPA_CHECK_OK(job.InjectCorrelatedFailure(/*include_sources=*/true));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+
+  PPA_CHECK(job.recovery_reports().size() == 1);
+  const RecoveryReport& report = job.recovery_reports()[0];
+  const int64_t detect_batch = report.detection_time.micros() / 1000000;
+  const int64_t end_batch =
+      (report.detection_time + report.PassiveLatency()).micros() / 1000000;
+  const auto timely =
+      FilterTimely(job.sink_records(), Duration::Seconds(1), 0);
+  const double accuracy = DistinctSetAccuracy(
+      timely, clean.sink_records(), detect_batch, end_batch);
+  std::printf(
+      "\ncorrelated failure: detection %.1fs, active takeover %.2fs, "
+      "passive recovery %.2fs\n"
+      "tentative incident-alarm accuracy during recovery: %.3f "
+      "(planner's worst-case OF: %.3f)\n",
+      report.detection_time.seconds(), report.ActiveLatency().seconds(),
+      report.PassiveLatency().seconds(), accuracy, plan->output_fidelity);
+
+  // Which incidents were missed?
+  const auto missed_window = schedule.IncidentsIn(detect_batch, end_batch);
+  std::printf("incidents scheduled during the outage window: %zu\n",
+              missed_window.size());
+  return 0;
+}

@@ -1,0 +1,32 @@
+#ifndef PPA_COMMON_HASH_H_
+#define PPA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppa {
+
+/// 64-bit FNV-1a hash of a byte string; deterministic across platforms, used
+/// for key partitioning so that task assignment is stable and reproducible.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// Mixes a 64-bit integer (finalizer from MurmurHash3).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace ppa
+
+#endif  // PPA_COMMON_HASH_H_

@@ -1,0 +1,81 @@
+#ifndef PPA_COMMON_LOGGING_H_
+#define PPA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ppa {
+
+/// Log severities, in increasing order of urgency.
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the process-wide minimum severity that is actually emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-wide minimum severity. Messages below `level` are
+/// dropped. Default is kInfo.
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log message collector; emits on destruction. kFatal aborts
+/// the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled log levels.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace ppa
+
+#define PPA_LOG(level)                                                     \
+  ::ppa::internal_logging::LogMessage(::ppa::LogLevel::k##level, __FILE__, \
+                                      __LINE__)                            \
+      .stream()
+
+/// Fatal-on-false invariant check, active in all build modes.
+#define PPA_CHECK(condition)                                   \
+  if (!(condition))                                            \
+  ::ppa::internal_logging::LogMessage(::ppa::LogLevel::kFatal, \
+                                      __FILE__, __LINE__)      \
+          .stream()                                            \
+      << "Check failed: " #condition " "
+
+#define PPA_CHECK_OK(expr)                                     \
+  if (::ppa::Status ppa_check_ok_tmp_ = (expr);                \
+      !ppa_check_ok_tmp_.ok())                                 \
+  ::ppa::internal_logging::LogMessage(::ppa::LogLevel::kFatal, \
+                                      __FILE__, __LINE__)      \
+          .stream()                                            \
+      << "Status not OK: " << ppa_check_ok_tmp_.ToString()
+
+#endif  // PPA_COMMON_LOGGING_H_

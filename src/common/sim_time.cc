@@ -1,0 +1,27 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace ppa {
+
+std::string Duration::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6fs", seconds());
+  return buf;
+}
+
+std::string TimePoint::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "t=%.6fs", seconds());
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << t.ToString();
+}
+
+}  // namespace ppa

@@ -1,0 +1,91 @@
+#ifndef PPA_COMMON_SIM_TIME_H_
+#define PPA_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace ppa {
+
+/// A span of simulated time with microsecond resolution. All engine and
+/// runtime components operate on virtual time driven by the event loop, so
+/// experiments are deterministic and independent of wall-clock speed.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(micros_ + other.micros_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(micros_ - other.micros_);
+  }
+  constexpr Duration operator*(int64_t k) const { return Duration(micros_ * k); }
+  constexpr Duration operator/(int64_t k) const { return Duration(micros_ / k); }
+  Duration& operator+=(Duration other) {
+    micros_ += other.micros_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    micros_ -= other.micros_;
+    return *this;
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Duration(int64_t micros) : micros_(micros) {}
+  int64_t micros_ = 0;
+};
+
+/// An absolute instant of simulated time (microseconds since simulation
+/// start).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint FromMicros(int64_t us) { return TimePoint(us); }
+  static constexpr TimePoint Zero() { return TimePoint(0); }
+  static constexpr TimePoint Max() { return TimePoint(INT64_MAX); }
+
+  constexpr int64_t micros() const { return micros_; }
+  constexpr double seconds() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint(micros_ + d.micros());
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint(micros_ - d.micros());
+  }
+  constexpr Duration operator-(TimePoint other) const {
+    return Duration::Micros(micros_ - other.micros_);
+  }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  std::string ToString() const;
+
+ private:
+  explicit constexpr TimePoint(int64_t micros) : micros_(micros) {}
+  int64_t micros_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, TimePoint t);
+
+}  // namespace ppa
+
+#endif  // PPA_COMMON_SIM_TIME_H_

@@ -1,0 +1,90 @@
+#ifndef PPA_COMMON_STATUS_H_
+#define PPA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ppa {
+
+/// Error codes used across the library. Modeled after the usual
+/// LevelDB/RocksDB-style status taxonomy: fallible public APIs return a
+/// Status (or StatusOr<T>) instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-type result of a fallible operation: a code plus a free-form
+/// message. An OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` should not
+  /// be kOk; use the default constructor (or OkStatus()) for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers; prefer these over spelling out the enum at call sites.
+Status OkStatus();
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status ResourceExhausted(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+}  // namespace ppa
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define PPA_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ppa::Status ppa_status_macro_tmp_ = (expr);   \
+    if (!ppa_status_macro_tmp_.ok()) {              \
+      return ppa_status_macro_tmp_;                 \
+    }                                               \
+  } while (false)
+
+#endif  // PPA_COMMON_STATUS_H_

@@ -1,0 +1,425 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "engine/serde.h"
+
+namespace ppa {
+namespace {
+
+void PutTuple(BinaryWriter* w, const Tuple& t) {
+  w->PutString(t.key);
+  w->PutI64(t.value);
+  w->PutI64(t.batch);
+  w->PutU64(t.seq);
+  w->PutI64(t.producer);
+}
+
+StatusOr<Tuple> GetTuple(BinaryReader* r) {
+  Tuple t;
+  PPA_ASSIGN_OR_RETURN(t.key, r->GetString());
+  PPA_ASSIGN_OR_RETURN(t.value, r->GetI64());
+  PPA_ASSIGN_OR_RETURN(t.batch, r->GetI64());
+  PPA_ASSIGN_OR_RETURN(uint64_t seq, r->GetU64());
+  t.seq = seq;
+  PPA_ASSIGN_OR_RETURN(int64_t producer, r->GetI64());
+  t.producer = static_cast<TaskId>(producer);
+  return t;
+}
+
+}  // namespace
+
+void PassThroughOperator::ProcessBatch(BatchContext* ctx,
+                                       const std::vector<Tuple>& inputs) {
+  for (const Tuple& t : inputs) {
+    ctx->Emit(t.key, t.value);
+  }
+}
+
+StatusOr<std::string> PassThroughOperator::SnapshotState() {
+  return std::string();
+}
+
+Status PassThroughOperator::RestoreState(const std::string& snapshot) {
+  if (!snapshot.empty()) {
+    return InvalidArgument("PassThroughOperator has no state");
+  }
+  return OkStatus();
+}
+
+SelectivityOperator::SelectivityOperator(double selectivity)
+    : selectivity_(selectivity) {}
+
+void SelectivityOperator::ProcessBatch(BatchContext* ctx,
+                                       const std::vector<Tuple>& inputs) {
+  for (const Tuple& t : inputs) {
+    const uint64_t h = Mix64(Fnv1a64(t.key) ^ static_cast<uint64_t>(t.value));
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < selectivity_) {
+      ctx->Emit(t.key, t.value);
+    }
+  }
+}
+
+StatusOr<std::string> SelectivityOperator::SnapshotState() {
+  return std::string();
+}
+
+Status SelectivityOperator::RestoreState(const std::string& snapshot) {
+  if (!snapshot.empty()) {
+    return InvalidArgument("SelectivityOperator has no state");
+  }
+  return OkStatus();
+}
+
+SlidingWindowAggregateOperator::SlidingWindowAggregateOperator(
+    int64_t window_batches, double selectivity)
+    : window_batches_(window_batches), selectivity_(selectivity) {}
+
+void SlidingWindowAggregateOperator::Evict(int64_t current_batch) {
+  while (!window_.empty() &&
+         window_.front().batch <= current_batch - window_batches_) {
+    for (const Tuple& t : window_.front().tuples) {
+      window_sum_ -= t.value;
+    }
+    window_.pop_front();
+  }
+}
+
+void SlidingWindowAggregateOperator::ProcessBatch(
+    BatchContext* ctx, const std::vector<Tuple>& inputs) {
+  Evict(ctx->batch_index());
+  WindowSlice slice;
+  slice.batch = ctx->batch_index();
+  slice.tuples = inputs;
+  for (const Tuple& t : inputs) {
+    window_sum_ += t.value;
+  }
+  window_.push_back(std::move(slice));
+  // Emit a window aggregate for a `selectivity` fraction of the batch's
+  // tuples: every tuple whose position survives the deterministic stride.
+  const size_t n = inputs.size();
+  const size_t out = static_cast<size_t>(static_cast<double>(n) *
+                                         selectivity_);
+  for (size_t i = 0; i < out; ++i) {
+    const Tuple& t = inputs[i * n / (out == 0 ? 1 : out) % n];
+    ctx->Emit(t.key, window_sum_);
+  }
+}
+
+StatusOr<std::string> SlidingWindowAggregateOperator::SnapshotState() {
+  BinaryWriter w;
+  w.PutI64(window_sum_);
+  w.PutU64(window_.size());
+  for (const WindowSlice& slice : window_) {
+    w.PutI64(slice.batch);
+    w.PutU64(slice.tuples.size());
+    for (const Tuple& t : slice.tuples) {
+      PutTuple(&w, t);
+    }
+  }
+  snapshot_marker_ = window_.empty() ? -1 : window_.back().batch;
+  return std::move(w).data();
+}
+
+StatusOr<std::string> SlidingWindowAggregateOperator::SnapshotDelta(
+    int64_t* delta_tuples) {
+  BinaryWriter w;
+  const int64_t horizon = window_.empty() ? snapshot_marker_
+                                          : window_.back().batch;
+  w.PutI64(horizon);
+  int64_t fresh_slices = 0;
+  int64_t fresh_tuples = 0;
+  for (const WindowSlice& slice : window_) {
+    if (slice.batch > snapshot_marker_) {
+      ++fresh_slices;
+      fresh_tuples += static_cast<int64_t>(slice.tuples.size());
+    }
+  }
+  w.PutU64(static_cast<uint64_t>(fresh_slices));
+  for (const WindowSlice& slice : window_) {
+    if (slice.batch <= snapshot_marker_) {
+      continue;
+    }
+    w.PutI64(slice.batch);
+    w.PutU64(slice.tuples.size());
+    for (const Tuple& t : slice.tuples) {
+      PutTuple(&w, t);
+    }
+  }
+  snapshot_marker_ = horizon;
+  if (delta_tuples != nullptr) {
+    *delta_tuples = fresh_tuples;
+  }
+  return std::move(w).data();
+}
+
+Status SlidingWindowAggregateOperator::ApplyDelta(const std::string& delta) {
+  BinaryReader r(delta);
+  PPA_ASSIGN_OR_RETURN(int64_t horizon, r.GetI64());
+  PPA_ASSIGN_OR_RETURN(uint64_t slices, r.GetU64());
+  for (uint64_t i = 0; i < slices; ++i) {
+    WindowSlice slice;
+    PPA_ASSIGN_OR_RETURN(slice.batch, r.GetI64());
+    PPA_ASSIGN_OR_RETURN(uint64_t tuples, r.GetU64());
+    if (!window_.empty() && slice.batch <= window_.back().batch) {
+      return InvalidArgument("delta slices out of order");
+    }
+    slice.tuples.reserve(tuples);
+    for (uint64_t j = 0; j < tuples; ++j) {
+      PPA_ASSIGN_OR_RETURN(Tuple t, GetTuple(&r));
+      window_sum_ += t.value;
+      slice.tuples.push_back(std::move(t));
+    }
+    window_.push_back(std::move(slice));
+  }
+  if (!r.exhausted()) {
+    return InvalidArgument("trailing bytes in window delta");
+  }
+  Evict(horizon);
+  snapshot_marker_ = horizon;
+  return OkStatus();
+}
+
+Status SlidingWindowAggregateOperator::RestoreState(
+    const std::string& snapshot) {
+  BinaryReader r(snapshot);
+  window_.clear();
+  PPA_ASSIGN_OR_RETURN(window_sum_, r.GetI64());
+  PPA_ASSIGN_OR_RETURN(uint64_t slices, r.GetU64());
+  for (uint64_t i = 0; i < slices; ++i) {
+    WindowSlice slice;
+    PPA_ASSIGN_OR_RETURN(slice.batch, r.GetI64());
+    PPA_ASSIGN_OR_RETURN(uint64_t tuples, r.GetU64());
+    slice.tuples.reserve(tuples);
+    for (uint64_t j = 0; j < tuples; ++j) {
+      PPA_ASSIGN_OR_RETURN(Tuple t, GetTuple(&r));
+      slice.tuples.push_back(std::move(t));
+    }
+    window_.push_back(std::move(slice));
+  }
+  if (!r.exhausted()) {
+    return InvalidArgument("trailing bytes in window snapshot");
+  }
+  snapshot_marker_ = window_.empty() ? -1 : window_.back().batch;
+  return OkStatus();
+}
+
+void SlidingWindowAggregateOperator::Reset() {
+  window_.clear();
+  window_sum_ = 0;
+  snapshot_marker_ = -1;
+}
+
+int64_t SlidingWindowAggregateOperator::StateSizeTuples() const {
+  int64_t total = 0;
+  for (const WindowSlice& slice : window_) {
+    total += static_cast<int64_t>(slice.tuples.size());
+  }
+  return total;
+}
+
+WindowedKeyCountOperator::WindowedKeyCountOperator(int64_t window_batches)
+    : window_batches_(window_batches) {}
+
+void WindowedKeyCountOperator::Evict(int64_t current_batch) {
+  while (!slices_.empty() &&
+         slices_.front().first <= current_batch - window_batches_) {
+    for (const auto& [key, count] : slices_.front().second) {
+      auto it = counts_.find(key);
+      it->second -= count;
+      if (it->second <= 0) {
+        counts_.erase(it);
+      }
+    }
+    slices_.pop_front();
+  }
+}
+
+void WindowedKeyCountOperator::ProcessBatch(BatchContext* ctx,
+                                            const std::vector<Tuple>& inputs) {
+  Evict(ctx->batch_index());
+  std::map<std::string, int64_t> added;
+  for (const Tuple& t : inputs) {
+    added[t.key] += 1;
+    counts_[t.key] += 1;
+  }
+  for (const auto& [key, delta] : added) {
+    (void)delta;
+    ctx->Emit(key, counts_[key]);
+  }
+  slices_.emplace_back(ctx->batch_index(), std::move(added));
+}
+
+StatusOr<std::string> WindowedKeyCountOperator::SnapshotState() {
+  BinaryWriter w;
+  w.PutU64(slices_.size());
+  for (const auto& [batch, added] : slices_) {
+    w.PutI64(batch);
+    w.PutU64(added.size());
+    for (const auto& [key, count] : added) {
+      w.PutString(key);
+      w.PutI64(count);
+    }
+  }
+  return std::move(w).data();
+}
+
+Status WindowedKeyCountOperator::RestoreState(const std::string& snapshot) {
+  BinaryReader r(snapshot);
+  slices_.clear();
+  counts_.clear();
+  PPA_ASSIGN_OR_RETURN(uint64_t slices, r.GetU64());
+  for (uint64_t i = 0; i < slices; ++i) {
+    int64_t batch;
+    PPA_ASSIGN_OR_RETURN(batch, r.GetI64());
+    PPA_ASSIGN_OR_RETURN(uint64_t entries, r.GetU64());
+    std::map<std::string, int64_t> added;
+    for (uint64_t j = 0; j < entries; ++j) {
+      PPA_ASSIGN_OR_RETURN(std::string key, r.GetString());
+      PPA_ASSIGN_OR_RETURN(int64_t count, r.GetI64());
+      counts_[key] += count;
+      added.emplace(std::move(key), count);
+    }
+    slices_.emplace_back(batch, std::move(added));
+  }
+  if (!r.exhausted()) {
+    return InvalidArgument("trailing bytes in key-count snapshot");
+  }
+  return OkStatus();
+}
+
+void WindowedKeyCountOperator::Reset() {
+  slices_.clear();
+  counts_.clear();
+}
+
+int64_t WindowedKeyCountOperator::StateSizeTuples() const {
+  int64_t total = 0;
+  for (const auto& [batch, added] : slices_) {
+    (void)batch;
+    total += static_cast<int64_t>(added.size());
+  }
+  return total;
+}
+
+SymmetricWindowJoinOperator::SymmetricWindowJoinOperator(
+    int64_t window_batches, Classifier is_left, Combiner combine)
+    : window_batches_(window_batches),
+      is_left_(std::move(is_left)),
+      combine_(combine != nullptr
+                   ? std::move(combine)
+                   : [](int64_t a, int64_t b) { return a + b; }) {}
+
+void SymmetricWindowJoinOperator::Evict(int64_t current_batch) {
+  for (Side* side : {&left_, &right_}) {
+    for (auto it = side->begin(); it != side->end();) {
+      auto& entries = it->second;
+      entries.erase(
+          std::remove_if(entries.begin(), entries.end(),
+                         [&](const Entry& e) {
+                           return e.batch <= current_batch - window_batches_;
+                         }),
+          entries.end());
+      if (entries.empty()) {
+        it = side->erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void SymmetricWindowJoinOperator::ProcessBatch(
+    BatchContext* ctx, const std::vector<Tuple>& inputs) {
+  const int64_t b = ctx->batch_index();
+  Evict(b);
+  for (const Tuple& t : inputs) {
+    const bool left = is_left_(t);
+    Side& own = left ? left_ : right_;
+    Side& other = left ? right_ : left_;
+    auto match = other.find(t.key);
+    if (match != other.end()) {
+      for (const Entry& e : match->second) {
+        const int64_t value = left ? combine_(t.value, e.value)
+                                   : combine_(e.value, t.value);
+        ctx->Emit(t.key, value);
+      }
+    }
+    own[t.key].push_back(Entry{b, t.value});
+  }
+}
+
+std::string SymmetricWindowJoinOperator::SnapshotSide(const Side& side) {
+  BinaryWriter w;
+  w.PutU64(side.size());
+  for (const auto& [key, entries] : side) {
+    w.PutString(key);
+    w.PutU64(entries.size());
+    for (const Entry& e : entries) {
+      w.PutI64(e.batch);
+      w.PutI64(e.value);
+    }
+  }
+  return std::move(w).data();
+}
+
+Status SymmetricWindowJoinOperator::RestoreSide(const std::string& blob,
+                                                Side* side) {
+  BinaryReader r(blob);
+  side->clear();
+  PPA_ASSIGN_OR_RETURN(uint64_t keys, r.GetU64());
+  for (uint64_t i = 0; i < keys; ++i) {
+    PPA_ASSIGN_OR_RETURN(std::string key, r.GetString());
+    PPA_ASSIGN_OR_RETURN(uint64_t entries, r.GetU64());
+    std::vector<Entry> list;
+    list.reserve(entries);
+    for (uint64_t j = 0; j < entries; ++j) {
+      Entry e;
+      PPA_ASSIGN_OR_RETURN(e.batch, r.GetI64());
+      PPA_ASSIGN_OR_RETURN(e.value, r.GetI64());
+      list.push_back(e);
+    }
+    (*side)[std::move(key)] = std::move(list);
+  }
+  if (!r.exhausted()) {
+    return InvalidArgument("trailing bytes in join side snapshot");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> SymmetricWindowJoinOperator::SnapshotState() {
+  BinaryWriter w;
+  w.PutString(SnapshotSide(left_));
+  w.PutString(SnapshotSide(right_));
+  return std::move(w).data();
+}
+
+Status SymmetricWindowJoinOperator::RestoreState(const std::string& snapshot) {
+  BinaryReader r(snapshot);
+  PPA_ASSIGN_OR_RETURN(std::string left, r.GetString());
+  PPA_ASSIGN_OR_RETURN(std::string right, r.GetString());
+  if (!r.exhausted()) {
+    return InvalidArgument("trailing bytes in join snapshot");
+  }
+  PPA_RETURN_IF_ERROR(RestoreSide(left, &left_));
+  return RestoreSide(right, &right_);
+}
+
+void SymmetricWindowJoinOperator::Reset() {
+  left_.clear();
+  right_.clear();
+}
+
+int64_t SymmetricWindowJoinOperator::StateSizeTuples() const {
+  int64_t total = 0;
+  for (const Side* side : {&left_, &right_}) {
+    for (const auto& [key, entries] : *side) {
+      total += static_cast<int64_t>(entries.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace ppa

@@ -1,0 +1,43 @@
+#ifndef PPA_ENGINE_TUPLE_H_
+#define PPA_ENGINE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topology/types.h"
+
+namespace ppa {
+
+/// A data item (Sec. II-A): a string key plus an opaque 64-bit value
+/// payload. The engine adds provenance fields used for batching, routing,
+/// replay, and duplicate elimination.
+struct Tuple {
+  std::string key;
+  int64_t value = 0;
+
+  /// Index of the batch this tuple belongs to.
+  int64_t batch = 0;
+  /// Per-producer monotonically increasing sequence number; consumers use
+  /// it to skip duplicates replayed after a recovery or replica takeover
+  /// (Sec. V-B).
+  uint64_t seq = 0;
+  /// Task that produced the tuple (kInvalidTaskId for raw source input).
+  TaskId producer = kInvalidTaskId;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.key == b.key && a.value == b.value && a.batch == b.batch &&
+           a.seq == b.seq && a.producer == b.producer;
+  }
+};
+
+/// The output of one task for one batch, retained in the task's output
+/// buffer until trimmed by the checkpoint protocol.
+struct BatchOutput {
+  int64_t batch = 0;
+  std::vector<Tuple> tuples;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_ENGINE_TUPLE_H_

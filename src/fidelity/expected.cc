@@ -1,0 +1,85 @@
+#include "fidelity/expected.h"
+
+#include "fidelity/metrics.h"
+
+namespace ppa {
+namespace {
+
+Status ValidateProbabilities(const Topology& topology,
+                             const std::vector<double>& probabilities) {
+  if (static_cast<int>(probabilities.size()) != topology.num_tasks()) {
+    return InvalidArgument("one failure probability per task required");
+  }
+  for (double p : probabilities) {
+    if (p < 0.0 || p > 1.0) {
+      return InvalidArgument("failure probabilities must be in [0, 1]");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::vector<double> TaskImportance(const Topology& topology) {
+  std::vector<double> importance(static_cast<size_t>(topology.num_tasks()));
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    importance[static_cast<size_t>(t)] =
+        1.0 - SingleFailureOutputFidelity(topology, t);
+  }
+  return importance;
+}
+
+StatusOr<double> ExpectedFidelitySingleFailure(
+    const Topology& topology, const TaskSet& replicated,
+    const std::vector<double>& probabilities) {
+  PPA_RETURN_IF_ERROR(ValidateProbabilities(topology, probabilities));
+  if (replicated.universe_size() != topology.num_tasks()) {
+    return InvalidArgument("plan universe mismatch");
+  }
+  double total_p = 0.0;
+  double expected = 0.0;
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    const double p = probabilities[static_cast<size_t>(t)];
+    total_p += p;
+    if (p == 0.0) {
+      continue;
+    }
+    // Replicated tasks recover via their replica: no loss.
+    expected += p * (replicated.Contains(t)
+                         ? 1.0
+                         : SingleFailureOutputFidelity(topology, t));
+  }
+  if (total_p > 1.0 + 1e-9) {
+    return InvalidArgument(
+        "single-failure model needs probabilities summing to <= 1");
+  }
+  expected += (1.0 - total_p) * 1.0;  // No failure: full fidelity.
+  return expected;
+}
+
+StatusOr<double> ExpectedFidelityIndependent(
+    const Topology& topology, const TaskSet& replicated,
+    const std::vector<double>& probabilities, int samples, uint64_t seed) {
+  PPA_RETURN_IF_ERROR(ValidateProbabilities(topology, probabilities));
+  if (replicated.universe_size() != topology.num_tasks()) {
+    return InvalidArgument("plan universe mismatch");
+  }
+  if (samples <= 0) {
+    return InvalidArgument("samples must be positive");
+  }
+  Rng rng(seed);
+  double total = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    TaskSet failed(topology.num_tasks());
+    for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+      if (!replicated.Contains(t) &&
+          rng.NextBool(probabilities[static_cast<size_t>(t)])) {
+        failed.Add(t);
+      }
+    }
+    total += ComputeOutputFidelity(topology, failed);
+  }
+  return total / samples;
+}
+
+}  // namespace ppa

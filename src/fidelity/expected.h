@@ -1,0 +1,45 @@
+#ifndef PPA_FIDELITY_EXPECTED_H_
+#define PPA_FIDELITY_EXPECTED_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status_or.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Independent-failure model (Sec. II-B prepares for "both independent and
+/// correlated failures"; Sec. IV optimizes the correlated worst case —
+/// this header covers the other half). Each task fails independently with
+/// a given probability during the exposure window; actively replicated
+/// tasks ride through failures (their replica takes over in sub-second
+/// time), so only non-replicated failures degrade tentative output.
+
+/// Per-task single-failure damage: 1 - OF(only task t fails). The greedy
+/// planner's ranking key (Alg. 2), exposed for diagnostics and for the
+/// expected-fidelity computation below.
+std::vector<double> TaskImportance(const Topology& topology);
+
+/// Exact expected OF under at most one failure: with probability p_t task
+/// t (alone) fails; replicated tasks contribute no loss. `probabilities`
+/// must have one entry per task, sum <= 1 (the remainder is "no failure").
+/// This is the objective the structure-agnostic greedy planner (Alg. 2)
+/// optimizes *exactly* — see ExpectedFidelityPlanner.
+StatusOr<double> ExpectedFidelitySingleFailure(
+    const Topology& topology, const TaskSet& replicated,
+    const std::vector<double>& probabilities);
+
+/// Monte-Carlo expected OF when every task fails independently with
+/// probability `probabilities[t]` (multiple simultaneous failures allowed;
+/// replicated tasks never count as failed). Deterministic for a given
+/// seed.
+StatusOr<double> ExpectedFidelityIndependent(
+    const Topology& topology, const TaskSet& replicated,
+    const std::vector<double>& probabilities, int samples = 2000,
+    uint64_t seed = 1);
+
+}  // namespace ppa
+
+#endif  // PPA_FIDELITY_EXPECTED_H_

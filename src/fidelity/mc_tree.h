@@ -1,0 +1,35 @@
+#ifndef PPA_FIDELITY_MC_TREE_H_
+#define PPA_FIDELITY_MC_TREE_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Options for MC-tree enumeration. The number of MC-trees is worst-case
+/// exponential in the operator count (Sec. IV-A), so enumeration aborts
+/// with ResourceExhausted once any task's tree count exceeds `max_trees`.
+struct McTreeEnumOptions {
+  size_t max_trees = size_t{1} << 20;
+};
+
+/// Enumerates every Minimal Complete Tree (Definition 1) of `topology`: a
+/// minimal set of tasks — one sink task, and for each member one upstream
+/// task per input stream if its operator is correlated-input, or one
+/// upstream task overall if independent-input, down to source tasks — such
+/// that the tree contributes to the final output iff all its tasks are
+/// alive. Results are deduplicated and returned in a deterministic order.
+StatusOr<std::vector<TaskSet>> EnumerateMcTrees(
+    const Topology& topology, const McTreeEnumOptions& options = {});
+
+/// Enumerates the MC-trees rooted at a specific sink task.
+StatusOr<std::vector<TaskSet>> EnumerateMcTreesForSink(
+    const Topology& topology, TaskId sink_task,
+    const McTreeEnumOptions& options = {});
+
+}  // namespace ppa
+
+#endif  // PPA_FIDELITY_MC_TREE_H_

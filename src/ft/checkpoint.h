@@ -1,0 +1,77 @@
+#ifndef PPA_FT_CHECKPOINT_H_
+#define PPA_FT_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/status_or.h"
+#include "topology/types.h"
+
+namespace ppa {
+
+/// One task checkpoint held on the standby nodes (Sec. II-B): the task's
+/// serialized computation state plus output buffer, the batch frontier it
+/// represents, and accounting metadata.
+struct TaskCheckpoint {
+  TaskId task = kInvalidTaskId;
+  /// The task's next_batch at snapshot time: the checkpoint covers all
+  /// batches < `next_batch`.
+  int64_t next_batch = 0;
+  std::string blob;
+  /// Number of tuples in the operator state (full checkpoints) or carried
+  /// by the delta (drives load-time modeling).
+  int64_t state_tuples = 0;
+  TimePoint taken_at = TimePoint::Zero();
+  /// False: full (base) checkpoint; true: incremental delta on top of the
+  /// preceding chain element (the delta-checkpoint optimization of Hwang
+  /// et al., cited in Sec. VII).
+  bool is_delta = false;
+};
+
+/// The standby nodes' checkpoint storage. Each task holds a *chain*: one
+/// base (full) checkpoint optionally followed by incremental deltas, in
+/// order. Recovery restores the base and applies each delta.
+class CheckpointStore {
+ public:
+  /// Stores a full checkpoint, replacing the task's whole chain.
+  void Put(TaskCheckpoint checkpoint);
+
+  /// Appends a delta to the task's chain; fails if no base exists or the
+  /// delta regresses the covered batch.
+  Status PutDelta(TaskCheckpoint checkpoint);
+
+  /// Latest chain element of `task` (base or delta), or nullptr.
+  const TaskCheckpoint* Latest(TaskId task) const;
+
+  /// The task's full chain (base first), or nullptr if none.
+  const std::vector<TaskCheckpoint>* Chain(TaskId task) const;
+
+  /// Number of deltas stacked on the base (0 = base only / none).
+  int64_t ChainDeltas(TaskId task) const;
+
+  /// Total state tuples a recovery must load: base + every delta.
+  int64_t ChainStateTuples(TaskId task) const;
+
+  /// The batch covered by `task`'s latest chain element: its recovery must
+  /// replay batches >= this value. 0 if no checkpoint exists (replay from
+  /// the beginning).
+  int64_t CoveredBatch(TaskId task) const;
+
+  /// Number of tasks with at least one checkpoint.
+  size_t size() const { return chains_.size(); }
+
+  /// Total serialized bytes held on the standby nodes (all chains).
+  int64_t TotalBlobBytes() const;
+
+  /// Drops everything (used between experiment repetitions).
+  void Clear() { chains_.clear(); }
+
+ private:
+  std::map<TaskId, std::vector<TaskCheckpoint>> chains_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_FT_CHECKPOINT_H_

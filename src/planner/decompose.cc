@@ -1,0 +1,82 @@
+#include "planner/decompose.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+
+namespace ppa {
+
+StatusOr<std::vector<SubTopology>> DecomposeTopology(
+    const Topology& topology) {
+  const int n = topology.num_operators();
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
+  std::vector<std::vector<OperatorId>> groups;
+  std::vector<bool> group_is_full;
+
+  // Start points: sink operators first (paper), then any operator that a
+  // boundary pushed into the queue.
+  std::deque<OperatorId> start_points(topology.sink_operators().begin(),
+                                      topology.sink_operators().end());
+
+  while (!start_points.empty()) {
+    const OperatorId seed = start_points.front();
+    start_points.pop_front();
+    if (assignment[static_cast<size_t>(seed)] != -1) {
+      continue;
+    }
+    const int group = static_cast<int>(groups.size());
+    groups.emplace_back();
+    group_is_full.push_back(false);
+    std::optional<bool> type;  // true = full, false = structured
+
+    std::vector<OperatorId> stack{seed};
+    assignment[static_cast<size_t>(seed)] = group;
+    groups[static_cast<size_t>(group)].push_back(seed);
+    while (!stack.empty()) {
+      const OperatorId cur = stack.back();
+      stack.pop_back();
+      for (OperatorId up : topology.op(cur).upstream) {
+        if (assignment[static_cast<size_t>(up)] != -1) {
+          continue;
+        }
+        PPA_ASSIGN_OR_RETURN(PartitionScheme scheme,
+                             topology.EdgeScheme(up, cur));
+        const bool edge_full = scheme == PartitionScheme::kFull;
+        if (!type.has_value()) {
+          type = edge_full;
+          group_is_full[static_cast<size_t>(group)] = edge_full;
+        }
+        if (edge_full == *type) {
+          assignment[static_cast<size_t>(up)] = group;
+          groups[static_cast<size_t>(group)].push_back(up);
+          stack.push_back(up);
+        } else {
+          start_points.push_back(up);
+        }
+      }
+    }
+  }
+
+  // Safety net: any operator unreachable by upstream DFS from a sink (not
+  // possible in a valid DAG whose every path ends at a sink, but cheap to
+  // guard) becomes its own structured sub-topology.
+  for (OperatorId op = 0; op < n; ++op) {
+    if (assignment[static_cast<size_t>(op)] == -1) {
+      groups.push_back({op});
+      group_is_full.push_back(false);
+    }
+  }
+
+  std::vector<SubTopology> result;
+  result.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    SubTopology sub;
+    sub.is_full = group_is_full[g];
+    PPA_ASSIGN_OR_RETURN(sub.extracted,
+                         ExtractSubTopology(topology, groups[g]));
+    result.push_back(std::move(sub));
+  }
+  return result;
+}
+
+}  // namespace ppa

@@ -1,0 +1,32 @@
+#ifndef PPA_PLANNER_DECOMPOSE_H_
+#define PPA_PLANNER_DECOMPOSE_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "planner/extract.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// One sub-topology produced by decomposition (Sec. IV-C3): either a *full*
+/// sub-topology (every interior partitioning is Full) or a *structured* one
+/// (no interior partitioning is Full; the sub-topology's output operators
+/// may feed other sub-topologies through Full edges).
+struct SubTopology {
+  ExtractedTopology extracted;
+  bool is_full = false;
+};
+
+/// Decomposes `topology` into sub-topologies by upstream DFS from the sink
+/// operators: a sub-topology grows over upstream neighbours as long as the
+/// connecting edge's scheme agrees with the sub-topology's type (Full edges
+/// for full sub-topologies, non-Full for structured ones); a disagreeing
+/// upstream operator seeds a new sub-topology. The first traversed edge
+/// fixes an undecided type; a single-operator sub-topology defaults to
+/// structured. Every operator lands in exactly one sub-topology.
+StatusOr<std::vector<SubTopology>> DecomposeTopology(const Topology& topology);
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_DECOMPOSE_H_

@@ -1,0 +1,57 @@
+#include "planner/expected_fidelity_planner.h"
+
+#include <algorithm>
+
+#include "fidelity/expected.h"
+#include "fidelity/metrics.h"
+
+namespace ppa {
+
+StatusOr<ReplicationPlan> ExpectedFidelityPlanner::Plan(
+    const Topology& topology, int budget) {
+  if (budget < 0) {
+    return InvalidArgument("budget must be non-negative");
+  }
+  const int n = topology.num_tasks();
+  budget = std::min(budget, n);
+  std::vector<double> probabilities = probabilities_;
+  if (probabilities.empty()) {
+    probabilities.assign(static_cast<size_t>(n),
+                         1.0 / static_cast<double>(n));
+  }
+  if (static_cast<int>(probabilities.size()) != n) {
+    return InvalidArgument("one failure probability per task required");
+  }
+
+  // Expected-fidelity gain of replicating t: p_t * damage(t). Gains are
+  // additive under the at-most-one-failure model, so the top-R gains form
+  // the optimal plan.
+  const std::vector<double> importance = TaskImportance(topology);
+  struct Scored {
+    TaskId task;
+    double gain;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(static_cast<size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    scored.push_back(Scored{t, probabilities[static_cast<size_t>(t)] *
+                                   importance[static_cast<size_t>(t)]});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.gain != b.gain) {
+                       return a.gain > b.gain;
+                     }
+                     return a.task < b.task;
+                   });
+
+  ReplicationPlan plan;
+  plan.replicated = TaskSet(n);
+  for (int i = 0; i < budget; ++i) {
+    plan.replicated.Add(scored[static_cast<size_t>(i)].task);
+  }
+  plan.output_fidelity = PlanOutputFidelity(topology, plan.replicated);
+  return plan;
+}
+
+}  // namespace ppa

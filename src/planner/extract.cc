@@ -1,0 +1,144 @@
+#include "planner/extract.h"
+
+#include <algorithm>
+
+namespace ppa {
+
+StatusOr<ExtractedTopology> ExtractSubTopology(
+    const Topology& parent, const std::vector<OperatorId>& ops,
+    const std::vector<std::pair<OperatorId, OperatorId>>& cut_edges) {
+  if (ops.empty()) {
+    return InvalidArgument("ExtractSubTopology: empty operator set");
+  }
+  std::vector<bool> included(static_cast<size_t>(parent.num_operators()),
+                             false);
+  for (OperatorId op : ops) {
+    if (op < 0 || op >= parent.num_operators()) {
+      return InvalidArgument("ExtractSubTopology: bad operator id");
+    }
+    included[static_cast<size_t>(op)] = true;
+  }
+  auto is_cut = [&](OperatorId from, OperatorId to) {
+    return std::find(cut_edges.begin(), cut_edges.end(),
+                     std::make_pair(from, to)) != cut_edges.end();
+  };
+
+  // Local operators follow the parent's topological order for determinism.
+  std::vector<OperatorId> ordered;
+  for (OperatorId op : parent.topo_order()) {
+    if (included[static_cast<size_t>(op)]) {
+      ordered.push_back(op);
+    }
+  }
+  std::vector<OperatorId> local_of_parent_op(
+      static_cast<size_t>(parent.num_operators()), kInvalidOperatorId);
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    local_of_parent_op[static_cast<size_t>(ordered[i])] =
+        static_cast<OperatorId>(i);
+  }
+
+  // Classify each included operator's input edges.
+  struct OpPlanInfo {
+    bool becomes_source = false;
+    double kept_input_rate = 0.0;
+    double parent_output_rate = 0.0;
+  };
+  std::vector<OpPlanInfo> info(ordered.size());
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const OperatorInfo& oi = parent.op(ordered[i]);
+    for (TaskId t : oi.tasks) {
+      info[i].parent_output_rate += parent.task(t).output_rate;
+    }
+    bool any_kept = false;
+    for (OperatorId up : oi.upstream) {
+      if (included[static_cast<size_t>(up)] && !is_cut(up, oi.id)) {
+        any_kept = true;
+      }
+    }
+    info[i].becomes_source = oi.upstream.empty() || !any_kept;
+  }
+  // Kept input rates (from parent substream rates).
+  for (const Substream& s : parent.substreams()) {
+    if (!included[static_cast<size_t>(s.from_op)] ||
+        !included[static_cast<size_t>(s.to_op)] || is_cut(s.from_op, s.to_op)) {
+      continue;
+    }
+    info[static_cast<size_t>(
+            local_of_parent_op[static_cast<size_t>(s.to_op)])]
+        .kept_input_rate += s.rate;
+  }
+
+  TopologyBuilder builder;
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const OperatorInfo& oi = parent.op(ordered[i]);
+    double selectivity = oi.selectivity;
+    if (!info[i].becomes_source && info[i].kept_input_rate > 0) {
+      // Rescale so total output rate matches the parent even though part of
+      // the input was severed.
+      selectivity = info[i].parent_output_rate / info[i].kept_input_rate;
+    }
+    OperatorId local =
+        builder.AddOperator(oi.name, oi.parallelism, oi.correlation,
+                            info[i].becomes_source ? 1.0 : selectivity);
+    (void)local;
+    if (info[i].becomes_source) {
+      builder.SetSourceRate(static_cast<OperatorId>(i),
+                            info[i].parent_output_rate);
+      for (int k = 0; k < oi.parallelism; ++k) {
+        const double rate = parent.task(oi.tasks[static_cast<size_t>(k)])
+                                .output_rate;
+        builder.SetTaskWeight(static_cast<OperatorId>(i), k,
+                              std::max(rate, 1e-12));
+      }
+    } else {
+      for (int k = 0; k < oi.parallelism; ++k) {
+        builder.SetTaskWeight(
+            static_cast<OperatorId>(i), k,
+            parent.task(oi.tasks[static_cast<size_t>(k)]).weight);
+      }
+    }
+  }
+  for (const StreamEdge& e : parent.edges()) {
+    if (included[static_cast<size_t>(e.from)] &&
+        included[static_cast<size_t>(e.to)] && !is_cut(e.from, e.to)) {
+      // Skip edges into operators that became sources (possible when only a
+      // subset of an operator's input edges was cut explicitly).
+      if (info[static_cast<size_t>(
+                  local_of_parent_op[static_cast<size_t>(e.to)])]
+              .becomes_source) {
+        continue;
+      }
+      builder.Connect(local_of_parent_op[static_cast<size_t>(e.from)],
+                      local_of_parent_op[static_cast<size_t>(e.to)],
+                      e.scheme);
+    }
+  }
+
+  ExtractedTopology result;
+  PPA_ASSIGN_OR_RETURN(result.topo, builder.Build());
+  result.parent_op = ordered;
+  result.parent_task.resize(static_cast<size_t>(result.topo.num_tasks()));
+  result.local_task.assign(static_cast<size_t>(parent.num_tasks()),
+                           kInvalidTaskId);
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    const OperatorInfo& parent_oi = parent.op(ordered[i]);
+    const OperatorInfo& local_oi =
+        result.topo.op(static_cast<OperatorId>(i));
+    for (int k = 0; k < parent_oi.parallelism; ++k) {
+      const TaskId pt = parent_oi.tasks[static_cast<size_t>(k)];
+      const TaskId lt = local_oi.tasks[static_cast<size_t>(k)];
+      result.parent_task[static_cast<size_t>(lt)] = pt;
+      result.local_task[static_cast<size_t>(pt)] = lt;
+    }
+  }
+  for (const Substream& s : parent.substreams()) {
+    const bool from_in = included[static_cast<size_t>(s.from_op)];
+    const bool to_in = included[static_cast<size_t>(s.to_op)];
+    if (from_in != to_in || (from_in && to_in && is_cut(s.from_op, s.to_op))) {
+      result.cut_substreams.push_back(s);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppa

@@ -1,0 +1,40 @@
+#ifndef PPA_PLANNER_EXTRACT_H_
+#define PPA_PLANNER_EXTRACT_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// A standalone topology carved out of a parent topology, with id mappings
+/// back to the parent. Operators whose upstream edges were all severed
+/// become sources of the extracted topology; their source rates and task
+/// weights are set so every task's output rate matches its rate in the
+/// parent. Operators that keep only part of their input have their
+/// selectivity rescaled for the same reason.
+struct ExtractedTopology {
+  Topology topo;
+  /// Local operator id -> parent operator id.
+  std::vector<OperatorId> parent_op;
+  /// Local task id -> parent task id.
+  std::vector<TaskId> parent_task;
+  /// Parent task id -> local task id (kInvalidTaskId when absent).
+  std::vector<TaskId> local_task;
+  /// Parent-level substreams that were severed by the extraction (both
+  /// endpoints may or may not be inside the extracted set); used to reason
+  /// about connectivity across extraction boundaries.
+  std::vector<Substream> cut_substreams;
+};
+
+/// Extracts the sub-topology induced by `ops` (parent operator ids).
+/// `cut_edges` lists additional operator-level edges *inside* `ops` that
+/// must be severed (used by unit splitting); pass {} for none.
+StatusOr<ExtractedTopology> ExtractSubTopology(
+    const Topology& parent, const std::vector<OperatorId>& ops,
+    const std::vector<std::pair<OperatorId, OperatorId>>& cut_edges = {});
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_EXTRACT_H_

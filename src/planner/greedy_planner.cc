@@ -1,0 +1,45 @@
+#include "planner/greedy_planner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "fidelity/metrics.h"
+
+namespace ppa {
+
+StatusOr<ReplicationPlan> GreedyPlanner::Plan(const Topology& topology,
+                                              int budget) {
+  if (budget < 0) {
+    return InvalidArgument("budget must be non-negative");
+  }
+  const int n = topology.num_tasks();
+  budget = std::min(budget, n);
+
+  struct Scored {
+    TaskId task;
+    double of_when_failed;
+  };
+  std::vector<Scored> scores;
+  scores.reserve(static_cast<size_t>(n));
+  for (TaskId t = 0; t < n; ++t) {
+    scores.push_back(Scored{t, SingleFailureOutputFidelity(topology, t)});
+  }
+  // Ascending OF: the most damaging tasks first (Alg. 2 line 5).
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.of_when_failed != b.of_when_failed) {
+                       return a.of_when_failed < b.of_when_failed;
+                     }
+                     return a.task < b.task;
+                   });
+
+  ReplicationPlan plan;
+  plan.replicated = TaskSet(n);
+  for (int i = 0; i < budget; ++i) {
+    plan.replicated.Add(scores[static_cast<size_t>(i)].task);
+  }
+  plan.output_fidelity = PlanOutputFidelity(topology, plan.replicated);
+  return plan;
+}
+
+}  // namespace ppa

@@ -1,0 +1,21 @@
+#include "planner/planner.h"
+
+#include "planner/dp_planner.h"
+#include "planner/greedy_planner.h"
+#include "planner/structure_aware_planner.h"
+
+namespace ppa {
+
+std::unique_ptr<Planner> CreatePlanner(PlannerKind kind) {
+  switch (kind) {
+    case PlannerKind::kDynamicProgramming:
+      return std::make_unique<DpPlanner>();
+    case PlannerKind::kGreedy:
+      return std::make_unique<GreedyPlanner>();
+    case PlannerKind::kStructureAware:
+      return std::make_unique<StructureAwarePlanner>();
+  }
+  return nullptr;
+}
+
+}  // namespace ppa

@@ -1,0 +1,45 @@
+#ifndef PPA_PLANNER_PLANNER_H_
+#define PPA_PLANNER_PLANNER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "planner/replication_plan.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Interface of a partially-active-replication planner: given a topology
+/// and a resource budget (number of tasks that may be actively replicated),
+/// produce a plan maximizing worst-case tentative-output fidelity
+/// (Definition 2).
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  /// Short identifier used in logs and benchmark tables ("dp", "greedy",
+  /// "sa").
+  virtual std::string_view name() const = 0;
+
+  /// Produces a plan using at most `budget` replicated tasks. `budget` may
+  /// exceed the task count (it is clamped). The returned plan's
+  /// `output_fidelity` is always freshly evaluated with
+  /// PlanOutputFidelity().
+  virtual StatusOr<ReplicationPlan> Plan(const Topology& topology,
+                                         int budget) = 0;
+};
+
+/// The built-in planner kinds.
+enum class PlannerKind {
+  kDynamicProgramming,
+  kGreedy,
+  kStructureAware,
+};
+
+/// Creates a planner of the given kind with default options.
+std::unique_ptr<Planner> CreatePlanner(PlannerKind kind);
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_PLANNER_H_

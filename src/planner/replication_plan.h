@@ -1,0 +1,25 @@
+#ifndef PPA_PLANNER_REPLICATION_PLAN_H_
+#define PPA_PLANNER_REPLICATION_PLAN_H_
+
+#include <string>
+
+#include "topology/task_set.h"
+
+namespace ppa {
+
+/// A partially active replication plan (Sec. II-B): the subset P of tasks
+/// that receive an active replica. All tasks are always passively
+/// replicated; `output_fidelity` is the worst-case correlated-failure
+/// objective of Definition 2, i.e. OF of the topology when every task
+/// outside `replicated` fails.
+struct ReplicationPlan {
+  TaskSet replicated;
+  double output_fidelity = 0.0;
+
+  /// Number of actively replicated tasks (the consumed resource units).
+  int resource_usage() const { return replicated.size(); }
+};
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_REPLICATION_PLAN_H_

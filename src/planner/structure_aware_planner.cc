@@ -1,0 +1,175 @@
+#include "planner/structure_aware_planner.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "fidelity/metrics.h"
+#include "planner/decompose.h"
+#include "planner/sub_planner.h"
+
+namespace ppa {
+
+StatusOr<ReplicationPlan> StructureAwarePlanner::Plan(
+    const Topology& topology, int budget) {
+  if (budget < 0) {
+    return InvalidArgument("budget must be non-negative");
+  }
+  const int n = topology.num_tasks();
+  budget = std::min(budget, n);
+
+  PPA_ASSIGN_OR_RETURN(std::vector<SubTopology> subs,
+                       DecomposeTopology(topology));
+
+  // The global plan, shared by all sub-planners through their evaluators.
+  TaskSet global_plan(n);
+  const LossModel metric = options_.metric;
+  auto evaluate_with = [&topology, &global_plan, metric](
+                           const std::vector<TaskId>& local_add,
+                           const std::vector<TaskId>& local_to_global) {
+    TaskSet plan = global_plan;
+    for (TaskId local : local_add) {
+      plan.Add(local_to_global[static_cast<size_t>(local)]);
+    }
+    return PropagateInfoLoss(topology, plan.Complement(), metric)
+        .output_fidelity;
+  };
+
+  std::vector<std::unique_ptr<SubTopologyPlanner>> planners;
+  planners.reserve(subs.size());
+  for (const SubTopology& sub : subs) {
+    GlobalPlanEvaluator eval =
+        [&evaluate_with, map = &sub.extracted.parent_task](
+            const std::vector<TaskId>& local_add) {
+          return evaluate_with(local_add, *map);
+        };
+    if (sub.is_full) {
+      planners.push_back(std::make_unique<FullSubPlanner>(
+          &sub.extracted.topo, std::move(eval)));
+    } else {
+      auto sp = std::make_unique<StructuredSubPlanner>(
+          &sub.extracted.topo, std::move(eval), options_.mc_tree);
+      PPA_RETURN_IF_ERROR(sp->Init());
+      planners.push_back(std::move(sp));
+    }
+  }
+
+  int usage = 0;
+  auto commit = [&](size_t idx, const PlanStep& step) {
+    usage += step.cost();
+    for (TaskId local : step.add_tasks) {
+      PPA_CHECK(global_plan.Add(
+          subs[idx].extracted.parent_task[static_cast<size_t>(local)]));
+    }
+    planners[idx]->Commit(step);
+    for (auto& planner : planners) {
+      planner->Refresh();
+    }
+  };
+
+  // Phase 1 (Alg. 5 lines 5-10): every sub-topology gets its initial plan
+  // unconditionally — a sub-topology in isolation may gain nothing until
+  // its neighbours are covered, but the Full partitionings between
+  // sub-topologies guarantee that one initial selection per sub-topology
+  // composes into complete MC-trees. Committed in descending density so a
+  // tight budget is spent on the most productive sub-topologies first.
+  {
+    std::vector<bool> done(planners.size(), false);
+    for (;;) {
+      int best_idx = -1;
+      std::optional<PlanStep> best_step;
+      double best_density = 0.0;
+      for (size_t i = 0; i < planners.size(); ++i) {
+        if (done[i] || !planners[i]->NeedsInitialStep()) {
+          continue;
+        }
+        PPA_ASSIGN_OR_RETURN(std::optional<PlanStep> step,
+                             planners[i]->ProposeStep(budget - usage));
+        if (!step.has_value()) {
+          done[i] = true;  // Cannot afford its initial step.
+          continue;
+        }
+        const double density = planners[i]->StepDensity(*step);
+        if (best_idx < 0 || density > best_density ||
+            (density == best_density &&
+             step->cost() < best_step->cost())) {
+          best_idx = static_cast<int>(i);
+          best_density = density;
+          best_step = std::move(step);
+        }
+      }
+      if (best_idx < 0) {
+        break;
+      }
+      commit(static_cast<size_t>(best_idx), *best_step);
+      done[static_cast<size_t>(best_idx)] = true;
+    }
+  }
+
+  // Phase 2 (Alg. 5 lines 11-18): interleave expansion steps by profit
+  // density — global metric gain per replicated task — until no planner
+  // proposes a profitable affordable step.
+  for (;;) {
+    int best_idx = -1;
+    std::optional<PlanStep> best_step;
+    double best_density = 0.0;
+    for (size_t i = 0; i < planners.size(); ++i) {
+      PPA_ASSIGN_OR_RETURN(std::optional<PlanStep> step,
+                           planners[i]->ProposeStep(budget - usage));
+      if (!step.has_value()) {
+        continue;
+      }
+      const double density = planners[i]->StepDensity(*step);
+      if (density <= 0.0) {
+        continue;
+      }
+      if (best_idx < 0 || density > best_density) {
+        best_idx = static_cast<int>(i);
+        best_density = density;
+        best_step = std::move(step);
+      }
+    }
+    if (best_idx < 0) {
+      break;
+    }
+    commit(static_cast<size_t>(best_idx), *best_step);
+    PPA_CHECK(usage <= budget);
+  }
+
+  ReplicationPlan plan;
+  plan.replicated = global_plan;
+
+  // Optional top-up: spend leftover budget on the individually most
+  // damaging tasks (ranked as in Alg. 2); this never lowers the metric and
+  // makes the consumed resources match the requested budget.
+  if (options_.fill_budget && plan.replicated.size() < budget) {
+    struct Scored {
+      TaskId task;
+      double of_when_failed;
+    };
+    std::vector<Scored> scores;
+    for (TaskId t = 0; t < n; ++t) {
+      if (!plan.replicated.Contains(t)) {
+        scores.push_back(Scored{t, SingleFailureOutputFidelity(topology, t)});
+      }
+    }
+    std::stable_sort(scores.begin(), scores.end(),
+                     [](const Scored& a, const Scored& b) {
+                       if (a.of_when_failed != b.of_when_failed) {
+                         return a.of_when_failed < b.of_when_failed;
+                       }
+                       return a.task < b.task;
+                     });
+    for (const Scored& s : scores) {
+      if (plan.replicated.size() >= budget) {
+        break;
+      }
+      plan.replicated.Add(s.task);
+    }
+  }
+
+  plan.output_fidelity = PlanOutputFidelity(topology, plan.replicated);
+  return plan;
+}
+
+}  // namespace ppa

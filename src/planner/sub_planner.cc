@@ -1,0 +1,279 @@
+#include "planner/sub_planner.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "fidelity/metrics.h"
+
+namespace ppa {
+
+SubTopologyPlanner::SubTopologyPlanner(const Topology* topology,
+                                       GlobalPlanEvaluator eval)
+    : topology_(topology),
+      eval_(std::move(eval)),
+      plan_(topology->num_tasks()),
+      plan_of_(eval_({})) {}
+
+void SubTopologyPlanner::Commit(const PlanStep& step) {
+  for (TaskId t : step.add_tasks) {
+    PPA_CHECK(plan_.Add(t)) << "step adds already-replicated task";
+  }
+  plan_of_ = step.new_of;
+}
+
+FullSubPlanner::FullSubPlanner(const Topology* topology,
+                               GlobalPlanEvaluator eval)
+    : SubTopologyPlanner(topology, std::move(eval)) {
+  // delta_ij: OF when all of operator i fails except task j, everything
+  // else alive — evaluated on the sub-topology in isolation (Alg. 4
+  // line 3); a static per-operator ranking.
+  ranked_.resize(static_cast<size_t>(topology->num_operators()));
+  for (const OperatorInfo& oi : topology->operators()) {
+    struct Scored {
+      TaskId task;
+      double delta;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(oi.tasks.size());
+    for (TaskId keep : oi.tasks) {
+      TaskSet failed(topology->num_tasks());
+      for (TaskId t : oi.tasks) {
+        if (t != keep) {
+          failed.Add(t);
+        }
+      }
+      scored.push_back(Scored{keep, ComputeOutputFidelity(*topology, failed)});
+    }
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const Scored& a, const Scored& b) {
+                       if (a.delta != b.delta) {
+                         return a.delta > b.delta;
+                       }
+                       return a.task < b.task;
+                     });
+    auto& ranked = ranked_[static_cast<size_t>(oi.id)];
+    for (const Scored& s : scored) {
+      ranked.push_back(s.task);
+    }
+  }
+}
+
+StatusOr<std::optional<PlanStep>> FullSubPlanner::ProposeStep(int max_cost) {
+  if (max_cost <= 0) {
+    return std::optional<PlanStep>();
+  }
+  if (plan_.empty()) {
+    // First step: one task per operator (the minimal complete MC-tree of a
+    // full topology), best-ranked task of each.
+    const int n_ops = topology_->num_operators();
+    if (max_cost < n_ops) {
+      return std::optional<PlanStep>();
+    }
+    PlanStep step;
+    for (const auto& ranked : ranked_) {
+      PPA_CHECK(!ranked.empty());
+      step.add_tasks.push_back(ranked.front());
+    }
+    step.new_of = Evaluate(step.add_tasks);
+    return std::optional<PlanStep>(std::move(step));
+  }
+  // Later steps: extend with the best remaining task of some operator
+  // (Alg. 4 lines 10-16), judged by the global plan metric.
+  std::optional<PlanStep> best;
+  for (const auto& ranked : ranked_) {
+    for (TaskId t : ranked) {
+      if (plan_.Contains(t)) {
+        continue;
+      }
+      PlanStep step;
+      step.add_tasks.push_back(t);
+      step.new_of = Evaluate(step.add_tasks);
+      if (!best.has_value() || step.new_of > best->new_of) {
+        best = std::move(step);
+      }
+      break;  // Only the operator's best remaining task is a candidate.
+    }
+  }
+  return best;
+}
+
+StructuredSubPlanner::StructuredSubPlanner(const Topology* topology,
+                                           GlobalPlanEvaluator eval,
+                                           McTreeEnumOptions mc_options)
+    : SubTopologyPlanner(topology, std::move(eval)),
+      mc_options_(mc_options) {
+  auto split = SplitStructuredTopology(*topology, mc_options_);
+  if (!split.ok()) {
+    init_ = split.status();
+    return;
+  }
+  split_ = *std::move(split);
+  init_ = OkStatus();
+}
+
+TaskSet StructuredSubPlanner::AssembleAcrossUnits(int unit_idx,
+                                                  const TaskSet& seed,
+                                                  int max_cost) const {
+  TaskSet cg = seed;
+  // BFS over unit adjacency (Alg. 3 lines 10-15): each visited unit
+  // contributes its best segment connected to the current set (ranked by
+  // the segment's standalone fidelity within its unit, "max_of").
+  std::vector<bool> visited(split_.units.size(), false);
+  visited[static_cast<size_t>(unit_idx)] = true;
+  std::deque<int> queue;
+  for (int nb : split_.adjacency[static_cast<size_t>(unit_idx)]) {
+    queue.push_back(nb);
+  }
+  while (!queue.empty()) {
+    const int uj = queue.front();
+    queue.pop_front();
+    if (visited[static_cast<size_t>(uj)]) {
+      continue;
+    }
+    visited[static_cast<size_t>(uj)] = true;
+    const Unit& unit = split_.units[static_cast<size_t>(uj)];
+    // Segments of unit uj connected to cg through a cut substream.
+    int best_seg = -1;
+    for (size_t s = 0; s < unit.segments.size(); ++s) {
+      const TaskSet& seg = unit.segments[s];
+      bool connected = false;
+      for (const Substream& cut : split_.cut_substreams) {
+        if ((seg.Contains(cut.from) && cg.Contains(cut.to)) ||
+            (seg.Contains(cut.to) && cg.Contains(cut.from))) {
+          connected = true;
+          break;
+        }
+      }
+      if (!connected) {
+        continue;
+      }
+      if (best_seg < 0 ||
+          unit.segment_of[s] > unit.segment_of[static_cast<size_t>(best_seg)]) {
+        best_seg = static_cast<int>(s);
+      }
+    }
+    if (best_seg >= 0) {
+      TaskSet extended = cg;
+      extended.UnionWith(unit.segments[static_cast<size_t>(best_seg)]);
+      if (plan_.CountMissing(extended) > max_cost) {
+        break;  // Budget exceeded: stop the BFS (Alg. 3 line 15).
+      }
+      cg = std::move(extended);
+    }
+    for (int nb : split_.adjacency[static_cast<size_t>(uj)]) {
+      if (!visited[static_cast<size_t>(nb)]) {
+        queue.push_back(nb);
+      }
+    }
+  }
+  return cg;
+}
+
+std::optional<PlanStep> StructuredSubPlanner::MakeStep(
+    const TaskSet& cg) const {
+  PlanStep step;
+  for (TaskId t : cg.ToVector()) {
+    if (!plan_.Contains(t)) {
+      step.add_tasks.push_back(t);
+    }
+  }
+  if (step.add_tasks.empty()) {
+    return std::nullopt;
+  }
+  step.new_of = Evaluate(step.add_tasks);
+  return step;
+}
+
+StatusOr<std::optional<PlanStep>> StructuredSubPlanner::ProposeStep(
+    int max_cost) {
+  PPA_RETURN_IF_ERROR(init_);
+  if (max_cost <= 0) {
+    return std::optional<PlanStep>();
+  }
+
+  std::optional<PlanStep> best;
+  double best_density = 0.0;
+  auto consider = [&](std::optional<PlanStep> step) {
+    if (!step.has_value() || step->cost() > max_cost) {
+      return;
+    }
+    const double density = StepDensity(*step);
+    if (density <= 0.0) {
+      return;
+    }
+    if (!best.has_value() || density > best_density) {
+      best_density = density;
+      best = std::move(step);
+    }
+  };
+
+  for (size_t u = 0; u < split_.units.size(); ++u) {
+    const Unit& unit = split_.units[u];
+    for (const TaskSet& seg : unit.segments) {
+      if (seg.IsSubsetOf(plan_)) {
+        continue;
+      }
+      // Does the segment alone already improve the plan (Alg. 3 line 9)?
+      std::optional<PlanStep> alone = MakeStep(seg);
+      if (alone.has_value() && alone->new_of > plan_of_) {
+        consider(std::move(alone));
+      } else {
+        consider(
+            MakeStep(AssembleAcrossUnits(static_cast<int>(u), seg, max_cost)));
+      }
+    }
+  }
+
+  if (best.has_value()) {
+    return best;
+  }
+
+  // Completion fallback: cheapest full MC-tree whose replication improves
+  // the plan within budget.
+  if (!fallback_trees_.has_value()) {
+    auto trees = EnumerateMcTrees(*topology_, mc_options_);
+    fallback_trees_ = trees.ok() ? *std::move(trees) : std::vector<TaskSet>{};
+  }
+  std::optional<PlanStep> cheapest;
+  auto consider_cheapest = [&](std::optional<PlanStep> step,
+                               bool require_gain) {
+    if (!step.has_value() || step->cost() > max_cost) {
+      return;
+    }
+    if (require_gain && step->new_of <= plan_of_) {
+      return;
+    }
+    if (!cheapest.has_value() || step->cost() < cheapest->cost() ||
+        (step->cost() == cheapest->cost() &&
+         step->new_of > cheapest->new_of)) {
+      cheapest = std::move(step);
+    }
+  };
+  for (const TaskSet& tree : *fallback_trees_) {
+    consider_cheapest(MakeStep(tree), /*require_gain=*/true);
+  }
+  if (cheapest.has_value()) {
+    return cheapest;
+  }
+
+  // Initial-step fallback: an empty plan must still propose *something*
+  // (the driver commits every sub-topology's initial step regardless of
+  // immediate gain — a sub-topology in isolation often gains nothing until
+  // its neighbours are covered too). Propose the cheapest MC-tree, or the
+  // cheapest single segment if tree enumeration was infeasible.
+  if (plan_.empty()) {
+    for (const TaskSet& tree : *fallback_trees_) {
+      consider_cheapest(MakeStep(tree), /*require_gain=*/false);
+    }
+    if (!cheapest.has_value()) {
+      for (const Unit& unit : split_.units) {
+        for (const TaskSet& seg : unit.segments) {
+          consider_cheapest(MakeStep(seg), /*require_gain=*/false);
+        }
+      }
+    }
+  }
+  return cheapest;
+}
+
+}  // namespace ppa

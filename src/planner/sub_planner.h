@@ -1,0 +1,142 @@
+#ifndef PPA_PLANNER_SUB_PLANNER_H_
+#define PPA_PLANNER_SUB_PLANNER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status_or.h"
+#include "fidelity/mc_tree.h"
+#include "planner/units.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Evaluates the quality (OF, or IC for the baseline comparison) of the
+/// *global* plan extended with the given local tasks of this sub-topology.
+/// The structure-aware driver owns the global plan and the id mapping;
+/// passing {} evaluates the current global plan. Using the topology-wide
+/// metric here is essential: a sub-topology's local metric cannot see that
+/// e.g. a join's other input stream lives in a different sub-topology
+/// (Sec. IV-C3 keeps sub-topology selections composable by cutting only at
+/// Full partitionings).
+using GlobalPlanEvaluator =
+    std::function<double(const std::vector<TaskId>& local_add)>;
+
+/// One incremental expansion of a sub-topology's replication plan.
+struct PlanStep {
+  /// Tasks newly added to the plan (ids local to the sub-topology).
+  std::vector<TaskId> add_tasks;
+  /// Global plan metric after committing.
+  double new_of = 0.0;
+
+  int cost() const { return static_cast<int>(add_tasks.size()); }
+};
+
+/// Incremental planner for a single sub-topology. The structure-aware
+/// driver (Alg. 5) interleaves steps from several of these, always
+/// committing the globally best profit-density step.
+class SubTopologyPlanner {
+ public:
+  /// `topology` (the extracted sub-topology) must outlive the planner.
+  SubTopologyPlanner(const Topology* topology, GlobalPlanEvaluator eval);
+  virtual ~SubTopologyPlanner() = default;
+
+  SubTopologyPlanner(const SubTopologyPlanner&) = delete;
+  SubTopologyPlanner& operator=(const SubTopologyPlanner&) = delete;
+
+  const Topology& topology() const { return *topology_; }
+  /// Locally replicated tasks (sub-topology ids).
+  const TaskSet& plan() const { return plan_; }
+  /// Global plan metric as of the last Refresh/Commit.
+  double plan_of() const { return plan_of_; }
+
+  /// Global metric gain per resource unit of `step`.
+  double StepDensity(const PlanStep& step) const {
+    return step.cost() > 0 ? (step.new_of - plan_of_) / step.cost() : 0.0;
+  }
+
+  /// True until the first step was committed (the driver commits every
+  /// sub-topology's initial step unconditionally, Alg. 5 lines 5-10).
+  bool NeedsInitialStep() const { return plan_.empty(); }
+
+  /// Proposes the next expansion using at most `max_cost` additional tasks;
+  /// nullopt when no further (affordable) expansion exists.
+  virtual StatusOr<std::optional<PlanStep>> ProposeStep(int max_cost) = 0;
+
+  /// Commits a previously proposed step.
+  void Commit(const PlanStep& step);
+
+  /// Re-evaluates plan_of() against the current global plan (must be
+  /// called on every planner after any planner commits).
+  void Refresh() { plan_of_ = eval_({}); }
+
+ protected:
+  double Evaluate(const std::vector<TaskId>& local_add) const {
+    return eval_(local_add);
+  }
+
+  const Topology* topology_;
+  GlobalPlanEvaluator eval_;
+  TaskSet plan_;
+  double plan_of_;
+};
+
+/// Planner for *full* sub-topologies (Algorithm 4). Within each operator,
+/// tasks are ranked by delta_ij — the OF gain of keeping task j alive while
+/// the rest of operator i fails (evaluated on the sub-topology in
+/// isolation); the first step replicates the best task of every operator
+/// (one complete MC-tree of the full sub-topology), later steps add the
+/// single task whose addition maximizes the global plan metric.
+class FullSubPlanner : public SubTopologyPlanner {
+ public:
+  FullSubPlanner(const Topology* topology, GlobalPlanEvaluator eval);
+
+  StatusOr<std::optional<PlanStep>> ProposeStep(int max_cost) override;
+
+ private:
+  /// Per operator, its tasks sorted by descending delta; consumed from the
+  /// front as tasks enter the plan.
+  std::vector<std::vector<TaskId>> ranked_;
+};
+
+/// Planner for *structured* sub-topologies (Algorithm 3). The topology is
+/// split into units; each candidate expansion is either a single segment
+/// that immediately raises the global plan metric, or a BFS-assembled set
+/// of connected segments (one per visited unit) that completes an MC-tree.
+/// The candidate with maximum profit density wins. A capped MC-tree
+/// completion fallback rescues cases where the BFS cannot assemble a
+/// profitable set; if even that fails and the plan is empty, the cheapest
+/// segment set is proposed as the unconditional initial step.
+class StructuredSubPlanner : public SubTopologyPlanner {
+ public:
+  /// Initialization splits units and enumerates segments; check Init().
+  StructuredSubPlanner(const Topology* topology, GlobalPlanEvaluator eval,
+                       McTreeEnumOptions mc_options = {});
+
+  /// Status of unit splitting; ProposeStep fails if not OK.
+  const Status& Init() const { return init_; }
+
+  StatusOr<std::optional<PlanStep>> ProposeStep(int max_cost) override;
+
+ private:
+  /// Greedily assembles connected segments across units starting from
+  /// segment `seed` of unit `unit_idx`, bounded by `max_cost` new tasks.
+  TaskSet AssembleAcrossUnits(int unit_idx, const TaskSet& seed,
+                              int max_cost) const;
+
+  std::optional<PlanStep> MakeStep(const TaskSet& cg) const;
+
+  Status init_;
+  McTreeEnumOptions mc_options_;
+  UnitSplit split_;
+  /// Lazily enumerated full MC-trees for the completion fallback; nullopt
+  /// until first needed, empty if enumeration was infeasible.
+  mutable std::optional<std::vector<TaskSet>> fallback_trees_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_SUB_PLANNER_H_

@@ -1,0 +1,183 @@
+#include "planner/units.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "fidelity/metrics.h"
+
+namespace ppa {
+namespace {
+
+/// Union-find over operator ids.
+class DisjointSets {
+ public:
+  explicit DisjointSets(int n) : parent_(static_cast<size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<size_t>(Find(a))] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+using OpEdge = std::pair<OperatorId, OperatorId>;
+
+/// The paper's cut rule: sever the Merge input edges of operators that have
+/// a Split output or multiple input streams.
+std::vector<OpEdge> PaperCutRule(const Topology& topology) {
+  std::vector<OpEdge> cuts;
+  for (const OperatorInfo& oi : topology.operators()) {
+    bool has_merge_input = false;
+    for (OperatorId up : oi.upstream) {
+      auto scheme = topology.EdgeScheme(up, oi.id);
+      if (scheme.ok() && *scheme == PartitionScheme::kMerge) {
+        has_merge_input = true;
+      }
+    }
+    if (!has_merge_input) {
+      continue;
+    }
+    bool has_split_output = false;
+    for (OperatorId down : oi.downstream) {
+      auto scheme = topology.EdgeScheme(oi.id, down);
+      if (scheme.ok() && *scheme == PartitionScheme::kSplit) {
+        has_split_output = true;
+      }
+    }
+    const bool multi_input = oi.upstream.size() >= 2;
+    if (has_split_output || multi_input) {
+      for (OperatorId up : oi.upstream) {
+        auto scheme = topology.EdgeScheme(up, oi.id);
+        if (scheme.ok() && *scheme == PartitionScheme::kMerge) {
+          cuts.emplace_back(up, oi.id);
+        }
+      }
+    }
+  }
+  return cuts;
+}
+
+/// Fallback: sever every Merge edge.
+std::vector<OpEdge> AllMergeCutRule(const Topology& topology) {
+  std::vector<OpEdge> cuts;
+  for (const StreamEdge& e : topology.edges()) {
+    if (e.scheme == PartitionScheme::kMerge) {
+      cuts.emplace_back(e.from, e.to);
+    }
+  }
+  return cuts;
+}
+
+StatusOr<UnitSplit> SplitWithCuts(const Topology& topology,
+                                  const std::vector<OpEdge>& cuts,
+                                  const McTreeEnumOptions& mc_options) {
+  const int n = topology.num_operators();
+  DisjointSets components(n);
+  for (const StreamEdge& e : topology.edges()) {
+    if (std::find(cuts.begin(), cuts.end(), OpEdge(e.from, e.to)) ==
+        cuts.end()) {
+      components.Union(e.from, e.to);
+    }
+  }
+  // Group operators by component root, ordered by first appearance in topo
+  // order for determinism.
+  std::vector<std::vector<OperatorId>> groups;
+  std::vector<int> group_of_root(static_cast<size_t>(n), -1);
+  for (OperatorId op : topology.topo_order()) {
+    const int root = components.Find(op);
+    if (group_of_root[static_cast<size_t>(root)] == -1) {
+      group_of_root[static_cast<size_t>(root)] =
+          static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<size_t>(group_of_root[static_cast<size_t>(root)])]
+        .push_back(op);
+  }
+
+  UnitSplit split;
+  split.task_unit.assign(static_cast<size_t>(topology.num_tasks()), -1);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    // Cut edges internal to this group must be passed to the extractor.
+    std::vector<OpEdge> internal_cuts;
+    for (const OpEdge& c : cuts) {
+      const bool from_in = std::find(groups[g].begin(), groups[g].end(),
+                                     c.first) != groups[g].end();
+      const bool to_in = std::find(groups[g].begin(), groups[g].end(),
+                                   c.second) != groups[g].end();
+      if (from_in && to_in) {
+        internal_cuts.push_back(c);
+      }
+    }
+    Unit unit;
+    PPA_ASSIGN_OR_RETURN(
+        unit.extracted,
+        ExtractSubTopology(topology, groups[g], internal_cuts));
+    PPA_ASSIGN_OR_RETURN(std::vector<TaskSet> local_segments,
+                         EnumerateMcTrees(unit.extracted.topo, mc_options));
+    unit.segments.reserve(local_segments.size());
+    unit.segment_of.reserve(local_segments.size());
+    for (const TaskSet& local : local_segments) {
+      unit.segment_of.push_back(
+          PlanOutputFidelity(unit.extracted.topo, local));
+      TaskSet parent_ids(topology.num_tasks());
+      for (TaskId lt : local.ToVector()) {
+        parent_ids.Add(unit.extracted.parent_task[static_cast<size_t>(lt)]);
+      }
+      unit.segments.push_back(std::move(parent_ids));
+    }
+    for (TaskId lt = 0; lt < unit.extracted.topo.num_tasks(); ++lt) {
+      split.task_unit[static_cast<size_t>(
+          unit.extracted.parent_task[static_cast<size_t>(lt)])] =
+          static_cast<int>(g);
+    }
+    split.units.push_back(std::move(unit));
+  }
+
+  // Cut substreams and unit adjacency.
+  for (const Substream& s : topology.substreams()) {
+    if (std::find(cuts.begin(), cuts.end(), OpEdge(s.from_op, s.to_op)) !=
+        cuts.end()) {
+      split.cut_substreams.push_back(s);
+    }
+  }
+  split.adjacency.assign(split.units.size(), {});
+  for (const Substream& s : split.cut_substreams) {
+    const int a = split.task_unit[static_cast<size_t>(s.from)];
+    const int b = split.task_unit[static_cast<size_t>(s.to)];
+    if (a == b) {
+      continue;
+    }
+    auto& adj_a = split.adjacency[static_cast<size_t>(a)];
+    auto& adj_b = split.adjacency[static_cast<size_t>(b)];
+    if (std::find(adj_a.begin(), adj_a.end(), b) == adj_a.end()) {
+      adj_a.push_back(b);
+    }
+    if (std::find(adj_b.begin(), adj_b.end(), a) == adj_b.end()) {
+      adj_b.push_back(a);
+    }
+  }
+  return split;
+}
+
+}  // namespace
+
+StatusOr<UnitSplit> SplitStructuredTopology(
+    const Topology& topology, const McTreeEnumOptions& mc_options) {
+  auto result = SplitWithCuts(topology, PaperCutRule(topology), mc_options);
+  if (result.ok() ||
+      result.status().code() != StatusCode::kResourceExhausted) {
+    return result;
+  }
+  // Segment explosion: fall back to cutting every Merge edge.
+  return SplitWithCuts(topology, AllMergeCutRule(topology), mc_options);
+}
+
+}  // namespace ppa

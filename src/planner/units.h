@@ -1,0 +1,48 @@
+#ifndef PPA_PLANNER_UNITS_H_
+#define PPA_PLANNER_UNITS_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "fidelity/mc_tree.h"
+#include "planner/extract.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// One unit of a structured topology (Sec. IV-C1) together with its
+/// segments (the unit's MC-trees). Segments are expressed in the *parent*
+/// topology's task-id space so planners can combine segments across units.
+struct Unit {
+  ExtractedTopology extracted;
+  /// Each segment as a parent-id task set.
+  std::vector<TaskSet> segments;
+  /// Standalone output fidelity of each segment when the unit is treated as
+  /// an independent topology (the ranking key of max_of() in Alg. 3).
+  std::vector<double> segment_of;
+};
+
+/// Result of splitting a structured topology into units.
+struct UnitSplit {
+  std::vector<Unit> units;
+  /// Parent-level substreams crossing unit boundaries.
+  std::vector<Substream> cut_substreams;
+  /// units[i] is adjacent to every unit in adjacency[i] (shares at least
+  /// one cut substream).
+  std::vector<std::vector<int>> adjacency;
+  /// Parent task id -> unit index.
+  std::vector<int> task_unit;
+};
+
+/// Splits a structured topology into units by severing the Merge input
+/// edges of (a) operators that also have a Split-partitioned output and
+/// (b) multi-input (join/union) operators — the two segment-explosion
+/// situations of Sec. IV-C1. If segment enumeration still exceeds
+/// `mc_options.max_trees`, falls back to severing *every* Merge edge.
+StatusOr<UnitSplit> SplitStructuredTopology(
+    const Topology& topology, const McTreeEnumOptions& mc_options = {});
+
+}  // namespace ppa
+
+#endif  // PPA_PLANNER_UNITS_H_

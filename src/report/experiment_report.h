@@ -1,0 +1,38 @@
+#ifndef PPA_REPORT_EXPERIMENT_REPORT_H_
+#define PPA_REPORT_EXPERIMENT_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "planner/replication_plan.h"
+#include "report/json.h"
+#include "runtime/streaming_job.h"
+
+namespace ppa {
+
+/// JSON rendering of a topology: operators (name, parallelism, correlation,
+/// selectivity, per-task rates) and edges.
+JsonValue TopologyToJson(const Topology& topology);
+
+/// JSON rendering of a replication plan: replicated task labels, resource
+/// usage, and the worst-case OF.
+JsonValue PlanToJson(const Topology& topology, const ReplicationPlan& plan);
+
+/// JSON rendering of one recovery report: per-task recovery kind and
+/// latency, plus the total/active/passive aggregates.
+JsonValue RecoveryReportToJson(const Topology& topology,
+                               const RecoveryReport& report);
+
+/// Full job summary: configuration highlights, per-task processing and
+/// checkpointing cost, sink-record counts (total/tentative/corrections),
+/// and every recovery report. Everything a plotting script needs from one
+/// experiment run.
+JsonValue JobSummaryToJson(const StreamingJob& job);
+
+/// Writes `value` pretty-printed to `path` (truncates). Filesystem errors
+/// are returned as Internal.
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace ppa
+
+#endif  // PPA_REPORT_EXPERIMENT_REPORT_H_

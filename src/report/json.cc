@@ -1,0 +1,157 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace ppa {
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
+  PPA_CHECK(kind_ == Kind::kObject) << "Set on non-object JSON value";
+  for (auto& [existing, v] : members_) {
+    if (existing == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::Append(JsonValue value) {
+  PPA_CHECK(kind_ == Kind::kArray) << "Append on non-array JSON value";
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+size_t JsonValue::size() const {
+  switch (kind_) {
+    case Kind::kObject:
+      return members_.size();
+    case Kind::kArray:
+      return elements_.size();
+    default:
+      return 0;
+  }
+}
+
+void JsonValue::EscapeTo(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void JsonValue::SerializeTo(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string pad_close =
+      indent > 0 ? "\n" + std::string(static_cast<size_t>(indent * depth), ' ')
+                 : "";
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(int_));
+      *out += buf;
+      break;
+    }
+    case Kind::kDouble: {
+      if (std::isfinite(double_)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", double_);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN.
+      }
+      break;
+    }
+    case Kind::kString:
+      EscapeTo(out, string_);
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{";
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) {
+          *out += ",";
+        }
+        first = false;
+        *out += pad;
+        EscapeTo(out, key);
+        *out += indent > 0 ? ": " : ":";
+        value.SerializeTo(out, indent, depth + 1);
+      }
+      *out += pad_close + "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[";
+      bool first = true;
+      for (const JsonValue& value : elements_) {
+        if (!first) {
+          *out += ",";
+        }
+        first = false;
+        *out += pad;
+        value.SerializeTo(out, indent, depth + 1);
+      }
+      *out += pad_close + "]";
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out, /*indent=*/0, /*depth=*/0);
+  return out;
+}
+
+std::string JsonValue::Pretty() const {
+  std::string out;
+  SerializeTo(&out, /*indent=*/2, /*depth=*/0);
+  return out;
+}
+
+}  // namespace ppa

@@ -1,0 +1,76 @@
+#ifndef PPA_REPORT_JSON_H_
+#define PPA_REPORT_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ppa {
+
+/// Minimal JSON document builder used to export experiment results for
+/// plotting. Supports the JSON value kinds, preserves object insertion
+/// order, escapes strings correctly, and serializes doubles with enough
+/// precision to round-trip. Build-only (no parser): results flow out of
+/// the simulator, never back in.
+class JsonValue {
+ public:
+  /// null by default.
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}          // NOLINT
+  JsonValue(int64_t i) : kind_(Kind::kInt), int_(i) {}         // NOLINT
+  JsonValue(int i) : kind_(Kind::kInt), int_(i) {}             // NOLINT
+  JsonValue(double d) : kind_(Kind::kDouble), double_(d) {}    // NOLINT
+  JsonValue(std::string s)                                     // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}      // NOLINT
+
+  static JsonValue Object() {
+    JsonValue v;
+    v.kind_ = Kind::kObject;
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.kind_ = Kind::kArray;
+    return v;
+  }
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Sets a key on an object (last write wins but keeps first position);
+  /// returns *this for chaining. Must be an object.
+  JsonValue& Set(std::string_view key, JsonValue value);
+
+  /// Appends to an array; returns *this for chaining. Must be an array.
+  JsonValue& Append(JsonValue value);
+
+  /// Number of members/elements; 0 for scalars.
+  size_t size() const;
+
+  /// Compact serialization ("{"a":1,...}").
+  std::string Serialize() const;
+  /// Pretty serialization with 2-space indentation.
+  std::string Pretty() const;
+
+ private:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  void SerializeTo(std::string* out, int indent, int depth) const;
+  static void EscapeTo(std::string* out, std::string_view s);
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_REPORT_JSON_H_

@@ -1,0 +1,180 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ppa {
+
+Cluster::Cluster(int num_workers, int num_standbys)
+    : num_workers_(num_workers), num_standbys_(num_standbys) {
+  PPA_CHECK(num_workers >= 1);
+  PPA_CHECK(num_standbys >= 0);
+  node_alive_.assign(static_cast<size_t>(num_nodes()), true);
+  node_domain_.resize(static_cast<size_t>(num_nodes()));
+  for (int node = 0; node < num_nodes(); ++node) {
+    node_domain_[static_cast<size_t>(node)] = node;
+  }
+}
+
+Status Cluster::AssignDomain(int node, int domain) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgument("AssignDomain: bad node id");
+  }
+  node_domain_[static_cast<size_t>(node)] = domain;
+  return OkStatus();
+}
+
+int Cluster::DomainOf(int node) const {
+  PPA_CHECK(node >= 0 && node < num_nodes());
+  return node_domain_[static_cast<size_t>(node)];
+}
+
+std::vector<int> Cluster::NodesInDomain(int domain) const {
+  std::vector<int> nodes;
+  for (int node = 0; node < num_nodes(); ++node) {
+    if (node_domain_[static_cast<size_t>(node)] == domain) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+bool Cluster::NodeAlive(int node) const {
+  PPA_CHECK(node >= 0 && node < num_nodes());
+  return node_alive_[static_cast<size_t>(node)];
+}
+
+void Cluster::FailNode(int node) {
+  PPA_CHECK(node >= 0 && node < num_nodes());
+  node_alive_[static_cast<size_t>(node)] = false;
+}
+
+void Cluster::ReviveNode(int node) {
+  PPA_CHECK(node >= 0 && node < num_nodes());
+  node_alive_[static_cast<size_t>(node)] = true;
+}
+
+void Cluster::EnsureTask(TaskId task) {
+  PPA_CHECK(task >= 0);
+  const size_t need = static_cast<size_t>(task) + 1;
+  if (primary_node_.size() < need) {
+    primary_node_.resize(need, -1);
+    replica_node_.resize(need, -1);
+  }
+}
+
+void Cluster::PlacePrimariesRoundRobin(const Topology& topology) {
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    EnsureTask(t);
+    primary_node_[static_cast<size_t>(t)] = t % num_workers_;
+  }
+}
+
+Status Cluster::PlacePrimary(TaskId task, int node) {
+  if (node < 0 || node >= num_workers_) {
+    return InvalidArgument("PlacePrimary: node is not a worker");
+  }
+  EnsureTask(task);
+  primary_node_[static_cast<size_t>(task)] = node;
+  return OkStatus();
+}
+
+Status Cluster::PlaceReplicas(const std::vector<TaskId>& tasks) {
+  if (num_standbys_ == 0 && !tasks.empty()) {
+    return FailedPrecondition("no standby nodes for replicas");
+  }
+  int next = 0;
+  for (TaskId t : tasks) {
+    EnsureTask(t);
+    replica_node_[static_cast<size_t>(t)] = num_workers_ + next;
+    next = (next + 1) % num_standbys_;
+  }
+  return OkStatus();
+}
+
+Status Cluster::PlaceReplicaAuto(TaskId task) {
+  if (num_standbys_ == 0) {
+    return FailedPrecondition("no standby nodes for replicas");
+  }
+  const int primary = NodeOfPrimary(task);
+  const int primary_domain = primary >= 0 ? DomainOf(primary) : -1;
+  int best_node = -1;
+  size_t best_load = 0;
+  bool best_outside_domain = false;
+  for (int node = num_workers_; node < num_nodes(); ++node) {
+    if (!NodeAlive(node)) {
+      continue;
+    }
+    const size_t load = ReplicasOn(node).size();
+    const bool outside = DomainOf(node) != primary_domain;
+    // Prefer a node outside the primary's failure domain; within each
+    // class, the least-loaded node wins.
+    if (best_node < 0 || (outside && !best_outside_domain) ||
+        (outside == best_outside_domain && load < best_load)) {
+      best_node = node;
+      best_load = load;
+      best_outside_domain = outside;
+    }
+  }
+  if (best_node < 0) {
+    return ResourceExhausted("no alive standby node available");
+  }
+  EnsureTask(task);
+  replica_node_[static_cast<size_t>(task)] = best_node;
+  return OkStatus();
+}
+
+void Cluster::RemoveReplica(TaskId task) {
+  if (task >= 0 && static_cast<size_t>(task) < replica_node_.size()) {
+    replica_node_[static_cast<size_t>(task)] = -1;
+  }
+}
+
+int Cluster::NodeOfPrimary(TaskId task) const {
+  if (task < 0 || static_cast<size_t>(task) >= primary_node_.size()) {
+    return -1;
+  }
+  return primary_node_[static_cast<size_t>(task)];
+}
+
+int Cluster::NodeOfReplica(TaskId task) const {
+  if (task < 0 || static_cast<size_t>(task) >= replica_node_.size()) {
+    return -1;
+  }
+  return replica_node_[static_cast<size_t>(task)];
+}
+
+std::vector<TaskId> Cluster::PrimariesOn(int node) const {
+  std::vector<TaskId> tasks;
+  for (size_t t = 0; t < primary_node_.size(); ++t) {
+    if (primary_node_[t] == node) {
+      tasks.push_back(static_cast<TaskId>(t));
+    }
+  }
+  return tasks;
+}
+
+std::vector<TaskId> Cluster::ReplicasOn(int node) const {
+  std::vector<TaskId> tasks;
+  for (size_t t = 0; t < replica_node_.size(); ++t) {
+    if (replica_node_[t] == node) {
+      tasks.push_back(static_cast<TaskId>(t));
+    }
+  }
+  return tasks;
+}
+
+std::vector<int> Cluster::NodesHostingPrimaries() const {
+  std::vector<int> nodes;
+  for (int node : primary_node_) {
+    if (node >= 0 &&
+        std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+      nodes.push_back(node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+}  // namespace ppa

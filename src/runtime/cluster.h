@@ -1,0 +1,80 @@
+#ifndef PPA_RUNTIME_CLUSTER_H_
+#define PPA_RUNTIME_CLUSTER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// The simulated cluster (Sec. V-A / VI): worker nodes host primary task
+/// copies; standby nodes store checkpoints and run active replicas.
+/// Node ids are dense: [0, num_workers) are workers,
+/// [num_workers, num_workers + num_standbys) are standby nodes.
+class Cluster {
+ public:
+  Cluster(int num_workers, int num_standbys);
+
+  int num_workers() const { return num_workers_; }
+  int num_standbys() const { return num_standbys_; }
+  int num_nodes() const { return num_workers_ + num_standbys_; }
+
+  bool IsStandby(int node) const { return node >= num_workers_; }
+  bool NodeAlive(int node) const;
+  void FailNode(int node);
+  void ReviveNode(int node);
+
+  /// Failure domains model the correlated-failure root causes of Sec. I
+  /// (shared switches, racks, power): nodes in one domain fail together.
+  /// By default every node is its own domain.
+  Status AssignDomain(int node, int domain);
+  int DomainOf(int node) const;
+  /// All nodes currently assigned to `domain`.
+  std::vector<int> NodesInDomain(int domain) const;
+
+  /// Places every task of `topology` on worker nodes round-robin.
+  void PlacePrimariesRoundRobin(const Topology& topology);
+
+  /// Pins one primary to a specific worker node (call before or after the
+  /// round-robin placement to override it).
+  Status PlacePrimary(TaskId task, int node);
+
+  /// Places replicas of `tasks` on standby nodes round-robin.
+  Status PlaceReplicas(const std::vector<TaskId>& tasks);
+
+  /// Places one replica on the alive standby node currently hosting the
+  /// fewest replicas, preferring nodes outside the primary's failure
+  /// domain so a domain failure cannot take out both copies.
+  Status PlaceReplicaAuto(TaskId task);
+
+  /// Releases the standby slot of `task`'s replica (no-op if none).
+  void RemoveReplica(TaskId task);
+
+  /// Worker node hosting the primary of `task`; -1 if unplaced.
+  int NodeOfPrimary(TaskId task) const;
+  /// Standby node hosting the replica of `task`; -1 if none.
+  int NodeOfReplica(TaskId task) const;
+
+  /// Primaries placed on `node`.
+  std::vector<TaskId> PrimariesOn(int node) const;
+  /// Replicas placed on `node`.
+  std::vector<TaskId> ReplicasOn(int node) const;
+
+  /// Worker nodes that host at least one primary.
+  std::vector<int> NodesHostingPrimaries() const;
+
+ private:
+  void EnsureTask(TaskId task);
+
+  int num_workers_;
+  int num_standbys_;
+  std::vector<bool> node_alive_;
+  std::vector<int> node_domain_;
+  std::vector<int> primary_node_;  // task -> node (-1 unplaced)
+  std::vector<int> replica_node_;  // task -> node (-1 none)
+};
+
+}  // namespace ppa
+
+#endif  // PPA_RUNTIME_CLUSTER_H_

@@ -1,0 +1,66 @@
+#include "runtime/domain_analysis.h"
+
+#include <algorithm>
+#include <set>
+
+#include "fidelity/metrics.h"
+
+namespace ppa {
+
+StatusOr<DomainFailureImpact> AnalyzeDomainFailure(const Topology& topology,
+                                                   const Cluster& cluster,
+                                                   const TaskSet& replicated,
+                                                   int domain) {
+  if (replicated.universe_size() != topology.num_tasks()) {
+    return InvalidArgument("plan universe mismatch");
+  }
+  DomainFailureImpact impact;
+  impact.domain = domain;
+  TaskSet failed(topology.num_tasks());
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    const int node = cluster.NodeOfPrimary(t);
+    if (node < 0 || cluster.DomainOf(node) != domain) {
+      continue;
+    }
+    ++impact.tasks_hosted;
+    // A replica placed outside the failing domain keeps the task alive.
+    const int replica_node = cluster.NodeOfReplica(t);
+    const bool covered = replicated.Contains(t) && replica_node >= 0 &&
+                         cluster.DomainOf(replica_node) != domain;
+    if (covered) {
+      ++impact.tasks_covered;
+    } else {
+      failed.Add(t);
+    }
+  }
+  impact.fidelity = ComputeOutputFidelity(topology, failed);
+  return impact;
+}
+
+StatusOr<std::vector<DomainFailureImpact>> AnalyzeAllDomains(
+    const Topology& topology, const Cluster& cluster,
+    const TaskSet& replicated) {
+  std::set<int> domains;
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    const int node = cluster.NodeOfPrimary(t);
+    if (node >= 0) {
+      domains.insert(cluster.DomainOf(node));
+    }
+  }
+  std::vector<DomainFailureImpact> impacts;
+  impacts.reserve(domains.size());
+  for (int domain : domains) {
+    PPA_ASSIGN_OR_RETURN(
+        DomainFailureImpact impact,
+        AnalyzeDomainFailure(topology, cluster, replicated, domain));
+    impacts.push_back(impact);
+  }
+  std::stable_sort(impacts.begin(), impacts.end(),
+                   [](const DomainFailureImpact& a,
+                      const DomainFailureImpact& b) {
+                     return a.fidelity < b.fidelity;
+                   });
+  return impacts;
+}
+
+}  // namespace ppa

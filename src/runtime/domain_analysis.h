@@ -1,0 +1,44 @@
+#ifndef PPA_RUNTIME_DOMAIN_ANALYSIS_H_
+#define PPA_RUNTIME_DOMAIN_ANALYSIS_H_
+
+#include <vector>
+
+#include "common/status_or.h"
+#include "runtime/cluster.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Tentative-output fidelity after a specific failure domain fails, given
+/// the placement in `cluster` and the active replica set `replicated`:
+/// primaries on the domain's nodes fail; those with an alive replica
+/// *outside* the domain ride through (the replica takes over), the rest
+/// contribute loss. This connects the paper's OF machinery with the
+/// placement-aware correlated-failure model it cites (Zen, INFOCOM'08).
+struct DomainFailureImpact {
+  int domain = -1;
+  /// Primaries hosted in the domain.
+  int tasks_hosted = 0;
+  /// Of those, tasks that survive through an out-of-domain replica.
+  int tasks_covered = 0;
+  /// OF of the tentative output while the domain is down.
+  double fidelity = 1.0;
+};
+
+/// Impact of failing `domain`.
+StatusOr<DomainFailureImpact> AnalyzeDomainFailure(const Topology& topology,
+                                                   const Cluster& cluster,
+                                                   const TaskSet& replicated,
+                                                   int domain);
+
+/// Impact of every domain that hosts at least one primary, sorted by
+/// ascending fidelity (worst first). The first entry is the cluster's
+/// weakest point under the plan.
+StatusOr<std::vector<DomainFailureImpact>> AnalyzeAllDomains(
+    const Topology& topology, const Cluster& cluster,
+    const TaskSet& replicated);
+
+}  // namespace ppa
+
+#endif  // PPA_RUNTIME_DOMAIN_ANALYSIS_H_

@@ -1,0 +1,134 @@
+#include "runtime/scenario.h"
+
+#include <sstream>
+
+namespace ppa {
+
+ScenarioRunner::ScenarioRunner(StreamingJob* job, EventLoop* loop)
+    : job_(job), loop_(loop) {}
+
+Status ScenarioRunner::Run(std::vector<ScenarioEvent> events) {
+  if (scheduled_ > 0) {
+    return FailedPrecondition("scenario already scheduled");
+  }
+  scheduled_ = events.size();
+  for (ScenarioEvent& event : events) {
+    loop_->ScheduleAfter(event.at, [this, event = std::move(event)] {
+      Execute(event);
+    });
+  }
+  return OkStatus();
+}
+
+void ScenarioRunner::Execute(const ScenarioEvent& event) {
+  Status status;
+  switch (event.kind) {
+    case ScenarioEvent::Kind::kNodeFailure:
+      status = job_->InjectNodeFailure(event.node);
+      break;
+    case ScenarioEvent::Kind::kDomainFailure:
+      status = job_->InjectDomainFailure(event.domain);
+      break;
+    case ScenarioEvent::Kind::kCorrelatedFailure:
+      status = job_->InjectCorrelatedFailure(event.include_sources);
+      break;
+    case ScenarioEvent::Kind::kApplyPlan: {
+      TaskSet plan(job_->topology().num_tasks());
+      for (TaskId t : event.plan) {
+        plan.Add(t);
+      }
+      status = job_->ApplyActiveReplicaSet(plan);
+      break;
+    }
+    case ScenarioEvent::Kind::kReconcile:
+      status = job_->ReconcileTentativeOutputs().status();
+      break;
+  }
+  outcomes_.push_back(std::move(status));
+  ++executed_;
+}
+
+Status ScenarioRunner::FirstError() const {
+  for (const Status& s : outcomes_) {
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<TaskId> FindTaskByLabel(const Topology& topology,
+                                 std::string_view label) {
+  for (TaskId t = 0; t < topology.num_tasks(); ++t) {
+    if (topology.TaskLabel(t) == label) {
+      return t;
+    }
+  }
+  return NotFound("no task labelled '" + std::string(label) + "'");
+}
+
+StatusOr<std::vector<ScenarioEvent>> ParseScenario(const Topology& topology,
+                                                   std::string_view script) {
+  std::vector<ScenarioEvent> events;
+  std::istringstream in{std::string(script)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    std::istringstream line(raw);
+    std::string at_word;
+    if (!(line >> at_word)) {
+      continue;
+    }
+    auto err = [&](const std::string& message) {
+      return InvalidArgument("line " + std::to_string(line_no) + ": " +
+                             message);
+    };
+    double seconds = 0;
+    std::string verb;
+    if (at_word != "at" || !(line >> seconds >> verb)) {
+      return err("expected: at <seconds> <event> ...");
+    }
+    ScenarioEvent event;
+    event.at = Duration::Seconds(seconds);
+    if (verb == "fail-node") {
+      event.kind = ScenarioEvent::Kind::kNodeFailure;
+      if (!(line >> event.node)) {
+        return err("expected: fail-node <node>");
+      }
+    } else if (verb == "fail-domain") {
+      event.kind = ScenarioEvent::Kind::kDomainFailure;
+      if (!(line >> event.domain)) {
+        return err("expected: fail-domain <domain>");
+      }
+    } else if (verb == "fail-correlated") {
+      event.kind = ScenarioEvent::Kind::kCorrelatedFailure;
+      std::string option;
+      if (line >> option) {
+        if (option != "with-sources") {
+          return err("unknown option '" + option + "'");
+        }
+        event.include_sources = true;
+      }
+    } else if (verb == "apply-plan") {
+      event.kind = ScenarioEvent::Kind::kApplyPlan;
+      std::string label;
+      while (line >> label) {
+        PPA_ASSIGN_OR_RETURN(TaskId t, FindTaskByLabel(topology, label));
+        event.plan.push_back(t);
+      }
+    } else if (verb == "reconcile") {
+      event.kind = ScenarioEvent::Kind::kReconcile;
+    } else {
+      return err("unknown event '" + verb + "'");
+    }
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+}  // namespace ppa

@@ -1,0 +1,84 @@
+#ifndef PPA_RUNTIME_SCENARIO_H_
+#define PPA_RUNTIME_SCENARIO_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "runtime/streaming_job.h"
+
+namespace ppa {
+
+/// One timed cluster event of a failure drill.
+struct ScenarioEvent {
+  enum class Kind {
+    /// Kill one node (`node`).
+    kNodeFailure,
+    /// Kill a failure domain (`domain`).
+    kDomainFailure,
+    /// Kill every node hosting primaries (`include_sources`).
+    kCorrelatedFailure,
+    /// Swap the active replica set to `plan` (dynamic adaptation).
+    kApplyPlan,
+    /// Reconcile the tentative outputs accumulated so far.
+    kReconcile,
+  };
+
+  Duration at;  ///< Offset from scenario scheduling time.
+  Kind kind = Kind::kNodeFailure;
+  int node = -1;
+  int domain = -1;
+  bool include_sources = false;
+  std::vector<TaskId> plan;
+};
+
+/// Drives a scripted timeline of failures/plan changes against a running
+/// job and records each event's outcome. Events execute on the job's event
+/// loop at their offsets, in order for equal offsets.
+class ScenarioRunner {
+ public:
+  /// `job` and `loop` must outlive the runner; the job must be started.
+  ScenarioRunner(StreamingJob* job, EventLoop* loop);
+
+  /// Schedules every event. Call once.
+  Status Run(std::vector<ScenarioEvent> events);
+
+  /// Statuses of the events that have executed so far, in execution order.
+  const std::vector<Status>& outcomes() const { return outcomes_; }
+  /// True once every scheduled event has executed.
+  bool finished() const { return executed_ == scheduled_; }
+  /// First non-OK outcome, or OK.
+  Status FirstError() const;
+
+ private:
+  void Execute(const ScenarioEvent& event);
+
+  StreamingJob* job_;
+  EventLoop* loop_;
+  size_t scheduled_ = 0;
+  size_t executed_ = 0;
+  std::vector<Status> outcomes_;
+};
+
+/// Looks a task up by its TaskLabel() ("mid[1]").
+StatusOr<TaskId> FindTaskByLabel(const Topology& topology,
+                                 std::string_view label);
+
+/// Parses a line-oriented scenario script:
+///
+///   # comment
+///   at <seconds> fail-node <node>
+///   at <seconds> fail-domain <domain>
+///   at <seconds> fail-correlated [with-sources]
+///   at <seconds> apply-plan <task-label>...
+///   at <seconds> reconcile
+///
+/// Task labels use the TaskLabel() form ("op[index]") and are resolved
+/// against `topology`.
+StatusOr<std::vector<ScenarioEvent>> ParseScenario(const Topology& topology,
+                                                   std::string_view script);
+
+}  // namespace ppa
+
+#endif  // PPA_RUNTIME_SCENARIO_H_

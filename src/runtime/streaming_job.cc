@@ -1,0 +1,924 @@
+#include "runtime/streaming_job.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace ppa {
+
+std::string_view FtModeToString(FtMode mode) {
+  switch (mode) {
+    case FtMode::kNone:
+      return "none";
+    case FtMode::kCheckpoint:
+      return "checkpoint";
+    case FtMode::kSourceReplay:
+      return "source-replay";
+    case FtMode::kActiveReplication:
+      return "active";
+    case FtMode::kPpa:
+      return "ppa";
+  }
+  return "?";
+}
+
+Duration RecoveryReport::ActiveLatency() const {
+  Duration max = Duration::Zero();
+  for (const TaskRecoverySpec& spec : specs) {
+    if (spec.kind == RecoveryKind::kActiveReplica) {
+      auto it = schedule.completion.find(spec.task);
+      if (it != schedule.completion.end()) {
+        max = std::max(max, it->second);
+      }
+    }
+  }
+  return max;
+}
+
+Duration RecoveryReport::PassiveLatency() const {
+  Duration max = Duration::Zero();
+  for (const TaskRecoverySpec& spec : specs) {
+    if (spec.kind != RecoveryKind::kActiveReplica) {
+      auto it = schedule.completion.find(spec.task);
+      if (it != schedule.completion.end()) {
+        max = std::max(max, it->second);
+      }
+    }
+  }
+  return max;
+}
+
+StreamingJob::StreamingJob(Topology topology, JobConfig config,
+                           EventLoop* loop)
+    : topology_(std::move(topology)),
+      config_(config),
+      loop_(loop),
+      router_(&topology_),
+      cluster_(config.num_worker_nodes, config.num_standby_nodes),
+      active_set_(topology_.num_tasks()) {
+  if (config_.ft_mode == FtMode::kPpa) {
+    config_.tentative_outputs = true;
+  }
+  op_factories_.resize(static_cast<size_t>(topology_.num_operators()));
+  source_factories_.resize(static_cast<size_t>(topology_.num_operators()));
+  processing_us_.assign(static_cast<size_t>(topology_.num_tasks()), 0.0);
+  sink_recorded_until_.assign(static_cast<size_t>(topology_.num_tasks()),
+                              -1);
+  checkpoint_us_.assign(static_cast<size_t>(topology_.num_tasks()), 0.0);
+  checkpoint_count_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
+}
+
+StreamingJob::~StreamingJob() = default;
+
+Status StreamingJob::BindOperator(OperatorId op, OperatorFactory factory) {
+  if (op < 0 || op >= topology_.num_operators()) {
+    return InvalidArgument("BindOperator: bad operator id");
+  }
+  if (topology_.op(op).upstream.empty()) {
+    return InvalidArgument("BindOperator: operator '" +
+                           topology_.op(op).name +
+                           "' is a source; use BindSource");
+  }
+  op_factories_[static_cast<size_t>(op)] = std::move(factory);
+  return OkStatus();
+}
+
+Status StreamingJob::BindSource(OperatorId op, SourceFactory factory) {
+  if (op < 0 || op >= topology_.num_operators()) {
+    return InvalidArgument("BindSource: bad operator id");
+  }
+  if (!topology_.op(op).upstream.empty()) {
+    return InvalidArgument("BindSource: operator '" + topology_.op(op).name +
+                           "' is not a source");
+  }
+  source_factories_[static_cast<size_t>(op)] = std::move(factory);
+  return OkStatus();
+}
+
+Status StreamingJob::SetActiveReplicaSet(const TaskSet& tasks) {
+  if (started_) {
+    return FailedPrecondition("SetActiveReplicaSet must precede Start");
+  }
+  if (tasks.universe_size() != topology_.num_tasks()) {
+    return InvalidArgument("active set universe mismatch");
+  }
+  active_set_ = tasks;
+  return OkStatus();
+}
+
+TaskRuntime* StreamingJob::replica(TaskId t) {
+  auto it = replicas_.find(t);
+  return it == replicas_.end() ? nullptr : it->second.get();
+}
+
+Status StreamingJob::Start() {
+  if (started_) {
+    return FailedPrecondition("job already started");
+  }
+  for (const OperatorInfo& oi : topology_.operators()) {
+    const bool is_source = oi.upstream.empty();
+    if (is_source && !source_factories_[static_cast<size_t>(oi.id)]) {
+      return FailedPrecondition("source operator '" + oi.name + "' unbound");
+    }
+    if (!is_source && !op_factories_[static_cast<size_t>(oi.id)]) {
+      return FailedPrecondition("operator '" + oi.name + "' unbound");
+    }
+  }
+  if (config_.ft_mode == FtMode::kActiveReplication) {
+    active_set_ = TaskSet::All(topology_.num_tasks());
+  } else if (config_.ft_mode != FtMode::kPpa) {
+    active_set_ = TaskSet(topology_.num_tasks());
+  }
+  if (!active_set_.empty() && config_.num_standby_nodes == 0) {
+    return FailedPrecondition("active replicas require standby nodes");
+  }
+
+  primaries_.clear();
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    primaries_.push_back(MakeRuntime(t));
+  }
+  for (TaskId t : active_set_.ToVector()) {
+    replicas_[t] = MakeRuntime(t);
+  }
+
+  // Placement: keep any pins made through cluster() before Start; fill the
+  // rest round-robin.
+  bool any_unplaced = false;
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    if (cluster_.NodeOfPrimary(t) < 0) {
+      any_unplaced = true;
+    }
+  }
+  if (any_unplaced) {
+    for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+      if (cluster_.NodeOfPrimary(t) < 0) {
+        PPA_RETURN_IF_ERROR(
+            cluster_.PlacePrimary(t, t % cluster_.num_workers()));
+      }
+    }
+  }
+  for (TaskId t : active_set_.ToVector()) {
+    PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
+  }
+
+  started_ = true;
+
+  // Recurring engine events.
+  loop_->ScheduleAfter(Duration::Zero(), [this] { OnBatchTick(); });
+  if (config_.ft_mode == FtMode::kCheckpoint ||
+      config_.ft_mode == FtMode::kPpa) {
+    const int n = topology_.num_tasks();
+    for (TaskId t = 0; t < n; ++t) {
+      Duration offset = config_.checkpoint_interval;
+      if (config_.stagger_checkpoints) {
+        offset += Duration::Micros(config_.checkpoint_interval.micros() *
+                                   (t + 1) / (n + 1)) -
+                  config_.checkpoint_interval / 2;
+      }
+      loop_->ScheduleAfter(offset, [this, t] { OnCheckpoint(t); });
+    }
+  }
+  if (!active_set_.empty() || config_.ft_mode == FtMode::kNone ||
+      config_.ft_mode == FtMode::kActiveReplication) {
+    loop_->ScheduleAfter(config_.replica_sync_interval,
+                         [this] { OnReplicaSync(); });
+  }
+  loop_->ScheduleAfter(config_.detection_interval, [this] { OnDetection(); });
+  observed_emitted_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
+  observed_processed_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
+  observed_at_ = loop_->now();
+  if (adaptation_interval_ > Duration::Zero()) {
+    loop_->ScheduleAfter(adaptation_interval_, [this] { OnAdaptation(); });
+  }
+  return OkStatus();
+}
+
+std::unique_ptr<TaskRuntime> StreamingJob::MakeRuntime(TaskId t) {
+  const OperatorInfo& oi = topology_.op(topology_.task(t).op);
+  if (oi.upstream.empty()) {
+    return std::make_unique<TaskRuntime>(
+        &topology_, t, nullptr,
+        source_factories_[static_cast<size_t>(oi.id)]());
+  }
+  return std::make_unique<TaskRuntime>(
+      &topology_, t, op_factories_[static_cast<size_t>(oi.id)](), nullptr);
+}
+
+Status StreamingJob::EnablePlanAdaptation(Duration interval,
+                                          AdaptationPlanner planner) {
+  if (started_) {
+    return FailedPrecondition("EnablePlanAdaptation must precede Start");
+  }
+  if (config_.ft_mode != FtMode::kPpa) {
+    return FailedPrecondition("plan adaptation requires FtMode::kPpa");
+  }
+  if (interval <= Duration::Zero() || planner == nullptr) {
+    return InvalidArgument("bad adaptation interval or planner");
+  }
+  adaptation_interval_ = interval;
+  adaptation_planner_ = std::move(planner);
+  return OkStatus();
+}
+
+StatusOr<Topology> StreamingJob::ObservedTopology() {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  const double window = (loop_->now() - observed_at_).seconds();
+  TopologyBuilder builder;
+  for (const OperatorInfo& oi : topology_.operators()) {
+    // Observed selectivity: output tuples per processed input tuple over
+    // the window, falling back to the static value with no data.
+    double selectivity = oi.selectivity;
+    if (!oi.upstream.empty() && window > 0) {
+      int64_t emitted = 0;
+      int64_t processed = 0;
+      for (TaskId t : oi.tasks) {
+        emitted += primaries_[static_cast<size_t>(t)]->emitted_tuples() -
+                   observed_emitted_[static_cast<size_t>(t)];
+        processed += primaries_[static_cast<size_t>(t)]->processed_tuples() -
+                     observed_processed_[static_cast<size_t>(t)];
+      }
+      if (processed > 0) {
+        selectivity = static_cast<double>(emitted) /
+                      static_cast<double>(processed);
+      }
+    }
+    builder.AddOperator(oi.name, oi.parallelism, oi.correlation, selectivity);
+    for (int k = 0; k < oi.parallelism; ++k) {
+      const TaskId t = oi.tasks[static_cast<size_t>(k)];
+      double weight = topology_.task(t).weight;
+      if (window > 0) {
+        const double rate =
+            static_cast<double>(
+                primaries_[static_cast<size_t>(t)]->emitted_tuples() -
+                observed_emitted_[static_cast<size_t>(t)]) /
+            window;
+        weight = std::max(rate, 1e-9);
+      }
+      builder.SetTaskWeight(oi.id, k, weight);
+    }
+  }
+  for (const StreamEdge& e : topology_.edges()) {
+    builder.Connect(e.from, e.to, e.scheme);
+  }
+  for (OperatorId src : topology_.source_operators()) {
+    double total = 0.0;
+    if (window > 0) {
+      for (TaskId t : topology_.op(src).tasks) {
+        total += static_cast<double>(
+                     primaries_[static_cast<size_t>(t)]->emitted_tuples() -
+                     observed_emitted_[static_cast<size_t>(t)]) /
+                 window;
+      }
+    } else {
+      for (TaskId t : topology_.op(src).tasks) {
+        total += topology_.task(t).output_rate;
+      }
+    }
+    builder.SetSourceRate(src, std::max(total, 1e-9));
+  }
+  // Advance the observation point.
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    observed_emitted_[static_cast<size_t>(t)] =
+        primaries_[static_cast<size_t>(t)]->emitted_tuples();
+    observed_processed_[static_cast<size_t>(t)] =
+        primaries_[static_cast<size_t>(t)]->processed_tuples();
+  }
+  observed_at_ = loop_->now();
+  return builder.Build();
+}
+
+Status StreamingJob::ActivateReplica(TaskId t) {
+  std::unique_ptr<TaskRuntime> rep = MakeRuntime(t);
+  const TaskCheckpoint* cp = checkpoints_.Latest(t);
+  if (cp != nullptr) {
+    // "Send the corresponding checkpoint to the destination node and
+    // initialize the replica's state with it" (Sec. V-C); the replica then
+    // catches up from the upstream output buffers, which the checkpoint
+    // trimming protocol guarantees still cover everything past cp.
+    PPA_RETURN_IF_ERROR(rep->Restore(cp->blob));
+  } else {
+    // No checkpoint yet: direct state transfer from the primary.
+    PPA_ASSIGN_OR_RETURN(std::string blob,
+                         primaries_[static_cast<size_t>(t)]->Snapshot());
+    PPA_RETURN_IF_ERROR(rep->Restore(blob));
+  }
+  PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
+  replicas_[t] = std::move(rep);
+  return OkStatus();
+}
+
+Status StreamingJob::ApplyActiveReplicaSet(const TaskSet& tasks) {
+  if (!started_) {
+    return FailedPrecondition("job not started; use SetActiveReplicaSet");
+  }
+  if (config_.ft_mode != FtMode::kPpa) {
+    return FailedPrecondition("dynamic replica changes require FtMode::kPpa");
+  }
+  if (tasks.universe_size() != topology_.num_tasks()) {
+    return InvalidArgument("active set universe mismatch");
+  }
+  // Deactivate replicas leaving the plan (never while their primary is
+  // failed or recovering: the replica may be the recovery path).
+  for (auto it = replicas_.begin(); it != replicas_.end();) {
+    const TaskId t = it->first;
+    const bool busy = recovering_.count(t) > 0 ||
+                      !primaries_[static_cast<size_t>(t)]->alive();
+    if (!tasks.Contains(t) && !busy) {
+      cluster_.RemoveReplica(t);
+      active_set_.Remove(t);
+      it = replicas_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Activate replicas entering the plan.
+  for (TaskId t : tasks.ToVector()) {
+    if (replicas_.count(t) > 0 || recovering_.count(t) > 0 ||
+        !primaries_[static_cast<size_t>(t)]->alive()) {
+      continue;
+    }
+    PPA_RETURN_IF_ERROR(ActivateReplica(t));
+    active_set_.Add(t);
+  }
+  Advance();  // New replicas catch up from the buffered outputs.
+  return OkStatus();
+}
+
+void StreamingJob::OnAdaptation() {
+  auto observed = ObservedTopology();
+  if (observed.ok()) {
+    auto plan = adaptation_planner_(*observed);
+    if (plan.ok()) {
+      Status applied = ApplyActiveReplicaSet(*plan);
+      if (!applied.ok()) {
+        PPA_LOG(Warning) << "plan adaptation skipped: "
+                         << applied.ToString();
+      }
+    } else {
+      PPA_LOG(Warning) << "adaptation planner failed: "
+                       << plan.status().ToString();
+    }
+  }
+  loop_->ScheduleAfter(adaptation_interval_, [this] { OnAdaptation(); });
+}
+
+void StreamingJob::OnBatchTick() {
+  ++frontier_;
+  Advance();
+  peak_buffered_tuples_ =
+      std::max(peak_buffered_tuples_, CurrentBufferedTuples());
+  loop_->ScheduleAfter(config_.batch_interval, [this] { OnBatchTick(); });
+}
+
+int64_t StreamingJob::CurrentBufferedTuples() const {
+  int64_t total = 0;
+  for (const auto& rt : primaries_) {
+    total += rt->BufferedTuples();
+  }
+  return total;
+}
+
+void StreamingJob::Advance() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (OperatorId op : topology_.topo_order()) {
+      for (TaskId t : topology_.op(op).tasks) {
+        progress |= TryAdvance(primaries_[static_cast<size_t>(t)].get(),
+                               /*is_replica=*/false);
+        auto rep = replicas_.find(t);
+        if (rep != replicas_.end()) {
+          progress |= TryAdvance(rep->second.get(), /*is_replica=*/true);
+        }
+      }
+    }
+  }
+}
+
+bool StreamingJob::CanProcess(TaskId t, int64_t b) const {
+  for (int si : topology_.task(t).in_substreams) {
+    const Substream& s = topology_.substreams()[si];
+    const TaskRuntime* up = primaries_[static_cast<size_t>(s.from)].get();
+    if (up->FindBatch(b) != nullptr) {
+      continue;  // Data present.
+    }
+    if (up->alive() && up->next_batch() > b) {
+      continue;  // Produced in the past but no longer buffered (trimmed or
+                 // skipped by recovery): resolved, possibly degraded.
+    }
+    if (!up->alive() && punctured_tasks_.count(s.from) > 0) {
+      continue;  // Master-injected batch-over punctuation (Sec. V-B).
+    }
+    return false;
+  }
+  return true;
+}
+
+std::vector<Tuple> StreamingJob::GatherInputs(TaskId t, int64_t b,
+                                              bool* punctured) {
+  std::vector<Tuple> inputs;
+  const OperatorId to_op = topology_.task(t).op;
+  for (int si : topology_.task(t).in_substreams) {
+    const Substream& s = topology_.substreams()[si];
+    const TaskRuntime* up = primaries_[static_cast<size_t>(s.from)].get();
+    const BatchOutput* bo = up->FindBatch(b);
+    if (bo == nullptr) {
+      if (!up->alive() || up->ever_failed()) {
+        *punctured = true;
+      }
+      continue;
+    }
+    for (const Tuple& tuple : bo->tuples) {
+      if (router_.Route(s.from, to_op, tuple) == t) {
+        inputs.push_back(tuple);
+      }
+    }
+  }
+  return inputs;
+}
+
+bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
+  if (rt == nullptr || !rt->alive()) {
+    return false;
+  }
+  const TaskId t = rt->id();
+  bool advanced = false;
+  while (rt->next_batch() <= frontier_) {
+    const int64_t b = rt->next_batch();
+    if (!rt->is_source() && !CanProcess(t, b)) {
+      break;
+    }
+    bool punctured = false;
+    std::vector<Tuple> inputs;
+    if (!rt->is_source()) {
+      inputs = GatherInputs(t, b, &punctured);
+    }
+    const size_t in_count = inputs.size();
+    const BatchOutput& out = rt->RunBatch(b, std::move(inputs));
+    if (!is_replica) {
+      const double work =
+          rt->is_source() ? static_cast<double>(out.tuples.size())
+                          : static_cast<double>(in_count);
+      processing_us_[static_cast<size_t>(t)] +=
+          work * config_.process_cost_per_tuple_us;
+      if (punctured) {
+        degraded_batches_.insert(b);
+      }
+      if (topology_.IsSinkTask(t)) {
+        // Batches replayed by a recovered sink were already delivered to
+        // the user before the failure; suppress the duplicates.
+        if (b > sink_recorded_until_[static_cast<size_t>(t)]) {
+          const bool tentative =
+              punctured || degraded_batches_.count(b) > 0;
+          for (const Tuple& tuple : out.tuples) {
+            sink_records_.push_back(
+                SinkRecord{tuple, tentative, loop_->now()});
+          }
+          sink_recorded_until_[static_cast<size_t>(t)] = b;
+        }
+        // Sinks have no subscribers; their buffer is not needed for
+        // replay.
+        rt->TrimOutputBuffer(b);
+      }
+    }
+    advanced = true;
+  }
+  return advanced;
+}
+
+void StreamingJob::OnCheckpoint(TaskId t) {
+  TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+  if (rt->alive()) {
+    TaskCheckpoint cp;
+    cp.task = t;
+    cp.next_batch = rt->next_batch();
+    cp.taken_at = loop_->now();
+    const bool take_delta =
+        config_.delta_checkpoints && rt->SupportsDeltaSnapshots() &&
+        checkpoints_.Chain(t) != nullptr &&
+        checkpoints_.ChainDeltas(t) < config_.max_delta_chain;
+    if (take_delta) {
+      auto delta = rt->SnapshotDelta();
+      PPA_CHECK_OK(delta.status());
+      cp.state_tuples = delta->state_tuples;
+      cp.blob = std::move(delta->blob);
+      PPA_CHECK_OK(checkpoints_.PutDelta(std::move(cp)));
+    } else {
+      auto blob = rt->Snapshot();
+      PPA_CHECK_OK(blob.status());
+      cp.state_tuples = rt->StateSizeTuples();
+      cp.blob = *std::move(blob);
+      checkpoints_.Put(std::move(cp));
+    }
+    ++checkpoint_count_[static_cast<size_t>(t)];
+    checkpoint_us_[static_cast<size_t>(t)] +=
+        config_.checkpoint_fixed_cost_us +
+        static_cast<double>(checkpoints_.Latest(t)->state_tuples) *
+            config_.checkpoint_cost_per_state_tuple_us;
+    TrimUpstreamBuffers(t);
+  }
+  loop_->ScheduleAfter(config_.checkpoint_interval,
+                       [this, t] { OnCheckpoint(t); });
+}
+
+void StreamingJob::TrimUpstreamBuffers(TaskId checkpointed) {
+  // Each upstream producer of the freshly checkpointed task may drop every
+  // batch that all of its consumers' checkpoints already cover.
+  for (int si : topology_.task(checkpointed).in_substreams) {
+    const Substream& s = topology_.substreams()[si];
+    const TaskId u = s.from;
+    int64_t min_covered = INT64_MAX;
+    for (int osi : topology_.task(u).out_substreams) {
+      const Substream& os = topology_.substreams()[osi];
+      min_covered = std::min(min_covered, checkpoints_.CoveredBatch(os.to));
+      // Consumer replicas read from this buffer as well; keep what they
+      // have not yet processed.
+      auto rep = replicas_.find(os.to);
+      if (rep != replicas_.end() && rep->second->alive()) {
+        min_covered = std::min(min_covered, rep->second->next_batch());
+      }
+    }
+    if (min_covered > 0 && min_covered != INT64_MAX) {
+      primaries_[static_cast<size_t>(u)]->TrimOutputBuffer(min_covered - 1);
+    }
+  }
+}
+
+void StreamingJob::OnReplicaSync() {
+  auto consumption_level = [&](TaskId t) {
+    int64_t level = INT64_MAX;
+    for (int osi : topology_.task(t).out_substreams) {
+      const Substream& os = topology_.substreams()[osi];
+      level = std::min(
+          level, primaries_[static_cast<size_t>(os.to)]->next_batch());
+      auto rep = replicas_.find(os.to);
+      if (rep != replicas_.end() && rep->second->alive()) {
+        level = std::min(level, rep->second->next_batch());
+      }
+    }
+    return level == INT64_MAX ? frontier_ + 1 : level;
+  };
+  // Sink replicas keep enough recent batches to flush them to the user at
+  // takeover (failure + detection can hide up to a detection interval of
+  // output).
+  const int64_t sink_retention =
+      config_.detection_interval.micros() / config_.batch_interval.micros() +
+      2;
+  for (auto& [t, rep] : replicas_) {
+    if (rep->alive()) {
+      if (topology_.IsSinkTask(t)) {
+        rep->TrimOutputBuffer(frontier_ - sink_retention);
+      } else {
+        rep->TrimOutputBuffer(consumption_level(t) - 1);
+      }
+    }
+  }
+  // Without checkpoint-driven trimming, primary buffers are trimmed by
+  // downstream consumption instead.
+  if (config_.ft_mode == FtMode::kActiveReplication ||
+      config_.ft_mode == FtMode::kNone) {
+    for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+      TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+      if (rt->alive() && !topology_.IsSinkTask(t)) {
+        rt->TrimOutputBuffer(consumption_level(t) - 1);
+      }
+    }
+  }
+  loop_->ScheduleAfter(config_.replica_sync_interval,
+                       [this] { OnReplicaSync(); });
+}
+
+int64_t StreamingJob::EstimateReplayTuples(TaskId t, int64_t from_batch) const {
+  const double batch_seconds = config_.batch_interval.seconds();
+  const int64_t span = std::max<int64_t>(0, frontier_ + 1 - from_batch);
+  if (topology_.IsSourceTask(t)) {
+    // Sources regenerate their own output deterministically.
+    return static_cast<int64_t>(topology_.task(t).output_rate *
+                                static_cast<double>(span) * batch_seconds);
+  }
+  int64_t total = 0;
+  const OperatorId to_op = topology_.task(t).op;
+  for (int si : topology_.task(t).in_substreams) {
+    const Substream& s = topology_.substreams()[si];
+    const TaskRuntime* up = primaries_[static_cast<size_t>(s.from)].get();
+    int64_t batches_with_data = 0;
+    for (const BatchOutput& bo : up->output_buffer()) {
+      if (bo.batch < from_batch || bo.batch > frontier_) {
+        continue;
+      }
+      ++batches_with_data;
+      for (const Tuple& tuple : bo.tuples) {
+        if (router_.Route(s.from, to_op, tuple) == t) {
+          ++total;
+        }
+      }
+    }
+    // Batches a failed upstream will reproduce during its own recovery are
+    // estimated analytically from the substream rate.
+    const int64_t missing = span - batches_with_data;
+    if (missing > 0 && (up->ever_failed() || !up->alive())) {
+      total += static_cast<int64_t>(s.rate * static_cast<double>(missing) *
+                                    batch_seconds);
+    }
+  }
+  return total;
+}
+
+void StreamingJob::OnDetection() {
+  if (!undetected_failures_.empty() && config_.ft_mode != FtMode::kNone) {
+    RecoveryReport report;
+    report.failure_time = last_failure_time_;
+    report.detection_time = loop_->now();
+    for (TaskId t : undetected_failures_) {
+      TaskRecoverySpec spec;
+      spec.task = t;
+      TaskRuntime* rep = replica(t);
+      const bool active_available =
+          rep != nullptr && rep->alive() &&
+          (config_.ft_mode == FtMode::kActiveReplication ||
+           config_.ft_mode == FtMode::kPpa);
+      if (active_available) {
+        spec.kind = RecoveryKind::kActiveReplica;
+        spec.resend_tuples = rep->BufferedTuples();
+      } else if (config_.ft_mode == FtMode::kSourceReplay ||
+                 config_.ft_mode == FtMode::kActiveReplication) {
+        // Pure active replication with a dead replica falls back to
+        // replaying from the sources (there are no checkpoints).
+        spec.kind = RecoveryKind::kSourceReplay;
+        const int64_t start =
+            std::max<int64_t>(0, frontier_ + 1 - config_.window_batches);
+        const double span_sec = static_cast<double>(frontier_ + 1 - start) *
+                                config_.batch_interval.seconds();
+        double rate = topology_.task(t).output_rate;
+        if (!topology_.IsSourceTask(t)) {
+          rate = 0;
+          for (int si : topology_.task(t).in_substreams) {
+            rate += topology_.substreams()[si].rate;
+          }
+        }
+        spec.replay_tuples = static_cast<int64_t>(rate * span_sec);
+      } else {
+        spec.kind = RecoveryKind::kCheckpoint;
+        // Loading a delta chain costs base + every delta.
+        spec.state_tuples = checkpoints_.ChainStateTuples(t);
+        spec.replay_tuples =
+            EstimateReplayTuples(t, checkpoints_.CoveredBatch(t));
+      }
+      report.specs.push_back(spec);
+    }
+    report.schedule =
+        ComputeRecoverySchedule(topology_, report.specs, config_.recovery);
+    for (const TaskRecoverySpec& spec : report.specs) {
+      recovering_[spec.task] = spec.kind;
+      if (config_.tentative_outputs &&
+          spec.kind != RecoveryKind::kActiveReplica) {
+        punctured_tasks_.insert(spec.task);
+      }
+      const Duration offset = report.schedule.completion.at(spec.task);
+      loop_->ScheduleAfter(offset, [this, t = spec.task, k = spec.kind] {
+        CompleteRecovery(t, k);
+      });
+    }
+    reports_.push_back(std::move(report));
+    undetected_failures_.clear();
+    Advance();
+  }
+  if (config_.ft_mode == FtMode::kNone) {
+    undetected_failures_.clear();
+  }
+  loop_->ScheduleAfter(config_.detection_interval, [this] { OnDetection(); });
+}
+
+void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
+  recovering_.erase(t);
+  punctured_tasks_.erase(t);
+  switch (kind) {
+    case RecoveryKind::kActiveReplica: {
+      auto it = replicas_.find(t);
+      PPA_CHECK(it != replicas_.end());
+      std::unique_ptr<TaskRuntime> rep = std::move(it->second);
+      replicas_.erase(it);
+      rep->MarkAlive();
+      if (topology_.IsSinkTask(t)) {
+        // The dead primary's records stop where delivery stopped; deliver
+        // the replica's buffered outputs from there on (the takeover
+        // "resend buffered tuples" of Sec. V-B, here to the end user).
+        for (const BatchOutput& bo : rep->output_buffer()) {
+          if (bo.batch <= sink_recorded_until_[static_cast<size_t>(t)]) {
+            continue;
+          }
+          const bool tentative = degraded_batches_.count(bo.batch) > 0;
+          for (const Tuple& tuple : bo.tuples) {
+            sink_records_.push_back(
+                SinkRecord{tuple, tentative, loop_->now()});
+          }
+          sink_recorded_until_[static_cast<size_t>(t)] = bo.batch;
+        }
+        rep->TrimOutputBuffer(frontier_);
+      }
+      primaries_[static_cast<size_t>(t)] = std::move(rep);
+      break;
+    }
+    case RecoveryKind::kCheckpoint: {
+      TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+      const std::vector<TaskCheckpoint>* chain = checkpoints_.Chain(t);
+      if (chain != nullptr) {
+        PPA_CHECK_OK(rt->Restore((*chain)[0].blob));
+        for (size_t i = 1; i < chain->size(); ++i) {
+          PPA_CHECK_OK(rt->ApplyDelta((*chain)[i].blob));
+        }
+      } else {
+        rt->Reset(0);
+      }
+      rt->MarkAlive();
+      break;
+    }
+    case RecoveryKind::kSourceReplay: {
+      TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+      rt->Reset(std::max<int64_t>(0, frontier_ + 1 - config_.window_batches));
+      rt->MarkAlive();
+      break;
+    }
+  }
+  Advance();
+}
+
+Status StreamingJob::InjectNodeFailure(int node) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  if (node < 0 || node >= cluster_.num_nodes()) {
+    return InvalidArgument("bad node id");
+  }
+  if (!cluster_.NodeAlive(node)) {
+    return FailedPrecondition("node already failed");
+  }
+  cluster_.FailNode(node);
+  last_failure_time_ = loop_->now();
+  last_failure_batch_ = frontier_;
+  for (TaskId t : cluster_.PrimariesOn(node)) {
+    TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+    if (rt->alive()) {
+      rt->MarkFailed();
+      undetected_failures_.insert(t);
+    }
+  }
+  for (TaskId t : cluster_.ReplicasOn(node)) {
+    TaskRuntime* rep = replica(t);
+    if (rep != nullptr && rep->alive()) {
+      rep->MarkFailed();
+    }
+  }
+  return OkStatus();
+}
+
+Status StreamingJob::InjectDomainFailure(int domain) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  const std::vector<int> nodes = cluster_.NodesInDomain(domain);
+  if (nodes.empty()) {
+    return NotFound("no nodes in failure domain");
+  }
+  for (int node : nodes) {
+    if (cluster_.NodeAlive(node)) {
+      PPA_RETURN_IF_ERROR(InjectNodeFailure(node));
+    }
+  }
+  return OkStatus();
+}
+
+Status StreamingJob::InjectCorrelatedFailure(bool include_sources) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  std::set<int> nodes;
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    if (!include_sources && topology_.IsSourceTask(t)) {
+      continue;
+    }
+    const int node = cluster_.NodeOfPrimary(t);
+    if (node >= 0 && cluster_.NodeAlive(node)) {
+      nodes.insert(node);
+    }
+  }
+  for (int node : nodes) {
+    PPA_RETURN_IF_ERROR(InjectNodeFailure(node));
+  }
+  return OkStatus();
+}
+
+bool StreamingJob::AllRecovered() const {
+  return undetected_failures_.empty() && recovering_.empty();
+}
+
+StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
+    int64_t warmup_batches) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  if (!AllRecovered()) {
+    return FailedPrecondition("reconciliation requires completed recovery");
+  }
+  if (degraded_batches_.empty()) {
+    return FailedPrecondition("no tentative outputs to reconcile");
+  }
+  ReconciliationReport report;
+  report.from_batch = *degraded_batches_.begin();
+  report.to_batch = *degraded_batches_.rbegin();
+  if (report.to_batch > frontier_) {
+    return FailedPrecondition("degraded batches still open");
+  }
+
+  // Shadow re-execution with complete inputs: fresh runtimes, warmed up
+  // before the degraded range so windowed state is exact. Window state
+  // nests across operator levels, so the default warm-up is one window
+  // length per operator. Deterministic sources regenerate the ground-truth
+  // input.
+  if (warmup_batches < 0) {
+    warmup_batches = config_.window_batches * topology_.num_operators();
+  }
+  const int64_t start =
+      std::max<int64_t>(0, report.from_batch - warmup_batches);
+  std::vector<std::unique_ptr<TaskRuntime>> shadow;
+  shadow.reserve(static_cast<size_t>(topology_.num_tasks()));
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    shadow.push_back(MakeRuntime(t));
+    shadow.back()->FastForward(start);
+  }
+  for (int64_t b = start; b <= report.to_batch; ++b) {
+    for (OperatorId op : topology_.topo_order()) {
+      for (TaskId t : topology_.op(op).tasks) {
+        TaskRuntime* rt = shadow[static_cast<size_t>(t)].get();
+        std::vector<Tuple> inputs;
+        const OperatorId to_op = topology_.task(t).op;
+        for (int si : topology_.task(t).in_substreams) {
+          const Substream& sub = topology_.substreams()[si];
+          const BatchOutput* bo =
+              shadow[static_cast<size_t>(sub.from)]->FindBatch(b);
+          if (bo == nullptr) {
+            continue;  // Upstream warm-up started later than needed.
+          }
+          for (const Tuple& tuple : bo->tuples) {
+            if (router_.Route(sub.from, to_op, tuple) == t) {
+              inputs.push_back(tuple);
+            }
+          }
+        }
+        const size_t in_count = inputs.size();
+        const BatchOutput& out = rt->RunBatch(b, std::move(inputs));
+        report.reprocessed_tuples +=
+            rt->is_source() ? static_cast<int64_t>(out.tuples.size())
+                            : static_cast<int64_t>(in_count);
+        if (topology_.IsSinkTask(t) && degraded_batches_.count(b) > 0) {
+          for (const Tuple& tuple : out.tuples) {
+            SinkRecord record;
+            record.tuple = tuple;
+            record.tentative = false;
+            record.emitted_at = loop_->now();
+            record.correction = true;
+            report.corrected.push_back(record);
+          }
+        }
+      }
+    }
+  }
+
+  // Diff the corrected outputs against what was emitted tentatively for
+  // the same batches (by batch/key/value identity).
+  auto key_of = [](const Tuple& t) {
+    return std::to_string(t.batch) + "|" + t.key + "|" +
+           std::to_string(t.value) + "|" + std::to_string(t.producer);
+  };
+  std::multiset<std::string> tentative_set;
+  for (const SinkRecord& r : sink_records_) {
+    if (!r.correction && r.tuple.batch >= report.from_batch &&
+        r.tuple.batch <= report.to_batch) {
+      tentative_set.insert(key_of(r.tuple));
+    }
+  }
+  std::multiset<std::string> corrected_set;
+  for (const SinkRecord& r : report.corrected) {
+    corrected_set.insert(key_of(r.tuple));
+  }
+  for (const std::string& k : corrected_set) {
+    if (tentative_set.count(k) == 0) {
+      ++report.missed_outputs;
+    }
+  }
+  for (const std::string& k : tentative_set) {
+    if (corrected_set.count(k) == 0) {
+      ++report.spurious_outputs;
+    }
+  }
+
+  sink_records_.insert(sink_records_.end(), report.corrected.begin(),
+                       report.corrected.end());
+  degraded_batches_.clear();
+  return report;
+}
+
+}  // namespace ppa

@@ -1,0 +1,280 @@
+#ifndef PPA_RUNTIME_STREAMING_JOB_H_
+#define PPA_RUNTIME_STREAMING_JOB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/status_or.h"
+#include "engine/operator.h"
+#include "engine/router.h"
+#include "engine/task_runtime.h"
+#include "ft/checkpoint.h"
+#include "ft/recovery_model.h"
+#include "runtime/cluster.h"
+#include "runtime/config.h"
+#include "sim/event_loop.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// One tuple emitted by a sink task, with batch provenance, whether it was
+/// produced while part of the topology was failed (a tentative output,
+/// Sec. V-B), and the virtual time at which it became available to the
+/// user. Recovery replay can deliver old batches late: `emitted_at` far
+/// after the batch's own time means the output missed its real-time
+/// deadline (timeliness matters for the paper's tentative-output
+/// evaluation).
+struct SinkRecord {
+  Tuple tuple;
+  bool tentative = false;
+  TimePoint emitted_at;
+  /// True for records produced by ReconcileTentativeOutputs() — late
+  /// corrections of a tentative window, not real-time output.
+  bool correction = false;
+};
+
+/// Result of reconciling a tentative window after recovery (the
+/// Borealis-style output correction the paper leaves as future work,
+/// Sec. V-B): the corrected outputs and how much the tentative phase
+/// missed or fabricated.
+struct ReconciliationReport {
+  /// Degraded batch range that was re-executed.
+  int64_t from_batch = 0;
+  int64_t to_batch = -1;
+  /// Tuples reprocessed by the shadow re-execution (correction cost).
+  int64_t reprocessed_tuples = 0;
+  /// Sink outputs of the corrected run absent from the tentative output.
+  int64_t missed_outputs = 0;
+  /// Tentative sink outputs that the corrected run does not contain.
+  int64_t spurious_outputs = 0;
+  /// The corrected sink records (also appended to sink_records() with
+  /// correction = true).
+  std::vector<SinkRecord> corrected;
+};
+
+/// Everything the master decided about one detected failure.
+struct RecoveryReport {
+  TimePoint failure_time;
+  TimePoint detection_time;
+  /// Failed tasks and how each is being recovered.
+  std::vector<TaskRecoverySpec> specs;
+  /// Completion offsets relative to detection_time.
+  RecoverySchedule schedule;
+
+  /// The paper's recovery latency: detection to last task recovered.
+  Duration TotalLatency() const { return schedule.MaxLatency(); }
+  /// Latency restricted to tasks recovered from active replicas
+  /// (PPA-x-active in Fig. 10).
+  Duration ActiveLatency() const;
+  /// Latency restricted to passively recovered tasks.
+  Duration PassiveLatency() const;
+};
+
+/// A complete simulated streaming job (Sec. V): the query topology bound
+/// to operator implementations, executed batch-synchronously on a virtual
+/// cluster driven by a deterministic event loop, with checkpointing,
+/// active replication, failure injection, recovery, and tentative-output
+/// generation.
+///
+/// Lifecycle: construct -> Bind*() -> SetActiveReplicaSet() (optional) ->
+/// Start() -> loop->RunUntil(...) interleaved with Inject*Failure() ->
+/// inspect sink_records() / recovery_reports() / cost counters.
+class StreamingJob {
+ public:
+  StreamingJob(Topology topology, JobConfig config, EventLoop* loop);
+  ~StreamingJob();
+
+  StreamingJob(const StreamingJob&) = delete;
+  StreamingJob& operator=(const StreamingJob&) = delete;
+
+  const Topology& topology() const { return topology_; }
+  const JobConfig& config() const { return config_; }
+  Cluster& cluster() { return cluster_; }
+
+  /// Binds a factory for all tasks of a non-source operator.
+  Status BindOperator(OperatorId op, OperatorFactory factory);
+  /// Binds a factory for all tasks of a source operator.
+  Status BindSource(OperatorId op, SourceFactory factory);
+
+  /// Selects the tasks that get an active replica. Required for kPpa
+  /// (kActiveReplication implies all tasks). Must be called before
+  /// Start().
+  Status SetActiveReplicaSet(const TaskSet& tasks);
+
+  /// Validates bindings, instantiates runtimes, places tasks, and
+  /// schedules the recurring engine events. The job then advances as the
+  /// event loop runs.
+  Status Start();
+
+  /// Changes the active replica set while the job is running (dynamic plan
+  /// adaptation, Sec. V-C): replicas of tasks leaving the plan are
+  /// deactivated and their standby resources released; tasks entering the
+  /// plan get a fresh replica initialized from the primary's latest
+  /// checkpoint (or a direct state transfer if none exists) that catches
+  /// up from the upstream output buffers. Tasks that are currently failed
+  /// or recovering keep their previous replication status.
+  Status ApplyActiveReplicaSet(const TaskSet& tasks);
+
+  /// Periodically re-plans the active replica set: every `interval`, the
+  /// job snapshots the observed per-task rates (ObservedTopology()), asks
+  /// `planner` for a new plan, and applies it with
+  /// ApplyActiveReplicaSet(). Must be called before Start().
+  using AdaptationPlanner = std::function<StatusOr<TaskSet>(const Topology&)>;
+  Status EnablePlanAdaptation(Duration interval, AdaptationPlanner planner);
+
+  /// A copy of the topology whose source rates, task weights, and operator
+  /// selectivities are re-derived from the rates *observed* since the last
+  /// observation point (or job start), for rate-aware re-planning. Falls
+  /// back to the static rates for tasks that processed nothing yet.
+  StatusOr<Topology> ObservedTopology();
+
+  /// Kills a node: every primary/replica hosted on it fails. Takes effect
+  /// immediately; detection happens at the master's next heartbeat check.
+  Status InjectNodeFailure(int node);
+
+  /// Kills every alive node of a failure domain (a rack/switch outage —
+  /// the correlated-failure root cause of Sec. I).
+  Status InjectDomainFailure(int domain);
+
+  /// Kills every worker node that hosts at least one primary of a
+  /// non-source operator (the paper's correlated-failure experiment kills
+  /// all processing nodes but keeps the sources feeding data).
+  Status InjectCorrelatedFailure(bool include_sources = false);
+
+  /// True when no task is failed or awaiting recovery completion.
+  bool AllRecovered() const;
+
+  /// Corrects the tentative outputs of the last failure (Sec. V-B's
+  /// deferred reconciliation): deterministically re-executes the topology
+  /// over the degraded batch range (with a window-length warm-up) on
+  /// shadow runtimes fed complete inputs, appends the corrected sink
+  /// records (flagged `correction`), and reports what the tentative phase
+  /// missed. Requires every task to be recovered and at least one
+  /// degraded batch.
+  /// `warmup_batches` controls how far before the degraded range the
+  /// shadow run starts so windowed state is exact; the default (-1) uses
+  /// one window length per operator level (windows nest across stages).
+  StatusOr<ReconciliationReport> ReconcileTentativeOutputs(
+      int64_t warmup_batches = -1);
+
+  /// Last batch index whose source emission tick has fired.
+  int64_t frontier() const { return frontier_; }
+
+  /// The primary runtime of a task (for tests/inspection).
+  TaskRuntime* primary(TaskId t) { return primaries_[static_cast<size_t>(t)].get(); }
+  const TaskRuntime* primary(TaskId t) const {
+    return primaries_[static_cast<size_t>(t)].get();
+  }
+  /// The replica runtime, or nullptr.
+  TaskRuntime* replica(TaskId t);
+
+  const std::vector<SinkRecord>& sink_records() const { return sink_records_; }
+  const std::vector<RecoveryReport>& recovery_reports() const {
+    return reports_;
+  }
+  const CheckpointStore& checkpoint_store() const { return checkpoints_; }
+
+  /// Cumulative normal-processing CPU microseconds of a task.
+  double ProcessingCostUs(TaskId t) const {
+    return processing_us_[static_cast<size_t>(t)];
+  }
+  /// Cumulative checkpointing CPU microseconds of a task.
+  double CheckpointCostUs(TaskId t) const {
+    return checkpoint_us_[static_cast<size_t>(t)];
+  }
+  /// Number of checkpoints taken for a task.
+  int64_t CheckpointCount(TaskId t) const {
+    return checkpoint_count_[static_cast<size_t>(t)];
+  }
+
+  /// Tuples currently held in all primaries' output buffers (the
+  /// upstream-replay memory the checkpoint trimming protocol bounds).
+  int64_t CurrentBufferedTuples() const;
+  /// Highest CurrentBufferedTuples() observed at any batch tick.
+  int64_t PeakBufferedTuples() const { return peak_buffered_tuples_; }
+
+ private:
+  /// Dataflow scheduler: advances every runnable task until quiescence.
+  void Advance();
+  bool TryAdvance(TaskRuntime* rt, bool is_replica);
+  /// True if every upstream of `t` is resolved for batch `b` (data
+  /// present, already produced-and-skipped, or punctuation-substituted).
+  bool CanProcess(TaskId t, int64_t b) const;
+  /// Collects the batch-`b` tuples routed to `t`; sets *punctured if any
+  /// upstream contributed a punctuation instead of data.
+  std::vector<Tuple> GatherInputs(TaskId t, int64_t b, bool* punctured);
+
+  void OnBatchTick();
+  void OnCheckpoint(TaskId t);
+  void OnReplicaSync();
+  void OnDetection();
+  void OnAdaptation();
+  /// Creates a replica for `t` seeded from the primary's latest checkpoint
+  /// (or a live snapshot) so it can catch up from upstream buffers.
+  Status ActivateReplica(TaskId t);
+  /// Instantiates a fresh runtime (primary or replica) for `t`.
+  std::unique_ptr<TaskRuntime> MakeRuntime(TaskId t);
+  void CompleteRecovery(TaskId t, RecoveryKind kind);
+  /// Trims upstream output buffers given fresh checkpoint coverage.
+  void TrimUpstreamBuffers(TaskId checkpointed);
+
+  /// Estimated tuples `t` must replay for checkpoint recovery, counted
+  /// from real upstream buffers where available.
+  int64_t EstimateReplayTuples(TaskId t, int64_t from_batch) const;
+
+  bool started_ = false;
+  Topology topology_;
+  JobConfig config_;
+  EventLoop* loop_;
+  Router router_;
+  Cluster cluster_;
+  CheckpointStore checkpoints_;
+
+  std::vector<OperatorFactory> op_factories_;
+  std::vector<SourceFactory> source_factories_;
+  TaskSet active_set_;
+
+  std::vector<std::unique_ptr<TaskRuntime>> primaries_;
+  std::map<TaskId, std::unique_ptr<TaskRuntime>> replicas_;
+
+  int64_t frontier_ = -1;
+  /// Failed tasks not yet detected by the master.
+  std::set<TaskId> undetected_failures_;
+  /// Tasks whose recovery is pending (detected, completion scheduled).
+  std::map<TaskId, RecoveryKind> recovering_;
+  /// Failed tasks replaced by punctuations in tentative mode.
+  std::set<TaskId> punctured_tasks_;
+  /// Batches that were processed with at least one punctuation.
+  std::set<int64_t> degraded_batches_;
+  TimePoint last_failure_time_;
+  int64_t last_failure_batch_ = -1;
+
+  std::vector<SinkRecord> sink_records_;
+  /// Per-task highest batch already delivered to the user (duplicate
+  /// suppression when a recovered sink replays old batches).
+  std::vector<int64_t> sink_recorded_until_;
+  std::vector<RecoveryReport> reports_;
+
+  std::vector<double> processing_us_;
+  std::vector<double> checkpoint_us_;
+  std::vector<int64_t> checkpoint_count_;
+  int64_t peak_buffered_tuples_ = 0;
+
+  /// Dynamic plan adaptation (Sec. V-C).
+  Duration adaptation_interval_ = Duration::Zero();
+  AdaptationPlanner adaptation_planner_;
+  /// Per-task emitted/processed-tuple counts and time at the last
+  /// observation point.
+  std::vector<int64_t> observed_emitted_;
+  std::vector<int64_t> observed_processed_;
+  TimePoint observed_at_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_RUNTIME_STREAMING_JOB_H_

@@ -1,0 +1,67 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ppa {
+
+uint64_t EventLoop::Schedule(TimePoint at, std::function<void()> fn) {
+  PPA_CHECK(fn != nullptr);
+  if (at < now_) {
+    at = now_;
+  }
+  const uint64_t id = next_id_++;
+  queue_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+uint64_t EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
+  if (delay < Duration::Zero()) {
+    delay = Duration::Zero();
+  }
+  return Schedule(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(uint64_t event_id) {
+  if (event_id == 0 || event_id >= next_id_) {
+    return false;
+  }
+  // Lazily cancelled: the queue entry is skipped when popped.
+  return cancelled_.insert(event_id).second;
+}
+
+bool EventLoop::RunOne(TimePoint deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > deadline) {
+      return false;
+    }
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    Event event = top;
+    queue_.pop();
+    now_ = event.at;
+    ++events_processed_;
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::RunUntilIdle() {
+  while (RunOne(TimePoint::Max())) {
+  }
+}
+
+void EventLoop::RunUntil(TimePoint deadline) {
+  while (RunOne(deadline)) {
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace ppa

@@ -1,0 +1,199 @@
+#include "topology/random_topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace ppa {
+namespace {
+
+/// True if an edge from parallelism n1 to parallelism n2 can be realized
+/// with `scheme`.
+bool SchemeFeasible(PartitionScheme scheme, int n1, int n2) {
+  switch (scheme) {
+    case PartitionScheme::kOneToOne:
+      return n1 == n2;
+    case PartitionScheme::kSplit:
+      return n2 % n1 == 0 && n2 / n1 >= 2;
+    case PartitionScheme::kMerge:
+      return n1 % n2 == 0 && n1 / n2 >= 2;
+    case PartitionScheme::kFull:
+      return true;
+  }
+  return false;
+}
+
+/// Any non-Full scheme feasible for (n1, n2), chosen at random.
+StatusOr<PartitionScheme> PickStructuredScheme(int n1, int n2, Rng* rng) {
+  std::vector<PartitionScheme> feasible;
+  for (PartitionScheme s : {PartitionScheme::kOneToOne, PartitionScheme::kSplit,
+                            PartitionScheme::kMerge}) {
+    if (SchemeFeasible(s, n1, n2)) {
+      feasible.push_back(s);
+    }
+  }
+  if (feasible.empty()) {
+    return Internal("no structured scheme feasible");
+  }
+  return feasible[rng->NextUint64(feasible.size())];
+}
+
+/// True if some non-Full scheme can connect n1 -> n2.
+bool StructuredFeasible(int n1, int n2) {
+  return n1 == n2 || (n2 % n1 == 0 && n2 / n1 >= 2) ||
+         (n1 % n2 == 0 && n1 / n2 >= 2);
+}
+
+}  // namespace
+
+StatusOr<Topology> GenerateRandomTopology(const RandomTopologyOptions& options,
+                                          Rng* rng) {
+  if (options.min_operators < 1 ||
+      options.max_operators < options.min_operators) {
+    return InvalidArgument("bad operator count range");
+  }
+  if (options.min_parallelism < 1 ||
+      options.max_parallelism < options.min_parallelism) {
+    return InvalidArgument("bad parallelism range");
+  }
+  const int num_ops = static_cast<int>(
+      rng->NextInt(options.min_operators, options.max_operators));
+
+  // Number of source operators: at least 2 when possible so that the DAG
+  // contains merge points (multi-input operators), bounded so that the
+  // remaining operator budget can collapse all streams into one sink:
+  // merging L streams needs L-1 two-input operators, so L <= (N+1)/2.
+  const int max_sources = std::max(1, (num_ops + 1) / 2);
+  const int num_sources =
+      max_sources >= 2
+          ? static_cast<int>(rng->NextInt(2, std::min(4, max_sources)))
+          : 1;
+
+  TopologyBuilder builder;
+
+  struct OpState {
+    OperatorId id;
+    int parallelism;
+  };
+  auto sample_parallelism = [&]() {
+    return static_cast<int>(
+        rng->NextInt(options.min_parallelism, options.max_parallelism));
+  };
+
+  // Active stream heads awaiting a downstream consumer.
+  std::vector<OpState> active;
+  std::vector<std::pair<OperatorId, int>> all_ops;  // (id, parallelism)
+  for (int i = 0; i < num_sources; ++i) {
+    int par = sample_parallelism();
+    OperatorId id = builder.AddOperator("src" + std::to_string(i), par,
+                                        InputCorrelation::kIndependent,
+                                        /*selectivity=*/1.0);
+    builder.SetSourceRate(id, options.source_rate);
+    active.push_back(OpState{id, par});
+    all_ops.emplace_back(id, par);
+  }
+
+  int remaining = num_ops - num_sources;
+  int op_seq = 0;
+  while (remaining > 0) {
+    const int merges_needed = static_cast<int>(active.size()) - 1;
+    bool must_merge = merges_needed >= remaining;
+    bool can_merge = active.size() >= 2;
+    bool do_merge = can_merge && (must_merge || rng->NextBool(0.5));
+
+    // Pick upstream streams.
+    std::vector<OpState> ups;
+    if (do_merge) {
+      size_t a = rng->NextUint64(active.size());
+      size_t b = rng->NextUint64(active.size() - 1);
+      if (b >= a) {
+        ++b;
+      }
+      if (a > b) {
+        std::swap(a, b);
+      }
+      ups.push_back(active[a]);
+      ups.push_back(active[b]);
+      active.erase(active.begin() + static_cast<long>(b));
+      active.erase(active.begin() + static_cast<long>(a));
+    } else {
+      size_t a = rng->NextUint64(active.size());
+      ups.push_back(active[a]);
+      active.erase(active.begin() + static_cast<long>(a));
+    }
+
+    // Choose the new operator's parallelism.
+    int par = 0;
+    if (options.kind == RandomTopologyOptions::Kind::kFull) {
+      par = sample_parallelism();
+    } else {
+      // Collect parallelisms in range feasible against all upstreams.
+      std::vector<int> feasible;
+      for (int p = options.min_parallelism; p <= options.max_parallelism;
+           ++p) {
+        bool ok = true;
+        for (const OpState& u : ups) {
+          if (!StructuredFeasible(u.parallelism, p)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          feasible.push_back(p);
+        }
+      }
+      if (!feasible.empty()) {
+        par = feasible[rng->NextUint64(feasible.size())];
+      } else {
+        // Fall back to parallelism 1, which every upstream can reach via
+        // merge (n1 >= 2) or one-to-one (n1 == 1).
+        par = 1;
+      }
+    }
+
+    InputCorrelation correlation =
+        (ups.size() >= 2 && rng->NextBool(options.join_fraction))
+            ? InputCorrelation::kCorrelated
+            : InputCorrelation::kIndependent;
+    OperatorId id =
+        builder.AddOperator("op" + std::to_string(op_seq++), par, correlation,
+                            options.selectivity);
+    for (const OpState& u : ups) {
+      PartitionScheme scheme = PartitionScheme::kFull;
+      if (options.kind == RandomTopologyOptions::Kind::kStructured) {
+        PPA_ASSIGN_OR_RETURN(scheme,
+                             PickStructuredScheme(u.parallelism, par, rng));
+      }
+      builder.Connect(u.id, id, scheme);
+    }
+    active.push_back(OpState{id, par});
+    all_ops.emplace_back(id, par);
+    --remaining;
+  }
+
+  if (active.size() != 1) {
+    return Internal("random topology generation left multiple sinks");
+  }
+
+  // Task workload skew.
+  if (options.skew == RandomTopologyOptions::WorkloadSkew::kZipf) {
+    for (const auto& [id, par] : all_ops) {
+      // Weight of rank r follows 1/(r+1)^s; ranks shuffled across tasks so
+      // the hot task position is random.
+      std::vector<double> weights(static_cast<size_t>(par));
+      for (int r = 0; r < par; ++r) {
+        weights[static_cast<size_t>(r)] =
+            1.0 / std::pow(static_cast<double>(r + 1), options.zipf_s);
+      }
+      rng->Shuffle(&weights);
+      for (int k = 0; k < par; ++k) {
+        builder.SetTaskWeight(id, k, weights[static_cast<size_t>(k)]);
+      }
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace ppa

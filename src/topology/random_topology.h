@@ -1,0 +1,65 @@
+#ifndef PPA_TOPOLOGY_RANDOM_TOPOLOGY_H_
+#define PPA_TOPOLOGY_RANDOM_TOPOLOGY_H_
+
+#include "common/random.h"
+#include "common/status_or.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Specification grid for the synthetic random topologies of Sec. VI-C
+/// (Fig. 14). The generator builds a single-sink DAG: L source operators,
+/// stream extensions (unary operators) and stream merges (two-input
+/// operators) placed at random until one output stream remains.
+struct RandomTopologyOptions {
+  /// Structural class of the topology (Fig. 14(c)).
+  enum class Kind {
+    /// All interior partitionings drawn from {one-to-one, split, merge}.
+    kStructured,
+    /// Every partitioning is Full.
+    kFull,
+  };
+
+  /// Distribution of task workloads within an operator (Fig. 14(a)).
+  enum class WorkloadSkew {
+    kUniform,
+    kZipf,
+  };
+
+  /// Operator count is drawn uniformly from [min_operators, max_operators].
+  int min_operators = 5;
+  int max_operators = 10;
+
+  /// Operator parallelism is drawn uniformly from
+  /// [min_parallelism, max_parallelism] (Fig. 14(b)); structured schemes may
+  /// force a derived operator slightly outside the range to satisfy
+  /// divisibility.
+  int min_parallelism = 1;
+  int max_parallelism = 10;
+
+  Kind kind = Kind::kStructured;
+
+  /// Probability that a multi-input operator is a join (correlated input,
+  /// Fig. 14(d)).
+  double join_fraction = 0.0;
+
+  WorkloadSkew skew = WorkloadSkew::kUniform;
+  /// Zipf exponent used when skew == kZipf (paper uses s = 0.1).
+  double zipf_s = 0.1;
+
+  /// Aggregate rate of every source operator (tuples/s).
+  double source_rate = 1000.0;
+
+  /// Selectivity assigned to every non-source operator.
+  double selectivity = 1.0;
+};
+
+/// Generates a random topology per `options` using `rng`. The result always
+/// has a single output operator and at least one multi-input operator when
+/// the operator budget allows (so the join fraction is meaningful).
+StatusOr<Topology> GenerateRandomTopology(const RandomTopologyOptions& options,
+                                          Rng* rng);
+
+}  // namespace ppa
+
+#endif  // PPA_TOPOLOGY_RANDOM_TOPOLOGY_H_

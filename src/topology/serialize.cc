@@ -1,0 +1,189 @@
+#include "topology/serialize.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ppa {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+StatusOr<PartitionScheme> SchemeFromString(const std::string& s, int line) {
+  if (s == "one-to-one") {
+    return PartitionScheme::kOneToOne;
+  }
+  if (s == "split") {
+    return PartitionScheme::kSplit;
+  }
+  if (s == "merge") {
+    return PartitionScheme::kMerge;
+  }
+  if (s == "full") {
+    return PartitionScheme::kFull;
+  }
+  return InvalidArgument("line " + std::to_string(line) +
+                         ": unknown partition scheme '" + s + "'");
+}
+
+}  // namespace
+
+std::string ToDot(const Topology& topology, const TaskSet* replicated) {
+  std::ostringstream out;
+  out << "digraph topology {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (const OperatorInfo& oi : topology.operators()) {
+    int replicas = 0;
+    if (replicated != nullptr) {
+      for (TaskId t : oi.tasks) {
+        replicas += replicated->Contains(t) ? 1 : 0;
+      }
+    }
+    out << "  " << oi.id << " [label=\"" << oi.name << "\\nx"
+        << oi.parallelism;
+    if (oi.correlation == InputCorrelation::kCorrelated) {
+      out << " (join)";
+    }
+    if (replicated != nullptr) {
+      out << "\\n" << replicas << "/" << oi.parallelism << " replicated";
+    }
+    out << "\"";
+    if (replicas > 0) {
+      out << ", style=filled, fillcolor=lightblue";
+    }
+    out << "];\n";
+  }
+  for (const StreamEdge& e : topology.edges()) {
+    out << "  " << e.from << " -> " << e.to << " [label=\""
+        << PartitionSchemeToString(e.scheme) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+StatusOr<Topology> ParseTopologySpec(std::string_view spec) {
+  TopologyBuilder builder;
+  std::map<std::string, OperatorId> ops;
+  std::map<std::string, double> pending_rates;
+
+  std::istringstream in{std::string(spec)};
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and tokenize.
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    std::istringstream line(raw);
+    std::string verb;
+    if (!(line >> verb)) {
+      continue;  // Blank line.
+    }
+    auto err = [&](const std::string& message) {
+      return InvalidArgument("line " + std::to_string(line_no) + ": " +
+                             message);
+    };
+    if (verb == "operator") {
+      std::string name;
+      int parallelism = 0;
+      if (!(line >> name >> parallelism)) {
+        return err("expected: operator <name> <parallelism> ...");
+      }
+      if (ops.count(name) > 0) {
+        return err("duplicate operator '" + name + "'");
+      }
+      InputCorrelation correlation = InputCorrelation::kIndependent;
+      double selectivity = 1.0;
+      std::string option;
+      while (line >> option) {
+        if (option == "join") {
+          correlation = InputCorrelation::kCorrelated;
+        } else if (option.rfind("selectivity=", 0) == 0) {
+          selectivity = std::stod(option.substr(12));
+        } else if (option.rfind("rate=", 0) == 0) {
+          pending_rates[name] = std::stod(option.substr(5));
+        } else {
+          return err("unknown operator option '" + option + "'");
+        }
+      }
+      ops[name] = builder.AddOperator(name, parallelism, correlation,
+                                      selectivity);
+    } else if (verb == "edge") {
+      std::string from, to, scheme_name;
+      if (!(line >> from >> to >> scheme_name)) {
+        return err("expected: edge <from> <to> <scheme>");
+      }
+      auto from_it = ops.find(from);
+      auto to_it = ops.find(to);
+      if (from_it == ops.end() || to_it == ops.end()) {
+        return err("edge references undeclared operator");
+      }
+      PPA_ASSIGN_OR_RETURN(PartitionScheme scheme,
+                           SchemeFromString(scheme_name, line_no));
+      builder.Connect(from_it->second, to_it->second, scheme);
+    } else if (verb == "weight") {
+      std::string name;
+      int index = 0;
+      double weight = 0;
+      if (!(line >> name >> index >> weight)) {
+        return err("expected: weight <op> <index> <weight>");
+      }
+      auto it = ops.find(name);
+      if (it == ops.end()) {
+        return err("weight references undeclared operator");
+      }
+      builder.SetTaskWeight(it->second, index, weight);
+    } else {
+      return err("unknown directive '" + verb + "'");
+    }
+  }
+  for (const auto& [name, rate] : pending_rates) {
+    builder.SetSourceRate(ops.at(name), rate);
+  }
+  return builder.Build();
+}
+
+std::string ToSpec(const Topology& topology) {
+  std::ostringstream out;
+  for (const OperatorInfo& oi : topology.operators()) {
+    out << "operator " << oi.name << " " << oi.parallelism;
+    if (oi.correlation == InputCorrelation::kCorrelated) {
+      out << " join";
+    }
+    if (oi.selectivity != 1.0) {
+      out << " selectivity=" << FormatDouble(oi.selectivity);
+    }
+    if (oi.upstream.empty()) {
+      double total = 0;
+      for (TaskId t : oi.tasks) {
+        total += topology.task(t).output_rate;
+      }
+      out << " rate=" << FormatDouble(total);
+    }
+    out << "\n";
+  }
+  for (const StreamEdge& e : topology.edges()) {
+    out << "edge " << topology.op(e.from).name << " "
+        << topology.op(e.to).name << " "
+        << PartitionSchemeToString(e.scheme) << "\n";
+  }
+  for (const OperatorInfo& oi : topology.operators()) {
+    for (int k = 0; k < oi.parallelism; ++k) {
+      const double w =
+          topology.task(oi.tasks[static_cast<size_t>(k)]).weight;
+      if (w != 1.0) {
+        out << "weight " << oi.name << " " << k << " " << FormatDouble(w)
+            << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ppa

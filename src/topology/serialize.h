@@ -1,0 +1,38 @@
+#ifndef PPA_TOPOLOGY_SERIALIZE_H_
+#define PPA_TOPOLOGY_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status_or.h"
+#include "topology/task_set.h"
+#include "topology/topology.h"
+
+namespace ppa {
+
+/// Renders a topology as a Graphviz DOT digraph (operator granularity):
+/// node labels carry the operator name, parallelism, join marker, and —
+/// when `replicated` is given — how many of its tasks the plan actively
+/// replicates; edge labels carry the partition scheme.
+std::string ToDot(const Topology& topology,
+                  const TaskSet* replicated = nullptr);
+
+/// Parses the compact line-oriented topology spec:
+///
+///   # comment
+///   operator <name> <parallelism> [join] [selectivity=<s>] [rate=<r>]
+///   edge <from-name> <to-name> <one-to-one|split|merge|full>
+///   weight <op-name> <task-index> <weight>
+///
+/// `rate` is only valid on operators that end up as sources. Operator
+/// names must be unique. Returns the built topology or the first error
+/// with its line number.
+StatusOr<Topology> ParseTopologySpec(std::string_view spec);
+
+/// Emits a spec that ParseTopologySpec() parses back into an equivalent
+/// topology (same operators, edges, rates, and weights).
+std::string ToSpec(const Topology& topology);
+
+}  // namespace ppa
+
+#endif  // PPA_TOPOLOGY_SERIALIZE_H_

@@ -1,0 +1,130 @@
+#ifndef PPA_TOPOLOGY_TASK_SET_H_
+#define PPA_TOPOLOGY_TASK_SET_H_
+
+#include <vector>
+
+#include "common/logging.h"
+#include "topology/types.h"
+
+namespace ppa {
+
+/// A dense set of task ids over a topology with a fixed task count.
+/// Used for failure sets and replication plans; cheap to copy, hashable,
+/// and comparable (needed for plan deduplication in the DP planner).
+class TaskSet {
+ public:
+  TaskSet() = default;
+  /// An empty set over `num_tasks` tasks.
+  explicit TaskSet(int num_tasks)
+      : bits_(static_cast<size_t>(num_tasks), false), count_(0) {}
+
+  /// The full set over `num_tasks` tasks.
+  static TaskSet All(int num_tasks) {
+    TaskSet s(num_tasks);
+    s.bits_.assign(static_cast<size_t>(num_tasks), true);
+    s.count_ = num_tasks;
+    return s;
+  }
+
+  int universe_size() const { return static_cast<int>(bits_.size()); }
+  int size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  bool Contains(TaskId id) const {
+    PPA_CHECK(id >= 0 && static_cast<size_t>(id) < bits_.size());
+    return bits_[static_cast<size_t>(id)];
+  }
+
+  /// Adds `id`; returns true if it was newly inserted.
+  bool Add(TaskId id) {
+    PPA_CHECK(id >= 0 && static_cast<size_t>(id) < bits_.size());
+    if (bits_[static_cast<size_t>(id)]) {
+      return false;
+    }
+    bits_[static_cast<size_t>(id)] = true;
+    ++count_;
+    return true;
+  }
+
+  /// Removes `id`; returns true if it was present.
+  bool Remove(TaskId id) {
+    PPA_CHECK(id >= 0 && static_cast<size_t>(id) < bits_.size());
+    if (!bits_[static_cast<size_t>(id)]) {
+      return false;
+    }
+    bits_[static_cast<size_t>(id)] = false;
+    --count_;
+    return true;
+  }
+
+  /// Inserts every element of `other` (same universe required).
+  void UnionWith(const TaskSet& other) {
+    PPA_CHECK(other.bits_.size() == bits_.size());
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (other.bits_[i] && !bits_[i]) {
+        bits_[i] = true;
+        ++count_;
+      }
+    }
+  }
+
+  /// Number of elements of `other` missing from this set.
+  int CountMissing(const TaskSet& other) const {
+    PPA_CHECK(other.bits_.size() == bits_.size());
+    int missing = 0;
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (other.bits_[i] && !bits_[i]) {
+        ++missing;
+      }
+    }
+    return missing;
+  }
+
+  /// True if every element of this set is in `other`.
+  bool IsSubsetOf(const TaskSet& other) const {
+    PPA_CHECK(other.bits_.size() == bits_.size());
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i] && !other.bits_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The set of tasks NOT in this set.
+  TaskSet Complement() const {
+    TaskSet s(*this);
+    for (size_t i = 0; i < s.bits_.size(); ++i) {
+      s.bits_[i] = !s.bits_[i];
+    }
+    s.count_ = static_cast<int>(s.bits_.size()) - s.count_;
+    return s;
+  }
+
+  /// Elements in ascending order.
+  std::vector<TaskId> ToVector() const {
+    std::vector<TaskId> v;
+    v.reserve(static_cast<size_t>(count_));
+    for (size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i]) {
+        v.push_back(static_cast<TaskId>(i));
+      }
+    }
+    return v;
+  }
+
+  friend bool operator==(const TaskSet& a, const TaskSet& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator<(const TaskSet& a, const TaskSet& b) {
+    return a.bits_ < b.bits_;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  int count_ = 0;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_TOPOLOGY_TASK_SET_H_

@@ -1,0 +1,51 @@
+#ifndef PPA_TOPOLOGY_TYPES_H_
+#define PPA_TOPOLOGY_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ppa {
+
+/// Identifies an operator within a topology (dense, 0-based).
+using OperatorId = int32_t;
+/// Identifies a task (a parallel instance of an operator) within a topology
+/// (dense, 0-based, global across operators).
+using TaskId = int32_t;
+
+inline constexpr OperatorId kInvalidOperatorId = -1;
+inline constexpr TaskId kInvalidTaskId = -1;
+
+/// The four stream-partitioning situations between two neighbouring
+/// operators (Sec. II-A). With an upstream operator of N1 tasks and a
+/// downstream operator of N2 tasks:
+///  * kOneToOne: N1 == N2, task i feeds task i.
+///  * kSplit:    N2 = M2*N1 (M2 >= 2), each upstream task feeds its own
+///               group of M2 downstream tasks.
+///  * kMerge:    N1 = M1*N2 (M1 >= 2), each downstream task drains its own
+///               group of M1 upstream tasks.
+///  * kFull:     every upstream task feeds every downstream task.
+enum class PartitionScheme {
+  kOneToOne = 0,
+  kSplit = 1,
+  kMerge = 2,
+  kFull = 3,
+};
+
+std::string_view PartitionSchemeToString(PartitionScheme scheme);
+
+/// Whether an operator combines its input streams (Sec. III-A1).
+///  * kIndependent: effective input is the union of the input streams
+///    (filters, aggregates, maps).
+///  * kCorrelated: the operator joins its input streams; its effective input
+///    behaves like their Cartesian product, so losing part of one stream
+///    invalidates the matching part of the others.
+enum class InputCorrelation {
+  kIndependent = 0,
+  kCorrelated = 1,
+};
+
+std::string_view InputCorrelationToString(InputCorrelation correlation);
+
+}  // namespace ppa
+
+#endif  // PPA_TOPOLOGY_TYPES_H_

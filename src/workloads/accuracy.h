@@ -1,0 +1,49 @@
+#ifndef PPA_WORKLOADS_ACCURACY_H_
+#define PPA_WORKLOADS_ACCURACY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/streaming_job.h"
+
+namespace ppa {
+
+/// Keeps only records that met their real-time deadline: a record of batch
+/// b counts as timely iff it became available within `max_delay_batches`
+/// batch intervals of b's end. Recovery replay delivers old batches late;
+/// the paper's tentative-output evaluation is about what the user sees *in
+/// time*, so accuracy over a failure window should be computed on the
+/// timely subset.
+std::vector<SinkRecord> FilterTimely(const std::vector<SinkRecord>& records,
+                                     Duration batch_interval,
+                                     int64_t max_delay_batches);
+
+/// The distinct keys a sink emitted for batches in [from_batch, to_batch].
+std::set<std::string> SinkKeySet(const std::vector<SinkRecord>& records,
+                                 int64_t from_batch, int64_t to_batch);
+
+/// Per-batch key sets of the sink output.
+std::map<int64_t, std::set<std::string>> SinkKeySetsByBatch(
+    const std::vector<SinkRecord>& records, int64_t from_batch,
+    int64_t to_batch);
+
+/// Q1's accuracy function (Sec. VI-B): |ST n SA| / |SA| averaged over
+/// batches — per batch, the tentative top-k set is compared against the
+/// failure-free run's top-k set. Batches where the reference is empty are
+/// skipped; returns 1.0 if every batch is skipped.
+double PerBatchSetAccuracy(const std::vector<SinkRecord>& test,
+                           const std::vector<SinkRecord>& reference,
+                           int64_t from_batch, int64_t to_batch);
+
+/// Q2's accuracy function: |IT n IA| / |IA| where IT/IA are the distinct
+/// keys (incident alarms) emitted over the whole window.
+double DistinctSetAccuracy(const std::vector<SinkRecord>& test,
+                           const std::vector<SinkRecord>& reference,
+                           int64_t from_batch, int64_t to_batch);
+
+}  // namespace ppa
+
+#endif  // PPA_WORKLOADS_ACCURACY_H_

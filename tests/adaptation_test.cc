@@ -1,0 +1,274 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "planner/structure_aware_planner.h"
+#include "runtime/streaming_job.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+/// src(2) --merge--> mid(1) --one-to-one--> sink(1).
+Topology MakeAdaptTopology() {
+  TopologyBuilder b;
+  OperatorId src = b.AddOperator("src", 2);
+  OperatorId mid = b.AddOperator("mid", 1, InputCorrelation::kIndependent,
+                                 0.5);
+  OperatorId sink = b.AddOperator("sink", 1, InputCorrelation::kIndependent,
+                                  0.5);
+  b.Connect(src, mid, PartitionScheme::kMerge);
+  b.Connect(mid, sink, PartitionScheme::kOneToOne);
+  b.SetSourceRate(src, 100.0);
+  auto t = b.Build();
+  PPA_CHECK(t.ok());
+  return *std::move(t);
+}
+
+JobConfig AdaptConfig() {
+  JobConfig cfg;
+  cfg.ft_mode = FtMode::kPpa;
+  cfg.batch_interval = Duration::Seconds(1);
+  cfg.detection_interval = Duration::Seconds(2);
+  cfg.checkpoint_interval = Duration::Seconds(4);
+  cfg.replica_sync_interval = Duration::Seconds(2);
+  cfg.num_worker_nodes = 4;
+  cfg.num_standby_nodes = 4;
+  cfg.stagger_checkpoints = false;
+  return cfg;
+}
+
+/// Source whose hot task flips from index 0 to index 1 at `flip_batch`.
+class ShiftingSource : public SourceFunction {
+ public:
+  ShiftingSource(int64_t hot, int64_t cold, int64_t flip_batch)
+      : hot_(hot), cold_(cold), flip_batch_(flip_batch) {}
+
+  std::vector<Tuple> NextBatch(int64_t batch, int task) override {
+    const bool task0_hot = batch < flip_batch_;
+    const int64_t count =
+        (task == 0) == task0_hot ? hot_ : cold_;
+    std::vector<Tuple> out;
+    for (int64_t i = 0; i < count; ++i) {
+      Tuple t;
+      t.key = "k" + std::to_string(i % 17);
+      t.value = i;
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+ private:
+  int64_t hot_;
+  int64_t cold_;
+  int64_t flip_batch_;
+};
+
+std::unique_ptr<StreamingJob> MakeJob(EventLoop* loop,
+                                      int64_t flip_batch = 1 << 20) {
+  auto job = std::make_unique<StreamingJob>(MakeAdaptTopology(),
+                                            AdaptConfig(), loop);
+  PPA_CHECK_OK(job->BindSource(0, [flip_batch] {
+    return std::make_unique<ShiftingSource>(80, 20, flip_batch);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job->BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(4, 0.5);
+    }));
+  }
+  return job;
+}
+
+TEST(AdaptationTest, ApplyBeforeStartIsRejected) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  EXPECT_EQ(job->ApplyActiveReplicaSet(TaskSet(4)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptationTest, RequiresPpaMode) {
+  EventLoop loop;
+  JobConfig cfg = AdaptConfig();
+  cfg.ft_mode = FtMode::kCheckpoint;
+  StreamingJob job(MakeAdaptTopology(), cfg, &loop);
+  EXPECT_EQ(job.EnablePlanAdaptation(Duration::Seconds(5),
+                                     [](const Topology&) {
+                                       return TaskSet(4);
+                                     })
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptationTest, EnableValidation) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  EXPECT_EQ(job->EnablePlanAdaptation(Duration::Zero(),
+                                      [](const Topology&) {
+                                        return TaskSet(4);
+                                      })
+                .code(),
+            StatusCode::kInvalidArgument);
+  PPA_CHECK_OK(job->Start());
+  EXPECT_EQ(job->EnablePlanAdaptation(Duration::Seconds(5),
+                                      [](const Topology&) {
+                                        return TaskSet(4);
+                                      })
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(AdaptationTest, MidRunActivationCatchesUpAndEnablesTakeover) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+  EXPECT_EQ(job->replica(2), nullptr);
+
+  // Activate a replica for mid (task 2) mid-run.
+  TaskSet plan(4);
+  plan.Add(2);
+  PPA_CHECK_OK(job->ApplyActiveReplicaSet(plan));
+  TaskRuntime* rep = job->replica(2);
+  ASSERT_NE(rep, nullptr);
+  // The replica caught up to the primary immediately (checkpoint +
+  // buffered-output replay).
+  EXPECT_EQ(rep->next_batch(), job->primary(2)->next_batch());
+  EXPECT_GE(job->cluster().NodeOfReplica(2),
+            job->cluster().num_workers());
+
+  // Keep running: replica stays in lock-step.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(15.5));
+  EXPECT_EQ(job->replica(2)->next_batch(), job->primary(2)->next_batch());
+
+  // A failure of mid's node is now recovered actively.
+  const int node = job->cluster().NodeOfPrimary(2);
+  PPA_CHECK_OK(job->InjectNodeFailure(node));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(25));
+  ASSERT_EQ(job->recovery_reports().size(), 1u);
+  bool mid_active = false;
+  for (const TaskRecoverySpec& spec : job->recovery_reports()[0].specs) {
+    if (spec.task == 2) {
+      mid_active = spec.kind == RecoveryKind::kActiveReplica;
+    }
+  }
+  EXPECT_TRUE(mid_active);
+}
+
+TEST(AdaptationTest, ActivationPreservesOutputCorrectness) {
+  // A failure recovered through a *dynamically* activated replica must
+  // still produce output identical to a failure-free run.
+  EventLoop clean_loop;
+  auto clean = MakeJob(&clean_loop);
+  PPA_CHECK_OK(clean->Start());
+  clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+  TaskSet plan(4);
+  plan.Add(2);
+  PPA_CHECK_OK(job->ApplyActiveReplicaSet(plan));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(14.5));
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+
+  ASSERT_EQ(job->sink_records().size(), clean->sink_records().size());
+  for (size_t i = 0; i < job->sink_records().size(); ++i) {
+    EXPECT_EQ(job->sink_records()[i].tuple, clean->sink_records()[i].tuple);
+  }
+}
+
+TEST(AdaptationTest, DeactivationReleasesReplica) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  TaskSet initial(4);
+  initial.Add(2);
+  initial.Add(3);
+  PPA_CHECK_OK(job->SetActiveReplicaSet(initial));
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
+  ASSERT_NE(job->replica(2), nullptr);
+  ASSERT_NE(job->replica(3), nullptr);
+
+  TaskSet reduced(4);
+  reduced.Add(3);
+  PPA_CHECK_OK(job->ApplyActiveReplicaSet(reduced));
+  EXPECT_EQ(job->replica(2), nullptr);
+  EXPECT_NE(job->replica(3), nullptr);
+  EXPECT_EQ(job->cluster().NodeOfReplica(2), -1);
+
+  // A later failure of task 2 is recovered passively.
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
+  ASSERT_EQ(job->recovery_reports().size(), 1u);
+  for (const TaskRecoverySpec& spec : job->recovery_reports()[0].specs) {
+    if (spec.task == 2) {
+      EXPECT_EQ(spec.kind, RecoveryKind::kCheckpoint);
+    }
+  }
+}
+
+TEST(AdaptationTest, RecoveringTaskKeepsItsReplica) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  TaskSet initial(4);
+  initial.Add(2);
+  PPA_CHECK_OK(job->SetActiveReplicaSet(initial));
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
+  // Fail the primary; before detection, try to deactivate its replica.
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  PPA_CHECK_OK(job->ApplyActiveReplicaSet(TaskSet(4)));
+  EXPECT_NE(job->replica(2), nullptr)
+      << "the replica is the recovery path and must not be deactivated";
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
+  EXPECT_TRUE(job->AllRecovered());
+}
+
+TEST(AdaptationTest, ObservedTopologyTracksRatesAndSelectivity) {
+  EventLoop loop;
+  auto job = MakeJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(20.5));
+  auto observed = job->ObservedTopology();
+  ASSERT_TRUE(observed.ok()) << observed.status();
+  // Source task 0 is hot (80/batch), task 1 cold (20/batch).
+  const double r0 = observed->task(observed->op(0).tasks[0]).output_rate;
+  const double r1 = observed->task(observed->op(0).tasks[1]).output_rate;
+  EXPECT_NEAR(r0, 80.0, 8.0);
+  EXPECT_NEAR(r1, 20.0, 4.0);
+  // Operators emit ~0.5 tuples per input (window aggregate selectivity).
+  EXPECT_NEAR(observed->op(1).selectivity, 0.5, 0.05);
+  EXPECT_NEAR(observed->op(2).selectivity, 0.5, 0.05);
+}
+
+TEST(AdaptationTest, PeriodicAdaptationFollowsTheHotTask) {
+  EventLoop loop;
+  // Hot task flips from src[0] to src[1] at batch 30.
+  auto job = MakeJob(&loop, /*flip_batch=*/30);
+  PPA_CHECK_OK(job->EnablePlanAdaptation(
+      Duration::Seconds(10), [](const Topology& observed) -> StatusOr<TaskSet> {
+        StructureAwarePlanner planner;
+        PPA_ASSIGN_OR_RETURN(ReplicationPlan plan,
+                             planner.Plan(observed, 3));
+        return plan.replicated;
+      }));
+  PPA_CHECK_OK(job->Start());
+
+  // After the first adaptations (observing batches < 30), the replicated
+  // source task is the hot src[0].
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(25));
+  EXPECT_NE(job->replica(0), nullptr);
+  EXPECT_EQ(job->replica(1), nullptr);
+
+  // After the flip and another adaptation round, the plan follows the new
+  // hot task.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(55));
+  EXPECT_EQ(job->replica(0), nullptr);
+  EXPECT_NE(job->replica(1), nullptr);
+}
+
+}  // namespace
+}  // namespace ppa

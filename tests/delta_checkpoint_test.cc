@@ -1,0 +1,269 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "engine/task_runtime.h"
+#include "ft/checkpoint.h"
+#include "runtime/streaming_job.h"
+#include "tests/test_topologies.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using ::ppa::testing::MakeChain;
+
+std::vector<Tuple> Batch(int64_t batch, int count) {
+  std::vector<Tuple> out;
+  for (int i = 0; i < count; ++i) {
+    Tuple t;
+    t.key = "k" + std::to_string(i);
+    t.value = batch * 10 + i;
+    t.batch = batch;
+    t.seq = (static_cast<uint64_t>(batch) << 24) + static_cast<uint64_t>(i);
+    t.producer = 0;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(DeltaSnapshotTest, OperatorBasePlusDeltasEqualsFull) {
+  SlidingWindowAggregateOperator primary(4, 1.0);
+  SlidingWindowAggregateOperator restored(4, 1.0);
+
+  // Base snapshot after 3 batches.
+  for (int64_t b = 0; b < 3; ++b) {
+    BatchContext ctx(b, 0, 1);
+    primary.ProcessBatch(&ctx, Batch(b, 3));
+  }
+  auto base = primary.SnapshotState();
+  ASSERT_TRUE(base.ok());
+  // Two deltas: batches 3-4 and 5-7 (window slides; early slices evict).
+  std::vector<std::string> deltas;
+  for (const auto& range : {std::pair<int64_t, int64_t>{3, 5},
+                            std::pair<int64_t, int64_t>{5, 8}}) {
+    for (int64_t b = range.first; b < range.second; ++b) {
+      BatchContext ctx(b, 0, 1);
+      primary.ProcessBatch(&ctx, Batch(b, 3));
+    }
+    int64_t delta_tuples = 0;
+    auto delta = primary.SnapshotDelta(&delta_tuples);
+    ASSERT_TRUE(delta.ok());
+    EXPECT_GT(delta_tuples, 0);
+    // Deltas only carry the fresh slices, fewer tuples than a full
+    // snapshot of the current window.
+    EXPECT_LT(delta_tuples, primary.StateSizeTuples());
+    deltas.push_back(*std::move(delta));
+  }
+
+  ASSERT_TRUE(restored.RestoreState(*base).ok());
+  for (const std::string& delta : deltas) {
+    ASSERT_TRUE(restored.ApplyDelta(delta).ok());
+  }
+  EXPECT_EQ(restored.StateSizeTuples(), primary.StateSizeTuples());
+  // Identical continued behaviour.
+  BatchContext ca(8, 0, 1), cb(8, 0, 1);
+  primary.ProcessBatch(&ca, Batch(8, 2));
+  restored.ProcessBatch(&cb, Batch(8, 2));
+  ASSERT_EQ(ca.emitted().size(), cb.emitted().size());
+  for (size_t i = 0; i < ca.emitted().size(); ++i) {
+    EXPECT_EQ(ca.emitted()[i].value, cb.emitted()[i].value);
+  }
+}
+
+TEST(DeltaSnapshotTest, OutOfOrderDeltaRejected) {
+  SlidingWindowAggregateOperator a(4, 1.0), b(4, 1.0);
+  BatchContext c0(0, 0, 1);
+  a.ProcessBatch(&c0, Batch(0, 2));
+  auto base = a.SnapshotState();
+  ASSERT_TRUE(base.ok());
+  BatchContext c1(1, 0, 1);
+  a.ProcessBatch(&c1, Batch(1, 2));
+  int64_t n = 0;
+  auto delta = a.SnapshotDelta(&n);
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(b.RestoreState(*base).ok());
+  ASSERT_TRUE(b.ApplyDelta(*delta).ok());
+  // Applying the same delta twice is out of order.
+  EXPECT_EQ(b.ApplyDelta(*delta).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaSnapshotTest, UnsupportedOperatorsSayNo) {
+  PassThroughOperator op;
+  EXPECT_FALSE(op.SupportsDeltaSnapshots());
+  int64_t n = 0;
+  EXPECT_EQ(op.SnapshotDelta(&n).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(op.ApplyDelta("").code(), StatusCode::kUnimplemented);
+}
+
+TEST(DeltaSnapshotTest, TaskRuntimeChainRoundTrip) {
+  Topology topo = MakeChain(1, 1, 1, PartitionScheme::kOneToOne,
+                            PartitionScheme::kOneToOne);
+  const TaskId mid = topo.op(1).tasks[0];
+  TaskRuntime a(&topo, mid,
+                std::make_unique<SlidingWindowAggregateOperator>(4, 1.0),
+                nullptr);
+  TaskRuntime b(&topo, mid,
+                std::make_unique<SlidingWindowAggregateOperator>(4, 1.0),
+                nullptr);
+  EXPECT_TRUE(a.SupportsDeltaSnapshots());
+
+  for (int64_t batch = 0; batch < 3; ++batch) {
+    a.RunBatch(batch, Batch(batch, 3));
+  }
+  auto base = a.Snapshot();
+  ASSERT_TRUE(base.ok());
+  std::vector<std::string> deltas;
+  for (int64_t batch = 3; batch < 7; ++batch) {
+    a.RunBatch(batch, Batch(batch, 3));
+    if (batch % 2 == 0) {
+      auto d = a.SnapshotDelta();
+      ASSERT_TRUE(d.ok());
+      EXPECT_GT(d->state_tuples, 0);
+      deltas.push_back(std::move(d->blob));
+    }
+  }
+  // One more unsnapshotted batch: the chain covers up to batch 6.
+  ASSERT_TRUE(b.Restore(*base).ok());
+  for (const std::string& d : deltas) {
+    ASSERT_TRUE(b.ApplyDelta(d).ok());
+  }
+  EXPECT_EQ(b.next_batch(), 7);
+  EXPECT_EQ(b.StateSizeTuples(), a.StateSizeTuples());
+  EXPECT_EQ(b.progress_vector(), a.progress_vector());
+  EXPECT_EQ(b.BufferedTuples(), a.BufferedTuples());
+  // Identical continued behaviour.
+  const BatchOutput& oa = a.RunBatch(7, Batch(7, 2));
+  const BatchOutput& ob = b.RunBatch(7, Batch(7, 2));
+  ASSERT_EQ(oa.tuples.size(), ob.tuples.size());
+  for (size_t i = 0; i < oa.tuples.size(); ++i) {
+    EXPECT_EQ(oa.tuples[i], ob.tuples[i]);
+  }
+}
+
+TEST(CheckpointChainTest, StoreSemantics) {
+  CheckpointStore store;
+  EXPECT_EQ(store.PutDelta(TaskCheckpoint{0, 5, "d", 10, TimePoint::Zero()})
+                .code(),
+            StatusCode::kFailedPrecondition);
+  store.Put(TaskCheckpoint{0, 5, "base", 100, TimePoint::Zero()});
+  ASSERT_TRUE(
+      store.PutDelta(TaskCheckpoint{0, 8, "d1", 10, TimePoint::Zero()}).ok());
+  ASSERT_TRUE(
+      store.PutDelta(TaskCheckpoint{0, 11, "d2", 12, TimePoint::Zero()}).ok());
+  EXPECT_EQ(store.ChainDeltas(0), 2);
+  EXPECT_EQ(store.ChainStateTuples(0), 122);
+  EXPECT_EQ(store.CoveredBatch(0), 11);
+  EXPECT_TRUE(store.Latest(0)->is_delta);
+  ASSERT_NE(store.Chain(0), nullptr);
+  EXPECT_EQ(store.Chain(0)->size(), 3u);
+  EXPECT_FALSE((*store.Chain(0))[0].is_delta);
+  // Regressing delta rejected.
+  EXPECT_EQ(store.PutDelta(TaskCheckpoint{0, 7, "bad", 1, TimePoint::Zero()})
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A new full checkpoint resets the chain.
+  store.Put(TaskCheckpoint{0, 20, "base2", 90, TimePoint::Zero()});
+  EXPECT_EQ(store.ChainDeltas(0), 0);
+  EXPECT_EQ(store.CoveredBatch(0), 20);
+}
+
+class DeltaJobTest : public ::testing::Test {
+ protected:
+  static JobConfig Config(bool delta) {
+    JobConfig cfg;
+    cfg.ft_mode = FtMode::kCheckpoint;
+    cfg.batch_interval = Duration::Seconds(1);
+    cfg.detection_interval = Duration::Seconds(2);
+    cfg.checkpoint_interval = Duration::Seconds(3);
+    cfg.num_worker_nodes = 5;
+    cfg.num_standby_nodes = 3;
+    cfg.stagger_checkpoints = false;
+    cfg.delta_checkpoints = delta;
+    cfg.max_delta_chain = 4;
+    return cfg;
+  }
+
+  static std::unique_ptr<StreamingJob> MakeJob(EventLoop* loop, bool delta) {
+    TopologyBuilder b;
+    OperatorId src = b.AddOperator("src", 2);
+    OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
+                                   0.5);
+    OperatorId sink = b.AddOperator("sink", 1,
+                                    InputCorrelation::kIndependent, 0.5);
+    b.Connect(src, mid, PartitionScheme::kOneToOne);
+    b.Connect(mid, sink, PartitionScheme::kMerge);
+    b.SetSourceRate(src, 40.0);
+    auto topo = b.Build();
+    PPA_CHECK(topo.ok());
+    auto job = std::make_unique<StreamingJob>(*std::move(topo),
+                                              Config(delta), loop);
+    PPA_CHECK_OK(job->BindSource(0, [] {
+      return std::make_unique<SyntheticSource>(20, 64, 7);
+    }));
+    for (OperatorId op : {1, 2}) {
+      PPA_CHECK_OK(job->BindOperator(op, [] {
+        return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+      }));
+    }
+    return job;
+  }
+};
+
+TEST_F(DeltaJobTest, ChainsFormAndRecoveryIsExact) {
+  EventLoop clean_loop;
+  auto clean = MakeJob(&clean_loop, /*delta=*/false);
+  PPA_CHECK_OK(clean->Start());
+  clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(45));
+
+  EventLoop loop;
+  auto job = MakeJob(&loop, /*delta=*/true);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(14.5));
+  // Several delta checkpoints have stacked by now.
+  EXPECT_GT(job->checkpoint_store().ChainDeltas(2), 0);
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(45));
+  EXPECT_TRUE(job->AllRecovered());
+
+  // Recovery through the base+delta chain reproduces the failure-free run
+  // exactly.
+  ASSERT_EQ(job->sink_records().size(), clean->sink_records().size());
+  for (size_t i = 0; i < job->sink_records().size(); ++i) {
+    EXPECT_EQ(job->sink_records()[i].tuple, clean->sink_records()[i].tuple);
+  }
+}
+
+TEST_F(DeltaJobTest, FullBaseTakenAfterChainLimit) {
+  EventLoop loop;
+  auto job = MakeJob(&loop, /*delta=*/true);
+  PPA_CHECK_OK(job->Start());
+  // 3 s interval, chain limit 4: by t=40 the chain must have been reset by
+  // a periodic full base at least once and never exceed the limit.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+  EXPECT_LE(job->checkpoint_store().ChainDeltas(2), 4);
+}
+
+TEST_F(DeltaJobTest, DeltaCheckpointsAreCheaper) {
+  auto run = [&](bool delta) {
+    EventLoop loop;
+    auto job = MakeJob(&loop, delta);
+    PPA_CHECK_OK(job->Start());
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+    double cost = 0;
+    for (TaskId t : {2, 3, 4}) {
+      cost += job->CheckpointCostUs(t);
+    }
+    return cost;
+  };
+  const double full = run(false);
+  const double delta = run(true);
+  EXPECT_GT(full, 0);
+  EXPECT_LT(delta, full)
+      << "delta checkpoints must serialize less state per interval";
+}
+
+}  // namespace
+}  // namespace ppa

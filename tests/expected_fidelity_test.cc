@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fidelity/expected.h"
+#include "fidelity/metrics.h"
+#include "planner/expected_fidelity_planner.h"
+#include "planner/structure_aware_planner.h"
+#include "tests/test_topologies.h"
+#include "topology/random_topology.h"
+
+namespace ppa {
+namespace {
+
+using ::ppa::testing::Fig2Topology;
+using ::ppa::testing::MakeFig2;
+
+TEST(TaskImportanceTest, MatchesSingleFailureDamage) {
+  Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
+  const auto importance = TaskImportance(f.topo);
+  ASSERT_EQ(importance.size(), 5u);
+  // The sink is the most damaging task (OF drops to 0).
+  EXPECT_DOUBLE_EQ(importance[static_cast<size_t>(f.t31)], 1.0);
+  // t21 carries rate 3 of 8.
+  EXPECT_NEAR(importance[static_cast<size_t>(f.t21)], 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(importance[static_cast<size_t>(f.t11)], 1.0 / 8.0, 1e-12);
+}
+
+TEST(ExpectedFidelityTest, SingleFailureModelArithmetic) {
+  Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
+  std::vector<double> p(5, 0.1);  // 50% chance of one failure overall.
+  TaskSet none(5);
+  auto expected = ExpectedFidelitySingleFailure(f.topo, none, p);
+  ASSERT_TRUE(expected.ok());
+  // 0.5 * 1 (no failure) + 0.1 * sum over t of OF(fail t).
+  double manual = 0.5;
+  for (TaskId t = 0; t < 5; ++t) {
+    manual += 0.1 * SingleFailureOutputFidelity(f.topo, t);
+  }
+  EXPECT_NEAR(*expected, manual, 1e-12);
+
+  // Replicating the sink removes its (total) damage.
+  TaskSet sink_only(5);
+  sink_only.Add(f.t31);
+  auto with_sink = ExpectedFidelitySingleFailure(f.topo, sink_only, p);
+  ASSERT_TRUE(with_sink.ok());
+  EXPECT_NEAR(*with_sink - *expected, 0.1 * 1.0, 1e-12);
+}
+
+TEST(ExpectedFidelityTest, Validation) {
+  Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
+  TaskSet none(5);
+  EXPECT_FALSE(
+      ExpectedFidelitySingleFailure(f.topo, none, {0.1, 0.2}).ok());
+  EXPECT_FALSE(ExpectedFidelitySingleFailure(f.topo, none,
+                                             {0.5, 0.5, 0.5, 0.5, 0.5})
+                   .ok());  // Sums to 2.5.
+  EXPECT_FALSE(ExpectedFidelitySingleFailure(f.topo, none,
+                                             {-0.1, 0, 0, 0, 0})
+                   .ok());
+  EXPECT_FALSE(ExpectedFidelityIndependent(f.topo, none,
+                                           {0.1, 0.1, 0.1, 0.1, 0.1}, 0)
+                   .ok());
+}
+
+TEST(ExpectedFidelityTest, MonteCarloConvergesToExactOnRareFailures) {
+  // With small independent probabilities, multi-failures are negligible
+  // and the Monte-Carlo estimate approaches the single-failure model.
+  Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
+  std::vector<double> p(5, 0.02);
+  TaskSet none(5);
+  auto exact = ExpectedFidelitySingleFailure(f.topo, none, p);
+  auto mc = ExpectedFidelityIndependent(f.topo, none, p, 20000, 7);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(mc.ok());
+  EXPECT_NEAR(*mc, *exact, 0.01);
+}
+
+TEST(ExpectedFidelityTest, ReplicationNeverHurts) {
+  Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
+  std::vector<double> p(5, 0.15);
+  TaskSet none(5);
+  TaskSet some(5);
+  some.Add(f.t31);
+  some.Add(f.t21);
+  auto base = ExpectedFidelityIndependent(f.topo, none, p, 4000, 3);
+  auto better = ExpectedFidelityIndependent(f.topo, some, p, 4000, 3);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(better.ok());
+  EXPECT_GT(*better, *base);
+}
+
+TEST(ExpectedFidelityPlannerTest, OptimalForSingleFailureObjective) {
+  // The planner's top-R-gain plan maximizes the single-failure objective:
+  // compare against all subsets on the small Fig. 2 topology.
+  Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
+  std::vector<double> p = {0.05, 0.1, 0.15, 0.05, 0.1};
+  ExpectedFidelityPlanner planner(p);
+  for (int budget : {1, 2, 3}) {
+    auto plan = planner.Plan(f.topo, budget);
+    ASSERT_TRUE(plan.ok());
+    auto objective =
+        ExpectedFidelitySingleFailure(f.topo, plan->replicated, p);
+    ASSERT_TRUE(objective.ok());
+    // Exhaustive check.
+    double best = 0;
+    for (uint64_t mask = 0; mask < 32; ++mask) {
+      if (__builtin_popcountll(mask) > budget) {
+        continue;
+      }
+      TaskSet candidate(5);
+      for (int i = 0; i < 5; ++i) {
+        if (mask & (1u << i)) {
+          candidate.Add(i);
+        }
+      }
+      auto value = ExpectedFidelitySingleFailure(f.topo, candidate, p);
+      ASSERT_TRUE(value.ok());
+      best = std::max(best, *value);
+    }
+    EXPECT_NEAR(*objective, best, 1e-12) << "budget " << budget;
+  }
+}
+
+TEST(ExpectedFidelityPlannerTest, DichotomyAgainstCorrelatedPlanner) {
+  // The paper's core planning insight, condensed: for independent single
+  // failures the structure-agnostic ranking is optimal, but its plans are
+  // (often far) worse than the structure-aware planner's under the
+  // correlated worst case.
+  Rng rng(99);
+  RandomTopologyOptions opts;
+  opts.min_operators = 5;
+  opts.max_operators = 8;
+  opts.min_parallelism = 1;
+  opts.max_parallelism = 4;
+  double expected_wins = 0, sa_worstcase_wins = 0;
+  int trials = 0;
+  for (int i = 0; i < 15; ++i) {
+    auto topo = GenerateRandomTopology(opts, &rng);
+    ASSERT_TRUE(topo.ok());
+    const int budget = std::max(2, topo->num_tasks() / 4);
+    std::vector<double> p(static_cast<size_t>(topo->num_tasks()),
+                          0.5 / topo->num_tasks());
+    ExpectedFidelityPlanner expected_planner(p);
+    StructureAwarePlanner sa;
+    auto e_plan = expected_planner.Plan(*topo, budget);
+    auto sa_plan = sa.Plan(*topo, budget);
+    ASSERT_TRUE(e_plan.ok());
+    ASSERT_TRUE(sa_plan.ok());
+    auto e_obj =
+        ExpectedFidelitySingleFailure(*topo, e_plan->replicated, p);
+    auto sa_obj =
+        ExpectedFidelitySingleFailure(*topo, sa_plan->replicated, p);
+    ASSERT_TRUE(e_obj.ok());
+    ASSERT_TRUE(sa_obj.ok());
+    expected_wins += *e_obj >= *sa_obj - 1e-12 ? 1 : 0;
+    sa_worstcase_wins +=
+        sa_plan->output_fidelity >= e_plan->output_fidelity - 1e-12 ? 1 : 0;
+    ++trials;
+  }
+  // The expected-fidelity planner is optimal for its objective on every
+  // topology; SA wins (or ties) the correlated worst case on most.
+  EXPECT_EQ(expected_wins, trials);
+  EXPECT_GE(sa_worstcase_wins, trials * 0.8);
+}
+
+}  // namespace
+}  // namespace ppa

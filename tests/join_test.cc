@@ -1,0 +1,111 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+
+namespace ppa {
+namespace {
+
+Tuple T(const char* key, int64_t value) {
+  Tuple t;
+  t.key = key;
+  t.value = value;
+  return t;
+}
+
+/// Left stream: values < 1000; right stream: values >= 1000.
+SymmetricWindowJoinOperator MakeJoin(int64_t window) {
+  return SymmetricWindowJoinOperator(
+      window, [](const Tuple& t) { return t.value < 1000; });
+}
+
+TEST(SymmetricJoinTest, MatchesWithinBatch) {
+  auto op = MakeJoin(4);
+  BatchContext ctx(0, 0, 1);
+  // Left "a"=5 arrives first, right "a"=1002 probes and matches it.
+  op.ProcessBatch(&ctx, {T("a", 5), T("a", 1002), T("b", 7)});
+  ASSERT_EQ(ctx.emitted().size(), 1u);
+  EXPECT_EQ(ctx.emitted()[0].key, "a");
+  EXPECT_EQ(ctx.emitted()[0].value, 5 + 1002);
+}
+
+TEST(SymmetricJoinTest, MatchesAcrossBatchesWithinWindow) {
+  auto op = MakeJoin(4);
+  BatchContext c0(0, 0, 1);
+  op.ProcessBatch(&c0, {T("x", 1)});
+  EXPECT_TRUE(c0.emitted().empty());
+  BatchContext c2(2, 0, 1);
+  op.ProcessBatch(&c2, {T("x", 1005)});
+  ASSERT_EQ(c2.emitted().size(), 1u);
+  EXPECT_EQ(c2.emitted()[0].value, 1006);
+}
+
+TEST(SymmetricJoinTest, WindowEvictsOldTuples) {
+  auto op = MakeJoin(3);
+  BatchContext c0(0, 0, 1);
+  op.ProcessBatch(&c0, {T("x", 1)});
+  // Batch 3: x@0 is 3 batches old (0 <= 3 - 3) -> evicted before probing.
+  BatchContext c3(3, 0, 1);
+  op.ProcessBatch(&c3, {T("x", 1005)});
+  EXPECT_TRUE(c3.emitted().empty());
+  EXPECT_EQ(op.StateSizeTuples(), 1);  // Only the right tuple remains.
+}
+
+TEST(SymmetricJoinTest, OneToManyEmitsEveryMatch) {
+  auto op = MakeJoin(4);
+  BatchContext c0(0, 0, 1);
+  op.ProcessBatch(&c0, {T("k", 1), T("k", 2), T("k", 3)});
+  BatchContext c1(1, 0, 1);
+  op.ProcessBatch(&c1, {T("k", 1000)});
+  ASSERT_EQ(c1.emitted().size(), 3u);
+  EXPECT_EQ(c1.emitted()[0].value, 1001);
+  EXPECT_EQ(c1.emitted()[1].value, 1002);
+  EXPECT_EQ(c1.emitted()[2].value, 1003);
+}
+
+TEST(SymmetricJoinTest, CustomCombiner) {
+  SymmetricWindowJoinOperator op(
+      4, [](const Tuple& t) { return t.value < 1000; },
+      [](int64_t l, int64_t r) { return r - l; });
+  BatchContext ctx(0, 0, 1);
+  op.ProcessBatch(&ctx, {T("a", 10), T("a", 1010)});
+  ASSERT_EQ(ctx.emitted().size(), 1u);
+  EXPECT_EQ(ctx.emitted()[0].value, 1000);
+}
+
+TEST(SymmetricJoinTest, SnapshotRestoreRoundTrip) {
+  auto a = MakeJoin(5);
+  auto b = MakeJoin(5);
+  for (int64_t batch = 0; batch < 3; ++batch) {
+    BatchContext ctx(batch, 0, 1);
+    a.ProcessBatch(&ctx, {T("a", batch), T("b", 1000 + batch)});
+  }
+  auto snap = a.SnapshotState();
+  ASSERT_TRUE(snap.ok());
+  ASSERT_TRUE(b.RestoreState(*snap).ok());
+  EXPECT_EQ(b.StateSizeTuples(), a.StateSizeTuples());
+  // Identical future behaviour.
+  BatchContext ca(3, 0, 1), cb(3, 0, 1);
+  std::vector<Tuple> probe = {T("a", 1000), T("b", 1)};
+  a.ProcessBatch(&ca, probe);
+  b.ProcessBatch(&cb, probe);
+  ASSERT_EQ(ca.emitted().size(), cb.emitted().size());
+  for (size_t i = 0; i < ca.emitted().size(); ++i) {
+    EXPECT_EQ(ca.emitted()[i].key, cb.emitted()[i].key);
+    EXPECT_EQ(ca.emitted()[i].value, cb.emitted()[i].value);
+  }
+}
+
+TEST(SymmetricJoinTest, ResetClearsBothSides) {
+  auto op = MakeJoin(5);
+  BatchContext c0(0, 0, 1);
+  op.ProcessBatch(&c0, {T("a", 1), T("b", 1001)});
+  EXPECT_EQ(op.StateSizeTuples(), 2);
+  op.Reset();
+  EXPECT_EQ(op.StateSizeTuples(), 0);
+  EXPECT_FALSE(op.SupportsDeltaSnapshots());
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,130 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "engine/operators.h"
+#include "runtime/streaming_job.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+Topology MakeMiscTopology() {
+  TopologyBuilder b;
+  OperatorId src = b.AddOperator("src", 2);
+  OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
+                                 0.5);
+  OperatorId sink = b.AddOperator("sink", 1, InputCorrelation::kIndependent,
+                                  0.5);
+  b.Connect(src, mid, PartitionScheme::kOneToOne);
+  b.Connect(mid, sink, PartitionScheme::kMerge);
+  b.SetSourceRate(src, 40.0);
+  auto t = b.Build();
+  PPA_CHECK(t.ok());
+  return *std::move(t);
+}
+
+std::unique_ptr<StreamingJob> MakeMiscJob(EventLoop* loop, FtMode mode) {
+  JobConfig cfg;
+  cfg.ft_mode = mode;
+  cfg.batch_interval = Duration::Seconds(1);
+  cfg.detection_interval = Duration::Seconds(2);
+  cfg.checkpoint_interval = Duration::Seconds(4);
+  cfg.num_worker_nodes = 5;
+  cfg.num_standby_nodes = 2;
+  cfg.stagger_checkpoints = false;
+  auto job = std::make_unique<StreamingJob>(MakeMiscTopology(), cfg, loop);
+  PPA_CHECK_OK(job->BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(10, 32, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job->BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(4, 0.5);
+    }));
+  }
+  return job;
+}
+
+TEST(FtModeNoneTest, FailedTasksStayDeadAndOutputDegrades) {
+  EventLoop loop;
+  auto job = MakeMiscJob(&loop, FtMode::kNone);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+  const size_t records_before = job->sink_records().size();
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+  EXPECT_FALSE(job->primary(2)->alive());
+  EXPECT_TRUE(job->recovery_reports().empty());
+  // kNone still clears the detection queue so the job is not "recovering".
+  EXPECT_TRUE(job->AllRecovered());
+  // The sink stalls forever on the dead upstream: no records after the
+  // failure (no tentative mode, no recovery).
+  EXPECT_EQ(job->sink_records().size(), records_before);
+}
+
+TEST(StreamingJobTest, CorrelatedFailureSparesSourcesByDefault) {
+  EventLoop loop;
+  auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
+  PPA_CHECK_OK(job->InjectCorrelatedFailure(/*include_sources=*/false));
+  // Source tasks 0 and 1 live on nodes that host no non-source primaries
+  // (round-robin over 5 workers), so they survive.
+  EXPECT_TRUE(job->primary(0)->alive());
+  EXPECT_TRUE(job->primary(1)->alive());
+  EXPECT_FALSE(job->primary(2)->alive());
+  EXPECT_FALSE(job->primary(3)->alive());
+  EXPECT_FALSE(job->primary(4)->alive());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+  EXPECT_TRUE(job->AllRecovered());
+}
+
+TEST(StreamingJobTest, CheckpointsSkipDeadTasksAndResumeAfterRecovery) {
+  EventLoop loop;
+  auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(9));
+  const int64_t checkpoints_before = job->CheckpointCount(2);
+  EXPECT_GT(checkpoints_before, 0);
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  // During the outage (detection at 10 s, recovery shortly after), the
+  // 12 s checkpoint tick may fire while dead and must be skipped, but
+  // later ticks resume.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+  EXPECT_TRUE(job->AllRecovered());
+  EXPECT_GT(job->CheckpointCount(2), checkpoints_before);
+}
+
+TEST(StreamingJobTest, ObservedTopologyRequiresStart) {
+  EventLoop loop;
+  auto job = MakeMiscJob(&loop, FtMode::kPpa);
+  EXPECT_EQ(job->ObservedTopology().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingJobTest, DoubleStartRejected) {
+  EventLoop loop;
+  auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
+  PPA_CHECK_OK(job->Start());
+  EXPECT_EQ(job->Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(LoggingTest, LevelGate) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are swallowed (no crash, no output check
+  // possible here; exercise the path).
+  PPA_LOG(Info) << "suppressed";
+  PPA_LOG(Error) << "emitted (expected in test output)";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckOkPassesThroughOkStatus) {
+  PPA_CHECK_OK(OkStatus());  // Must not abort.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ppa

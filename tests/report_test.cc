@@ -1,0 +1,121 @@
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "planner/greedy_planner.h"
+#include "report/experiment_report.h"
+#include "report/json.h"
+#include "tests/test_topologies.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using ::ppa::testing::MakeFig2;
+using ::testing::HasSubstr;
+
+TEST(JsonTest, ScalarsSerialize) {
+  EXPECT_EQ(JsonValue().Serialize(), "null");
+  EXPECT_EQ(JsonValue(true).Serialize(), "true");
+  EXPECT_EQ(JsonValue(false).Serialize(), "false");
+  EXPECT_EQ(JsonValue(42).Serialize(), "42");
+  EXPECT_EQ(JsonValue(int64_t{-7}).Serialize(), "-7");
+  EXPECT_EQ(JsonValue("hi").Serialize(), "\"hi\"");
+  EXPECT_EQ(JsonValue(0.5).Serialize(), "0.5");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).Serialize(),
+            "null");
+  EXPECT_EQ(JsonValue(std::nan("")).Serialize(), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  EXPECT_EQ(JsonValue("a\"b\\c\nd\te").Serialize(),
+            "\"a\\\"b\\\\c\\nd\\te\"");
+  EXPECT_EQ(JsonValue(std::string("\x01")).Serialize(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, ObjectsPreserveOrderAndOverwrite) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("b", 1).Set("a", 2).Set("b", 3);
+  EXPECT_EQ(obj.Serialize(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonTest, NestingAndPretty) {
+  JsonValue root = JsonValue::Object();
+  JsonValue arr = JsonValue::Array();
+  arr.Append(1).Append("two").Append(JsonValue::Object().Set("k", false));
+  root.Set("items", std::move(arr));
+  EXPECT_EQ(root.Serialize(), "{\"items\":[1,\"two\",{\"k\":false}]}");
+  const std::string pretty = root.Pretty();
+  EXPECT_THAT(pretty, HasSubstr("\"items\": ["));
+  EXPECT_THAT(pretty, HasSubstr("\n  "));
+  EXPECT_EQ(JsonValue::Object().Serialize(), "{}");
+  EXPECT_EQ(JsonValue::Array().Serialize(), "[]");
+}
+
+TEST(ReportTest, TopologyAndPlanJson) {
+  testing::Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
+  const std::string topo_json = TopologyToJson(f.topo).Serialize();
+  EXPECT_THAT(topo_json, HasSubstr("\"name\":\"O3\""));
+  EXPECT_THAT(topo_json, HasSubstr("\"correlation\":\"correlated\""));
+  EXPECT_THAT(topo_json, HasSubstr("\"scheme\":\"merge\""));
+  EXPECT_THAT(topo_json, HasSubstr("\"num_tasks\":5"));
+
+  GreedyPlanner planner;
+  auto plan = planner.Plan(f.topo, 2);
+  ASSERT_TRUE(plan.ok());
+  const std::string plan_json = PlanToJson(f.topo, *plan).Serialize();
+  EXPECT_THAT(plan_json, HasSubstr("\"resource_usage\":2"));
+  EXPECT_THAT(plan_json, HasSubstr("O3[0]"));
+}
+
+TEST(ReportTest, JobSummaryCoversRecoveries) {
+  auto workload = MakeSyntheticRecoveryWorkload(100, 5);
+  ASSERT_TRUE(workload.ok());
+  EventLoop loop;
+  JobConfig cfg;
+  cfg.ft_mode = FtMode::kCheckpoint;
+  cfg.detection_interval = Duration::Seconds(2);
+  cfg.checkpoint_interval = Duration::Seconds(5);
+  cfg.num_worker_nodes = 19;
+  cfg.num_standby_nodes = 15;
+  StreamingJob job(workload->topo, cfg, &loop);
+  PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
+  auto nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
+  PPA_CHECK_OK(nodes.status());
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+  PPA_CHECK_OK(job.InjectNodeFailure((*nodes)[0]));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+
+  JsonValue summary = JobSummaryToJson(job);
+  const std::string json = summary.Serialize();
+  EXPECT_THAT(json, HasSubstr("\"ft_mode\":\"checkpoint\""));
+  EXPECT_THAT(json, HasSubstr("\"recoveries\":[{"));
+  EXPECT_THAT(json, HasSubstr("\"kind\":\"checkpoint\""));
+  EXPECT_THAT(json, HasSubstr("\"processed_tuples\""));
+  EXPECT_THAT(json, HasSubstr("\"checkpoints\""));
+}
+
+TEST(ReportTest, WriteJsonFileRoundTrip) {
+  JsonValue root = JsonValue::Object();
+  root.Set("answer", 42);
+  const std::string path = ::testing::TempDir() + "/ppa_report_test.json";
+  ASSERT_TRUE(WriteJsonFile(path, root).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_THAT(contents, HasSubstr("\"answer\": 42"));
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteJsonFile("/nonexistent-dir/x.json", root).ok());
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,358 @@
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "runtime/cluster.h"
+#include "runtime/streaming_job.h"
+#include "tests/test_topologies.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using ::ppa::testing::MakeChain;
+
+/// src(2) --one-to-one--> mid(2) --merge--> sink(1), sliding-window
+/// operators, 20 tuples per source task per batch.
+Topology MakeTestTopology() {
+  TopologyBuilder b;
+  OperatorId src = b.AddOperator("src", 2);
+  OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
+                                 0.5);
+  OperatorId sink = b.AddOperator("sink", 1, InputCorrelation::kIndependent,
+                                  0.5);
+  b.Connect(src, mid, PartitionScheme::kOneToOne);
+  b.Connect(mid, sink, PartitionScheme::kMerge);
+  b.SetSourceRate(src, 40.0);
+  auto t = b.Build();
+  PPA_CHECK(t.ok());
+  return *std::move(t);
+}
+
+JobConfig MakeTestConfig(FtMode mode) {
+  JobConfig cfg;
+  cfg.ft_mode = mode;
+  cfg.batch_interval = Duration::Seconds(1);
+  cfg.detection_interval = Duration::Seconds(2);
+  cfg.checkpoint_interval = Duration::Seconds(5);
+  cfg.replica_sync_interval = Duration::Seconds(2);
+  cfg.num_worker_nodes = 5;
+  cfg.num_standby_nodes = 5;
+  cfg.window_batches = 5;
+  cfg.stagger_checkpoints = false;
+  return cfg;
+}
+
+struct RunResult {
+  std::vector<SinkRecord> records;
+  std::vector<RecoveryReport> reports;
+};
+
+/// Runs the test topology for `seconds`, optionally failing `fail_node` at
+/// `fail_at_seconds`.
+RunResult RunScenario(FtMode mode, int fail_node, double fail_at_seconds,
+                      double seconds,
+                      const TaskSet* active_set = nullptr) {
+  EventLoop loop;
+  Topology topo = MakeTestTopology();
+  StreamingJob job(std::move(topo), MakeTestConfig(mode), &loop);
+  PPA_CHECK_OK(job.BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(20, 64, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job.BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+    }));
+  }
+  if (active_set != nullptr) {
+    PPA_CHECK_OK(job.SetActiveReplicaSet(*active_set));
+  }
+  PPA_CHECK_OK(job.Start());
+  if (fail_node >= 0) {
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at_seconds));
+    PPA_CHECK_OK(job.InjectNodeFailure(fail_node));
+  }
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(seconds));
+  RunResult result;
+  result.records = job.sink_records();
+  result.reports = job.recovery_reports();
+  return result;
+}
+
+void ExpectSameRecords(const std::vector<SinkRecord>& a,
+                       const std::vector<SinkRecord>& b,
+                       int64_t from_batch = 0,
+                       int64_t to_batch = INT64_MAX) {
+  auto filter = [&](const std::vector<SinkRecord>& in) {
+    std::vector<Tuple> out;
+    for (const SinkRecord& r : in) {
+      if (r.tuple.batch >= from_batch && r.tuple.batch <= to_batch) {
+        out.push_back(r.tuple);
+      }
+    }
+    return out;
+  };
+  const std::vector<Tuple> ta = filter(a);
+  const std::vector<Tuple> tb = filter(b);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i], tb[i]) << "record " << i << " differs";
+  }
+}
+
+TEST(StreamingJobTest, CleanRunIsDeterministic) {
+  RunResult a = RunScenario(FtMode::kCheckpoint, -1, 0, 30);
+  RunResult b = RunScenario(FtMode::kCheckpoint, -1, 0, 30);
+  EXPECT_FALSE(a.records.empty());
+  ExpectSameRecords(a.records, b.records);
+  EXPECT_TRUE(a.reports.empty());
+  for (const SinkRecord& r : a.records) {
+    EXPECT_FALSE(r.tentative);
+  }
+}
+
+TEST(StreamingJobTest, UnboundOperatorFailsStart) {
+  EventLoop loop;
+  StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
+                   &loop);
+  EXPECT_EQ(job.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamingJobTest, BindValidation) {
+  EventLoop loop;
+  StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
+                   &loop);
+  // Binding an operator factory to a source (and vice versa) is rejected.
+  EXPECT_FALSE(job.BindOperator(0, [] {
+                    return std::make_unique<PassThroughOperator>();
+                  }).ok());
+  EXPECT_FALSE(job.BindSource(1, [] {
+                    return std::make_unique<SyntheticSource>(1, 4, 1);
+                  }).ok());
+  EXPECT_FALSE(job.BindOperator(99, nullptr).ok());
+}
+
+// The central recovery-correctness property: after a single-node failure
+// under checkpoint fault tolerance, the sink's output is eventually
+// identical to the failure-free run — the restored state plus upstream
+// buffer replay reproduce every batch (no tentative mode: downstream waits
+// instead of skipping).
+TEST(StreamingJobTest, CheckpointRecoveryReproducesCompleteOutput) {
+  RunResult clean = RunScenario(FtMode::kCheckpoint, -1, 0, 40);
+  // Node 2 hosts mid[0] under round-robin placement of 5 tasks on 5 nodes.
+  RunResult failed = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
+  ASSERT_EQ(failed.reports.size(), 1u);
+  EXPECT_GT(failed.reports[0].TotalLatency(), Duration::Zero());
+  ExpectSameRecords(clean.records, failed.records);
+  for (const SinkRecord& r : failed.records) {
+    EXPECT_FALSE(r.tentative);
+  }
+}
+
+TEST(StreamingJobTest, CheckpointRecoveryOfSourceTask) {
+  RunResult clean = RunScenario(FtMode::kCheckpoint, -1, 0, 40);
+  // Node 0 hosts src[0].
+  RunResult failed = RunScenario(FtMode::kCheckpoint, 0, 12.5, 40);
+  ASSERT_EQ(failed.reports.size(), 1u);
+  ExpectSameRecords(clean.records, failed.records);
+}
+
+TEST(StreamingJobTest, ActiveReplicaTakeoverIsSeamlessAndFast) {
+  RunResult clean = RunScenario(FtMode::kCheckpoint, -1, 0, 40);
+  RunResult active = RunScenario(FtMode::kActiveReplication, 2, 10.5, 40);
+  ASSERT_EQ(active.reports.size(), 1u);
+  ExpectSameRecords(clean.records, active.records);
+
+  RunResult passive = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
+  ASSERT_EQ(passive.reports.size(), 1u);
+  EXPECT_LT(active.reports[0].TotalLatency(),
+            passive.reports[0].TotalLatency());
+}
+
+TEST(StreamingJobTest, SourceReplayRecoversWindowedState) {
+  RunResult clean = RunScenario(FtMode::kSourceReplay, -1, 0, 50);
+  RunResult failed = RunScenario(FtMode::kSourceReplay, 2, 10.5, 50);
+  ASSERT_EQ(failed.reports.size(), 1u);
+  // Storm-style replay rebuilds the sliding windows from the source; after
+  // the replayed window has fully slid past the outage, outputs converge
+  // to the failure-free run.
+  ExpectSameRecords(clean.records, failed.records, /*from_batch=*/35);
+}
+
+TEST(StreamingJobTest, PpaProducesTentativeOutputsDuringRecovery) {
+  TaskSet active(5);
+  active.Add(3);  // mid[1] gets a replica; mid[0] (task 2) is passive-only.
+  RunResult clean = RunScenario(FtMode::kPpa, -1, 0, 60, &active);
+  RunResult failed = RunScenario(FtMode::kPpa, 2, 10.5, 60, &active);
+  ASSERT_EQ(failed.reports.size(), 1u);
+  bool any_tentative = false;
+  for (const SinkRecord& r : failed.records) {
+    any_tentative |= r.tentative;
+  }
+  EXPECT_TRUE(any_tentative)
+      << "tentative outputs must flow while the passive task recovers";
+  // After recovery and a full window, outputs converge to the clean run.
+  ExpectSameRecords(clean.records, failed.records, /*from_batch=*/45);
+}
+
+TEST(StreamingJobTest, CorrelatedFailureRecoversEverything) {
+  EventLoop loop;
+  StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
+                   &loop);
+  PPA_CHECK_OK(job.BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(20, 64, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job.BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+    }));
+  }
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(12.5));
+  PPA_CHECK_OK(job.InjectCorrelatedFailure());
+  EXPECT_FALSE(job.AllRecovered());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  EXPECT_TRUE(job.AllRecovered());
+  ASSERT_EQ(job.recovery_reports().size(), 1u);
+  // All three non-source tasks failed together.
+  EXPECT_EQ(job.recovery_reports()[0].specs.size(), 3u);
+}
+
+TEST(StreamingJobTest, CorrelatedFailureSlowerThanSingleFailure) {
+  RunResult single = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
+  EventLoop loop;
+  StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
+                   &loop);
+  PPA_CHECK_OK(job.BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(20, 64, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job.BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+    }));
+  }
+  PPA_CHECK_OK(job.Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+  PPA_CHECK_OK(job.InjectCorrelatedFailure());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
+  ASSERT_EQ(job.recovery_reports().size(), 1u);
+  ASSERT_EQ(single.reports.size(), 1u);
+  EXPECT_GT(job.recovery_reports()[0].TotalLatency(),
+            single.reports[0].TotalLatency());
+}
+
+TEST(StreamingJobTest, ShorterCheckpointIntervalShortensRecovery) {
+  JobConfig fast_cfg = MakeTestConfig(FtMode::kCheckpoint);
+  fast_cfg.checkpoint_interval = Duration::Seconds(2);
+  JobConfig slow_cfg = MakeTestConfig(FtMode::kCheckpoint);
+  slow_cfg.checkpoint_interval = Duration::Seconds(15);
+
+  auto run = [](JobConfig cfg) {
+    EventLoop loop;
+    StreamingJob job(MakeTestTopology(), cfg, &loop);
+    PPA_CHECK_OK(job.BindSource(0, [] {
+      return std::make_unique<SyntheticSource>(200, 64, 7);
+    }));
+    for (OperatorId op : {1, 2}) {
+      PPA_CHECK_OK(job.BindOperator(op, [] {
+        return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+      }));
+    }
+    PPA_CHECK_OK(job.Start());
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(17.5));
+    PPA_CHECK_OK(job.InjectNodeFailure(2));
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+    PPA_CHECK(job.recovery_reports().size() == 1);
+    return job.recovery_reports()[0].TotalLatency();
+  };
+  EXPECT_LT(run(fast_cfg).seconds(), run(slow_cfg).seconds());
+}
+
+TEST(StreamingJobTest, CheckpointCostAccounting) {
+  auto run = [](Duration interval) {
+    EventLoop loop;
+    JobConfig cfg = MakeTestConfig(FtMode::kCheckpoint);
+    cfg.checkpoint_interval = interval;
+    StreamingJob job(MakeTestTopology(), cfg, &loop);
+    PPA_CHECK_OK(job.BindSource(0, [] {
+      return std::make_unique<SyntheticSource>(100, 64, 7);
+    }));
+    for (OperatorId op : {1, 2}) {
+      PPA_CHECK_OK(job.BindOperator(op, [] {
+        return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+      }));
+    }
+    PPA_CHECK_OK(job.Start());
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+    double ratio = 0;
+    for (TaskId t = 2; t <= 3; ++t) {
+      ratio += job.CheckpointCostUs(t) / job.ProcessingCostUs(t);
+    }
+    return ratio / 2;
+  };
+  const double fast = run(Duration::Seconds(2));
+  const double slow = run(Duration::Seconds(10));
+  EXPECT_GT(fast, 0.0);
+  EXPECT_GT(slow, 0.0);
+  EXPECT_GT(fast, slow) << "shorter intervals must cost more CPU";
+}
+
+TEST(StreamingJobTest, FailedRunsAreDeterministicToo) {
+  RunResult a = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
+  RunResult b = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
+  ExpectSameRecords(a.records, b.records);
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  EXPECT_EQ(a.reports[0].TotalLatency().micros(),
+            b.reports[0].TotalLatency().micros());
+}
+
+TEST(StreamingJobTest, InjectionValidation) {
+  EventLoop loop;
+  StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
+                   &loop);
+  EXPECT_EQ(job.InjectNodeFailure(0).code(),
+            StatusCode::kFailedPrecondition);  // Not started.
+  PPA_CHECK_OK(job.BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(5, 8, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job.BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(3, 0.5);
+    }));
+  }
+  PPA_CHECK_OK(job.Start());
+  EXPECT_EQ(job.InjectNodeFailure(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(job.InjectNodeFailure(999).code(), StatusCode::kInvalidArgument);
+  PPA_CHECK_OK(job.InjectNodeFailure(1));
+  EXPECT_EQ(job.InjectNodeFailure(1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ClusterTest, PlacementAndFailure) {
+  Cluster cluster(3, 2);
+  EXPECT_EQ(cluster.num_nodes(), 5);
+  EXPECT_FALSE(cluster.IsStandby(2));
+  EXPECT_TRUE(cluster.IsStandby(3));
+  Topology topo = MakeTestTopology();
+  cluster.PlacePrimariesRoundRobin(topo);
+  EXPECT_EQ(cluster.NodeOfPrimary(0), 0);
+  EXPECT_EQ(cluster.NodeOfPrimary(3), 0);  // 3 % 3 workers.
+  PPA_CHECK_OK(cluster.PlaceReplicas({1, 2}));
+  EXPECT_EQ(cluster.NodeOfReplica(1), 3);
+  EXPECT_EQ(cluster.NodeOfReplica(2), 4);
+  EXPECT_EQ(cluster.NodeOfReplica(0), -1);
+  EXPECT_TRUE(cluster.NodeAlive(0));
+  cluster.FailNode(0);
+  EXPECT_FALSE(cluster.NodeAlive(0));
+  cluster.ReviveNode(0);
+  EXPECT_TRUE(cluster.NodeAlive(0));
+  EXPECT_EQ(cluster.PrimariesOn(0), (std::vector<TaskId>{0, 3}));
+  EXPECT_EQ(cluster.NodesHostingPrimaries(),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(cluster.PlacePrimary(0, 4).code(),
+            StatusCode::kInvalidArgument);  // Standby node.
+}
+
+}  // namespace
+}  // namespace ppa

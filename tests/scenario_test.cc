@@ -1,0 +1,145 @@
+#include <memory>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "runtime/scenario.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using ::testing::HasSubstr;
+
+Topology MakeScenarioTopology() {
+  TopologyBuilder b;
+  OperatorId src = b.AddOperator("src", 2);
+  OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
+                                 0.5);
+  OperatorId sink = b.AddOperator("sink", 1, InputCorrelation::kIndependent,
+                                  0.5);
+  b.Connect(src, mid, PartitionScheme::kOneToOne);
+  b.Connect(mid, sink, PartitionScheme::kMerge);
+  b.SetSourceRate(src, 40.0);
+  auto t = b.Build();
+  PPA_CHECK(t.ok());
+  return *std::move(t);
+}
+
+std::unique_ptr<StreamingJob> MakeScenarioJob(EventLoop* loop) {
+  JobConfig cfg;
+  cfg.ft_mode = FtMode::kPpa;
+  cfg.batch_interval = Duration::Seconds(1);
+  cfg.detection_interval = Duration::Seconds(2);
+  cfg.checkpoint_interval = Duration::Seconds(4);
+  cfg.num_worker_nodes = 5;
+  cfg.num_standby_nodes = 3;
+  cfg.stagger_checkpoints = false;
+  cfg.window_batches = 5;
+  auto job = std::make_unique<StreamingJob>(MakeScenarioTopology(), cfg,
+                                            loop);
+  PPA_CHECK_OK(job->BindSource(0, [] {
+    return std::make_unique<SyntheticSource>(20, 64, 7);
+  }));
+  for (OperatorId op : {1, 2}) {
+    PPA_CHECK_OK(job->BindOperator(op, [] {
+      return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+    }));
+  }
+  return job;
+}
+
+TEST(FindTaskByLabelTest, ResolvesAndRejects) {
+  Topology topo = MakeScenarioTopology();
+  auto mid1 = FindTaskByLabel(topo, "mid[1]");
+  ASSERT_TRUE(mid1.ok());
+  EXPECT_EQ(topo.TaskLabel(*mid1), "mid[1]");
+  EXPECT_EQ(FindTaskByLabel(topo, "nope[0]").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ScenarioParserTest, ParsesAllEventKinds) {
+  Topology topo = MakeScenarioTopology();
+  auto events = ParseScenario(topo, R"(
+# drill
+at 10 fail-node 2
+at 12.5 fail-domain 7
+at 20 fail-correlated with-sources
+at 30 apply-plan mid[0] sink[0]
+at 40 reconcile
+)");
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 5u);
+  EXPECT_EQ((*events)[0].kind, ScenarioEvent::Kind::kNodeFailure);
+  EXPECT_EQ((*events)[0].node, 2);
+  EXPECT_EQ((*events)[1].at.micros(), 12500000);
+  EXPECT_EQ((*events)[2].kind, ScenarioEvent::Kind::kCorrelatedFailure);
+  EXPECT_TRUE((*events)[2].include_sources);
+  EXPECT_EQ((*events)[3].plan.size(), 2u);
+  EXPECT_EQ((*events)[4].kind, ScenarioEvent::Kind::kReconcile);
+}
+
+TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
+  Topology topo = MakeScenarioTopology();
+  EXPECT_THAT(ParseScenario(topo, "at ten fail-node 1").status().message(),
+              HasSubstr("line 1"));
+  EXPECT_THAT(
+      ParseScenario(topo, "at 1 explode").status().message(),
+      HasSubstr("unknown event"));
+  EXPECT_THAT(
+      ParseScenario(topo, "at 1 apply-plan ghost[9]").status().message(),
+      HasSubstr("ghost[9]"));
+  EXPECT_THAT(ParseScenario(topo, "at 1 fail-correlated softly")
+                  .status()
+                  .message(),
+              HasSubstr("unknown option"));
+}
+
+TEST(ScenarioRunnerTest, ExecutesTimelineEndToEnd) {
+  EventLoop loop;
+  auto job = MakeScenarioJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  auto events = ParseScenario(job->topology(), R"(
+at 8.5  apply-plan mid[1]
+at 12.5 fail-node 2      # mid[0]'s node: passive recovery + punctures
+at 40   reconcile
+)");
+  ASSERT_TRUE(events.ok()) << events.status();
+  ScenarioRunner runner(job.get(), &loop);
+  PPA_CHECK_OK(runner.Run(*std::move(events)));
+  EXPECT_FALSE(runner.finished());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  EXPECT_TRUE(runner.finished());
+  ASSERT_EQ(runner.outcomes().size(), 3u);
+  EXPECT_TRUE(runner.FirstError().ok()) << runner.FirstError();
+  // The drill took effect: a recovery happened and corrections exist.
+  EXPECT_EQ(job->recovery_reports().size(), 1u);
+  bool corrections = false;
+  for (const SinkRecord& r : job->sink_records()) {
+    corrections |= r.correction;
+  }
+  EXPECT_TRUE(corrections);
+  // The plan event installed a replica for mid[1].
+  EXPECT_NE(job->replica(3), nullptr);
+}
+
+TEST(ScenarioRunnerTest, RecordsEventFailures) {
+  EventLoop loop;
+  auto job = MakeScenarioJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  ScenarioRunner runner(job.get(), &loop);
+  std::vector<ScenarioEvent> events(1);
+  events[0].at = Duration::Seconds(5);
+  events[0].kind = ScenarioEvent::Kind::kNodeFailure;
+  events[0].node = 999;  // Invalid.
+  PPA_CHECK_OK(runner.Run(std::move(events)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10));
+  ASSERT_TRUE(runner.finished());
+  EXPECT_EQ(runner.FirstError().code(), StatusCode::kInvalidArgument);
+  // Double-scheduling rejected.
+  EXPECT_EQ(runner.Run({}).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ppa

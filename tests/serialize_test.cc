@@ -1,0 +1,132 @@
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "fidelity/metrics.h"
+#include "tests/test_topologies.h"
+#include "topology/random_topology.h"
+#include "topology/serialize.h"
+
+namespace ppa {
+namespace {
+
+using ::ppa::testing::MakeFig2;
+
+constexpr char kSpec[] = R"(
+# Q-like pipeline
+operator logs 4 rate=2000
+operator events 2 rate=500
+operator clean 2 selectivity=0.8
+operator join 2 join selectivity=0.5
+operator out 1
+
+edge logs clean merge
+edge clean join one-to-one
+edge events join one-to-one
+edge join out merge
+
+weight logs 0 2
+)";
+
+TEST(TopologySpecTest, ParsesFullSpec) {
+  auto topo = ParseTopologySpec(kSpec);
+  ASSERT_TRUE(topo.ok()) << topo.status();
+  EXPECT_EQ(topo->num_operators(), 5);
+  EXPECT_EQ(topo->num_tasks(), 11);
+  const OperatorInfo& join = topo->op(3);
+  EXPECT_EQ(join.name, "join");
+  EXPECT_EQ(join.correlation, InputCorrelation::kCorrelated);
+  EXPECT_DOUBLE_EQ(join.selectivity, 0.5);
+  // Source rates applied.
+  double logs_rate = 0;
+  for (TaskId t : topo->op(0).tasks) {
+    logs_rate += topo->task(t).output_rate;
+  }
+  EXPECT_DOUBLE_EQ(logs_rate, 2000.0);
+  // Weight applied: logs[0] gets 2/5 of the rate.
+  EXPECT_DOUBLE_EQ(topo->task(topo->op(0).tasks[0]).output_rate, 800.0);
+}
+
+TEST(TopologySpecTest, ErrorsCarryLineNumbers) {
+  EXPECT_THAT(ParseTopologySpec("operator x").status().message(),
+              ::testing::HasSubstr("line 1"));
+  EXPECT_THAT(
+      ParseTopologySpec("operator x 2\nedge x y full").status().message(),
+      ::testing::HasSubstr("line 2"));
+  EXPECT_THAT(
+      ParseTopologySpec("frobnicate").status().message(),
+      ::testing::HasSubstr("unknown directive"));
+  EXPECT_THAT(
+      ParseTopologySpec("operator x 2\noperator x 3").status().message(),
+      ::testing::HasSubstr("duplicate"));
+  EXPECT_THAT(ParseTopologySpec("operator x 2 turbo=1").status().message(),
+              ::testing::HasSubstr("unknown operator option"));
+  EXPECT_THAT(
+      ParseTopologySpec("operator x 2\nweight y 0 1").status().message(),
+      ::testing::HasSubstr("undeclared"));
+  EXPECT_THAT(
+      ParseTopologySpec("operator a 2\nedge a a full").status().message(),
+      ::testing::HasSubstr("itself"));
+}
+
+TEST(TopologySpecTest, RoundTripPreservesStructureAndRates) {
+  testing::Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
+  const std::string spec = ToSpec(f.topo);
+  auto parsed = ParseTopologySpec(spec);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\nspec:\n" << spec;
+  ASSERT_EQ(parsed->num_operators(), f.topo.num_operators());
+  ASSERT_EQ(parsed->num_tasks(), f.topo.num_tasks());
+  for (OperatorId op = 0; op < f.topo.num_operators(); ++op) {
+    EXPECT_EQ(parsed->op(op).name, f.topo.op(op).name);
+    EXPECT_EQ(parsed->op(op).correlation, f.topo.op(op).correlation);
+  }
+  for (TaskId t = 0; t < f.topo.num_tasks(); ++t) {
+    EXPECT_NEAR(parsed->task(t).output_rate, f.topo.task(t).output_rate,
+                1e-9);
+  }
+}
+
+class SpecRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpecRoundTripTest, RandomTopologiesRoundTrip) {
+  Rng rng(GetParam() * 31 + 5);
+  RandomTopologyOptions opts;
+  opts.join_fraction = 0.5;
+  opts.skew = RandomTopologyOptions::WorkloadSkew::kZipf;
+  auto topo = GenerateRandomTopology(opts, &rng);
+  ASSERT_TRUE(topo.ok());
+  auto parsed = ParseTopologySpec(ToSpec(*topo));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->num_tasks(), topo->num_tasks());
+  // Equivalent topologies agree on fidelity values for arbitrary failure
+  // sets — a strong semantic round-trip check.
+  TaskSet failed(topo->num_tasks());
+  for (TaskId t = 0; t < topo->num_tasks(); t += 3) {
+    failed.Add(t);
+  }
+  EXPECT_NEAR(ComputeOutputFidelity(*parsed, failed),
+              ComputeOutputFidelity(*topo, failed), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, SpecRoundTripTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{12}));
+
+TEST(ToDotTest, RendersOperatorsEdgesAndPlan) {
+  testing::Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
+  TaskSet plan(f.topo.num_tasks());
+  plan.Add(f.t21);
+  plan.Add(f.t31);
+  const std::string dot = ToDot(f.topo, &plan);
+  EXPECT_THAT(dot, ::testing::HasSubstr("digraph topology"));
+  EXPECT_THAT(dot, ::testing::HasSubstr("O1\\nx2"));
+  EXPECT_THAT(dot, ::testing::HasSubstr("(join)"));
+  EXPECT_THAT(dot, ::testing::HasSubstr("1/2 replicated"));
+  EXPECT_THAT(dot, ::testing::HasSubstr("label=\"merge\""));
+  EXPECT_THAT(dot, ::testing::HasSubstr("fillcolor=lightblue"));
+  // Without a plan, no replication annotations.
+  const std::string bare = ToDot(f.topo);
+  EXPECT_THAT(bare, ::testing::Not(::testing::HasSubstr("replicated")));
+}
+
+}  // namespace
+}  // namespace ppa

@@ -1,0 +1,101 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace ppa {
+namespace {
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(TimePoint::FromMicros(300), [&] { order.push_back(3); });
+  loop.Schedule(TimePoint::FromMicros(100), [&] { order.push_back(1); });
+  loop.Schedule(TimePoint::FromMicros(200), [&] { order.push_back(2); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.events_processed(), 3);
+}
+
+TEST(EventLoopTest, SameInstantIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(TimePoint::FromMicros(50), [&order, i] {
+      order.push_back(i);
+    });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, NowAdvancesToEventTime) {
+  EventLoop loop;
+  TimePoint seen;
+  loop.Schedule(TimePoint::FromMicros(12345), [&] { seen = loop.now(); });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, TimePoint::FromMicros(12345));
+  EXPECT_EQ(loop.now(), TimePoint::FromMicros(12345));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.Schedule(TimePoint::FromMicros(100), [&] { ++fired; });
+  loop.Schedule(TimePoint::FromMicros(900), [&] { ++fired; });
+  loop.RunUntil(TimePoint::FromMicros(500));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), TimePoint::FromMicros(500));
+  loop.RunUntil(TimePoint::FromMicros(1000));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  TimePoint seen;
+  loop.Schedule(TimePoint::FromMicros(100), [&] {
+    loop.ScheduleAfter(Duration::Micros(50), [&] { seen = loop.now(); });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, TimePoint::FromMicros(150));
+}
+
+TEST(EventLoopTest, PastEventsClampToNow) {
+  EventLoop loop;
+  TimePoint seen;
+  loop.Schedule(TimePoint::FromMicros(200), [&] {
+    loop.Schedule(TimePoint::FromMicros(10), [&] { seen = loop.now(); });
+  });
+  loop.RunUntilIdle();
+  EXPECT_EQ(seen, TimePoint::FromMicros(200));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  uint64_t id = loop.Schedule(TimePoint::FromMicros(100), [&] { ++fired; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // Double cancel.
+  EXPECT_FALSE(loop.Cancel(9999));
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, RecurringEventChain) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 10) {
+      loop.ScheduleAfter(Duration::Millis(10), tick);
+    }
+  };
+  loop.ScheduleAfter(Duration::Zero(), tick);
+  loop.RunUntilIdle();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(loop.now(), TimePoint::FromMicros(90 * 1000));
+}
+
+}  // namespace
+}  // namespace ppa

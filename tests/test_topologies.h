@@ -1,0 +1,87 @@
+#ifndef PPA_TESTS_TEST_TOPOLOGIES_H_
+#define PPA_TESTS_TEST_TOPOLOGIES_H_
+
+#include "common/logging.h"
+#include "topology/topology.h"
+
+namespace ppa {
+namespace testing {
+
+/// Fig. 2 of the paper: two source operators feeding one downstream task
+/// through merge edges. Rates chosen to reproduce the worked example:
+/// lambda(t11)=1, lambda(t12)=2, lambda(t21)=3, lambda(t22)=2, so that when
+/// t22 fails the downstream output loss is 1/4 (independent) or 2/5
+/// (correlated).
+struct Fig2Topology {
+  Topology topo;
+  OperatorId o1, o2, o3;
+  TaskId t11, t12, t21, t22, t31;
+};
+
+inline Fig2Topology MakeFig2(InputCorrelation correlation) {
+  TopologyBuilder b;
+  Fig2Topology f;
+  f.o1 = b.AddOperator("O1", 2);
+  f.o2 = b.AddOperator("O2", 2);
+  f.o3 = b.AddOperator("O3", 1, correlation);
+  b.Connect(f.o1, f.o3, PartitionScheme::kMerge);
+  b.Connect(f.o2, f.o3, PartitionScheme::kMerge);
+  b.SetSourceRate(f.o1, 3.0).SetSourceRate(f.o2, 5.0);
+  b.SetTaskWeight(f.o1, 0, 1.0).SetTaskWeight(f.o1, 1, 2.0);
+  b.SetTaskWeight(f.o2, 0, 3.0).SetTaskWeight(f.o2, 1, 2.0);
+  auto built = b.Build();
+  PPA_CHECK(built.ok()) << built.status();
+  f.topo = *std::move(built);
+  f.t11 = f.topo.op(f.o1).tasks[0];
+  f.t12 = f.topo.op(f.o1).tasks[1];
+  f.t21 = f.topo.op(f.o2).tasks[0];
+  f.t22 = f.topo.op(f.o2).tasks[1];
+  f.t31 = f.topo.op(f.o3).tasks[0];
+  return f;
+}
+
+/// A Fig. 1-style topology: O1 and O2 (4 tasks each) feed O3 (4 tasks)
+/// one-to-one; O3 feeds O4 (2 tasks) full. With O3 independent there are 16
+/// MC-trees; with O3 a join there are 8.
+struct Fig1Topology {
+  Topology topo;
+  OperatorId o1, o2, o3, o4;
+};
+
+inline Fig1Topology MakeFig1(InputCorrelation o3_correlation) {
+  TopologyBuilder b;
+  Fig1Topology f;
+  f.o1 = b.AddOperator("O1", 4);
+  f.o2 = b.AddOperator("O2", 4);
+  f.o3 = b.AddOperator("O3", 4, o3_correlation);
+  f.o4 = b.AddOperator("O4", 2);
+  b.Connect(f.o1, f.o3, PartitionScheme::kOneToOne);
+  b.Connect(f.o2, f.o3, PartitionScheme::kOneToOne);
+  b.Connect(f.o3, f.o4, PartitionScheme::kFull);
+  auto built = b.Build();
+  PPA_CHECK(built.ok()) << built.status();
+  f.topo = *std::move(built);
+  return f;
+}
+
+/// A simple linear chain src(n0) -> mid(n1) -> sink(n2) with the given
+/// schemes.
+inline Topology MakeChain(int n0, int n1, int n2, PartitionScheme s01,
+                          PartitionScheme s12,
+                          double source_rate = 1000.0) {
+  TopologyBuilder b;
+  OperatorId src = b.AddOperator("src", n0);
+  OperatorId mid = b.AddOperator("mid", n1);
+  OperatorId sink = b.AddOperator("sink", n2);
+  b.Connect(src, mid, s01);
+  b.Connect(mid, sink, s12);
+  b.SetSourceRate(src, source_rate);
+  auto built = b.Build();
+  PPA_CHECK(built.ok()) << built.status();
+  return *std::move(built);
+}
+
+}  // namespace testing
+}  // namespace ppa
+
+#endif  // PPA_TESTS_TEST_TOPOLOGIES_H_
