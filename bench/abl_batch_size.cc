@@ -9,8 +9,11 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppa;
+
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
 
   std::printf(
       "Ablation A3: batch interval vs recovery latency / checkpoint cost\n");
@@ -49,10 +52,14 @@ int main() {
     std::printf("%-16.2f %16.2f %16.3f\n", batch_seconds,
                 job.recovery_reports()[0].TotalLatency().seconds(),
                 counted > 0 ? ratio / counted : 0.0);
+    char label[64];
+    std::snprintf(label, sizeof(label), "batch%.2fs", batch_seconds);
+    sink.Add(label, job);
   }
   std::printf(
       "\nExpected: replay volume (and hence latency) is set by the "
       "checkpoint age, not\nthe batch size; the ratio column stays nearly "
       "flat.\n");
+  sink.Write("abl_batch_size");
   return 0;
 }

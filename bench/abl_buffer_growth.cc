@@ -12,7 +12,8 @@ namespace {
 
 using namespace ppa;
 
-int64_t RunOne(FtMode mode, int interval_seconds) {
+int64_t RunOne(FtMode mode, int interval_seconds,
+               bench::BenchMetricsSink* sink, const char* label) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -23,12 +24,16 @@ int64_t RunOne(FtMode mode, int interval_seconds) {
   PPA_CHECK_OK(PlaceSyntheticRecoveryWorkload(*workload, &job).status());
   PPA_CHECK_OK(job.Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(90));
+  sink->Add(label, job);
   return job.PeakBufferedTuples();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ppa::bench::BenchMetricsSink sink =
+      ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
+
   std::printf(
       "Ablation A5: peak upstream-buffer occupancy (tuples), window 30 s, "
       "1000 tuples/s, 90 s run\n");
@@ -37,14 +42,16 @@ int main() {
     char label[64];
     std::snprintf(label, sizeof(label), "checkpoint every %ds", interval);
     std::printf("%-24s %18lld\n", label,
-                static_cast<long long>(RunOne(FtMode::kCheckpoint,
-                                              interval)));
+                static_cast<long long>(RunOne(FtMode::kCheckpoint, interval,
+                                              &sink, label)));
   }
   std::printf("%-24s %18lld\n", "source replay (Storm)",
-              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15)));
+              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15,
+                                            &sink, "source replay")));
   std::printf(
       "\nExpected: buffers grow linearly with the checkpoint interval "
       "(trimming waits\nfor downstream checkpoints); Storm's no-checkpoint "
       "mode must retain a full\nreplay window instead.\n");
+  sink.Write("abl_buffer_growth");
   return 0;
 }

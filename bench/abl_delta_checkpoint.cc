@@ -17,7 +17,8 @@ struct Row {
   double recovery_seconds = 0.0;
 };
 
-Row RunOne(int interval_seconds, bool delta) {
+Row RunOne(int interval_seconds, bool delta,
+           bench::BenchMetricsSink* sink) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -49,20 +50,27 @@ Row RunOne(int interval_seconds, bool delta) {
     }
   }
   row.cpu_ratio = counted > 0 ? ratio / counted : 0.0;
+  char label[64];
+  std::snprintf(label, sizeof(label), "%s/cp%ds", delta ? "delta" : "full",
+                interval_seconds);
+  sink->Add(label, job);
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
+
   std::printf(
       "Ablation A2: full vs delta checkpoints, window 30 s, 1000 "
       "tuples/s\n");
   std::printf("%-10s %12s %12s %14s %14s\n", "interval", "full ratio",
               "delta ratio", "full rec (s)", "delta rec (s)");
   for (int interval : {1, 5, 15}) {
-    Row full = RunOne(interval, false);
-    Row delta = RunOne(interval, true);
+    Row full = RunOne(interval, false, &sink);
+    Row delta = RunOne(interval, true, &sink);
     std::printf("%-10d %12.3f %12.3f %14.2f %14.2f\n", interval,
                 full.cpu_ratio, delta.cpu_ratio, full.recovery_seconds,
                 delta.recovery_seconds);
@@ -72,5 +80,6 @@ int main() {
       "serializes the\nwindow's fresh slices), making 1-second intervals "
       "practical; recovery latency\nstays comparable (shorter replay, "
       "slightly larger state-load chain).\n");
+  sink.Write("abl_delta_checkpoint");
   return 0;
 }

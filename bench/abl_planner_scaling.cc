@@ -5,8 +5,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "common/random.h"
 #include "fidelity/mc_tree.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "planner/dp_planner.h"
 #include "planner/greedy_planner.h"
 #include "planner/structure_aware_planner.h"
@@ -97,7 +103,55 @@ BENCHMARK(BM_GreedyPlanner)
     ->Args({10, 6})
     ->Args({10, 16});
 
+/// MC-tree counts and task counts per size class — the structural numbers
+/// behind the timing curves (timings themselves come from google-benchmark,
+/// e.g. via --benchmark_out).
+void FillScalingMetrics(obs::MetricsRegistry* registry) {
+  obs::Histogram* tasks = registry->histogram("planner.topology_tasks");
+  obs::Histogram* trees = registry->histogram("planner.mc_trees");
+  obs::Counter* size_classes = registry->counter("planner.size_classes");
+  const int sizes[][2] = {{4, 3}, {6, 3}, {8, 4}, {10, 6}, {10, 16}};
+  for (const auto& size : sizes) {
+    Topology topo = MakeTopology(size[0], size[1]);
+    obs::Add(size_classes);
+    obs::Observe(tasks, static_cast<double>(topo.num_tasks()));
+    auto enumerated = EnumerateMcTrees(topo);
+    if (enumerated.ok()) {
+      obs::Observe(trees, static_cast<double>(enumerated->size()));
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ppa
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ppa::bench::BenchMetricsSink sink =
+      ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
+  // google-benchmark rejects flags it does not know; strip ours first.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 13) == "--metrics_out") {
+      if (arg == "--metrics_out" && i + 1 < argc) {
+        ++i;
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int benchmark_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&benchmark_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (sink.enabled()) {
+    ppa::obs::MetricsRegistry registry;
+    ppa::FillScalingMetrics(&registry);
+    sink.Add("size_classes", ppa::obs::MetricsToJson(registry));
+    sink.Write("abl_planner_scaling");
+  }
+  return 0;
+}

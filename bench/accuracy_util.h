@@ -33,8 +33,11 @@ struct AccuracyExperiment {
 
 /// Measured tentative accuracy of `plan` under a correlated failure of
 /// every primary (sources included), against a failure-free reference run.
+/// When `sink` is given, the failure run's metrics snapshot is recorded
+/// under `label`.
 inline StatusOr<double> MeasureTentativeAccuracy(
-    const AccuracyExperiment& experiment, const TaskSet& plan) {
+    const AccuracyExperiment& experiment, const TaskSet& plan,
+    BenchMetricsSink* sink = nullptr, const std::string& label = "") {
   // Reference run.
   EventLoop clean_loop;
   std::unique_ptr<StreamingJob> clean = experiment.make_job(&clean_loop);
@@ -69,6 +72,9 @@ inline StatusOr<double> MeasureTentativeAccuracy(
   }
   const auto timely =
       FilterTimely(job->sink_records(), job->config().batch_interval, 0);
+  if (sink != nullptr) {
+    sink->Add(label, *job);
+  }
   return experiment.accuracy(timely, clean->sink_records(), from, to);
 }
 

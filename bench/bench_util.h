@@ -3,9 +3,13 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status_or.h"
+#include "obs/export.h"
+#include "report/json.h"
 #include "runtime/streaming_job.h"
 #include "sim/event_loop.h"
 #include "topology/task_set.h"
@@ -56,6 +60,80 @@ struct Fig6Result {
   /// Checkpoint CPU / processing CPU ratio, averaged over the synthetic
   /// tasks (Fig. 9).
   double checkpoint_cpu_ratio = 0.0;
+  /// Metrics snapshot of the run (obs::MetricsToJson); the last
+  /// repetition's snapshot when RunFig6 averages over several.
+  JsonValue metrics;
+};
+
+/// Collects labeled metrics snapshots from benchmark runs and writes them
+/// as one JSON document when the binary was invoked with
+/// `--metrics_out=<path>` (or `--metrics_out <path>`). Without the flag
+/// every call is a no-op, so benchmark output is unchanged.
+class BenchMetricsSink {
+ public:
+  static BenchMetricsSink FromArgs(int argc, char** argv) {
+    BenchMetricsSink sink;
+    constexpr std::string_view kFlag = "--metrics_out";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.substr(0, kFlag.size()) == kFlag &&
+          arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
+        sink.path_ = std::string(arg.substr(kFlag.size() + 1));
+      } else if (arg == kFlag && i + 1 < argc) {
+        sink.path_ = argv[++i];
+      }
+    }
+    return sink;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one labeled snapshot (drop-in for a Fig6Result::metrics or
+  /// any obs::MetricsToJson / obs::RunProfileToJson value).
+  void Add(std::string label, JsonValue snapshot) {
+    if (!enabled()) {
+      return;
+    }
+    JsonValue run = JsonValue::Object();
+    run.Set("label", std::move(label));
+    run.Set("metrics", std::move(snapshot));
+    runs_.Append(std::move(run));
+  }
+
+  /// Convenience: snapshot a live job's registry.
+  void Add(std::string label, const StreamingJob& job) {
+    if (enabled()) {
+      Add(std::move(label), obs::MetricsToJson(job.metrics()));
+    }
+  }
+
+  /// Writes {"benchmark":...,"runs":[...]} to the configured path.
+  /// Returns false (after printing to stderr) if the file cannot be
+  /// written; true otherwise, including when disabled.
+  bool Write(std::string_view benchmark) {
+    if (!enabled()) {
+      return true;
+    }
+    JsonValue doc = JsonValue::Object();
+    doc.Set("benchmark", std::string(benchmark));
+    doc.Set("runs", std::move(runs_));
+    runs_ = JsonValue::Array();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to %s\n", path_.c_str());
+      return false;
+    }
+    const std::string text = doc.Pretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("metrics snapshot written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  JsonValue runs_ = JsonValue::Array();
 };
 
 struct Fig6Options {
@@ -138,6 +216,7 @@ inline StatusOr<Fig6Result> RunFig6Once(const Fig6Options& options) {
     }
   }
   result.checkpoint_cpu_ratio = counted > 0 ? ratio / counted : 0.0;
+  result.metrics = obs::MetricsToJson(job.metrics());
   return result;
 }
 
@@ -169,6 +248,7 @@ inline StatusOr<Fig6Result> RunFig6(const Fig6Options& options) {
     active += one.active_latency.seconds();
     passive += one.passive_latency.seconds();
     ratio += one.checkpoint_cpu_ratio;
+    avg.metrics = std::move(one.metrics);
   }
   const double n = options.repetitions;
   avg.total_latency = Duration::Seconds(total / n);

@@ -6,10 +6,13 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppa;
   using bench::Fig6Options;
   using bench::RunFig6;
+
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
 
   struct Technique {
     const char* label;
@@ -53,6 +56,10 @@ int main() {
           std::printf(" %14s", result.status().ToString().c_str());
         } else {
           std::printf(" %14.2f", result->total_latency.seconds());
+          char label[64];
+          std::snprintf(label, sizeof(label), "%s/win%lld/r%.0f",
+                        tech.label, static_cast<long long>(window), rate);
+          sink.Add(label, std::move(result->metrics));
         }
       }
     }
@@ -62,5 +69,6 @@ int main() {
       "\nExpected shape (paper): same ordering as Fig. 7 but larger "
       "passive latencies\n(synchronized neighbour recoveries cascade); "
       "active replication stays flat and low.\n");
+  sink.Write("fig08_correlated_failure");
   return 0;
 }

@@ -6,10 +6,13 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppa;
   using bench::Fig6Options;
   using bench::RunFig6;
+
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
 
   std::printf(
       "Figure 9: checkpoint CPU / processing CPU ratio, window 30 s\n");
@@ -30,6 +33,9 @@ int main() {
         std::printf(" %16s", result.status().ToString().c_str());
       } else {
         std::printf(" %16.3f", result->checkpoint_cpu_ratio);
+        char label[64];
+        std::snprintf(label, sizeof(label), "cp%ds/r%.0f", interval, rate);
+        sink.Add(label, std::move(result->metrics));
       }
     }
     std::printf("\n");
@@ -37,5 +43,6 @@ int main() {
   std::printf(
       "\nExpected shape (paper): the ratio rises sharply as the interval "
       "shrinks;\n1-second checkpoints are prohibitively expensive.\n");
+  sink.Write("fig09_checkpoint_cost");
   return 0;
 }

@@ -10,10 +10,13 @@
 #include "bench/bench_util.h"
 #include "planner/structure_aware_planner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ppa;
   using bench::Fig6Options;
   using bench::RunFig6;
+
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
 
   for (double rate : {1000.0, 2000.0}) {
     std::printf(
@@ -65,6 +68,10 @@ int main() {
                                        ? result->active_latency
                                        : result->total_latency;
           std::printf(" %12.2f", latency.seconds());
+          char label[64];
+          std::snprintf(label, sizeof(label), "%s/cp%ds/r%.0f", row.label,
+                        interval, rate);
+          sink.Add(label, std::move(result->metrics));
         }
       }
       std::printf("\n");
@@ -75,5 +82,6 @@ int main() {
       "Expected shape (paper): PPA-1.0 < PPA-0.5 < PPA-0 overall; "
       "PPA-0.5-active is\nnearly as fast as PPA-1.0, so tentative outputs "
       "start up to an order of magnitude\nbefore full recovery completes.\n");
+  sink.Write("fig10_ppa_recovery");
   return 0;
 }

@@ -9,7 +9,10 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "common/random.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "planner/greedy_planner.h"
 #include "planner/structure_aware_planner.h"
 #include "topology/random_topology.h"
@@ -27,16 +30,25 @@ struct MeanOf {
 };
 
 /// Mean OF of SA and Greedy plans over kTopologiesPerConfig topologies at
-/// each consumption level.
+/// each consumption level. When `registry` is given, every plan's OF lands
+/// in the "planner.sa_of"/"planner.greedy_of" histograms.
 std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
-                          uint64_t seed) {
+                          uint64_t seed, obs::MetricsRegistry* registry) {
   std::vector<MeanOf> means(std::size(kConsumptions));
   Rng rng(seed);
   StructureAwarePlanner sa;
   GreedyPlanner greedy;
+  obs::Histogram* sa_of =
+      registry != nullptr ? registry->histogram("planner.sa_of") : nullptr;
+  obs::Histogram* greedy_of =
+      registry != nullptr ? registry->histogram("planner.greedy_of")
+                          : nullptr;
+  obs::Counter* topologies =
+      registry != nullptr ? registry->counter("planner.topologies") : nullptr;
   for (int i = 0; i < kTopologiesPerConfig; ++i) {
     auto topo = GenerateRandomTopology(options, &rng);
     PPA_CHECK_OK(topo.status());
+    obs::Add(topologies);
     for (size_t c = 0; c < std::size(kConsumptions); ++c) {
       const int budget = static_cast<int>(kConsumptions[c] *
                                               topo->num_tasks() + 0.5);
@@ -46,6 +58,8 @@ std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
       PPA_CHECK_OK(greedy_plan.status());
       means[c].sa += sa_plan->output_fidelity;
       means[c].greedy += greedy_plan->output_fidelity;
+      obs::Observe(sa_of, sa_plan->output_fidelity);
+      obs::Observe(greedy_of, greedy_plan->output_fidelity);
     }
   }
   for (MeanOf& m : means) {
@@ -57,15 +71,21 @@ std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
 
 void Panel(const char* title, const char* label_a, const char* label_b,
            const RandomTopologyOptions& a, const RandomTopologyOptions& b,
-           uint64_t seed) {
+           uint64_t seed, bench::BenchMetricsSink* sink) {
   std::printf("%s\n", title);
   std::printf("%-12s %12s %12s %12s %12s\n", "consumption",
               (std::string("SA-") + label_a).c_str(),
               (std::string("Greedy-") + label_a).c_str(),
               (std::string("SA-") + label_b).c_str(),
               (std::string("Greedy-") + label_b).c_str());
-  const auto means_a = Sweep(a, seed);
-  const auto means_b = Sweep(b, seed + 1);
+  obs::MetricsRegistry registry_a;
+  obs::MetricsRegistry registry_b;
+  const auto means_a =
+      Sweep(a, seed, sink->enabled() ? &registry_a : nullptr);
+  const auto means_b =
+      Sweep(b, seed + 1, sink->enabled() ? &registry_b : nullptr);
+  sink->Add(label_a, obs::MetricsToJson(registry_a));
+  sink->Add(label_b, obs::MetricsToJson(registry_b));
   for (size_t c = 0; c < std::size(kConsumptions); ++c) {
     std::printf("%-12.2f %12.3f %12.3f %12.3f %12.3f\n", kConsumptions[c],
                 means_a[c].sa, means_a[c].greedy, means_b[c].sa,
@@ -88,7 +108,10 @@ RandomTopologyOptions Base() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchMetricsSink sink =
+      bench::BenchMetricsSink::FromArgs(argc, argv);
+
   std::printf(
       "Figure 14: SA vs Greedy output fidelity on 100 random topologies "
       "per configuration\n\n");
@@ -98,7 +121,7 @@ int main() {
   zipf.skew = RandomTopologyOptions::WorkloadSkew::kZipf;
   zipf.zipf_s = 0.1;
   Panel("Figure 14(a): workload skew (Zipf s=0.1 vs uniform)", "zipf",
-        "uniform", zipf, Base(), /*seed=*/100);
+        "uniform", zipf, Base(), /*seed=*/100, &sink);
 
   // (b) Degree of parallelization.
   RandomTopologyOptions high = Base();
@@ -108,25 +131,26 @@ int main() {
   low.min_parallelism = 1;
   low.max_parallelism = 10;
   Panel("Figure 14(b): parallelism (10-20 vs 1-10)", "para10-20",
-        "para1-10", high, low, /*seed=*/200);
+        "para1-10", high, low, /*seed=*/200, &sink);
 
   // (c) Structured vs full topologies.
   RandomTopologyOptions structured = Base();
   RandomTopologyOptions full = Base();
   full.kind = RandomTopologyOptions::Kind::kFull;
   Panel("Figure 14(c): structured vs full partitioning", "structure",
-        "full", structured, full, /*seed=*/300);
+        "full", structured, full, /*seed=*/300, &sink);
 
   // (d) Fraction of join operators.
   RandomTopologyOptions no_join = Base();
   RandomTopologyOptions half_join = Base();
   half_join.join_fraction = 0.5;
   Panel("Figure 14(d): join fraction (0 vs 50%)", "nojoin", "join50",
-        no_join, half_join, /*seed=*/400);
+        no_join, half_join, /*seed=*/400, &sink);
 
   std::printf(
       "Expected shape (paper): SA >= Greedy everywhere, with the largest "
       "gap at small\nbudgets; skew raises SA's OF; structured topologies "
       "score higher than full ones;\nmore joins lower OF.\n");
+  sink.Write("fig14_random_topologies");
   return 0;
 }

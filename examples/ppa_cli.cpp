@@ -11,6 +11,8 @@
 //     --seconds <s>        simulated duration (default 60)
 //     --window <batches>   operator window length (default 10)
 //     --json <file>        write the job summary report here
+//     --metrics_out <file> write the observability profile (metrics,
+//                          recovery timelines, tentative windows, trace)
 //     --dot <file>         write the (plan-annotated) topology as DOT
 //
 // Example spec + scenario live in the repository README.
@@ -66,7 +68,7 @@ int Run(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s <topology.spec> [options]\n", argv[0]);
     return 2;
   }
-  std::string scenario_path, json_path, dot_path;
+  std::string scenario_path, json_path, dot_path, metrics_path;
   FtMode mode = FtMode::kPpa;
   int budget = -1;
   double seconds = 60;
@@ -93,6 +95,8 @@ int Run(int argc, char** argv) {
       window = std::stoll(need_value("--window"));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = need_value("--json");
+    } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
+      metrics_path = need_value("--metrics_out");
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       dot_path = need_value("--dot");
     } else {
@@ -193,6 +197,11 @@ int Run(int argc, char** argv) {
   if (!json_path.empty()) {
     PPA_CHECK_OK(WriteJsonFile(json_path, JobSummaryToJson(job)));
     std::printf("report written to %s\n", json_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    PPA_CHECK_OK(WriteJsonFile(metrics_path, JobProfileToJson(job)));
+    std::printf("observability profile written to %s\n",
+                metrics_path.c_str());
   }
   if (!dot_path.empty()) {
     std::ofstream out(dot_path);

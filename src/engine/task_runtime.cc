@@ -74,6 +74,7 @@ const BatchOutput& TaskRuntime::RunBatch(int64_t batch,
       fresh.push_back(std::move(t));
     }
     processed_tuples_ += static_cast<int64_t>(fresh.size());
+    obs::Add(tuples_counter_, static_cast<int64_t>(fresh.size()));
     const TaskInfo& info = topology_->task(id_);
     BatchContext ctx(batch, info.index_in_op,
                      topology_->op(info.op).parallelism);
@@ -93,6 +94,7 @@ const BatchOutput& TaskRuntime::RunBatch(int64_t batch,
     t.producer = id_;
   }
   emitted_tuples_ += static_cast<int64_t>(produced.size());
+  obs::Add(batches_counter_);
   ++next_batch_;
   if (emit_downstream) {
     output_buffer_.push_back(BatchOutput{batch, std::move(produced)});

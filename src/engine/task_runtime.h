@@ -12,6 +12,7 @@
 #include "common/status_or.h"
 #include "engine/operator.h"
 #include "engine/tuple.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace ppa {
@@ -129,6 +130,15 @@ class TaskRuntime {
     return progress_;
   }
 
+  /// Registers shared counters bumped on every RunBatch (input tuples
+  /// consumed and batches executed). Either may be nullptr; the job wires
+  /// primaries, replicas, and shadow runtimes to different counters.
+  void AttachMetrics(obs::Counter* tuples_counter,
+                     obs::Counter* batches_counter) {
+    tuples_counter_ = tuples_counter;
+    batches_counter_ = batches_counter;
+  }
+
  private:
   const Topology* topology_;
   TaskId id_;
@@ -147,6 +157,8 @@ class TaskRuntime {
   /// Scratch slot for the return value of RunBatch when emit_downstream is
   /// false.
   BatchOutput scratch_;
+  obs::Counter* tuples_counter_ = nullptr;
+  obs::Counter* batches_counter_ = nullptr;
 };
 
 }  // namespace ppa

@@ -4,8 +4,22 @@
 
 namespace ppa {
 
+void CheckpointStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    bytes_histogram_ = nullptr;
+    full_counter_ = nullptr;
+    delta_counter_ = nullptr;
+    return;
+  }
+  bytes_histogram_ = registry->histogram("checkpoint.bytes");
+  full_counter_ = registry->counter("checkpoint.full");
+  delta_counter_ = registry->counter("checkpoint.delta");
+}
+
 void CheckpointStore::Put(TaskCheckpoint checkpoint) {
   checkpoint.is_delta = false;
+  obs::Observe(bytes_histogram_, static_cast<double>(checkpoint.blob.size()));
+  obs::Add(full_counter_);
   auto& chain = chains_[checkpoint.task];
   chain.clear();
   chain.push_back(std::move(checkpoint));
@@ -20,6 +34,8 @@ Status CheckpointStore::PutDelta(TaskCheckpoint checkpoint) {
     return InvalidArgument("delta checkpoint regresses coverage");
   }
   checkpoint.is_delta = true;
+  obs::Observe(bytes_histogram_, static_cast<double>(checkpoint.blob.size()));
+  obs::Add(delta_counter_);
   it->second.push_back(std::move(checkpoint));
   return OkStatus();
 }

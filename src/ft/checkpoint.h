@@ -7,6 +7,7 @@
 
 #include "common/sim_time.h"
 #include "common/status_or.h"
+#include "obs/metrics.h"
 #include "topology/types.h"
 
 namespace ppa {
@@ -68,8 +69,16 @@ class CheckpointStore {
   /// Drops everything (used between experiment repetitions).
   void Clear() { chains_.clear(); }
 
+  /// Publishes "checkpoint.bytes" (per-checkpoint blob size histogram)
+  /// and the "checkpoint.full"/"checkpoint.delta" counters to `registry`
+  /// (nullptr detaches).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   std::map<TaskId, std::vector<TaskCheckpoint>> chains_;
+  obs::Histogram* bytes_histogram_ = nullptr;
+  obs::Counter* full_counter_ = nullptr;
+  obs::Counter* delta_counter_ = nullptr;
 };
 
 }  // namespace ppa

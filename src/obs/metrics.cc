@@ -1,0 +1,121 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace ppa {
+namespace obs {
+
+void Gauge::Set(double value) {
+  if (samples_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  value_ = value;
+  ++samples_;
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  PPA_CHECK(!bounds_.empty()) << "histogram needs at least one bucket";
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    PPA_CHECK(bounds_[i - 1] < bounds_[i])
+        << "histogram bounds must be strictly increasing";
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  std::vector<double> bounds;
+  double decade = 1e-3;
+  while (decade <= 1e9) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2);
+    bounds.push_back(decade * 5);
+    decade *= 10;
+  }
+  return bounds;
+}
+
+void Histogram::Record(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<size_t>(it - bounds_.begin())];
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) {
+      continue;
+    }
+    const int64_t next = cumulative + counts_[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate inside bucket i between its lower and upper bound,
+      // clamped to the observed extremes (exact for the first and last
+      // occupied buckets, conservative in between).
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max_;
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo) {
+        return lo;
+      }
+      const double within =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cumulative = next;
+  }
+  return max_;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  auto& slot = counters_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  auto& slot = gauges_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return histogram(name, Histogram::DefaultBounds());
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  auto& slot = histograms_[std::string(name)];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+}  // namespace obs
+}  // namespace ppa

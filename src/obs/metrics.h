@@ -1,0 +1,141 @@
+#ifndef PPA_OBS_METRICS_H_
+#define PPA_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppa {
+namespace obs {
+
+/// Monotonically increasing event count (tuples processed, checkpoints
+/// taken, ...). Handles returned by MetricsRegistry are stable for the
+/// registry's lifetime, so hot paths cache the pointer and pay one add.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depth, buffered tuples),
+/// with min/max/sample bookkeeping so exports capture the envelope.
+class Gauge {
+ public:
+  void Set(double value);
+
+  double value() const { return value_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int64_t samples() const { return samples_; }
+
+ private:
+  double value_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  int64_t samples_ = 0;
+};
+
+/// Fixed-bucket histogram over sim-time samples (checkpoint durations,
+/// recovery latencies, tuples per batch). Buckets are defined by their
+/// inclusive upper bounds plus an implicit overflow bucket; percentiles
+/// interpolate linearly inside the bucket that crosses the target rank,
+/// clamped to the observed min/max at the edges.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Default bounds: a 1-2-5 series spanning [1e-3, 1e9] — wide enough
+  /// for microsecond costs, second-scale latencies, and tuple counts.
+  static std::vector<double> DefaultBounds();
+
+  void Record(double value);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// Estimated value at percentile `p` in [0, 100]. 0 when empty.
+  double Percentile(double p) const;
+
+  /// Inclusive upper bounds (without the overflow bucket).
+  const std::vector<double>& bucket_upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bucket_upper_bounds().size() + 1, the
+  /// last entry being the overflow bucket.
+  const std::vector<int64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Owner of all named metrics of one run. Names are dot-scoped
+/// ("subsystem.metric", e.g. "checkpoint.duration_us"); requesting the
+/// same name twice returns the same handle, and iteration is in name
+/// order so exports are deterministic. Handles are never invalidated.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  /// With Histogram::DefaultBounds().
+  Histogram* histogram(std::string_view name);
+  /// `upper_bounds` is only consulted on first creation.
+  Histogram* histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms()
+      const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Null-safe helpers: instrumented components keep plain handle pointers
+/// (nullptr when observability is off) and call these unconditionally, so
+/// the hot path costs one branch when disabled.
+inline void Add(Counter* counter, int64_t delta = 1) {
+  if (counter != nullptr) {
+    counter->Increment(delta);
+  }
+}
+inline void Set(Gauge* gauge, double value) {
+  if (gauge != nullptr) {
+    gauge->Set(value);
+  }
+}
+inline void Observe(Histogram* histogram, double value) {
+  if (histogram != nullptr) {
+    histogram->Record(value);
+  }
+}
+
+}  // namespace obs
+}  // namespace ppa
+
+#endif  // PPA_OBS_METRICS_H_

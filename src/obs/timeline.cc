@@ -1,0 +1,79 @@
+#include "obs/timeline.h"
+
+#include <map>
+
+namespace ppa {
+namespace obs {
+
+std::vector<RecoveryTimeline> BuildRecoveryTimelines(const TraceLog& trace) {
+  std::vector<RecoveryTimeline> timelines;
+  // Task -> index of its open (not yet caught-up) episode in `timelines`.
+  std::map<int64_t, size_t> open;
+  for (const TraceEvent& e : trace.events()) {
+    switch (e.kind) {
+      case TraceEventKind::kTaskFailed: {
+        RecoveryTimeline tl;
+        tl.task = e.task;
+        tl.failed_at = e.at;
+        open[e.task] = timelines.size();
+        timelines.push_back(tl);
+        break;
+      }
+      case TraceEventKind::kRecoveryStart: {
+        auto it = open.find(e.task);
+        if (it != open.end()) {
+          RecoveryTimeline& tl = timelines[it->second];
+          tl.detected = true;
+          tl.detected_at = e.at;
+          tl.recovery_kind = e.a;
+        }
+        break;
+      }
+      case TraceEventKind::kRecoveryDone: {
+        auto it = open.find(e.task);
+        if (it != open.end()) {
+          RecoveryTimeline& tl = timelines[it->second];
+          tl.restored = true;
+          tl.restored_at = e.at;
+        }
+        break;
+      }
+      case TraceEventKind::kTaskCaughtUp: {
+        auto it = open.find(e.task);
+        if (it != open.end()) {
+          RecoveryTimeline& tl = timelines[it->second];
+          tl.caught_up = true;
+          tl.caught_up_at = e.at;
+          open.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return timelines;
+}
+
+std::vector<TentativeWindow> ExtractTentativeWindows(const TraceLog& trace) {
+  std::vector<TentativeWindow> windows;
+  bool in_window = false;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.kind == TraceEventKind::kTentativeWindowBegin && !in_window) {
+      TentativeWindow w;
+      w.begin = e.at;
+      w.first_batch = e.a;
+      windows.push_back(w);
+      in_window = true;
+    } else if (e.kind == TraceEventKind::kTentativeWindowEnd && in_window) {
+      windows.back().end = e.at;
+      windows.back().last_batch = e.a;
+      windows.back().closed = true;
+      in_window = false;
+    }
+  }
+  return windows;
+}
+
+}  // namespace obs
+}  // namespace ppa

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "obs/export.h"
+
 namespace ppa {
 
 JsonValue TopologyToJson(const Topology& topology) {
@@ -132,6 +134,17 @@ JsonValue JobSummaryToJson(const StreamingJob& job) {
   }
   root.Set("recoveries", std::move(recoveries));
   return root;
+}
+
+JsonValue JobProfileToJson(const StreamingJob& job) {
+  const Topology* topology = &job.topology();
+  return obs::RunProfileToJson(
+      job.metrics(), job.trace(), [topology](int64_t task) {
+        if (task < 0 || task >= topology->num_tasks()) {
+          return std::to_string(task);
+        }
+        return topology->TaskLabel(static_cast<TaskId>(task));
+      });
 }
 
 Status WriteJsonFile(const std::string& path, const JsonValue& value) {

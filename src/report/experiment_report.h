@@ -29,6 +29,11 @@ JsonValue RecoveryReportToJson(const Topology& topology,
 /// experiment run.
 JsonValue JobSummaryToJson(const StreamingJob& job);
 
+/// Observability profile of the run (obs::RunProfileToJson with task ids
+/// labeled through the job's topology): metrics snapshot, per-task
+/// recovery timelines, tentative-output windows, and the raw trace.
+JsonValue JobProfileToJson(const StreamingJob& job);
+
 /// Writes `value` pretty-printed to `path` (truncates). Filesystem errors
 /// are returned as Internal.
 Status WriteJsonFile(const std::string& path, const JsonValue& value);

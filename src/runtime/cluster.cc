@@ -48,6 +48,17 @@ bool Cluster::NodeAlive(int node) const {
 void Cluster::FailNode(int node) {
   PPA_CHECK(node >= 0 && node < num_nodes());
   node_alive_[static_cast<size_t>(node)] = false;
+  obs::Add(node_failures_counter_);
+}
+
+void Cluster::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    node_failures_counter_ = nullptr;
+    replica_placements_counter_ = nullptr;
+    return;
+  }
+  node_failures_counter_ = registry->counter("cluster.node_failures");
+  replica_placements_counter_ = registry->counter("cluster.replica_placements");
 }
 
 void Cluster::ReviveNode(int node) {
@@ -89,6 +100,7 @@ Status Cluster::PlaceReplicas(const std::vector<TaskId>& tasks) {
     EnsureTask(t);
     replica_node_[static_cast<size_t>(t)] = num_workers_ + next;
     next = (next + 1) % num_standbys_;
+    obs::Add(replica_placements_counter_);
   }
   return OkStatus();
 }
@@ -122,6 +134,7 @@ Status Cluster::PlaceReplicaAuto(TaskId task) {
   }
   EnsureTask(task);
   replica_node_[static_cast<size_t>(task)] = best_node;
+  obs::Add(replica_placements_counter_);
   return OkStatus();
 }
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "topology/topology.h"
 
 namespace ppa {
@@ -64,6 +65,10 @@ class Cluster {
   /// Worker nodes that host at least one primary.
   std::vector<int> NodesHostingPrimaries() const;
 
+  /// Publishes "cluster.node_failures" and "cluster.replica_placements"
+  /// to `registry` (nullptr detaches).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   void EnsureTask(TaskId task);
 
@@ -73,6 +78,8 @@ class Cluster {
   std::vector<int> node_domain_;
   std::vector<int> primary_node_;  // task -> node (-1 unplaced)
   std::vector<int> replica_node_;  // task -> node (-1 none)
+  obs::Counter* node_failures_counter_ = nullptr;
+  obs::Counter* replica_placements_counter_ = nullptr;
 };
 
 }  // namespace ppa

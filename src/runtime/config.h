@@ -74,6 +74,12 @@ struct JobConfig {
   /// failed tasks) once a failure is detected. Forced on for kPpa; the
   /// pure baselines of Sec. VI-A block instead.
   bool tentative_outputs = false;
+
+  /// Record metrics and sim-time trace events (src/obs/) while the job
+  /// runs. Recording is write-only — it never feeds back into
+  /// scheduling — so disabling it must not change any simulation output
+  /// (tests/obs_test.cc pins this).
+  bool observability = true;
 };
 
 }  // namespace ppa

@@ -67,6 +67,40 @@ StreamingJob::StreamingJob(Topology topology, JobConfig config,
                               -1);
   checkpoint_us_.assign(static_cast<size_t>(topology_.num_tasks()), 0.0);
   checkpoint_count_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
+  InitObservability();
+}
+
+void StreamingJob::InitObservability() {
+  trace_.set_enabled(config_.observability);
+  if (!config_.observability) {
+    return;
+  }
+  m_batch_ticks_ = metrics_.counter("job.batch_ticks");
+  m_tuples_primary_ = metrics_.counter("engine.tuples_processed");
+  m_batches_primary_ = metrics_.counter("engine.batches_processed");
+  m_tuples_replica_ = metrics_.counter("engine.replica_tuples_processed");
+  m_batches_replica_ = metrics_.counter("engine.replica_batches_processed");
+  m_node_failures_ = metrics_.counter("job.node_failures");
+  m_task_failures_ = metrics_.counter("job.task_failures");
+  m_recoveries_active_ = metrics_.counter("recovery.active_started");
+  m_recoveries_passive_ = metrics_.counter("recovery.passive_started");
+  m_replica_activations_ = metrics_.counter("job.replica_activations");
+  m_replica_deactivations_ = metrics_.counter("job.replica_deactivations");
+  m_sink_records_ = metrics_.counter("sink.records");
+  m_sink_tentative_ = metrics_.counter("sink.tentative_records");
+  m_sink_corrections_ = metrics_.counter("sink.correction_records");
+  m_buffered_tuples_ = metrics_.gauge("job.buffered_tuples");
+  m_checkpoint_bytes_total_ = metrics_.gauge("checkpoint.store_bytes");
+  m_checkpoint_duration_us_ = metrics_.histogram("checkpoint.duration_us");
+  m_checkpoint_state_tuples_ = metrics_.histogram("checkpoint.state_tuples");
+  m_recovery_latency_s_ = metrics_.histogram("recovery.latency_s");
+  m_recovery_active_latency_s_ =
+      metrics_.histogram("recovery.active_latency_s");
+  m_recovery_passive_latency_s_ =
+      metrics_.histogram("recovery.passive_latency_s");
+  m_tuples_per_batch_ = metrics_.histogram("engine.tuples_per_batch");
+  cluster_.AttachMetrics(&metrics_);
+  checkpoints_.AttachMetrics(&metrics_);
 }
 
 StreamingJob::~StreamingJob() = default;
@@ -137,9 +171,11 @@ Status StreamingJob::Start() {
   primaries_.clear();
   for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
     primaries_.push_back(MakeRuntime(t));
+    primaries_.back()->AttachMetrics(m_tuples_primary_, m_batches_primary_);
   }
   for (TaskId t : active_set_.ToVector()) {
     replicas_[t] = MakeRuntime(t);
+    replicas_[t]->AttachMetrics(m_tuples_replica_, m_batches_replica_);
   }
 
   // Placement: keep any pins made through cluster() before Start; fill the
@@ -160,9 +196,15 @@ Status StreamingJob::Start() {
   }
   for (TaskId t : active_set_.ToVector()) {
     PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
+    trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaActivated, t,
+                  cluster_.NodeOfReplica(t));
+    obs::Add(m_replica_activations_);
   }
 
   started_ = true;
+  if (config_.observability) {
+    loop_->AttachMetrics(&metrics_);
+  }
 
   // Recurring engine events.
   loop_->ScheduleAfter(Duration::Zero(), [this] { OnBatchTick(); });
@@ -306,7 +348,11 @@ Status StreamingJob::ActivateReplica(TaskId t) {
     PPA_RETURN_IF_ERROR(rep->Restore(blob));
   }
   PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
+  rep->AttachMetrics(m_tuples_replica_, m_batches_replica_);
   replicas_[t] = std::move(rep);
+  trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaActivated, t,
+                cluster_.NodeOfReplica(t));
+  obs::Add(m_replica_activations_);
   return OkStatus();
 }
 
@@ -329,6 +375,8 @@ Status StreamingJob::ApplyActiveReplicaSet(const TaskSet& tasks) {
     if (!tasks.Contains(t) && !busy) {
       cluster_.RemoveReplica(t);
       active_set_.Remove(t);
+      trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
+      obs::Add(m_replica_deactivations_);
       it = replicas_.erase(it);
     } else {
       ++it;
@@ -368,9 +416,26 @@ void StreamingJob::OnAdaptation() {
 void StreamingJob::OnBatchTick() {
   ++frontier_;
   Advance();
-  peak_buffered_tuples_ =
-      std::max(peak_buffered_tuples_, CurrentBufferedTuples());
+  const int64_t buffered = CurrentBufferedTuples();
+  peak_buffered_tuples_ = std::max(peak_buffered_tuples_, buffered);
+  obs::Add(m_batch_ticks_);
+  obs::Set(m_buffered_tuples_, static_cast<double>(buffered));
+  NoteCaughtUpTasks();
   loop_->ScheduleAfter(config_.batch_interval, [this] { OnBatchTick(); });
+}
+
+void StreamingJob::NoteCaughtUpTasks() {
+  for (auto it = catching_up_.begin(); it != catching_up_.end();) {
+    const TaskId t = *it;
+    TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
+    if (rt->alive() && rt->next_batch() > frontier_) {
+      trace_.Record(loop_->now(), obs::TraceEventKind::kTaskCaughtUp, t, -1,
+                    frontier_);
+      it = catching_up_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 int64_t StreamingJob::CurrentBufferedTuples() const {
@@ -464,6 +529,9 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
                           : static_cast<double>(in_count);
       processing_us_[static_cast<size_t>(t)] +=
           work * config_.process_cost_per_tuple_us;
+      if (!rt->is_source()) {
+        obs::Observe(m_tuples_per_batch_, static_cast<double>(in_count));
+      }
       if (punctured) {
         degraded_batches_.insert(b);
       }
@@ -478,6 +546,8 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
                 SinkRecord{tuple, tentative, loop_->now()});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = b;
+          RecordSinkBatch(t, b, static_cast<int64_t>(out.tuples.size()),
+                          tentative);
         }
         // Sinks have no subscribers; their buffer is not needed for
         // replay.
@@ -489,9 +559,36 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
   return advanced;
 }
 
+void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
+                                   bool tentative) {
+  obs::Add(m_sink_records_, tuples);
+  if (tentative) {
+    obs::Add(m_sink_tentative_, tuples);
+  }
+  trace_.Record(loop_->now(),
+                tentative ? obs::TraceEventKind::kSinkBatchTentative
+                          : obs::TraceEventKind::kSinkBatchStable,
+                t, -1, batch, tuples);
+  if (tentative && !tentative_window_open_) {
+    trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowBegin,
+                  -1, -1, batch);
+    tentative_window_open_ = true;
+  } else if (!tentative && tentative_window_open_ &&
+             undetected_failures_.empty() && recovering_.empty()) {
+    // Stable emissions from unaffected sinks do not close the window
+    // while a failure is still being recovered; the first stable batch
+    // after full recovery does.
+    trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowEnd,
+                  -1, -1, batch);
+    tentative_window_open_ = false;
+  }
+}
+
 void StreamingJob::OnCheckpoint(TaskId t) {
   TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
   if (rt->alive()) {
+    trace_.Record(loop_->now(), obs::TraceEventKind::kCheckpointBegin, t, -1,
+                  rt->next_batch());
     TaskCheckpoint cp;
     cp.task = t;
     cp.next_batch = rt->next_batch();
@@ -500,24 +597,39 @@ void StreamingJob::OnCheckpoint(TaskId t) {
         config_.delta_checkpoints && rt->SupportsDeltaSnapshots() &&
         checkpoints_.Chain(t) != nullptr &&
         checkpoints_.ChainDeltas(t) < config_.max_delta_chain;
+    int64_t blob_bytes = 0;
     if (take_delta) {
       auto delta = rt->SnapshotDelta();
       PPA_CHECK_OK(delta.status());
       cp.state_tuples = delta->state_tuples;
       cp.blob = std::move(delta->blob);
+      blob_bytes = static_cast<int64_t>(cp.blob.size());
       PPA_CHECK_OK(checkpoints_.PutDelta(std::move(cp)));
     } else {
       auto blob = rt->Snapshot();
       PPA_CHECK_OK(blob.status());
       cp.state_tuples = rt->StateSizeTuples();
       cp.blob = *std::move(blob);
+      blob_bytes = static_cast<int64_t>(cp.blob.size());
       checkpoints_.Put(std::move(cp));
     }
     ++checkpoint_count_[static_cast<size_t>(t)];
-    checkpoint_us_[static_cast<size_t>(t)] +=
+    const double cp_us =
         config_.checkpoint_fixed_cost_us +
         static_cast<double>(checkpoints_.Latest(t)->state_tuples) *
             config_.checkpoint_cost_per_state_tuple_us;
+    checkpoint_us_[static_cast<size_t>(t)] += cp_us;
+    // The end event carries the modeled CPU completion time; no loop event
+    // is scheduled for it (scheduling one would perturb event ids and break
+    // bit-identity with observability off).
+    trace_.Record(loop_->now() + Duration::Micros(static_cast<int64_t>(cp_us)),
+                  obs::TraceEventKind::kCheckpointEnd, t, -1, blob_bytes,
+                  static_cast<int64_t>(cp_us));
+    obs::Observe(m_checkpoint_duration_us_, cp_us);
+    obs::Observe(m_checkpoint_state_tuples_,
+                 static_cast<double>(checkpoints_.Latest(t)->state_tuples));
+    obs::Set(m_checkpoint_bytes_total_,
+             static_cast<double>(checkpoints_.TotalBlobBytes()));
     TrimUpstreamBuffers(t);
   }
   loop_->ScheduleAfter(config_.checkpoint_interval,
@@ -629,6 +741,8 @@ int64_t StreamingJob::EstimateReplayTuples(TaskId t, int64_t from_batch) const {
 
 void StreamingJob::OnDetection() {
   if (!undetected_failures_.empty() && config_.ft_mode != FtMode::kNone) {
+    trace_.Record(loop_->now(), obs::TraceEventKind::kFailureDetected, -1, -1,
+                  static_cast<int64_t>(undetected_failures_.size()));
     RecoveryReport report;
     report.failure_time = last_failure_time_;
     report.detection_time = loop_->now();
@@ -678,6 +792,17 @@ void StreamingJob::OnDetection() {
         punctured_tasks_.insert(spec.task);
       }
       const Duration offset = report.schedule.completion.at(spec.task);
+      trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryStart,
+                    spec.task, -1, static_cast<int64_t>(spec.kind),
+                    offset.micros());
+      if (spec.kind == RecoveryKind::kActiveReplica) {
+        obs::Add(m_recoveries_active_);
+        obs::Observe(m_recovery_active_latency_s_, offset.seconds());
+      } else {
+        obs::Add(m_recoveries_passive_);
+        obs::Observe(m_recovery_passive_latency_s_, offset.seconds());
+      }
+      obs::Observe(m_recovery_latency_s_, offset.seconds());
       loop_->ScheduleAfter(offset, [this, t = spec.task, k = spec.kind] {
         CompleteRecovery(t, k);
       });
@@ -702,6 +827,9 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
       std::unique_ptr<TaskRuntime> rep = std::move(it->second);
       replicas_.erase(it);
       rep->MarkAlive();
+      // The replica is the primary now; its tuples count toward the
+      // primary engine counters from here on.
+      rep->AttachMetrics(m_tuples_primary_, m_batches_primary_);
       if (topology_.IsSinkTask(t)) {
         // The dead primary's records stop where delivery stopped; deliver
         // the replica's buffered outputs from there on (the takeover
@@ -716,6 +844,8 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
                 SinkRecord{tuple, tentative, loop_->now()});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = bo.batch;
+          RecordSinkBatch(t, bo.batch,
+                          static_cast<int64_t>(bo.tuples.size()), tentative);
         }
         rep->TrimOutputBuffer(frontier_);
       }
@@ -743,7 +873,11 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
       break;
     }
   }
+  trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryDone, t, -1,
+                static_cast<int64_t>(kind));
+  catching_up_.insert(t);
   Advance();
+  NoteCaughtUpTasks();
 }
 
 Status StreamingJob::InjectNodeFailure(int node) {
@@ -757,13 +891,24 @@ Status StreamingJob::InjectNodeFailure(int node) {
     return FailedPrecondition("node already failed");
   }
   cluster_.FailNode(node);
+  obs::Add(m_node_failures_);
   last_failure_time_ = loop_->now();
   last_failure_batch_ = frontier_;
+  int64_t primaries_lost = 0;
+  for (TaskId t : cluster_.PrimariesOn(node)) {
+    if (primaries_[static_cast<size_t>(t)]->alive()) {
+      ++primaries_lost;
+    }
+  }
+  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeFailure, -1, node,
+                primaries_lost);
   for (TaskId t : cluster_.PrimariesOn(node)) {
     TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
     if (rt->alive()) {
       rt->MarkFailed();
       undetected_failures_.insert(t);
+      trace_.Record(loop_->now(), obs::TraceEventKind::kTaskFailed, t, node);
+      obs::Add(m_task_failures_);
     }
   }
   for (TaskId t : cluster_.ReplicasOn(node)) {
@@ -917,6 +1062,9 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
 
   sink_records_.insert(sink_records_.end(), report.corrected.begin(),
                        report.corrected.end());
+  obs::Add(m_sink_corrections_, static_cast<int64_t>(report.corrected.size()));
+  trace_.Record(loop_->now(), obs::TraceEventKind::kReconcileDone, -1, -1,
+                report.missed_outputs, report.spurious_outputs);
   degraded_batches_.clear();
   return report;
 }

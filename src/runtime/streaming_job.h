@@ -14,6 +14,8 @@
 #include "engine/task_runtime.h"
 #include "ft/checkpoint.h"
 #include "ft/recovery_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/config.h"
 #include "sim/event_loop.h"
@@ -179,6 +181,13 @@ class StreamingJob {
   }
   const CheckpointStore& checkpoint_store() const { return checkpoints_; }
 
+  /// The job's metric registry (counters/gauges/histograms named
+  /// "subsystem.metric"; empty when config().observability is false).
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// The job's sim-time trace (failures, checkpoints, recovery phases,
+  /// tentative/stable sink emissions).
+  const obs::TraceLog& trace() const { return trace_; }
+
   /// Cumulative normal-processing CPU microseconds of a task.
   double ProcessingCostUs(TaskId t) const {
     return processing_us_[static_cast<size_t>(t)];
@@ -222,6 +231,17 @@ class StreamingJob {
   void CompleteRecovery(TaskId t, RecoveryKind kind);
   /// Trims upstream output buffers given fresh checkpoint coverage.
   void TrimUpstreamBuffers(TaskId checkpointed);
+
+  /// Creates the metric handles and attaches subcomponents (no-op when
+  /// config_.observability is false: every handle stays nullptr and the
+  /// trace is disabled).
+  void InitObservability();
+  /// Books one delivered sink batch: counters, the stable/tentative trace
+  /// event, and the tentative-window open/close transitions.
+  void RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
+                       bool tentative);
+  /// Emits kTaskCaughtUp for recovered tasks that reached the frontier.
+  void NoteCaughtUpTasks();
 
   /// Estimated tuples `t` must replay for checkpoint recovery, counted
   /// from real upstream buffers where available.
@@ -273,6 +293,40 @@ class StreamingJob {
   std::vector<int64_t> observed_emitted_;
   std::vector<int64_t> observed_processed_;
   TimePoint observed_at_;
+
+  /// Observability (src/obs/): write-only recording, gated by
+  /// config_.observability. All handles are nullptr when disabled; the
+  /// obs::Add/Set/Observe helpers make every call site null-safe.
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
+  /// A tentative-output window is open (kTentativeWindowBegin emitted,
+  /// end not yet seen).
+  bool tentative_window_open_ = false;
+  /// Recovered tasks whose backlog has not yet reached the frontier
+  /// (kTaskCaughtUp pending).
+  std::set<TaskId> catching_up_;
+  obs::Counter* m_batch_ticks_ = nullptr;
+  obs::Counter* m_tuples_primary_ = nullptr;
+  obs::Counter* m_batches_primary_ = nullptr;
+  obs::Counter* m_tuples_replica_ = nullptr;
+  obs::Counter* m_batches_replica_ = nullptr;
+  obs::Counter* m_node_failures_ = nullptr;
+  obs::Counter* m_task_failures_ = nullptr;
+  obs::Counter* m_recoveries_active_ = nullptr;
+  obs::Counter* m_recoveries_passive_ = nullptr;
+  obs::Counter* m_replica_activations_ = nullptr;
+  obs::Counter* m_replica_deactivations_ = nullptr;
+  obs::Counter* m_sink_records_ = nullptr;
+  obs::Counter* m_sink_tentative_ = nullptr;
+  obs::Counter* m_sink_corrections_ = nullptr;
+  obs::Gauge* m_buffered_tuples_ = nullptr;
+  obs::Gauge* m_checkpoint_bytes_total_ = nullptr;
+  obs::Histogram* m_checkpoint_duration_us_ = nullptr;
+  obs::Histogram* m_checkpoint_state_tuples_ = nullptr;
+  obs::Histogram* m_recovery_latency_s_ = nullptr;
+  obs::Histogram* m_recovery_active_latency_s_ = nullptr;
+  obs::Histogram* m_recovery_passive_latency_s_ = nullptr;
+  obs::Histogram* m_tuples_per_batch_ = nullptr;
 };
 
 }  // namespace ppa

@@ -13,6 +13,8 @@ uint64_t EventLoop::Schedule(TimePoint at, std::function<void()> fn) {
   }
   const uint64_t id = next_id_++;
   queue_.push(Event{at, id, std::move(fn)});
+  live_.insert(id);
+  obs::Set(queue_depth_gauge_, static_cast<double>(live_.size()));
   return id;
 }
 
@@ -24,11 +26,26 @@ uint64_t EventLoop::ScheduleAfter(Duration delay, std::function<void()> fn) {
 }
 
 bool EventLoop::Cancel(uint64_t event_id) {
-  if (event_id == 0 || event_id >= next_id_) {
+  // Only live ids are cancellable: an id that already ran, was already
+  // cancelled, or never existed returns false and leaves pending()
+  // untouched.
+  if (live_.erase(event_id) == 0) {
     return false;
   }
   // Lazily cancelled: the queue entry is skipped when popped.
-  return cancelled_.insert(event_id).second;
+  cancelled_.insert(event_id);
+  obs::Set(queue_depth_gauge_, static_cast<double>(live_.size()));
+  return true;
+}
+
+void EventLoop::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    events_counter_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    return;
+  }
+  events_counter_ = registry->counter("sim.events_processed");
+  queue_depth_gauge_ = registry->gauge("sim.queue_depth");
 }
 
 bool EventLoop::RunOne(TimePoint deadline) {
@@ -43,8 +60,11 @@ bool EventLoop::RunOne(TimePoint deadline) {
     }
     Event event = top;
     queue_.pop();
+    live_.erase(event.id);
     now_ = event.at;
     ++events_processed_;
+    obs::Add(events_counter_);
+    obs::Set(queue_depth_gauge_, static_cast<double>(live_.size()));
     event.fn();
     return true;
   }

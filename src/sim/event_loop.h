@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "obs/metrics.h"
 
 namespace ppa {
 
@@ -45,8 +46,14 @@ class EventLoop {
   /// Number of events executed so far.
   int64_t events_processed() const { return events_processed_; }
 
-  /// Number of events still pending.
-  size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of events still pending (scheduled, not yet run or
+  /// cancelled).
+  size_t pending() const { return live_.size(); }
+
+  /// Publishes "sim.events_processed" and "sim.queue_depth" to
+  /// `registry` (nullptr detaches). Recording never feeds back into
+  /// scheduling, so attaching metrics cannot change a simulation.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
  private:
   struct Event {
@@ -69,7 +76,13 @@ class EventLoop {
   uint64_t next_id_ = 1;
   int64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  /// Ids scheduled but not yet run or cancelled. Distinguishes "already
+  /// ran" from "pending" so Cancel() cannot double-count.
+  std::unordered_set<uint64_t> live_;
+  /// Cancelled ids whose queue entries are lazily skipped when popped.
   std::unordered_set<uint64_t> cancelled_;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
 };
 
 }  // namespace ppa

@@ -1,0 +1,358 @@
+// Tests for the observability subsystem (src/obs/): metric semantics,
+// histogram percentile math, trace ordering, timeline derivation, JSON
+// export shape, and the two properties the runtime integration must hold:
+// recording is deterministic, and disabling it does not change the
+// simulation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "runtime/streaming_job.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using obs::TraceEvent;
+using obs::TraceEventKind;
+
+TEST(MetricsTest, CounterSemantics) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(MetricsTest, GaugeTracksEnvelope) {
+  obs::Gauge g;
+  EXPECT_EQ(g.samples(), 0);
+  g.Set(5.0);
+  g.Set(-3.0);
+  g.Set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.min(), -3.0);
+  EXPECT_DOUBLE_EQ(g.max(), 5.0);
+  EXPECT_EQ(g.samples(), 3);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  obs::Histogram h({10.0, 100.0});
+  h.Record(5.0);
+  h.Record(10.0);   // inclusive upper bound -> first bucket
+  h.Record(50.0);
+  h.Record(1000.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 1065.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1065.0 / 4);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);
+  EXPECT_EQ(h.bucket_counts()[1], 1);
+  EXPECT_EQ(h.bucket_counts()[2], 1);
+}
+
+TEST(MetricsTest, PercentilesOnKnownDistribution) {
+  // Decile buckets, one sample at each integer 1..100: percentile p
+  // interpolates to exactly p (clamped to the observed extremes).
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 100.0; b += 10.0) {
+    bounds.push_back(b);
+  }
+  obs::Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) {
+    h.Record(static_cast<double>(v));
+  }
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(95), 95.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 1.0);    // observed min
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);  // observed max
+}
+
+TEST(MetricsTest, PercentileOfEmptyAndSingleton) {
+  obs::Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  h.Record(7.0);
+  // One sample: every percentile collapses onto it (lo==hi clamp).
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 7.0);
+}
+
+TEST(MetricsTest, RegistryHandlesAreStableAndKindScoped) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c1 = registry.counter("x.events");
+  obs::Counter* c2 = registry.counter("x.events");
+  EXPECT_EQ(c1, c2);
+  // The same name in a different kind is a distinct metric.
+  obs::Gauge* g = registry.gauge("x.events");
+  obs::Histogram* h = registry.histogram("x.events");
+  c1->Increment(3);
+  g->Set(1.5);
+  h->Record(2.0);
+  EXPECT_EQ(registry.counter("x.events")->value(), 3);
+  EXPECT_EQ(registry.gauge("x.events")->samples(), 1);
+  EXPECT_EQ(registry.histogram("x.events")->count(), 1);
+}
+
+TEST(MetricsTest, NullSafeHelpersIgnoreNullptr) {
+  obs::Add(static_cast<obs::Counter*>(nullptr));
+  obs::Set(static_cast<obs::Gauge*>(nullptr), 1.0);
+  obs::Observe(static_cast<obs::Histogram*>(nullptr), 1.0);
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.counter("c");
+  obs::Add(c, 2);
+  EXPECT_EQ(c->value(), 2);
+}
+
+TEST(TraceTest, SameInstantEventsKeepInsertionOrder) {
+  obs::TraceLog trace;
+  const TimePoint t = TimePoint::Zero() + Duration::Seconds(1);
+  trace.Record(t, TraceEventKind::kNodeFailure, -1, 3, 2);
+  trace.Record(t, TraceEventKind::kTaskFailed, 5, 3);
+  trace.Record(t, TraceEventKind::kTaskFailed, 6, 3);
+  ASSERT_EQ(trace.size(), 3u);
+  const auto& events = trace.events();
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_LT(events[1].seq, events[2].seq);
+  EXPECT_EQ(events[0].kind, TraceEventKind::kNodeFailure);
+  EXPECT_EQ(events[1].task, 5);
+  EXPECT_EQ(events[2].task, 6);
+  EXPECT_EQ(trace.CountOf(TraceEventKind::kTaskFailed), 2);
+  const TraceEvent* first = trace.FirstOf(TraceEventKind::kTaskFailed);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->task, 5);
+  EXPECT_EQ(trace.FirstOf(TraceEventKind::kCheckpointBegin), nullptr);
+}
+
+TEST(TraceTest, DisabledLogDropsEvents) {
+  obs::TraceLog trace;
+  trace.set_enabled(false);
+  trace.Record(TimePoint::Zero(), TraceEventKind::kNodeFailure);
+  EXPECT_EQ(trace.size(), 0u);
+  trace.set_enabled(true);
+  trace.Record(TimePoint::Zero(), TraceEventKind::kNodeFailure);
+  EXPECT_EQ(trace.size(), 1u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TimelineTest, BuildsEpisodesPerFailure) {
+  obs::TraceLog trace;
+  const TimePoint t0 = TimePoint::Zero();
+  auto at = [&](double s) { return t0 + Duration::Seconds(s); };
+  // Task 4: full episode. Task 7: fails, never caught up (open episode).
+  trace.Record(at(10), TraceEventKind::kTaskFailed, 4, 1);
+  trace.Record(at(10), TraceEventKind::kTaskFailed, 7, 1);
+  trace.Record(at(12), TraceEventKind::kRecoveryStart, 4, -1,
+               /*kind=*/1, 2500000);
+  trace.Record(at(14.5), TraceEventKind::kRecoveryDone, 4, -1, 1);
+  trace.Record(at(16), TraceEventKind::kTaskCaughtUp, 4, -1, 16);
+  // Second failure of task 4 -> second episode.
+  trace.Record(at(20), TraceEventKind::kTaskFailed, 4, 2);
+
+  auto timelines = obs::BuildRecoveryTimelines(trace);
+  ASSERT_EQ(timelines.size(), 3u);
+  const obs::RecoveryTimeline& full = timelines[0];
+  EXPECT_EQ(full.task, 4);
+  EXPECT_TRUE(full.detected);
+  EXPECT_TRUE(full.restored);
+  EXPECT_TRUE(full.caught_up);
+  EXPECT_EQ(full.recovery_kind, 1);
+  EXPECT_DOUBLE_EQ(full.RestoreLatency().seconds(), 4.5);
+  EXPECT_DOUBLE_EQ(full.RecoveryLatency().seconds(), 2.5);
+  const obs::RecoveryTimeline& open = timelines[1];
+  EXPECT_EQ(open.task, 7);
+  EXPECT_FALSE(open.detected);
+  EXPECT_DOUBLE_EQ(open.RestoreLatency().seconds(), 0.0);
+  EXPECT_EQ(timelines[2].task, 4);
+  EXPECT_FALSE(timelines[2].restored);
+}
+
+TEST(TimelineTest, ExtractsTentativeWindows) {
+  obs::TraceLog trace;
+  const TimePoint t0 = TimePoint::Zero();
+  auto at = [&](double s) { return t0 + Duration::Seconds(s); };
+  trace.Record(at(5), TraceEventKind::kTentativeWindowBegin, -1, -1, 5);
+  trace.Record(at(9), TraceEventKind::kTentativeWindowEnd, -1, -1, 9);
+  trace.Record(at(20), TraceEventKind::kTentativeWindowBegin, -1, -1, 20);
+  auto windows = obs::ExtractTentativeWindows(trace);
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_TRUE(windows[0].closed);
+  EXPECT_DOUBLE_EQ(windows[0].begin.seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(windows[0].end.seconds(), 9.0);
+  EXPECT_EQ(windows[0].first_batch, 5);
+  EXPECT_EQ(windows[0].last_batch, 9);
+  EXPECT_FALSE(windows[1].closed);
+  EXPECT_EQ(windows[1].last_batch, -1);
+}
+
+TEST(ExportTest, JsonShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("sink.records")->Increment(12);
+  registry.gauge("buffer.tuples")->Set(3.0);
+  registry.histogram("checkpoint.duration_us")->Record(100.0);
+  obs::TraceLog trace;
+  trace.Record(TimePoint::Zero() + Duration::Seconds(1),
+               TraceEventKind::kTaskFailed, 2, 0);
+  const std::string json =
+      obs::RunProfileToJson(registry, trace, [](int64_t task) {
+        return "task-" + std::to_string(task);
+      }).Serialize();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"sink.records\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint.duration_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery_timelines\""), std::string::npos);
+  EXPECT_NE(json.find("\"tentative_windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("task-2"), std::string::npos);
+}
+
+/// src(2) -> mid(2) -> sink(1) job used by the integration tests below.
+struct JobHarness {
+  explicit JobHarness(bool observability) {
+    TopologyBuilder b;
+    OperatorId src = b.AddOperator("src", 2);
+    OperatorId mid =
+        b.AddOperator("mid", 2, InputCorrelation::kIndependent, 0.5);
+    OperatorId sink =
+        b.AddOperator("sink", 1, InputCorrelation::kIndependent, 0.5);
+    b.Connect(src, mid, PartitionScheme::kOneToOne);
+    b.Connect(mid, sink, PartitionScheme::kMerge);
+    b.SetSourceRate(src, 40.0);
+    auto topo = b.Build();
+    PPA_CHECK(topo.ok());
+
+    JobConfig cfg;
+    cfg.ft_mode = FtMode::kPpa;
+    cfg.batch_interval = Duration::Seconds(1);
+    cfg.detection_interval = Duration::Seconds(2);
+    cfg.checkpoint_interval = Duration::Seconds(5);
+    cfg.replica_sync_interval = Duration::Seconds(2);
+    cfg.num_worker_nodes = 5;
+    cfg.num_standby_nodes = 5;
+    cfg.window_batches = 5;
+    cfg.stagger_checkpoints = false;
+    cfg.observability = observability;
+
+    job = std::make_unique<StreamingJob>(*std::move(topo), cfg, &loop);
+    PPA_CHECK_OK(job->BindSource(0, [] {
+      return std::make_unique<SyntheticSource>(20, 64, 7);
+    }));
+    for (OperatorId op : {1, 2}) {
+      PPA_CHECK_OK(job->BindOperator(op, [] {
+        return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+      }));
+    }
+    TaskSet active(job->topology().num_tasks());
+    active.Add(3);  // mid[1] gets a replica; mid[0] (task 2) stays
+                    // passive-only, so its failure degrades the sink.
+    PPA_CHECK_OK(job->SetActiveReplicaSet(active));
+    PPA_CHECK_OK(job->Start());
+  }
+
+  /// Runs to 60 s with a node failure at 10.5 s that kills the passive
+  /// mid[0], forcing tentative outputs while it recovers.
+  void RunFailureScenario() {
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+    PPA_CHECK_OK(job->InjectNodeFailure(2));
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  }
+
+  EventLoop loop;
+  std::unique_ptr<StreamingJob> job;
+};
+
+TEST(ObsIntegrationTest, TraceIsDeterministicAcrossIdenticalRuns) {
+  JobHarness a(/*observability=*/true);
+  JobHarness b(/*observability=*/true);
+  a.RunFailureScenario();
+  b.RunFailureScenario();
+  ASSERT_FALSE(a.job->trace().events().empty());
+  ASSERT_EQ(a.job->trace().size(), b.job->trace().size());
+  EXPECT_EQ(a.job->trace().events(), b.job->trace().events());
+  // The metrics snapshots serialize identically too.
+  EXPECT_EQ(obs::MetricsToJson(a.job->metrics()).Serialize(),
+            obs::MetricsToJson(b.job->metrics()).Serialize());
+}
+
+TEST(ObsIntegrationTest, ObservabilityDoesNotPerturbSimulation) {
+  JobHarness on(/*observability=*/true);
+  JobHarness off(/*observability=*/false);
+  on.RunFailureScenario();
+  off.RunFailureScenario();
+  // Identical simulation output with recording on and off.
+  ASSERT_EQ(on.job->sink_records().size(), off.job->sink_records().size());
+  for (size_t i = 0; i < on.job->sink_records().size(); ++i) {
+    EXPECT_EQ(on.job->sink_records()[i].tuple,
+              off.job->sink_records()[i].tuple);
+    EXPECT_EQ(on.job->sink_records()[i].tentative,
+              off.job->sink_records()[i].tentative);
+  }
+  EXPECT_EQ(on.job->recovery_reports().size(),
+            off.job->recovery_reports().size());
+  EXPECT_EQ(on.job->frontier(), off.job->frontier());
+  // And the disabled run recorded nothing.
+  EXPECT_EQ(off.job->trace().size(), 0u);
+  EXPECT_TRUE(off.job->metrics().counters().empty());
+  EXPECT_TRUE(off.job->metrics().histograms().empty());
+}
+
+TEST(ObsIntegrationTest, FailureRunProducesConsistentProfile) {
+  JobHarness h(/*observability=*/true);
+  h.RunFailureScenario();
+  const obs::TraceLog& trace = h.job->trace();
+
+  // The failure shows up as node + task events in causal order.
+  const TraceEvent* node_failure =
+      trace.FirstOf(TraceEventKind::kNodeFailure);
+  ASSERT_NE(node_failure, nullptr);
+  EXPECT_DOUBLE_EQ(node_failure->at.seconds(), 10.5);
+  const TraceEvent* task_failed = trace.FirstOf(TraceEventKind::kTaskFailed);
+  ASSERT_NE(task_failed, nullptr);
+  EXPECT_GT(task_failed->seq, node_failure->seq);
+
+  // Every recovery episode completes: detected, restored, caught up.
+  auto timelines = obs::BuildRecoveryTimelines(trace);
+  ASSERT_FALSE(timelines.empty());
+  for (const obs::RecoveryTimeline& tl : timelines) {
+    EXPECT_TRUE(tl.detected);
+    EXPECT_TRUE(tl.restored);
+    EXPECT_TRUE(tl.caught_up);
+    EXPECT_GE(tl.RecoveryLatency().micros(), 0);
+    EXPECT_GE(tl.RestoreLatency().micros(),
+              tl.RecoveryLatency().micros());
+  }
+
+  // Tentative-window bounds match the raw sink trace events.
+  auto windows = obs::ExtractTentativeWindows(trace);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_TRUE(windows[0].closed);
+  const TraceEvent* first_tentative =
+      trace.FirstOf(TraceEventKind::kSinkBatchTentative);
+  ASSERT_NE(first_tentative, nullptr);
+  EXPECT_EQ(windows[0].begin, first_tentative->at);
+  EXPECT_EQ(windows[0].first_batch, first_tentative->a);
+  EXPECT_LT(windows[0].begin, windows[0].end);
+
+  // Checkpoint metrics flow into the named histogram.
+  const auto& histograms = h.job->metrics().histograms();
+  auto it = histograms.find("checkpoint.duration_us");
+  ASSERT_NE(it, histograms.end());
+  EXPECT_GT(it->second->count(), 0);
+  EXPECT_GE(it->second->Percentile(99), it->second->Percentile(50));
+}
+
+}  // namespace
+}  // namespace ppa

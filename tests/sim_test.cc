@@ -82,6 +82,64 @@ TEST(EventLoopTest, CancelPreventsExecution) {
   EXPECT_EQ(fired, 0);
 }
 
+TEST(EventLoopTest, CancelAfterRunIsRejected) {
+  // Regression: cancelling an id whose event already fired used to insert
+  // into the cancelled set and return true, which made pending() underflow
+  // (queue size minus cancelled count wrapped around as size_t).
+  EventLoop loop;
+  int fired = 0;
+  uint64_t ran = loop.Schedule(TimePoint::FromMicros(100), [&] { ++fired; });
+  uint64_t live = loop.Schedule(TimePoint::FromMicros(900), [&] { ++fired; });
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.RunUntil(TimePoint::FromMicros(500));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.Cancel(ran));   // Already executed: not cancellable.
+  EXPECT_EQ(loop.pending(), 1u);    // No underflow.
+  EXPECT_TRUE(loop.Cancel(live));
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, PendingExactAcrossCancelAndRun) {
+  EventLoop loop;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(
+        loop.Schedule(TimePoint::FromMicros(100 * (i + 1)), [] {}));
+  }
+  EXPECT_EQ(loop.pending(), 6u);
+  EXPECT_TRUE(loop.Cancel(ids[2]));
+  EXPECT_TRUE(loop.Cancel(ids[4]));
+  EXPECT_EQ(loop.pending(), 4u);
+  // Fires ids[0] and ids[1]; the cancelled ids[2] is discarded when its
+  // deadline pops. ids[3] and ids[5] stay live, ids[4] stays cancelled.
+  loop.RunUntil(TimePoint::FromMicros(350));
+  EXPECT_EQ(loop.pending(), 2u);
+  EXPECT_FALSE(loop.Cancel(ids[0]));
+  EXPECT_FALSE(loop.Cancel(ids[2]));  // Cancelled before it fired.
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.RunUntilIdle();
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.events_processed(), 4);
+}
+
+TEST(EventLoopTest, MetricsCountProcessedEventsAndDepth) {
+  EventLoop loop;
+  obs::MetricsRegistry registry;
+  loop.AttachMetrics(&registry);
+  loop.Schedule(TimePoint::FromMicros(100), [] {});
+  loop.Schedule(TimePoint::FromMicros(200), [] {});
+  uint64_t id = loop.Schedule(TimePoint::FromMicros(300), [] {});
+  EXPECT_EQ(registry.gauge("sim.queue_depth")->value(), 3.0);
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_EQ(registry.gauge("sim.queue_depth")->value(), 2.0);
+  loop.RunUntilIdle();
+  EXPECT_EQ(registry.counter("sim.events_processed")->value(), 2);
+  EXPECT_EQ(registry.gauge("sim.queue_depth")->value(), 0.0);
+}
+
 TEST(EventLoopTest, RecurringEventChain) {
   EventLoop loop;
   int count = 0;
