@@ -53,13 +53,15 @@ class ZipfGenerator {
   ZipfGenerator(size_t n, double s);
 
   /// Draws a rank in [0, n).
-  size_t Sample(Rng* rng) const;
+  [[nodiscard]] size_t Sample(Rng* rng) const;
 
+  /// Population size.
   size_t n() const { return cdf_.size(); }
+  /// Skew exponent.
   double s() const { return s_; }
 
   /// Probability mass of rank r.
-  double Pmf(size_t r) const;
+  [[nodiscard]] double Pmf(size_t r) const;
 
  private:
   double s_;

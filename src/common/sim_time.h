@@ -83,7 +83,9 @@ class TimePoint {
   int64_t micros_ = 0;
 };
 
+/// Streams a duration as fractional seconds (e.g. "1.25s").
 std::ostream& operator<<(std::ostream& os, Duration d);
+/// Streams a time point as fractional seconds since simulation start.
 std::ostream& operator<<(std::ostream& os, TimePoint t);
 
 }  // namespace ppa

@@ -28,8 +28,10 @@ enum class StatusCode {
 std::string_view StatusCodeToString(StatusCode code);
 
 /// Value-type result of a fallible operation: a code plus a free-form
-/// message. An OK status carries no allocation.
-class Status {
+/// message. An OK status carries no allocation. Marked [[nodiscard]]:
+/// every call site must consume the result (check it, return it, or
+/// PPA_CHECK_OK it) — silently dropping an error is a bug.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -45,13 +47,16 @@ class Status {
   Status& operator=(Status&&) = default;
 
   /// True iff the status is OK.
-  bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
 
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  /// The error code (kOk for a success status).
+  [[nodiscard]] StatusCode code() const { return code_; }
+
+  /// The human-readable error message (empty for a success status).
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -62,6 +67,7 @@ class Status {
   std::string message_;
 };
 
+/// Streams status.ToString() into `os`.
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Factory helpers; prefer these over spelling out the enum at call sites.

@@ -1,20 +1,20 @@
 #ifndef PPA_COMMON_STATUS_OR_H_
 #define PPA_COMMON_STATUS_OR_H_
 
-#include <cstdlib>
-#include <iostream>
 #include <optional>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 
 namespace ppa {
 
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent. The usual accessor discipline applies: check ok() (or
-/// status()) before calling value().
+/// status()) before calling value(). Marked [[nodiscard]]: silently
+/// dropping a StatusOr discards both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Passing an OK status is a programming
   /// error and is converted to an Internal error.
@@ -32,10 +32,11 @@ class StatusOr {
   StatusOr(StatusOr&&) = default;
   StatusOr& operator=(StatusOr&&) = default;
 
-  bool ok() const { return value_.has_value(); }
+  /// True iff a value is present.
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The status: OK iff a value is present.
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// The contained value. Terminates the program if no value is present.
   const T& value() const& {
@@ -59,9 +60,8 @@ class StatusOr {
  private:
   void CheckHasValue() const {
     if (!value_.has_value()) {
-      std::cerr << "StatusOr::value() called on error: " << status_.ToString()
-                << std::endl;
-      std::abort();
+      PPA_LOG(Fatal) << "StatusOr::value() called on error: "
+                     << status_.ToString();
     }
   }
 

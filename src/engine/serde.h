@@ -67,7 +67,7 @@ class BinaryReader {
   }
 
   /// True when the whole buffer has been consumed.
-  bool exhausted() const { return pos_ == data_.size(); }
+  [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
 
  private:
   Status GetRaw(void* p, size_t n) {

@@ -35,29 +35,32 @@ enum class LossModel {
 /// Propagates information loss through `topology` assuming every task in
 /// `failed` produces no output, and returns per-task losses plus the output
 /// fidelity. Rates are the topology's derived no-failure rates.
-InfoLossResult PropagateInfoLoss(const Topology& topology,
-                                 const TaskSet& failed,
-                                 LossModel model = LossModel::kOutputFidelity);
+[[nodiscard]] InfoLossResult PropagateInfoLoss(
+    const Topology& topology, const TaskSet& failed,
+    LossModel model = LossModel::kOutputFidelity);
 
 /// Output Fidelity (Eq. 4) under failure set `failed`.
-double ComputeOutputFidelity(const Topology& topology, const TaskSet& failed);
+[[nodiscard]] double ComputeOutputFidelity(const Topology& topology,
+                                           const TaskSet& failed);
 
 /// Internal Completeness baseline under failure set `failed`.
-double ComputeInternalCompleteness(const Topology& topology,
-                                   const TaskSet& failed);
+[[nodiscard]] double ComputeInternalCompleteness(const Topology& topology,
+                                                 const TaskSet& failed);
 
 /// The planning objective of Definition 2 (worst-case correlated failure):
 /// the output fidelity of the partial topology formed by the actively
 /// replicated tasks, i.e. OF with failure set M \ `replicated`.
-double PlanOutputFidelity(const Topology& topology, const TaskSet& replicated);
+[[nodiscard]] double PlanOutputFidelity(const Topology& topology,
+                                        const TaskSet& replicated);
 
 /// Same objective under the IC metric (used for Fig. 12's comparison).
-double PlanInternalCompleteness(const Topology& topology,
-                                const TaskSet& replicated);
+[[nodiscard]] double PlanInternalCompleteness(const Topology& topology,
+                                              const TaskSet& replicated);
 
 /// Output fidelity when only `task` fails (the greedy planner's ranking
 /// criterion, Alg. 2).
-double SingleFailureOutputFidelity(const Topology& topology, TaskId task);
+[[nodiscard]] double SingleFailureOutputFidelity(const Topology& topology,
+                                                 TaskId task);
 
 /// A copy of `topology` in which every operator is treated as
 /// independent-input. Because IC is exactly OF computed without stream

@@ -44,21 +44,21 @@ class CheckpointStore {
   Status PutDelta(TaskCheckpoint checkpoint);
 
   /// Latest chain element of `task` (base or delta), or nullptr.
-  const TaskCheckpoint* Latest(TaskId task) const;
+  [[nodiscard]] const TaskCheckpoint* Latest(TaskId task) const;
 
   /// The task's full chain (base first), or nullptr if none.
-  const std::vector<TaskCheckpoint>* Chain(TaskId task) const;
+  [[nodiscard]] const std::vector<TaskCheckpoint>* Chain(TaskId task) const;
 
   /// Number of deltas stacked on the base (0 = base only / none).
-  int64_t ChainDeltas(TaskId task) const;
+  [[nodiscard]] int64_t ChainDeltas(TaskId task) const;
 
   /// Total state tuples a recovery must load: base + every delta.
-  int64_t ChainStateTuples(TaskId task) const;
+  [[nodiscard]] int64_t ChainStateTuples(TaskId task) const;
 
   /// The batch covered by `task`'s latest chain element: its recovery must
   /// replay batches >= this value. 0 if no checkpoint exists (replay from
   /// the beginning).
-  int64_t CoveredBatch(TaskId task) const;
+  [[nodiscard]] int64_t CoveredBatch(TaskId task) const;
 
   /// Number of tasks with at least one checkpoint.
   size_t size() const { return chains_.size(); }

@@ -60,9 +60,9 @@ struct RecoverySchedule {
 
   /// Latest completion among all tasks (the paper's "recovery latency" of
   /// the failure as a whole). Zero if no task failed.
-  Duration MaxLatency() const;
+  [[nodiscard]] Duration MaxLatency() const;
   /// Latest completion among the given subset (e.g. PPA-0.5-active).
-  Duration MaxLatencyOf(const std::vector<TaskId>& tasks) const;
+  [[nodiscard]] Duration MaxLatencyOf(const std::vector<TaskId>& tasks) const;
 };
 
 /// Computes recovery completion offsets for a set of simultaneously failed
@@ -74,7 +74,7 @@ struct RecoverySchedule {
 /// with base(t) = restart_delay + state_load(t). Active-replica promotions
 /// do not depend on upstream recovery (the replica is already caught up):
 ///   complete(t) = activation_delay + resend_time(t).
-RecoverySchedule ComputeRecoverySchedule(
+[[nodiscard]] RecoverySchedule ComputeRecoverySchedule(
     const Topology& topology, const std::vector<TaskRecoverySpec>& specs,
     const RecoveryCostModel& model);
 

@@ -124,11 +124,13 @@ inline void Add(Counter* counter, int64_t delta = 1) {
     counter->Increment(delta);
   }
 }
+/// Null-safe Gauge::Set (no-op on nullptr).
 inline void Set(Gauge* gauge, double value) {
   if (gauge != nullptr) {
     gauge->Set(value);
   }
 }
+/// Null-safe Histogram::Record (no-op on nullptr).
 inline void Observe(Histogram* histogram, double value) {
   if (histogram != nullptr) {
     histogram->Record(value);

@@ -56,8 +56,10 @@ enum class TraceEventKind : uint8_t {
   kReconcileDone,
 };
 
+/// Stable wire/name of a trace event kind (e.g. "node-failure").
 std::string_view TraceEventKindToString(TraceEventKind kind);
 
+/// One record of the append-only sim-time trace log.
 struct TraceEvent {
   TimePoint at;
   /// Insertion sequence: total order even among same-instant events.

@@ -38,8 +38,10 @@ class JsonValue {
     return v;
   }
 
-  bool is_object() const { return kind_ == Kind::kObject; }
-  bool is_array() const { return kind_ == Kind::kArray; }
+  /// True iff this value is an object.
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  /// True iff this value is an array.
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
 
   /// Sets a key on an object (last write wins but keeps first position);
   /// returns *this for chaining. Must be an object.

@@ -21,8 +21,10 @@ class Cluster {
   int num_standbys() const { return num_standbys_; }
   int num_nodes() const { return num_workers_ + num_standbys_; }
 
-  bool IsStandby(int node) const { return node >= num_workers_; }
-  bool NodeAlive(int node) const;
+  /// True iff `node` is a standby node (hosts checkpoints/replicas).
+  [[nodiscard]] bool IsStandby(int node) const { return node >= num_workers_; }
+  /// True iff `node` has not failed (or has been revived).
+  [[nodiscard]] bool NodeAlive(int node) const;
   void FailNode(int node);
   void ReviveNode(int node);
 

@@ -26,6 +26,7 @@ enum class FtMode {
   kPpa,
 };
 
+/// Stable name of a fault-tolerance mode (e.g. "ppa").
 std::string_view FtModeToString(FtMode mode);
 
 /// Configuration of a simulated streaming job.

@@ -149,7 +149,7 @@ class StreamingJob {
   Status InjectCorrelatedFailure(bool include_sources = false);
 
   /// True when no task is failed or awaiting recovery completion.
-  bool AllRecovered() const;
+  [[nodiscard]] bool AllRecovered() const;
 
   /// Corrects the tentative outputs of the last failure (Sec. V-B's
   /// deferred reconciliation): deterministically re-executes the topology

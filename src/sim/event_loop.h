@@ -34,7 +34,7 @@ class EventLoop {
 
   /// Cancels a pending event; returns false if it already ran or never
   /// existed.
-  bool Cancel(uint64_t event_id);
+  [[nodiscard]] bool Cancel(uint64_t event_id);
 
   /// Runs events until the queue is empty.
   void RunUntilIdle();

@@ -26,11 +26,17 @@ class TaskSet {
     return s;
   }
 
-  int universe_size() const { return static_cast<int>(bits_.size()); }
-  int size() const { return count_; }
-  bool empty() const { return count_ == 0; }
+  /// Number of tasks in the underlying universe (the topology task count).
+  [[nodiscard]] int universe_size() const {
+    return static_cast<int>(bits_.size());
+  }
+  /// Number of elements in the set.
+  [[nodiscard]] int size() const { return count_; }
+  /// True iff the set has no elements.
+  [[nodiscard]] bool empty() const { return count_ == 0; }
 
-  bool Contains(TaskId id) const {
+  /// True iff `id` is in the set.
+  [[nodiscard]] bool Contains(TaskId id) const {
     PPA_CHECK(id >= 0 && static_cast<size_t>(id) < bits_.size());
     return bits_[static_cast<size_t>(id)];
   }
@@ -69,7 +75,7 @@ class TaskSet {
   }
 
   /// Number of elements of `other` missing from this set.
-  int CountMissing(const TaskSet& other) const {
+  [[nodiscard]] int CountMissing(const TaskSet& other) const {
     PPA_CHECK(other.bits_.size() == bits_.size());
     int missing = 0;
     for (size_t i = 0; i < bits_.size(); ++i) {
@@ -81,7 +87,7 @@ class TaskSet {
   }
 
   /// True if every element of this set is in `other`.
-  bool IsSubsetOf(const TaskSet& other) const {
+  [[nodiscard]] bool IsSubsetOf(const TaskSet& other) const {
     PPA_CHECK(other.bits_.size() == bits_.size());
     for (size_t i = 0; i < bits_.size(); ++i) {
       if (bits_[i] && !other.bits_[i]) {
@@ -92,7 +98,7 @@ class TaskSet {
   }
 
   /// The set of tasks NOT in this set.
-  TaskSet Complement() const {
+  [[nodiscard]] TaskSet Complement() const {
     TaskSet s(*this);
     for (size_t i = 0; i < s.bits_.size(); ++i) {
       s.bits_[i] = !s.bits_[i];
@@ -102,7 +108,7 @@ class TaskSet {
   }
 
   /// Elements in ascending order.
-  std::vector<TaskId> ToVector() const {
+  [[nodiscard]] std::vector<TaskId> ToVector() const {
     std::vector<TaskId> v;
     v.reserve(static_cast<size_t>(count_));
     for (size_t i = 0; i < bits_.size(); ++i) {

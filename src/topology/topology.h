@@ -90,10 +90,12 @@ class Topology {
   /// Operators with no downstream neighbours (output operators).
   const std::vector<OperatorId>& sink_operators() const { return sinks_; }
 
-  bool IsSourceTask(TaskId id) const {
+  /// True iff the task belongs to a source operator.
+  [[nodiscard]] bool IsSourceTask(TaskId id) const {
     return op(task(id).op).upstream.empty();
   }
-  bool IsSinkTask(TaskId id) const {
+  /// True iff the task belongs to a sink operator.
+  [[nodiscard]] bool IsSinkTask(TaskId id) const {
     return op(task(id).op).downstream.empty();
   }
 
@@ -105,7 +107,7 @@ class Topology {
   const std::vector<OperatorId>& topo_order() const { return topo_order_; }
 
   /// Human-readable task label, e.g. "agg[3]".
-  std::string TaskLabel(TaskId id) const;
+  [[nodiscard]] std::string TaskLabel(TaskId id) const;
 
   /// Sets the aggregate output rate (tuples/s) of a source operator; it is
   /// divided among the operator's tasks proportionally to task weights.

@@ -31,6 +31,7 @@ enum class PartitionScheme {
   kFull = 3,
 };
 
+/// Stable name of a partition scheme (e.g. "one-to-one").
 std::string_view PartitionSchemeToString(PartitionScheme scheme);
 
 /// Whether an operator combines its input streams (Sec. III-A1).
@@ -44,6 +45,7 @@ enum class InputCorrelation {
   kCorrelated = 1,
 };
 
+/// Stable name of an input-correlation kind ("independent"/"correlated").
 std::string_view InputCorrelationToString(InputCorrelation correlation);
 
 }  // namespace ppa

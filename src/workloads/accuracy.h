@@ -34,15 +34,15 @@ std::map<int64_t, std::set<std::string>> SinkKeySetsByBatch(
 /// batches — per batch, the tentative top-k set is compared against the
 /// failure-free run's top-k set. Batches where the reference is empty are
 /// skipped; returns 1.0 if every batch is skipped.
-double PerBatchSetAccuracy(const std::vector<SinkRecord>& test,
-                           const std::vector<SinkRecord>& reference,
-                           int64_t from_batch, int64_t to_batch);
+[[nodiscard]] double PerBatchSetAccuracy(const std::vector<SinkRecord>& test,
+                                         const std::vector<SinkRecord>& reference,
+                                         int64_t from_batch, int64_t to_batch);
 
 /// Q2's accuracy function: |IT n IA| / |IA| where IT/IA are the distinct
 /// keys (incident alarms) emitted over the whole window.
-double DistinctSetAccuracy(const std::vector<SinkRecord>& test,
-                           const std::vector<SinkRecord>& reference,
-                           int64_t from_batch, int64_t to_batch);
+[[nodiscard]] double DistinctSetAccuracy(const std::vector<SinkRecord>& test,
+                                         const std::vector<SinkRecord>& reference,
+                                         int64_t from_batch, int64_t to_batch);
 
 }  // namespace ppa
 

@@ -211,6 +211,8 @@ struct IncidentParallelism {
   }
 };
 
+/// Builds the Q2 incident-detection topology plus its operator bindings
+/// and accuracy bookkeeping (Sec. VI-B).
 StatusOr<IncidentWorkload> MakeIncidentWorkload(
     const IncidentSchedule::Options& schedule_options = {},
     int64_t location_rate_per_task = 2500,

@@ -90,11 +90,14 @@ struct TopKParallelism {
   static TopKParallelism Reduced() { return TopKParallelism{4, 4, 2}; }
 };
 
+/// Builds the Q1 hierarchical top-k topology over the WorldCup-like log
+/// plus its operator bindings (Sec. VI-B).
 StatusOr<TopKWorkload> MakeTopKWorkload(
     const WorldCupSource::Options& source_options = {},
     int64_t count_window_batches = 30, int k = 100,
     const TopKParallelism& parallelism = {});
 
+/// Binds the workload's sources and operators onto `job`.
 Status BindTopKWorkload(const TopKWorkload& workload, StreamingJob* job);
 
 }  // namespace ppa

@@ -80,6 +80,15 @@ StatusOr<int> AssignOrReturnHelper(StatusOr<int> in) {
   return doubled * 2;
 }
 
+TEST(StatusOrDeathTest, ValueOnErrorDiesThroughLogging) {
+  StatusOr<int> v = NotFound("missing blob");
+  // The death message must come from common/logging (FATAL with file:line)
+  // and embed the carried status.
+  EXPECT_DEATH(v.value(),
+               "FATAL.*StatusOr::value\\(\\) called on error: "
+               "NotFound: missing blob");
+}
+
 TEST(StatusOrTest, AssignOrReturnMacro) {
   StatusOr<int> ok = AssignOrReturnHelper(21);
   ASSERT_TRUE(ok.ok());

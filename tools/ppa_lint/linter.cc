@@ -1,0 +1,769 @@
+#include "tools/ppa_lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ppa {
+namespace lint {
+namespace {
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+/// A source file split into lines, with comments and string/char literals
+/// blanked out of the `code` view (layout preserved: code[i][j] aligns with
+/// raw[i][j]), plus the comment text of each line (for suppressions).
+struct Scrubbed {
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+  std::vector<std::string> comments;
+};
+
+Scrubbed Scrub(std::string_view content) {
+  Scrubbed out;
+  std::string raw_line;
+  std::string code_line;
+  std::string comment_line;
+
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  State state = State::kNormal;
+  std::string raw_delim;  // ")delim" terminator of a raw string
+
+  auto flush_line = [&] {
+    out.raw.push_back(raw_line);
+    out.code.push_back(code_line);
+    out.comments.push_back(comment_line);
+    raw_line.clear();
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) {
+        state = State::kNormal;
+      }
+      flush_line();
+      continue;
+    }
+    raw_line.push_back(c);
+    char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line.push_back(' ');
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line.push_back(' ');
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — the R must not extend an identifier.
+          bool is_raw = !code_line.empty() && code_line.back() == 'R' &&
+                        (code_line.size() < 2 ||
+                         !IsIdentChar(code_line[code_line.size() - 2]));
+          if (is_raw) {
+            std::string delim;
+            size_t j = i + 1;
+            while (j < content.size() && content[j] != '(') {
+              delim.push_back(content[j]);
+              ++j;
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          code_line.push_back(' ');
+        } else if (c == '\'') {
+          // Heuristic: a quote after an identifier/digit is a C++14 digit
+          // separator (1'000'000), not a character literal.
+          if (code_line.empty() || !IsIdentChar(code_line.back())) {
+            state = State::kChar;
+          }
+          code_line.push_back(' ');
+        } else {
+          code_line.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        break;
+      case State::kBlockComment:
+        code_line.push_back(' ');
+        comment_line.push_back(c);
+        if (c == '*' && next == '/') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+          state = State::kNormal;
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        code_line.push_back(' ');
+        if (c == '\\' && next != '\0') {
+          raw_line.push_back(next);
+          code_line.push_back(' ');
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kNormal;
+        }
+        break;
+      case State::kRawString:
+        code_line.push_back(' ');
+        if (c == ')' &&
+            content.substr(i, raw_delim.size()) == raw_delim) {
+          for (size_t k = 1; k < raw_delim.size(); ++k) {
+            raw_line.push_back(content[i + k]);
+            code_line.push_back(' ');
+          }
+          i += raw_delim.size() - 1;
+          state = State::kNormal;
+        }
+        break;
+    }
+  }
+  flush_line();
+  return out;
+}
+
+/// Parses "rule-a, rule-b" into a set of rule names.
+std::set<std::string> ParseRuleList(std::string_view list) {
+  std::set<std::string> rules;
+  std::string cur;
+  for (char c : list) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) {
+        rules.insert(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    rules.insert(cur);
+  }
+  return rules;
+}
+
+/// Suppressions extracted from "// ppa-lint: allow(...)" comments: per-line
+/// rule sets (a comment suppresses its own line and the next) plus
+/// file-wide rules from allow-file(...).
+struct Suppressions {
+  std::vector<std::set<std::string>> by_line;  // 0-based
+  std::set<std::string> file_wide;
+
+  bool Allows(const std::string& rule, int line) const {  // 1-based
+    if (file_wide.count(rule) != 0) {
+      return true;
+    }
+    for (int l : {line - 1, line - 2}) {
+      if (l >= 0 && l < static_cast<int>(by_line.size()) &&
+          by_line[static_cast<size_t>(l)].count(rule) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+Suppressions FindSuppressions(const Scrubbed& f) {
+  Suppressions out;
+  out.by_line.resize(f.comments.size());
+  for (size_t i = 0; i < f.comments.size(); ++i) {
+    const std::string& comment = f.comments[i];
+    for (std::string_view marker : {"ppa-lint: allow(", "ppa-lint: allow-file("}) {
+      size_t pos = 0;
+      while ((pos = comment.find(marker, pos)) != std::string::npos) {
+        size_t open = pos + marker.size();
+        size_t close = comment.find(')', open);
+        if (close == std::string::npos) {
+          break;
+        }
+        std::set<std::string> rules =
+            ParseRuleList(std::string_view(comment).substr(open, close - open));
+        if (marker == "ppa-lint: allow(") {
+          out.by_line[i].insert(rules.begin(), rules.end());
+        } else {
+          out.file_wide.insert(rules.begin(), rules.end());
+        }
+        pos = close;
+      }
+    }
+  }
+  return out;
+}
+
+/// Finds identifier-boundary occurrences of `token` in `line`; returns the
+/// position of each match.
+std::vector<size_t> FindToken(const std::string& line,
+                              const std::string& token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) {
+      hits.push_back(pos);
+    }
+    pos = end;
+  }
+  return hits;
+}
+
+/// True if the token occurrence at `pos` is a free or std:: call, i.e. not
+/// a member access (obj.time(...)) and not a qualified name from another
+/// namespace (obs::time(...)).
+bool IsFreeOrStdCall(const std::string& line, size_t pos, size_t token_len) {
+  size_t after = pos + token_len;
+  while (after < line.size() && line[after] == ' ') {
+    ++after;
+  }
+  if (after >= line.size() || line[after] != '(') {
+    return false;  // not a call
+  }
+  if (pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':') {
+    size_t q = pos - 2;
+    size_t qe = q;
+    while (q > 0 && IsIdentChar(line[q - 1])) {
+      --q;
+    }
+    return line.substr(q, qe - q) == "std";
+  }
+  if (pos >= 1 && (line[pos - 1] == '.' ||
+                   (pos >= 2 && line[pos - 2] == '-' && line[pos - 1] == '>'))) {
+    return false;  // member call
+  }
+  return true;
+}
+
+class FileLinter {
+ public:
+  FileLinter(const std::string& path, std::string_view content)
+      : path_(path), file_(Scrub(content)), supp_(FindSuppressions(file_)) {}
+
+  std::vector<Diagnostic> Run() {
+    CheckBannedTokens();
+    CheckUnorderedIteration();
+    if (EndsWith(path_, ".h")) {
+      CheckHeaderGuard();
+    }
+    if (IsPublicHeader()) {
+      CheckDoxygen();
+    }
+    return std::move(diags_);
+  }
+
+ private:
+  bool InSrc() const { return StartsWith(path_, "src/"); }
+  bool InCommon() const { return StartsWith(path_, "src/common/"); }
+  bool IsRandomImpl() const { return StartsWith(path_, "src/common/random."); }
+  bool IsPublicHeader() const {
+    if (!InSrc() || !EndsWith(path_, ".h")) {
+      return false;
+    }
+    size_t second = path_.find('/', 4);
+    return second != std::string::npos &&
+           path_.find('/', second + 1) == std::string::npos;
+  }
+
+  void Report(const std::string& rule, int line, const std::string& message) {
+    if (!supp_.Allows(rule, line)) {
+      diags_.push_back({path_, line, rule, message});
+    }
+  }
+
+  // --- Determinism & error-handling token rules ----------------------------
+
+  void CheckBannedTokens() {
+    struct TokenRule {
+      const char* rule;
+      const char* token;
+      bool call_only;  // match only name( / std::name( call syntax
+      const char* message;
+    };
+    static const TokenRule kRules[] = {
+        {"wall-clock", "time", true,
+         "wall-clock read; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "clock", true,
+         "wall-clock read; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "gettimeofday", true,
+         "wall-clock read; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "clock_gettime", true,
+         "wall-clock read; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "system_clock", false,
+         "wall-clock type; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "steady_clock", false,
+         "wall-clock type; use the virtual clock (common/sim_time.h)"},
+        {"wall-clock", "high_resolution_clock", false,
+         "wall-clock type; use the virtual clock (common/sim_time.h)"},
+        {"random", "rand", true,
+         "ambient randomness; use the seeded ppa::Rng (common/random.h)"},
+        {"random", "srand", true,
+         "ambient randomness; use the seeded ppa::Rng (common/random.h)"},
+        {"random", "random_device", false,
+         "nondeterministic seed source; use an explicit seed"},
+        {"random", "mt19937", false,
+         "use the seeded ppa::Rng (common/random.h)"},
+        {"random", "mt19937_64", false,
+         "use the seeded ppa::Rng (common/random.h)"},
+        {"random", "default_random_engine", false,
+         "use the seeded ppa::Rng (common/random.h)"},
+        {"random", "uniform_int_distribution", false,
+         "implementation-defined sequences; use ppa::Rng helpers"},
+        {"random", "uniform_real_distribution", false,
+         "implementation-defined sequences; use ppa::Rng helpers"},
+        {"random", "normal_distribution", false,
+         "implementation-defined sequences; use ppa::Rng helpers"},
+        {"getenv", "getenv", true,
+         "environment read; configuration must be explicit"},
+        {"getenv", "secure_getenv", true,
+         "environment read; configuration must be explicit"},
+        {"exceptions", "throw", false,
+         "no exceptions on API boundaries; return ppa::Status (DESIGN.md §9)"},
+        {"exceptions", "try", false,
+         "no exceptions on API boundaries; return ppa::Status (DESIGN.md §9)"},
+        {"exceptions", "catch", false,
+         "no exceptions on API boundaries; return ppa::Status (DESIGN.md §9)"},
+        {"abort", "abort", true,
+         "bare abort(); use PPA_LOG(Fatal)/PPA_CHECK (common/logging.h)"},
+    };
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      int lineno = static_cast<int>(i) + 1;
+      for (const TokenRule& r : kRules) {
+        std::string rule = r.rule;
+        if (rule == "random" && IsRandomImpl()) {
+          continue;
+        }
+        if (rule == "exceptions" && !InSrc()) {
+          continue;
+        }
+        if (rule == "abort" && InCommon()) {
+          continue;
+        }
+        for (size_t pos : FindToken(line, r.token)) {
+          if (r.call_only && !IsFreeOrStdCall(line, pos, std::strlen(r.token))) {
+            continue;
+          }
+          Report(rule, lineno, std::string(r.token) + ": " + r.message);
+        }
+      }
+      if (!IsRandomImpl() && line.find("#include") != std::string::npos &&
+          line.find("<random>") != std::string::npos) {
+        Report("random", lineno,
+               "<random>: use the seeded ppa::Rng (common/random.h)");
+      }
+    }
+  }
+
+  // --- unordered-iteration -------------------------------------------------
+
+  void CheckUnorderedIteration() {
+    static const char* kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                            "unordered_multimap",
+                                            "unordered_multiset",
+                                            "flat_hash_map", "flat_hash_set"};
+    // Pass 1: names of variables/members declared with an unordered type.
+    std::set<std::string> unordered_vars;
+    std::string joined;
+    for (const std::string& line : file_.code) {
+      joined += line;
+      joined += '\n';
+    }
+    for (const char* type : kUnorderedTypes) {
+      size_t pos = 0;
+      std::string needle = std::string(type) + "<";
+      while ((pos = joined.find(needle, pos)) != std::string::npos) {
+        size_t j = pos + needle.size();
+        int depth = 1;
+        while (j < joined.size() && depth > 0) {
+          if (joined[j] == '<') {
+            ++depth;
+          } else if (joined[j] == '>') {
+            --depth;
+          }
+          ++j;
+        }
+        while (j < joined.size() &&
+               (std::isspace(static_cast<unsigned char>(joined[j])) != 0 ||
+                joined[j] == '&' || joined[j] == '*')) {
+          ++j;
+        }
+        size_t name_begin = j;
+        while (j < joined.size() && IsIdentChar(joined[j])) {
+          ++j;
+        }
+        if (j > name_begin) {
+          unordered_vars.insert(joined.substr(name_begin, j - name_begin));
+        }
+        pos += needle.size();
+      }
+    }
+    // Pass 2: ranged-for statements whose range names an unordered type or
+    // one of those variables.
+    size_t pos = 0;
+    while ((pos = joined.find("for", pos)) != std::string::npos) {
+      bool left_ok = pos == 0 || !IsIdentChar(joined[pos - 1]);
+      bool right_ok = pos + 3 >= joined.size() || !IsIdentChar(joined[pos + 3]);
+      if (!left_ok || !right_ok) {
+        pos += 3;
+        continue;
+      }
+      int lineno =
+          1 + static_cast<int>(std::count(joined.begin(),
+                                          joined.begin() +
+                                              static_cast<ptrdiff_t>(pos),
+                                          '\n'));
+      size_t open = joined.find('(', pos + 3);
+      if (open == std::string::npos ||
+          Trim(joined.substr(pos + 3, open - pos - 3)) != "") {
+        pos += 3;
+        continue;
+      }
+      int depth = 1;
+      size_t j = open + 1;
+      size_t colon = std::string::npos;
+      while (j < joined.size() && depth > 0) {
+        char c = joined[j];
+        if (c == '(') {
+          ++depth;
+        } else if (c == ')') {
+          --depth;
+        } else if (c == ':' && depth == 1 && colon == std::string::npos &&
+                   (j == 0 || joined[j - 1] != ':') &&
+                   (j + 1 >= joined.size() || joined[j + 1] != ':')) {
+          colon = j;
+        }
+        ++j;
+      }
+      if (colon != std::string::npos) {
+        std::string range = joined.substr(colon + 1, j - 1 - colon - 1);
+        bool bad = false;
+        for (const char* type : kUnorderedTypes) {
+          if (range.find(type) != std::string::npos) {
+            bad = true;
+          }
+        }
+        if (!bad) {
+          std::string ident;
+          for (size_t k = 0; k <= range.size(); ++k) {
+            if (k < range.size() && IsIdentChar(range[k])) {
+              ident.push_back(range[k]);
+            } else if (!ident.empty()) {
+              if (unordered_vars.count(ident) != 0) {
+                bad = true;
+              }
+              ident.clear();
+            }
+          }
+        }
+        if (bad) {
+          Report("unordered-iteration", lineno,
+                 "ranged-for over an unordered container: iteration order is "
+                 "implementation-defined and breaks deterministic replay; "
+                 "iterate a sorted copy or a std::map/std::set");
+        }
+      }
+      pos = j;
+    }
+  }
+
+  // --- header-guard --------------------------------------------------------
+
+  std::string ExpectedGuard() const {
+    std::string rel = path_;
+    if (StartsWith(rel, "src/")) {
+      rel = rel.substr(4);
+    }
+    std::string guard = "PPA_";
+    for (char c : rel) {
+      guard.push_back(
+          IsIdentChar(c) && c != '_'
+              ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))
+              : '_');
+    }
+    guard.push_back('_');
+    return guard;
+  }
+
+  void CheckHeaderGuard() {
+    std::string expected = ExpectedGuard();
+    int ifndef_line = 0;
+    std::string seen_guard;
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      std::string t = Trim(file_.code[i]);
+      if (t.empty()) {
+        continue;
+      }
+      if (StartsWith(t, "#ifndef")) {
+        ifndef_line = static_cast<int>(i) + 1;
+        seen_guard = Trim(t.substr(7));
+        size_t sp = seen_guard.find_first_of(" \t");
+        if (sp != std::string::npos) {
+          seen_guard = seen_guard.substr(0, sp);
+        }
+      } else if (ifndef_line == 0) {
+        Report("header-guard", static_cast<int>(i) + 1,
+               "header does not start with an include guard; expected "
+               "#ifndef " + expected);
+        return;
+      }
+      break;
+    }
+    if (ifndef_line == 0) {
+      Report("header-guard", 1,
+             "header has no include guard; expected #ifndef " + expected);
+      return;
+    }
+    if (seen_guard != expected) {
+      Report("header-guard", ifndef_line,
+             "include guard " + seen_guard + " does not match the file path; "
+             "expected " + expected);
+      return;
+    }
+    std::string define = "#define " + expected;
+    bool define_ok = false;
+    for (size_t i = static_cast<size_t>(ifndef_line);
+         i < file_.code.size() && i < static_cast<size_t>(ifndef_line) + 2;
+         ++i) {
+      if (StartsWith(Trim(file_.code[i]), define)) {
+        define_ok = true;
+      }
+    }
+    if (!define_ok) {
+      Report("header-guard", ifndef_line + 1,
+             "include guard #ifndef is not followed by " + define);
+    }
+  }
+
+  // --- doxygen -------------------------------------------------------------
+
+  bool HasDocAbove(int start_line) const {  // 1-based
+    for (int i = start_line - 2, steps = 0; i >= 0 && steps < 15;
+         --i, ++steps) {
+      std::string raw = Trim(file_.raw[static_cast<size_t>(i)]);
+      if (StartsWith(raw, "///") || StartsWith(raw, "//!") ||
+          EndsWith(raw, "*/")) {
+        return true;
+      }
+      if (raw.empty() || raw[0] == '#' ||
+          raw.find('{') != std::string::npos ||
+          raw.find('}') != std::string::npos) {
+        return false;
+      }
+      // A plain declaration line: keep walking up — a single /// comment
+      // may document a tight group of declarations (e.g. the Status
+      // factory helpers).
+    }
+    return false;
+  }
+
+  /// One namespace-scope statement gathered by the scanner.
+  struct Stmt {
+    int start_line = 0;  // 1-based
+    std::string text;
+  };
+
+  void EvaluateStmt(const Stmt& stmt, bool has_body) {
+    std::string text = Trim(stmt.text);
+    if (text.empty()) {
+      return;
+    }
+    // Strip leading template<...> and attribute [[...]] clauses.
+    for (bool stripped = true; stripped;) {
+      stripped = false;
+      text = Trim(text);
+      if (StartsWith(text, "template")) {
+        size_t open = text.find('<');
+        if (open == std::string::npos) {
+          return;
+        }
+        int depth = 1;
+        size_t j = open + 1;
+        while (j < text.size() && depth > 0) {
+          if (text[j] == '<') {
+            ++depth;
+          } else if (text[j] == '>') {
+            --depth;
+          }
+          ++j;
+        }
+        text = text.substr(j);
+        stripped = true;
+      } else if (StartsWith(text, "[[")) {
+        size_t close = text.find("]]");
+        if (close == std::string::npos) {
+          return;
+        }
+        text = text.substr(close + 2);
+        stripped = true;
+      }
+    }
+    std::string first;
+    for (char c : text) {
+      if (!IsIdentChar(c)) {
+        break;
+      }
+      first.push_back(c);
+    }
+    static const std::set<std::string> kSkip = {
+        "namespace", "using", "typedef", "static_assert", "extern", "friend"};
+    if (first.empty() || kSkip.count(first) != 0) {
+      return;
+    }
+    bool is_type = first == "class" || first == "struct" || first == "enum";
+    if (is_type && !has_body) {
+      return;  // forward declaration
+    }
+    if (!is_type) {
+      size_t paren = text.find('(');
+      size_t assign = text.find('=');
+      if (paren == std::string::npos ||
+          (assign != std::string::npos && assign < paren)) {
+        return;  // variable/constant, not a function
+      }
+      bool macro_like = true;
+      for (char c : first) {
+        if (std::islower(static_cast<unsigned char>(c)) != 0) {
+          macro_like = false;
+        }
+      }
+      if (macro_like && text[first.size()] == '(') {
+        return;  // FOO(...) macro invocation
+      }
+    }
+    if (!HasDocAbove(stmt.start_line)) {
+      Report("doxygen", stmt.start_line,
+             std::string(is_type ? "public type" : "public function") +
+                 " is missing a /// comment (DESIGN.md §9)");
+    }
+  }
+
+  void CheckDoxygen() {
+    enum class Scope { kNamespace, kOther };
+    std::vector<Scope> scopes;
+    Stmt stmt;
+    int paren_depth = 0;
+    auto at_namespace_scope = [&] {
+      return std::all_of(scopes.begin(), scopes.end(),
+                         [](Scope s) { return s == Scope::kNamespace; });
+    };
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      int lineno = static_cast<int>(i) + 1;
+      if (StartsWith(Trim(line), "#")) {
+        continue;  // preprocessor
+      }
+      for (char c : line) {
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')') {
+          --paren_depth;
+        } else if (c == '{' && paren_depth == 0) {
+          bool is_namespace =
+              !FindToken(stmt.text, "namespace").empty();
+          if (!is_namespace && at_namespace_scope()) {
+            EvaluateStmt(stmt, /*has_body=*/true);
+          }
+          scopes.push_back(is_namespace ? Scope::kNamespace : Scope::kOther);
+          stmt = Stmt{};
+          continue;
+        } else if (c == '}' && paren_depth == 0) {
+          if (!scopes.empty()) {
+            scopes.pop_back();
+          }
+          stmt = Stmt{};
+          continue;
+        } else if (c == ';' && paren_depth == 0) {
+          if (at_namespace_scope()) {
+            EvaluateStmt(stmt, /*has_body=*/false);
+          }
+          stmt = Stmt{};
+          continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          if (!stmt.text.empty() && stmt.text.back() != ' ') {
+            stmt.text.push_back(' ');
+          }
+        } else {
+          if (stmt.text.empty()) {
+            stmt.start_line = lineno;
+          }
+          stmt.text.push_back(c);
+        }
+      }
+      if (!stmt.text.empty() && stmt.text.back() != ' ') {
+        stmt.text.push_back(' ');
+      }
+    }
+  }
+
+  std::string path_;
+  Scrubbed file_;
+  Suppressions supp_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message;
+  return os.str();
+}
+
+const std::vector<std::string>& AllRuleNames() {
+  static const std::vector<std::string> kRules = {
+      "wall-clock",   "random",       "getenv", "unordered-iteration",
+      "exceptions",   "abort",        "header-guard", "doxygen",
+  };
+  return kRules;
+}
+
+std::vector<Diagnostic> LintFile(const std::string& path,
+                                 std::string_view content) {
+  return FileLinter(path, content).Run();
+}
+
+}  // namespace lint
+}  // namespace ppa

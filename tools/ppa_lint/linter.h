@@ -1,0 +1,67 @@
+#ifndef PPA_TOOLS_PPA_LINT_LINTER_H_
+#define PPA_TOOLS_PPA_LINT_LINTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppa {
+namespace lint {
+
+/// One lint finding: a file, a 1-based line, the rule that fired, and a
+/// human-readable explanation.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Formats a diagnostic as "file:line: [rule] message" (the exact shape a
+/// terminal or CI annotator can parse).
+[[nodiscard]] std::string FormatDiagnostic(const Diagnostic& d);
+
+/// Names of every rule ppa_lint enforces, for --list_rules and for
+/// validating suppression comments. See DESIGN.md §10 for the rationale of
+/// each rule.
+[[nodiscard]] const std::vector<std::string>& AllRuleNames();
+
+/// Lints one file. `path` must be the repository-relative path with '/'
+/// separators (rule applicability and the expected header-guard name are
+/// derived from it); `content` is the file's full text.
+///
+/// Rules (suppress one occurrence with a trailing or preceding-line
+/// comment `// ppa-lint: allow(rule-a, rule-b)`; suppress a rule for a
+/// whole file with `// ppa-lint: allow-file(rule)`):
+///
+///   wall-clock           no wall-clock reads (time(), clock(),
+///                        std::chrono::{system,steady,high_resolution}_clock,
+///                        gettimeofday, ...): simulations must use the
+///                        virtual clock in common/sim_time.h.
+///   random               no ambient randomness (rand, srand,
+///                        std::random_device, std::mt19937, <random>
+///                        distributions) outside src/common/random.*: all
+///                        randomness flows through the seeded ppa::Rng.
+///   getenv               no environment reads: configuration must be
+///                        explicit so runs are reproducible.
+///   unordered-iteration  no ranged-for over unordered containers:
+///                        iteration order is implementation-defined and
+///                        breaks bit-identical replay.
+///   exceptions           no throw/try/catch under src/: fallible APIs
+///                        return ppa::Status / ppa::StatusOr (DESIGN.md §9).
+///   abort                no bare abort() outside src/common/: fatal exits
+///                        must go through common/logging (PPA_LOG(Fatal),
+///                        PPA_CHECK) so they carry file:line context.
+///   header-guard         .h files use an include guard named
+///                        PPA_<PATH>_H_ derived from the repo-relative path
+///                        (with a leading "src/" stripped).
+///   doxygen              namespace-scope classes/structs/enums and free
+///                        function declarations in public headers
+///                        (src/*/*.h) carry a /// comment.
+[[nodiscard]] std::vector<Diagnostic> LintFile(const std::string& path,
+                                               std::string_view content);
+
+}  // namespace lint
+}  // namespace ppa
+
+#endif  // PPA_TOOLS_PPA_LINT_LINTER_H_

@@ -1,0 +1,116 @@
+// ppa_lint: enforces the project's determinism, error-handling, and
+// hygiene invariants over the C++ sources. Run from CMake/ctest as
+//   ppa_lint --root <repo_root> [relative paths...]
+// With no explicit paths it lints src/, tests/, bench/, examples/, and
+// tools/. Exits 0 iff no diagnostics fire. See tools/ppa_lint/linter.h for
+// the rule list and DESIGN.md §10 for the rationale.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/ppa_lint/linter.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Repo-relative '/'-separated path string.
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+bool IsExcluded(const std::string& rel) {
+  // Fixture files are intentionally full of violations.
+  return rel.find("testdata/") != std::string::npos ||
+         rel.find("build") == 0;
+}
+
+int LintOne(const fs::path& file, const fs::path& root, int* files_linted) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::cerr << "ppa_lint: cannot read " << file << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ++*files_linted;
+  int failures = 0;
+  for (const ppa::lint::Diagnostic& d :
+       ppa::lint::LintFile(RelPath(file, root), buf.str())) {
+    std::cerr << ppa::lint::FormatDiagnostic(d) << "\n";
+    ++failures;
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list_rules") {
+      for (const std::string& rule : ppa::lint::AllRuleNames()) {
+        std::cout << rule << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help") {
+      std::cout << "usage: ppa_lint [--root <dir>] [--list_rules] "
+                   "[paths...]\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tests", "bench", "examples", "tools"};
+  }
+
+  int failures = 0;
+  int files_linted = 0;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    if (fs::is_directory(abs)) {
+      std::vector<fs::path> files;
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path()) &&
+            !IsExcluded(RelPath(entry.path(), root))) {
+          files.push_back(entry.path());
+        }
+      }
+      // Directory iteration order is OS-dependent; sort for stable output.
+      std::sort(files.begin(), files.end());
+      for (const fs::path& f : files) {
+        failures += LintOne(f, root, &files_linted);
+      }
+    } else if (fs::is_regular_file(abs)) {
+      failures += LintOne(abs, root, &files_linted);
+    } else {
+      std::cerr << "ppa_lint: no such file or directory: " << abs << "\n";
+      return 2;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << "ppa_lint: " << failures << " finding(s) in " << files_linted
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "ppa_lint: OK (" << files_linted << " files)\n";
+  return 0;
+}

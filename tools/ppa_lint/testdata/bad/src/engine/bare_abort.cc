@@ -1,0 +1,12 @@
+// Fixture: bare abort outside common/ (linted as src/engine/bare_abort.cc).
+#include <cstdlib>
+
+namespace ppa {
+
+void Die(bool bad) {
+  if (bad) {
+    std::abort();  // line 8: abort(
+  }
+}
+
+}  // namespace ppa

@@ -1,0 +1,8 @@
+#ifndef PPA_WRONG_GUARD_H_
+#define PPA_WRONG_GUARD_H_
+
+// Fixture: guard does not match the path (linted as
+// src/engine/guard_mismatch.h, so PPA_ENGINE_GUARD_MISMATCH_H_ is
+// expected).
+
+#endif  // PPA_WRONG_GUARD_H_

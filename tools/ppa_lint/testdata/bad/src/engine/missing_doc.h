@@ -1,0 +1,20 @@
+#ifndef PPA_ENGINE_MISSING_DOC_H_
+#define PPA_ENGINE_MISSING_DOC_H_
+
+// Fixture: undocumented public items (linted as src/engine/missing_doc.h).
+
+namespace ppa {
+
+class Widget {  // line 8: class without /// above
+ public:
+  int size() const { return size_; }
+
+ private:
+  int size_ = 0;
+};
+
+int CountWidgets();  // line 16: free function without /// above
+
+}  // namespace ppa
+
+#endif  // PPA_ENGINE_MISSING_DOC_H_

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads (linted as src/engine/wall_clock.cc).
+#include <chrono>
+#include <ctime>
+
+namespace ppa {
+
+long Now() {
+  auto wall = std::chrono::system_clock::now();  // line 8: system_clock
+  (void)wall;
+  auto mono = std::chrono::steady_clock::now();  // line 10: steady_clock
+  (void)mono;
+  return time(nullptr);  // line 12: time(
+}
+
+}  // namespace ppa

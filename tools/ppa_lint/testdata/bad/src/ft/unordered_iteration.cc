@@ -1,0 +1,33 @@
+// Fixture: iteration-order dependence (linted as src/ft/unordered_iteration.cc).
+#include <string>
+#include <unordered_map>
+
+namespace ppa {
+
+class Store {
+ public:
+  long Sum() const {
+    long total = 0;
+    for (const auto& kv : items_) {  // line 11: ranged-for over member
+      total += kv.second;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::string, long> items_;
+};
+
+long SumDirect(const std::unordered_map<std::string, long>& m) {
+  long total = 0;
+  for (const auto& [k, v] : m) {  // not detectable via declaration: by type
+    total += v;
+  }
+  for (const auto& kv :
+       std::unordered_map<std::string, long>{{"a", 1}}) {  // line 27: literal
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace ppa

@@ -1,0 +1,14 @@
+// Fixture: ambient randomness (linted as src/planner/random.cc).
+#include <cstdlib>
+#include <random>
+
+namespace ppa {
+
+int Roll() {
+  std::random_device rd;      // line 8: random_device
+  std::mt19937 gen(rd());     // line 9: mt19937
+  (void)gen;
+  return rand();              // line 11: rand(
+}
+
+}  // namespace ppa

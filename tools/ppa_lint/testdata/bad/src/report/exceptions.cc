@@ -1,0 +1,17 @@
+// Fixture: exceptions on API boundaries (linted as src/report/exceptions.cc).
+#include <stdexcept>
+
+namespace ppa {
+
+int Parse(int x) {
+  try {  // line 7: try
+    if (x < 0) {
+      throw std::runtime_error("negative");  // line 9: throw
+    }
+  } catch (const std::exception&) {  // line 11: catch
+    return -1;
+  }
+  return x;
+}
+
+}  // namespace ppa

@@ -1,0 +1,10 @@
+// Fixture: environment reads (linted as src/runtime/env.cc).
+#include <cstdlib>
+
+namespace ppa {
+
+const char* Home() {
+  return std::getenv("HOME");  // line 7: getenv
+}
+
+}  // namespace ppa

@@ -1,0 +1,38 @@
+#ifndef PPA_ENGINE_CLEAN_H_
+#define PPA_ENGINE_CLEAN_H_
+
+// Fixture: a lint-clean public header (linted as src/engine/clean.h).
+// Every rule's trigger either does not appear or is suppressed.
+
+#include <map>
+#include <string>
+
+namespace ppa {
+
+/// A documented public type; iterates a std::map so replay order is
+/// deterministic.
+class CleanStore {
+ public:
+  /// Sums every value (deterministic order).
+  long Sum() const {
+    long total = 0;
+    for (const auto& kv : items_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+ private:
+  std::map<std::string, long> items_;
+};
+
+/// A documented free function.
+long CountClean();
+
+/// Factory-style helpers may share one comment group.
+CleanStore MakeStore();
+CleanStore MakeEmptyStore();
+
+}  // namespace ppa
+
+#endif  // PPA_ENGINE_CLEAN_H_

@@ -1,0 +1,30 @@
+// Fixture: every violation here is suppressed (linted as
+// src/engine/suppressed.cc), so the file must produce zero diagnostics.
+// ppa-lint: allow-file(abort)
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+
+namespace ppa {
+
+long Suppressed() {
+  long wall = time(nullptr);  // ppa-lint: allow(wall-clock)
+  // ppa-lint: allow(wall-clock): the preceding-line form also works.
+  long wall2 = time(nullptr);
+  std::unordered_map<int, long> m{{1, 2}};
+  long total = wall + wall2;
+  // ppa-lint: allow(unordered-iteration)
+  for (const auto& kv : m) {
+    total += kv.second;
+  }
+  if (total < 0) {
+    std::abort();  // covered by the file-wide allow-file(abort) above
+  }
+  return total;
+}
+
+// Mentions of rand or throw inside comments and strings must not fire:
+// the scrubber removes them before token matching.
+const char* Describe() { return "rand() throw time(nullptr)"; }
+
+}  // namespace ppa
