@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   std::printf(
       "Ablation A3: batch interval vs recovery latency / checkpoint cost\n");
@@ -55,11 +57,13 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof(label), "batch%.2fs", batch_seconds);
     sink.Add(label, job);
+    traces.Capture(bench::JobChromeTrace(job));
   }
   std::printf(
       "\nExpected: replay volume (and hence latency) is set by the "
       "checkpoint age, not\nthe batch size; the ratio column stays nearly "
       "flat.\n");
   sink.Write("abl_batch_size");
+  traces.Write();
   return 0;
 }

@@ -13,7 +13,8 @@ namespace {
 using namespace ppa;
 
 int64_t RunOne(FtMode mode, int interval_seconds,
-               bench::BenchMetricsSink* sink, const char* label) {
+               bench::BenchMetricsSink* sink,
+               bench::ChromeTraceSink* traces, const char* label) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -25,6 +26,7 @@ int64_t RunOne(FtMode mode, int interval_seconds,
   PPA_CHECK_OK(job.Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(90));
   sink->Add(label, job);
+  traces->Capture(bench::JobChromeTrace(job));
   return job.PeakBufferedTuples();
 }
 
@@ -33,6 +35,8 @@ int64_t RunOne(FtMode mode, int interval_seconds,
 int main(int argc, char** argv) {
   ppa::bench::BenchMetricsSink sink =
       ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
+  ppa::bench::ChromeTraceSink traces =
+      ppa::bench::ChromeTraceSink::FromArgs(argc, argv);
 
   std::printf(
       "Ablation A5: peak upstream-buffer occupancy (tuples), window 30 s, "
@@ -43,15 +47,16 @@ int main(int argc, char** argv) {
     std::snprintf(label, sizeof(label), "checkpoint every %ds", interval);
     std::printf("%-24s %18lld\n", label,
                 static_cast<long long>(RunOne(FtMode::kCheckpoint, interval,
-                                              &sink, label)));
+                                              &sink, &traces, label)));
   }
   std::printf("%-24s %18lld\n", "source replay (Storm)",
-              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15,
-                                            &sink, "source replay")));
+              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15, &sink,
+                                            &traces, "source replay")));
   std::printf(
       "\nExpected: buffers grow linearly with the checkpoint interval "
       "(trimming waits\nfor downstream checkpoints); Storm's no-checkpoint "
       "mode must retain a full\nreplay window instead.\n");
   sink.Write("abl_buffer_growth");
+  traces.Write();
   return 0;
 }

@@ -17,8 +17,8 @@ struct Row {
   double recovery_seconds = 0.0;
 };
 
-Row RunOne(int interval_seconds, bool delta,
-           bench::BenchMetricsSink* sink) {
+Row RunOne(int interval_seconds, bool delta, bench::BenchMetricsSink* sink,
+           bench::ChromeTraceSink* traces) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -54,6 +54,7 @@ Row RunOne(int interval_seconds, bool delta,
   std::snprintf(label, sizeof(label), "%s/cp%ds", delta ? "delta" : "full",
                 interval_seconds);
   sink->Add(label, job);
+  traces->Capture(bench::JobChromeTrace(job));
   return row;
 }
 
@@ -62,6 +63,8 @@ Row RunOne(int interval_seconds, bool delta,
 int main(int argc, char** argv) {
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   std::printf(
       "Ablation A2: full vs delta checkpoints, window 30 s, 1000 "
@@ -69,8 +72,8 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12s %12s %14s %14s\n", "interval", "full ratio",
               "delta ratio", "full rec (s)", "delta rec (s)");
   for (int interval : {1, 5, 15}) {
-    Row full = RunOne(interval, false, &sink);
-    Row delta = RunOne(interval, true, &sink);
+    Row full = RunOne(interval, false, &sink, &traces);
+    Row delta = RunOne(interval, true, &sink, &traces);
     std::printf("%-10d %12.3f %12.3f %14.2f %14.2f\n", interval,
                 full.cpu_ratio, delta.cpu_ratio, full.recovery_seconds,
                 delta.recovery_seconds);
@@ -81,5 +84,6 @@ int main(int argc, char** argv) {
       "practical; recovery latency\nstays comparable (shorter replay, "
       "slightly larger state-load chain).\n");
   sink.Write("abl_delta_checkpoint");
+  traces.Write();
   return 0;
 }

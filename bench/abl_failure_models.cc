@@ -22,6 +22,10 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
+  // and writes an empty (but valid) trace.
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
   obs::MetricsRegistry registry;
   obs::Histogram* h_e_indep =
       sink.enabled() ? registry.histogram("planner.expected_of_indep")
@@ -91,5 +95,6 @@ int main(int argc, char** argv) {
       "correlated failures explicitly.\n");
   sink.Add("a4", obs::MetricsToJson(registry));
   sink.Write("abl_failure_models");
+  traces.Write();
   return 0;
 }

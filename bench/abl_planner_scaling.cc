@@ -128,12 +128,18 @@ void FillScalingMetrics(obs::MetricsRegistry* registry) {
 int main(int argc, char** argv) {
   ppa::bench::BenchMetricsSink sink =
       ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
+  // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
+  // and writes an empty (but valid) trace.
+  ppa::bench::ChromeTraceSink traces =
+      ppa::bench::ChromeTraceSink::FromArgs(argc, argv);
   // google-benchmark rejects flags it does not know; strip ours first.
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.substr(0, 13) == "--metrics_out") {
-      if (arg == "--metrics_out" && i + 1 < argc) {
+    if (arg.substr(0, 13) == "--metrics_out" ||
+        arg.substr(0, 18) == "--chrome_trace_out") {
+      if ((arg == "--metrics_out" || arg == "--chrome_trace_out") &&
+          i + 1 < argc) {
         ++i;
       }
       continue;
@@ -153,5 +159,6 @@ int main(int argc, char** argv) {
     sink.Add("size_classes", ppa::obs::MetricsToJson(registry));
     sink.Write("abl_planner_scaling");
   }
+  traces.Write();
   return 0;
 }

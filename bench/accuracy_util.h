@@ -34,10 +34,12 @@ struct AccuracyExperiment {
 /// Measured tentative accuracy of `plan` under a correlated failure of
 /// every primary (sources included), against a failure-free reference run.
 /// When `sink` is given, the failure run's metrics snapshot is recorded
-/// under `label`.
+/// under `label`; when `trace_sink` is given, the failure run's
+/// Chrome/Perfetto trace is offered to it.
 inline StatusOr<double> MeasureTentativeAccuracy(
     const AccuracyExperiment& experiment, const TaskSet& plan,
-    BenchMetricsSink* sink = nullptr, const std::string& label = "") {
+    BenchMetricsSink* sink = nullptr, const std::string& label = "",
+    ChromeTraceSink* trace_sink = nullptr) {
   // Reference run.
   EventLoop clean_loop;
   std::unique_ptr<StreamingJob> clean = experiment.make_job(&clean_loop);
@@ -74,6 +76,9 @@ inline StatusOr<double> MeasureTentativeAccuracy(
       FilterTimely(job->sink_records(), job->config().batch_interval, 0);
   if (sink != nullptr) {
     sink->Add(label, *job);
+  }
+  if (trace_sink != nullptr) {
+    trace_sink->Capture(JobChromeTrace(*job));
   }
   return experiment.accuracy(timely, clean->sink_records(), from, to);
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status_or.h"
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "report/json.h"
 #include "runtime/streaming_job.h"
@@ -63,6 +64,13 @@ struct Fig6Result {
   /// Metrics snapshot of the run (obs::MetricsToJson); the last
   /// repetition's snapshot when RunFig6 averages over several.
   JsonValue metrics;
+  /// Chrome/Perfetto Trace Event Format document of the run (the last
+  /// repetition's when averaging). Load in chrome://tracing or
+  /// https://ui.perfetto.dev.
+  JsonValue chrome_trace;
+  /// OF/IC fidelity timeseries sampled during tentative windows
+  /// (obs::FidelityTimeseriesToJson; empty array without failures).
+  JsonValue fidelity;
 };
 
 /// Collects labeled metrics snapshots from benchmark runs and writes them
@@ -107,6 +115,19 @@ class BenchMetricsSink {
     }
   }
 
+  /// Records one labeled snapshot together with its fidelity timeseries
+  /// (stored under "fidelity_timeseries" beside "metrics").
+  void Add(std::string label, JsonValue snapshot, JsonValue fidelity) {
+    if (!enabled()) {
+      return;
+    }
+    JsonValue run = JsonValue::Object();
+    run.Set("label", std::move(label));
+    run.Set("metrics", std::move(snapshot));
+    run.Set("fidelity_timeseries", std::move(fidelity));
+    runs_.Append(std::move(run));
+  }
+
   /// Writes {"benchmark":...,"runs":[...]} to the configured path.
   /// Returns false (after printing to stderr) if the file cannot be
   /// written; true otherwise, including when disabled.
@@ -135,6 +156,87 @@ class BenchMetricsSink {
   std::string path_;
   JsonValue runs_ = JsonValue::Array();
 };
+
+/// Captures one Chrome/Perfetto trace from a benchmark run and writes it
+/// when the binary was invoked with `--chrome_trace_out=<path>` (or
+/// `--chrome_trace_out <path>`). One Trace Event document holds one
+/// timeline, so the first captured run wins; without the flag every call
+/// is a no-op. Write() falls back to an empty (but valid) trace when no
+/// run captured anything, so the flag always produces a loadable file.
+class ChromeTraceSink {
+ public:
+  static ChromeTraceSink FromArgs(int argc, char** argv) {
+    ChromeTraceSink sink;
+    constexpr std::string_view kFlag = "--chrome_trace_out";
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.substr(0, kFlag.size()) == kFlag &&
+          arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
+        sink.path_ = std::string(arg.substr(kFlag.size() + 1));
+      } else if (arg == kFlag && i + 1 < argc) {
+        sink.path_ = argv[++i];
+      }
+    }
+    return sink;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+  bool captured() const { return captured_; }
+
+  /// Keeps `trace` (a Fig6Result::chrome_trace or
+  /// obs::ChromeTraceToJson value) if none was captured yet.
+  void Capture(JsonValue trace) {
+    if (enabled() && !captured_) {
+      trace_ = std::move(trace);
+      captured_ = true;
+    }
+  }
+
+  /// Writes the captured trace (or an empty valid one) to the configured
+  /// path. Returns false after printing to stderr on filesystem errors;
+  /// true otherwise, including when disabled.
+  bool Write() {
+    if (!enabled()) {
+      return true;
+    }
+    if (!captured_) {
+      trace_ = obs::EmptyChromeTrace();
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write chrome trace to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    const std::string text = trace_.Pretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("chrome trace written to %s (load in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  bool captured_ = false;
+  JsonValue trace_;
+};
+
+/// Chrome/Perfetto trace of a live job, with task ids labeled through
+/// the job's topology (drop-in argument for ChromeTraceSink::Capture).
+inline JsonValue JobChromeTrace(const StreamingJob& job) {
+  const Topology* topo = &job.topology();
+  return obs::ChromeTraceToJson(job.trace(), &job.spans(),
+                                [topo](int64_t t) {
+                                  if (t < 0 || t >= topo->num_tasks()) {
+                                    return std::to_string(t);
+                                  }
+                                  return topo->TaskLabel(
+                                      static_cast<TaskId>(t));
+                                });
+}
 
 struct Fig6Options {
   FtMode mode = FtMode::kCheckpoint;
@@ -217,6 +319,15 @@ inline StatusOr<Fig6Result> RunFig6Once(const Fig6Options& options) {
   }
   result.checkpoint_cpu_ratio = counted > 0 ? ratio / counted : 0.0;
   result.metrics = obs::MetricsToJson(job.metrics());
+  result.chrome_trace = JobChromeTrace(job);
+  const Topology* topo = &job.topology();
+  result.fidelity = obs::FidelityTimeseriesToJson(
+      job.fidelity_timeseries(), [topo](int64_t t) {
+        if (t < 0 || t >= topo->num_tasks()) {
+          return std::to_string(t);
+        }
+        return topo->TaskLabel(static_cast<TaskId>(t));
+      });
   return result;
 }
 
@@ -249,6 +360,8 @@ inline StatusOr<Fig6Result> RunFig6(const Fig6Options& options) {
     passive += one.passive_latency.seconds();
     ratio += one.checkpoint_cpu_ratio;
     avg.metrics = std::move(one.metrics);
+    avg.chrome_trace = std::move(one.chrome_trace);
+    avg.fidelity = std::move(one.fidelity);
   }
   const double n = options.repetitions;
   avg.total_latency = Duration::Seconds(total / n);

@@ -15,6 +15,8 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   struct Technique {
     const char* label;
@@ -60,6 +62,7 @@ int main(int argc, char** argv) {
           std::snprintf(label, sizeof(label), "%s/win%lld/r%.0f",
                         tech.label, static_cast<long long>(window), rate);
           sink.Add(label, std::move(result->metrics));
+          traces.Capture(std::move(result->chrome_trace));
         }
       }
     }
@@ -70,5 +73,6 @@ int main(int argc, char** argv) {
       "grows with\ninterval and rate; Storm grows with window and rate and "
       "is the worst at 30s windows.\n");
   sink.Write("fig07_single_failure");
+  traces.Write();
   return 0;
 }

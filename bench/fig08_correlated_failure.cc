@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   struct Technique {
     const char* label;
@@ -59,7 +61,14 @@ int main(int argc, char** argv) {
           char label[64];
           std::snprintf(label, sizeof(label), "%s/win%lld/r%.0f",
                         tech.label, static_cast<long long>(window), rate);
-          sink.Add(label, std::move(result->metrics));
+          sink.Add(label, std::move(result->metrics),
+                   std::move(result->fidelity));
+          // Capture a checkpoint-mode run: its replay and recovery spans
+          // are the interesting part; active replication's instant
+          // failover makes a flat trace.
+          if (tech.mode == FtMode::kCheckpoint) {
+            traces.Capture(std::move(result->chrome_trace));
+          }
         }
       }
     }
@@ -70,5 +79,6 @@ int main(int argc, char** argv) {
       "passive latencies\n(synchronized neighbour recoveries cascade); "
       "active replication stays flat and low.\n");
   sink.Write("fig08_correlated_failure");
+  traces.Write();
   return 0;
 }

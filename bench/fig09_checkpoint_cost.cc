@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   std::printf(
       "Figure 9: checkpoint CPU / processing CPU ratio, window 30 s\n");
@@ -36,6 +38,7 @@ int main(int argc, char** argv) {
         char label[64];
         std::snprintf(label, sizeof(label), "cp%ds/r%.0f", interval, rate);
         sink.Add(label, std::move(result->metrics));
+        traces.Capture(std::move(result->chrome_trace));
       }
     }
     std::printf("\n");
@@ -44,5 +47,6 @@ int main(int argc, char** argv) {
       "\nExpected shape (paper): the ratio rises sharply as the interval "
       "shrinks;\n1-second checkpoints are prohibitively expensive.\n");
   sink.Write("fig09_checkpoint_cost");
+  traces.Write();
   return 0;
 }

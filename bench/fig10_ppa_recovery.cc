@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
 
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   for (double rate : {1000.0, 2000.0}) {
     std::printf(
@@ -71,7 +73,14 @@ int main(int argc, char** argv) {
           char label[64];
           std::snprintf(label, sizeof(label), "%s/cp%ds/r%.0f", row.label,
                         interval, rate);
-          sink.Add(label, std::move(result->metrics));
+          sink.Add(label, std::move(result->metrics),
+                   std::move(result->fidelity));
+          // Capture the partially-replicated plan: PPA-1.0 fails over
+          // instantly and never degrades, while PPA-0.5 shows the paper's
+          // story — a tentative window bridged by the active half.
+          if (row.active_set == &half && !row.report_active_only) {
+            traces.Capture(std::move(result->chrome_trace));
+          }
         }
       }
       std::printf("\n");
@@ -83,5 +92,6 @@ int main(int argc, char** argv) {
       "PPA-0.5-active is\nnearly as fast as PPA-1.0, so tentative outputs "
       "start up to an order of magnitude\nbefore full recovery completes.\n");
   sink.Write("fig10_ppa_recovery");
+  traces.Write();
   return 0;
 }

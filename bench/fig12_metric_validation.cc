@@ -34,7 +34,8 @@ JobConfig AccuracyJobConfig() {
 
 void RunQuery(const char* title, const char* tag, const Topology& topo,
               const bench::AccuracyExperiment& experiment,
-              bench::BenchMetricsSink* sink) {
+              bench::BenchMetricsSink* sink,
+              bench::ChromeTraceSink* traces) {
   std::printf("%s\n", title);
   std::printf("%-12s %8s %14s %8s %14s\n", "consumption", "OF",
               "OF-SA-Accuracy", "IC", "IC-SA-Accuracy");
@@ -57,9 +58,9 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
     std::snprintf(ic_label, sizeof(ic_label), "%s/ic/c%.1f", tag,
                   consumption);
     auto of_accuracy = bench::MeasureTentativeAccuracy(
-        experiment, of_plan->replicated, sink, of_label);
+        experiment, of_plan->replicated, sink, of_label, traces);
     auto ic_accuracy = bench::MeasureTentativeAccuracy(
-        experiment, ic_plan->replicated, sink, ic_label);
+        experiment, ic_plan->replicated, sink, ic_label, traces);
     PPA_CHECK_OK(of_accuracy.status());
     PPA_CHECK_OK(ic_accuracy.status());
     std::printf("%-12.1f %8.3f %14.3f %8.3f %14.3f\n", consumption,
@@ -75,6 +76,8 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
 int main(int argc, char** argv) {
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   // ------------------------------------------------------------- Q1 --
   WorldCupSource::Options source;
@@ -92,7 +95,7 @@ int main(int argc, char** argv) {
   q1_exp.accuracy = PerBatchSetAccuracy;
   q1_exp.stale_grace_batches = 16;  // Top-k freshness window + 1.
   RunQuery("Figure 12(a): Q1 top-100 aggregate query", "q1", q1->topo,
-           q1_exp, &sink);
+           q1_exp, &sink, &traces);
 
   // ------------------------------------------------------------- Q2 --
   IncidentSchedule::Options schedule_options;
@@ -112,7 +115,7 @@ int main(int argc, char** argv) {
   q2_exp.accuracy = DistinctSetAccuracy;
   q2_exp.stale_grace_batches = 4;  // Join speed-freshness window + 1.
   RunQuery("Figure 12(b): Q2 incident detection query", "q2", q2->topo,
-           q2_exp, &sink);
+           q2_exp, &sink, &traces);
 
   std::printf(
       "Expected shape (paper): on Q1 both metrics predict accuracy "
@@ -120,5 +123,6 @@ int main(int argc, char** argv) {
       "accuracy of IC-optimized plans\nstalls - IC ignores the join's "
       "stream correlation, OF does not.\n");
   sink.Write("fig12_metric_validation");
+  traces.Write();
   return 0;
 }

@@ -32,7 +32,8 @@ JobConfig AccuracyJobConfig() {
 
 void RunQuery(const char* title, const char* tag, const Topology& topo,
               const bench::AccuracyExperiment& experiment,
-              bench::BenchMetricsSink* sink) {
+              bench::BenchMetricsSink* sink,
+              bench::ChromeTraceSink* traces) {
   std::printf("%s (%d tasks)\n", title, topo.num_tasks());
   std::printf("%-12s", "consumption");
   for (const char* col : {"DP-OF", "SA-OF", "Greedy-OF", "DP-Acc", "SA-Acc",
@@ -61,7 +62,7 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
       std::snprintf(label, sizeof(label), "%s/%s/c%.1f", tag,
                     kPlannerNames[p], consumption);
       auto accuracy = bench::MeasureTentativeAccuracy(
-          experiment, plan->replicated, sink, label);
+          experiment, plan->replicated, sink, label, traces);
       PPA_CHECK_OK(accuracy.status());
       acc[p] = *accuracy;
     }
@@ -83,6 +84,8 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
 int main(int argc, char** argv) {
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   // ------------------------------------------------------------- Q1 --
   WorldCupSource::Options source;
@@ -101,7 +104,7 @@ int main(int argc, char** argv) {
   q1_exp.accuracy = PerBatchSetAccuracy;
   q1_exp.stale_grace_batches = 16;
   RunQuery("Figure 13(a): Q1 top-100 aggregate query", "q1", q1->topo,
-           q1_exp, &sink);
+           q1_exp, &sink, &traces);
 
   // ------------------------------------------------------------- Q2 --
   IncidentSchedule::Options schedule_options;
@@ -122,12 +125,13 @@ int main(int argc, char** argv) {
   q2_exp.accuracy = DistinctSetAccuracy;
   q2_exp.stale_grace_batches = 4;
   RunQuery("Figure 13(b): Q2 incident detection query", "q2", q2->topo,
-           q2_exp, &sink);
+           q2_exp, &sink, &traces);
 
   std::printf(
       "Expected shape (paper): SA tracks the optimal DP closely in both OF "
       "and measured\naccuracy; Greedy is clearly worse, especially at small "
       "budgets where its picks\ndo not form complete MC-trees.\n");
   sink.Write("fig13_planner_comparison");
+  traces.Write();
   return 0;
 }

@@ -111,6 +111,10 @@ RandomTopologyOptions Base() {
 int main(int argc, char** argv) {
   bench::BenchMetricsSink sink =
       bench::BenchMetricsSink::FromArgs(argc, argv);
+  // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
+  // and writes an empty (but valid) trace.
+  bench::ChromeTraceSink traces =
+      bench::ChromeTraceSink::FromArgs(argc, argv);
 
   std::printf(
       "Figure 14: SA vs Greedy output fidelity on 100 random topologies "
@@ -152,5 +156,6 @@ int main(int argc, char** argv) {
       "gap at small\nbudgets; skew raises SA's OF; structured topologies "
       "score higher than full ones;\nmore joins lower OF.\n");
   sink.Write("fig14_random_topologies");
+  traces.Write();
   return 0;
 }

@@ -12,7 +12,11 @@
 //     --window <batches>   operator window length (default 10)
 //     --json <file>        write the job summary report here
 //     --metrics_out <file> write the observability profile (metrics,
-//                          recovery timelines, tentative windows, trace)
+//                          recovery timelines, tentative windows, spans,
+//                          fidelity timeseries, trace)
+//     --chrome_trace_out <file>  write a Chrome/Perfetto Trace Event
+//                          Format JSON (load in chrome://tracing or
+//                          https://ui.perfetto.dev)
 //     --dot <file>         write the (plan-annotated) topology as DOT
 //
 // Example spec + scenario live in the repository README.
@@ -69,6 +73,7 @@ int Run(int argc, char** argv) {
     return 2;
   }
   std::string scenario_path, json_path, dot_path, metrics_path;
+  std::string chrome_trace_path;
   FtMode mode = FtMode::kPpa;
   int budget = -1;
   double seconds = 60;
@@ -97,6 +102,8 @@ int Run(int argc, char** argv) {
       json_path = need_value("--json");
     } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
       metrics_path = need_value("--metrics_out");
+    } else if (std::strcmp(argv[i], "--chrome_trace_out") == 0) {
+      chrome_trace_path = need_value("--chrome_trace_out");
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       dot_path = need_value("--dot");
     } else {
@@ -202,6 +209,12 @@ int Run(int argc, char** argv) {
     PPA_CHECK_OK(WriteJsonFile(metrics_path, JobProfileToJson(job)));
     std::printf("observability profile written to %s\n",
                 metrics_path.c_str());
+  }
+  if (!chrome_trace_path.empty()) {
+    PPA_CHECK_OK(WriteJsonFile(chrome_trace_path, JobChromeTraceToJson(job)));
+    std::printf("chrome trace written to %s (load in chrome://tracing or "
+                "https://ui.perfetto.dev)\n",
+                chrome_trace_path.c_str());
   }
   if (!dot_path.empty()) {
     std::ofstream out(dot_path);

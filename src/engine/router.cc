@@ -52,4 +52,20 @@ TaskId Router::Route(TaskId producer, OperatorId to_op,
   return consumers[h % consumers.size()];
 }
 
+size_t Router::RouteBatchTo(TaskId producer, OperatorId to_op,
+                            const BatchOutput& batch, TaskId consumer,
+                            std::vector<Tuple>* out) const {
+  size_t routed = 0;
+  for (const Tuple& t : batch.tuples) {
+    if (Route(producer, to_op, t) != consumer) {
+      continue;
+    }
+    ++routed;
+    if (out != nullptr) {
+      out->push_back(t);
+    }
+  }
+  return routed;
+}
+
 }  // namespace ppa

@@ -26,6 +26,15 @@ class Router {
   /// kInvalidTaskId if there is no edge.
   TaskId Route(TaskId producer, OperatorId to_op, const Tuple& tuple) const;
 
+  /// Routes one buffered batch of `producer` toward `consumer` (a task
+  /// of `to_op`): appends the tuples that hash to `consumer` to `out`
+  /// (when non-null) and returns how many routed there. The gather side
+  /// of a hop — schedulers pass the upstream BatchOutput along with its
+  /// lineage so per-hop threading stays in the routing layer.
+  size_t RouteBatchTo(TaskId producer, OperatorId to_op,
+                      const BatchOutput& batch, TaskId consumer,
+                      std::vector<Tuple>* out) const;
+
  private:
   const Topology* topology_;
   /// consumers_[producer * num_operators + to_op].

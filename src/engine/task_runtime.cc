@@ -46,13 +46,16 @@ TaskRuntime::TaskRuntime(const Topology* topology, TaskId id,
 
 const BatchOutput& TaskRuntime::RunBatch(int64_t batch,
                                          std::vector<Tuple> inputs,
-                                         bool emit_downstream) {
+                                         bool emit_downstream,
+                                         const BatchRunContext& ctx) {
   PPA_CHECK(batch == next_batch_)
       << topology_->TaskLabel(id_) << " expected batch " << next_batch_
       << " got " << batch;
+  int64_t work = 0;
   std::vector<Tuple> produced;
   if (is_source()) {
     produced = source_->NextBatch(batch, topology_->task(id_).index_in_op);
+    work = static_cast<int64_t>(produced.size());
   } else {
     // Deterministic round-robin order: by producer, then sequence.
     std::sort(inputs.begin(), inputs.end(),
@@ -74,6 +77,7 @@ const BatchOutput& TaskRuntime::RunBatch(int64_t batch,
       fresh.push_back(std::move(t));
     }
     processed_tuples_ += static_cast<int64_t>(fresh.size());
+    work = static_cast<int64_t>(fresh.size());
     obs::Add(tuples_counter_, static_cast<int64_t>(fresh.size()));
     const TaskInfo& info = topology_->task(id_);
     BatchContext ctx(batch, info.index_in_op,
@@ -95,12 +99,20 @@ const BatchOutput& TaskRuntime::RunBatch(int64_t batch,
   }
   emitted_tuples_ += static_cast<int64_t>(produced.size());
   obs::Add(batches_counter_);
+  obs::RecordSpan(
+      spans_,
+      ctx.replay ? obs::SpanCategory::kReplay
+                 : obs::SpanCategory::kBatchProcess,
+      id_, ctx.now,
+      ctx.now + Duration::Micros(static_cast<int64_t>(
+                    static_cast<double>(work) * cost_per_tuple_us_)));
   ++next_batch_;
   if (emit_downstream) {
-    output_buffer_.push_back(BatchOutput{batch, std::move(produced)});
+    output_buffer_.push_back(
+        BatchOutput{batch, std::move(produced), ctx.ingest_at, ctx.hops});
     return output_buffer_.back();
   }
-  scratch_ = BatchOutput{batch, std::move(produced)};
+  scratch_ = BatchOutput{batch, std::move(produced), ctx.ingest_at, ctx.hops};
   return scratch_;
 }
 
@@ -158,6 +170,8 @@ StatusOr<std::string> TaskRuntime::Snapshot() {
   w.PutU64(output_buffer_.size());
   for (const BatchOutput& b : output_buffer_) {
     w.PutI64(b.batch);
+    w.PutI64(b.ingest_at.micros());
+    w.PutI64(b.hops);
     w.PutU64(b.tuples.size());
     for (const Tuple& t : b.tuples) {
       PutTuple(&w, t);
@@ -186,6 +200,10 @@ Status TaskRuntime::Restore(const std::string& checkpoint) {
   for (uint64_t i = 0; i < batches; ++i) {
     BatchOutput b;
     PPA_ASSIGN_OR_RETURN(b.batch, r.GetI64());
+    PPA_ASSIGN_OR_RETURN(int64_t ingest_us, r.GetI64());
+    b.ingest_at = TimePoint::FromMicros(ingest_us);
+    PPA_ASSIGN_OR_RETURN(int64_t hops, r.GetI64());
+    b.hops = static_cast<int32_t>(hops);
     PPA_ASSIGN_OR_RETURN(uint64_t tuples, r.GetU64());
     b.tuples.reserve(tuples);
     for (uint64_t j = 0; j < tuples; ++j) {
@@ -233,6 +251,8 @@ StatusOr<TaskRuntime::DeltaSnapshot> TaskRuntime::SnapshotDelta() {
       continue;
     }
     w.PutI64(b.batch);
+    w.PutI64(b.ingest_at.micros());
+    w.PutI64(b.hops);
     w.PutU64(b.tuples.size());
     for (const Tuple& t : b.tuples) {
       PutTuple(&w, t);
@@ -268,6 +288,10 @@ Status TaskRuntime::ApplyDelta(const std::string& delta) {
   for (uint64_t i = 0; i < fresh; ++i) {
     BatchOutput b;
     PPA_ASSIGN_OR_RETURN(b.batch, r.GetI64());
+    PPA_ASSIGN_OR_RETURN(int64_t ingest_us, r.GetI64());
+    b.ingest_at = TimePoint::FromMicros(ingest_us);
+    PPA_ASSIGN_OR_RETURN(int64_t hops, r.GetI64());
+    b.hops = static_cast<int32_t>(hops);
     PPA_ASSIGN_OR_RETURN(uint64_t tuples, r.GetU64());
     if (!output_buffer_.empty() && b.batch <= output_buffer_.back().batch) {
       return InvalidArgument("delta buffer batches out of order");

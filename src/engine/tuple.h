@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_time.h"
 #include "topology/types.h"
 
 namespace ppa {
@@ -32,10 +33,19 @@ struct Tuple {
 };
 
 /// The output of one task for one batch, retained in the task's output
-/// buffer until trimmed by the checkpoint protocol.
+/// buffer until trimmed by the checkpoint protocol. Carries the batch's
+/// latency lineage: the sim-time the batch's data entered the topology
+/// at a source and the number of task hops it crossed to get here, so a
+/// sink can attribute end-to-end latency without re-walking the DAG.
 struct BatchOutput {
   int64_t batch = 0;
   std::vector<Tuple> tuples;
+  /// Source-ingest sim-time of this batch's lineage: the nominal tick
+  /// time at the sources for stable in-tick processing, which replayed
+  /// or recovered batches keep, so late deliveries show their true age.
+  TimePoint ingest_at = TimePoint::Zero();
+  /// Task hops from the source (sources emit with hops == 1).
+  int32_t hops = 0;
 };
 
 }  // namespace ppa

@@ -16,16 +16,21 @@ void CheckpointStore::AttachMetrics(obs::MetricsRegistry* registry) {
   delta_counter_ = registry->counter("checkpoint.delta");
 }
 
-void CheckpointStore::Put(TaskCheckpoint checkpoint) {
+void CheckpointStore::Put(TaskCheckpoint checkpoint, Duration modeled_cost) {
   checkpoint.is_delta = false;
   obs::Observe(bytes_histogram_, static_cast<double>(checkpoint.blob.size()));
   obs::Add(full_counter_);
+  if (modeled_cost > Duration::Zero()) {
+    obs::RecordSpan(spans_, obs::SpanCategory::kCheckpoint, checkpoint.task,
+                    checkpoint.taken_at, checkpoint.taken_at + modeled_cost);
+  }
   auto& chain = chains_[checkpoint.task];
   chain.clear();
   chain.push_back(std::move(checkpoint));
 }
 
-Status CheckpointStore::PutDelta(TaskCheckpoint checkpoint) {
+Status CheckpointStore::PutDelta(TaskCheckpoint checkpoint,
+                                 Duration modeled_cost) {
   auto it = chains_.find(checkpoint.task);
   if (it == chains_.end() || it->second.empty()) {
     return FailedPrecondition("delta checkpoint without a base");
@@ -36,6 +41,10 @@ Status CheckpointStore::PutDelta(TaskCheckpoint checkpoint) {
   checkpoint.is_delta = true;
   obs::Observe(bytes_histogram_, static_cast<double>(checkpoint.blob.size()));
   obs::Add(delta_counter_);
+  if (modeled_cost > Duration::Zero()) {
+    obs::RecordSpan(spans_, obs::SpanCategory::kCheckpoint, checkpoint.task,
+                    checkpoint.taken_at, checkpoint.taken_at + modeled_cost);
+  }
   it->second.push_back(std::move(checkpoint));
   return OkStatus();
 }

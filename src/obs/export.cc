@@ -114,15 +114,73 @@ JsonValue TentativeWindowsToJson(
   return out;
 }
 
+JsonValue SpansToJson(const SpanProfiler& spans, const TaskLabeler& labeler) {
+  JsonValue out = JsonValue::Array();
+  for (const Span& span : spans.spans()) {
+    JsonValue s = JsonValue::Object();
+    s.Set("category", std::string(SpanCategoryToString(span.category)));
+    if (span.task >= 0) {
+      s.Set("task", LabelFor(labeler, span.task));
+    }
+    s.Set("begin_s", span.begin.seconds());
+    s.Set("end_s", span.end.seconds());
+    s.Set("total_s", span.Total().seconds());
+    s.Set("self_s", span.Self().seconds());
+    s.Set("depth", span.depth);
+    out.Append(std::move(s));
+  }
+  return out;
+}
+
+JsonValue SpanAggregateToJson(const SpanProfiler& spans) {
+  const std::vector<SpanStats> stats = spans.AggregateByCategory();
+  JsonValue out = JsonValue::Object();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    JsonValue s = JsonValue::Object();
+    s.Set("count", stats[i].count);
+    s.Set("total_s", stats[i].total.seconds());
+    s.Set("self_s", stats[i].self.seconds());
+    out.Set(std::string(SpanCategoryToString(static_cast<SpanCategory>(i))),
+            std::move(s));
+  }
+  return out;
+}
+
+JsonValue FidelityTimeseriesToJson(const FidelityTimeseries& series,
+                                   const TaskLabeler& labeler) {
+  JsonValue out = JsonValue::Array();
+  for (const FidelitySample& sample : series.samples()) {
+    JsonValue s = JsonValue::Object();
+    s.Set("t_s", sample.at.seconds());
+    s.Set("batch", sample.batch);
+    s.Set("sink", LabelFor(labeler, sample.sink_task));
+    s.Set("tentative", sample.tentative);
+    s.Set("output_fidelity", sample.output_fidelity);
+    s.Set("internal_completeness", sample.internal_completeness);
+    s.Set("failed_tasks", sample.failed_tasks);
+    out.Append(std::move(s));
+  }
+  return out;
+}
+
 JsonValue RunProfileToJson(const MetricsRegistry& registry,
-                           const TraceLog& trace,
-                           const TaskLabeler& labeler) {
+                           const TraceLog& trace, const TaskLabeler& labeler,
+                           const SpanProfiler* spans,
+                           const FidelityTimeseries* fidelity) {
   JsonValue out = JsonValue::Object();
   out.Set("metrics", MetricsToJson(registry));
   out.Set("recovery_timelines",
           TimelinesToJson(BuildRecoveryTimelines(trace), labeler));
   out.Set("tentative_windows",
           TentativeWindowsToJson(ExtractTentativeWindows(trace)));
+  if (spans != nullptr) {
+    out.Set("span_aggregate", SpanAggregateToJson(*spans));
+    out.Set("spans", SpansToJson(*spans, labeler));
+  }
+  if (fidelity != nullptr) {
+    out.Set("fidelity_timeseries",
+            FidelityTimeseriesToJson(*fidelity, labeler));
+  }
   out.Set("trace", TraceToJson(trace, labeler));
   return out;
 }

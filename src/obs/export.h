@@ -4,7 +4,9 @@
 #include <functional>
 #include <string>
 
+#include "obs/fidelity_timeseries.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "report/json.h"
@@ -37,12 +39,30 @@ JsonValue TimelinesToJson(const std::vector<RecoveryTimeline>& timelines,
 /// "closed":..}.
 JsonValue TentativeWindowsToJson(const std::vector<TentativeWindow>& windows);
 
+/// Array of {"category":..,"task":..,"begin_s":..,"end_s":..,
+/// "total_s":..,"self_s":..,"depth":..} in span-open order.
+JsonValue SpansToJson(const SpanProfiler& spans,
+                      const TaskLabeler& labeler = nullptr);
+
+/// {"<category>":{"count":..,"total_s":..,"self_s":..},...} for every
+/// span category (zeros included, in enum order).
+JsonValue SpanAggregateToJson(const SpanProfiler& spans);
+
+/// Array of {"t_s":..,"batch":..,"sink":..,"tentative":..,
+/// "output_fidelity":..,"internal_completeness":..,"failed_tasks":..}
+/// — the OF(t)/IC(t) curve sampled per degraded sink delivery.
+JsonValue FidelityTimeseriesToJson(const FidelityTimeseries& series,
+                                   const TaskLabeler& labeler = nullptr);
+
 /// The machine-readable profile of one run: metrics snapshot, recovery
-/// timelines and tentative windows derived from the trace, and the trace
-/// itself.
+/// timelines and tentative windows derived from the trace, the trace
+/// itself, and — when provided — the span profile (with per-category
+/// aggregate) and the fidelity timeseries.
 JsonValue RunProfileToJson(const MetricsRegistry& registry,
                            const TraceLog& trace,
-                           const TaskLabeler& labeler = nullptr);
+                           const TaskLabeler& labeler = nullptr,
+                           const SpanProfiler* spans = nullptr,
+                           const FidelityTimeseries* fidelity = nullptr);
 
 }  // namespace obs
 }  // namespace ppa

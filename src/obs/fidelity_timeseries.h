@@ -1,0 +1,77 @@
+#ifndef PPA_OBS_FIDELITY_TIMESERIES_H_
+#define PPA_OBS_FIDELITY_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ppa {
+namespace obs {
+
+/// One OF/IC estimate taken when a sink delivered a batch while the
+/// topology was (or had just stopped being) degraded. The estimates are
+/// the paper's closed-form metrics evaluated against the set of
+/// currently-failed primaries, so the series is the OF(t) curve behind
+/// fig08/fig10's end-of-run scalar.
+struct FidelitySample {
+  TimePoint at;
+  /// Batch index the sink delivered.
+  int64_t batch = -1;
+  /// Sink task that delivered it.
+  int64_t sink_task = -1;
+  /// Whether that delivery was flagged tentative.
+  bool tentative = false;
+  /// Output fidelity (Eq. 4) of the current failure set.
+  double output_fidelity = 1.0;
+  /// Internal completeness of the current failure set.
+  double internal_completeness = 1.0;
+  /// Number of failed (not yet restored) primary tasks.
+  int64_t failed_tasks = 0;
+
+  bool operator==(const FidelitySample&) const = default;
+};
+
+/// Append-only series of FidelitySamples. Sampling happens per delivered
+/// sink batch during tentative windows (plus the closing stable batch,
+/// so the curve visibly returns to 1.0); wholly-stable runs stay empty.
+/// Like TraceLog, a disabled series drops samples at the recording site.
+class FidelityTimeseries {
+ public:
+  FidelityTimeseries() = default;
+  FidelityTimeseries(const FidelityTimeseries&) = delete;
+  FidelityTimeseries& operator=(const FidelityTimeseries&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  void Record(const FidelitySample& sample) {
+    if (enabled_) {
+      samples_.push_back(sample);
+    }
+  }
+
+  const std::vector<FidelitySample>& samples() const { return samples_; }
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Lowest output fidelity seen, or 1.0 when empty.
+  double MinOutputFidelity() const {
+    double min = 1.0;
+    for (const FidelitySample& s : samples_) {
+      min = s.output_fidelity < min ? s.output_fidelity : min;
+    }
+    return min;
+  }
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  bool enabled_ = true;
+  std::vector<FidelitySample> samples_;
+};
+
+}  // namespace obs
+}  // namespace ppa
+
+#endif  // PPA_OBS_FIDELITY_TIMESERIES_H_

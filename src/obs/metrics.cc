@@ -30,13 +30,21 @@ Histogram::Histogram(std::vector<double> upper_bounds)
 }
 
 std::vector<double> Histogram::DefaultBounds() {
+  // Each edge is mantissa m in {1, 2, 5} times an exact power of ten.
+  // Integer powers up to 1e9 are exact doubles, the products m * 10^e
+  // stay below 2^53, and for negative exponents the correctly-rounded
+  // division m / 10^-e yields the same double as the decimal literal —
+  // unlike the former running `decade *= 10` product starting at 1e-3,
+  // whose rounding error compounded across the 12 decades.
   std::vector<double> bounds;
-  double decade = 1e-3;
-  while (decade <= 1e9) {
-    bounds.push_back(decade);
-    bounds.push_back(decade * 2);
-    bounds.push_back(decade * 5);
-    decade *= 10;
+  for (int exponent = -3; exponent <= 9; ++exponent) {
+    double power = 1.0;
+    for (int i = 0; i < (exponent < 0 ? -exponent : exponent); ++i) {
+      power *= 10.0;
+    }
+    for (const double mantissa : {1.0, 2.0, 5.0}) {
+      bounds.push_back(exponent < 0 ? mantissa / power : mantissa * power);
+    }
   }
   return bounds;
 }

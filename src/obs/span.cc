@@ -1,0 +1,93 @@
+#include "obs/span.h"
+
+#include "common/logging.h"
+
+namespace ppa {
+namespace obs {
+
+std::string_view SpanCategoryToString(SpanCategory category) {
+  switch (category) {
+    case SpanCategory::kSimRun:
+      return "sim-run";
+    case SpanCategory::kBatchProcess:
+      return "batch-process";
+    case SpanCategory::kReplay:
+      return "replay";
+    case SpanCategory::kCheckpoint:
+      return "checkpoint";
+    case SpanCategory::kRecovery:
+      return "recovery";
+    case SpanCategory::kPlannerRun:
+      return "planner-run";
+    case SpanCategory::kReconcile:
+      return "reconcile";
+  }
+  return "?";
+}
+
+void SpanProfiler::Begin(TimePoint at, SpanCategory category, int64_t task) {
+  if (!enabled_) {
+    return;
+  }
+  Span span;
+  span.category = category;
+  span.task = task;
+  span.begin = at;
+  span.end = at;
+  if (!open_stack_.empty()) {
+    span.parent = static_cast<int64_t>(open_stack_.back());
+    span.depth = spans_[open_stack_.back()].depth + 1;
+  }
+  open_stack_.push_back(spans_.size());
+  spans_.push_back(span);
+}
+
+void SpanProfiler::End(TimePoint at) {
+  if (!enabled_) {
+    return;
+  }
+  PPA_CHECK(!open_stack_.empty()) << "SpanProfiler::End without Begin";
+  Span& span = spans_[open_stack_.back()];
+  open_stack_.pop_back();
+  span.end = at < span.begin ? span.begin : at;
+  if (span.parent >= 0) {
+    spans_[static_cast<size_t>(span.parent)].child_total += span.Total();
+  }
+}
+
+void SpanProfiler::Record(SpanCategory category, int64_t task,
+                          TimePoint begin, TimePoint end) {
+  if (!enabled_) {
+    return;
+  }
+  Span span;
+  span.category = category;
+  span.task = task;
+  span.begin = begin;
+  span.end = end < begin ? begin : end;
+  if (!open_stack_.empty()) {
+    span.parent = static_cast<int64_t>(open_stack_.back());
+    span.depth = spans_[open_stack_.back()].depth + 1;
+    spans_[open_stack_.back()].child_total += span.Total();
+  }
+  spans_.push_back(span);
+}
+
+std::vector<SpanStats> SpanProfiler::AggregateByCategory() const {
+  std::vector<SpanStats> stats(kNumSpanCategories);
+  for (const Span& span : spans_) {
+    SpanStats& s = stats[static_cast<size_t>(span.category)];
+    ++s.count;
+    s.total += span.Total();
+    s.self += span.Self();
+  }
+  return stats;
+}
+
+void SpanProfiler::Clear() {
+  spans_.clear();
+  open_stack_.clear();
+}
+
+}  // namespace obs
+}  // namespace ppa

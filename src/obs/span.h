@@ -1,0 +1,142 @@
+#ifndef PPA_OBS_SPAN_H_
+#define PPA_OBS_SPAN_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace ppa {
+namespace obs {
+
+/// What a sim-time span measures. Categories mirror the subsystems the
+/// ROADMAP wants CPU attribution for; aggregation is per category.
+enum class SpanCategory : uint8_t {
+  /// Root span: one EventLoop::RunUntil / RunUntilIdle drive.
+  kSimRun,
+  /// One TaskRuntime::RunBatch on live input (modeled CPU cost).
+  kBatchProcess,
+  /// RunBatch replaying buffered backlog after a recovery.
+  kReplay,
+  /// One checkpoint capture (modeled fixed + per-state-tuple cost).
+  kCheckpoint,
+  /// Detection-to-restoration of one failed task.
+  kRecovery,
+  /// One replication-planner invocation during plan adaptation.
+  kPlannerRun,
+  /// Tentative-output reconciliation (shadow re-execution).
+  kReconcile,
+};
+
+/// Number of SpanCategory enumerators (aggregate vectors index by it).
+inline constexpr size_t kNumSpanCategories = 7;
+
+/// Stable name of a span category (e.g. "batch-process").
+std::string_view SpanCategoryToString(SpanCategory category);
+
+/// One closed (or still-open) sim-time interval attributed to a
+/// category and optionally a task. Spans nest: `parent` indexes the
+/// enclosing span in SpanProfiler::spans() (-1 for roots) and
+/// `child_total` accumulates time covered by direct children, so
+/// Self() attributes each instant to exactly one span.
+struct Span {
+  SpanCategory category = SpanCategory::kSimRun;
+  /// Task the span is attributed to, or -1 for job/loop-level spans.
+  int64_t task = -1;
+  TimePoint begin;
+  TimePoint end;
+  /// Index of the enclosing span in SpanProfiler::spans(), -1 for roots.
+  int64_t parent = -1;
+  /// Nesting depth (0 for roots).
+  int32_t depth = 0;
+  /// Total duration of direct children (for self-time accounting).
+  Duration child_total = Duration::Zero();
+
+  Duration Total() const { return end - begin; }
+  Duration Self() const { return Total() - child_total; }
+};
+
+/// Per-category span aggregate.
+struct SpanStats {
+  int64_t count = 0;
+  /// Sum of Total() — includes time spent in nested child spans.
+  Duration total = Duration::Zero();
+  /// Sum of Self() — each instant counted in exactly one category.
+  Duration self = Duration::Zero();
+};
+
+/// Records nestable sim-time spans. Begin/End maintain a stack so spans
+/// opened while another is open become its children; Record() attaches
+/// an already-measured interval (e.g. a modeled checkpoint cost) as a
+/// child of the currently open span. Storage is a flat vector in open
+/// order, so identical runs produce identical span lists. Like TraceLog,
+/// a disabled profiler drops everything at the recording site and
+/// recording never schedules events, so profiling cannot perturb the
+/// simulation.
+class SpanProfiler {
+ public:
+  SpanProfiler() = default;
+  SpanProfiler(const SpanProfiler&) = delete;
+  SpanProfiler& operator=(const SpanProfiler&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Opens a span at `at`; it stays open until the matching End().
+  void Begin(TimePoint at, SpanCategory category, int64_t task = -1);
+  /// Closes the innermost open span at `at` (clamped to its begin).
+  void End(TimePoint at);
+  /// Records a complete [begin, end] span, nested under the currently
+  /// open span if any. Used when the duration is modeled rather than
+  /// bracketed (checkpoint costs, scheduled recovery latencies).
+  void Record(SpanCategory category, int64_t task, TimePoint begin,
+              TimePoint end);
+
+  /// All spans in open order. Spans still open have end == begin until
+  /// their End() runs.
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+  /// Number of currently open (un-Ended) spans.
+  size_t open_depth() const { return open_stack_.size(); }
+
+  /// Per-category {count, total, self}, indexed by SpanCategory value.
+  /// Open spans contribute with their current zero-length extent.
+  std::vector<SpanStats> AggregateByCategory() const;
+
+  void Clear();
+
+ private:
+  bool enabled_ = true;
+  std::vector<Span> spans_;
+  /// Indices into spans_ of the currently open nesting chain.
+  std::vector<size_t> open_stack_;
+};
+
+/// Null-safe helpers mirroring obs::Add/Set/Observe: instrumented
+/// components hold a SpanProfiler* that is nullptr when observability
+/// is off.
+inline void BeginSpan(SpanProfiler* profiler, TimePoint at,
+                      SpanCategory category, int64_t task = -1) {
+  if (profiler != nullptr) {
+    profiler->Begin(at, category, task);
+  }
+}
+/// Null-safe SpanProfiler::End (no-op on nullptr).
+inline void EndSpan(SpanProfiler* profiler, TimePoint at) {
+  if (profiler != nullptr) {
+    profiler->End(at);
+  }
+}
+/// Null-safe SpanProfiler::Record (no-op on nullptr).
+inline void RecordSpan(SpanProfiler* profiler, SpanCategory category,
+                       int64_t task, TimePoint begin, TimePoint end) {
+  if (profiler != nullptr) {
+    profiler->Record(category, task, begin, end);
+  }
+}
+
+}  // namespace obs
+}  // namespace ppa
+
+#endif  // PPA_OBS_SPAN_H_

@@ -2,6 +2,7 @@
 #define PPA_OBS_TRACE_H_
 
 #include <cstdint>
+#include <deque>
 #include <string_view>
 #include <vector>
 
@@ -76,7 +77,12 @@ struct TraceEvent {
 /// Append-only log of sim-time trace events. Events carry the insertion
 /// sequence number, so two events recorded at the same instant keep their
 /// causal order (mirroring the event loop's same-instant FIFO guarantee).
-/// Disabled logs drop events at the recording site.
+/// Disabled logs drop events at the recording site. An optional capacity
+/// bounds memory on long simulations: once full, each new event evicts
+/// the oldest one (deterministically — eviction depends only on the
+/// recorded sequence, never on allocation behavior) and `dropped()`
+/// counts the evictions. Sequence numbers keep advancing across drops,
+/// so surviving events retain their global order.
 class TraceLog {
  public:
   TraceLog() = default;
@@ -86,10 +92,17 @@ class TraceLog {
   bool enabled() const { return enabled_; }
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
+  /// Caps the log at `capacity` events (0 = unbounded, the default).
+  /// Shrinking below the current size evicts oldest-first immediately.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  /// Events evicted oldest-first to respect the capacity.
+  uint64_t dropped() const { return dropped_; }
+
   void Record(TimePoint at, TraceEventKind kind, int64_t task = -1,
               int node = -1, int64_t a = 0, int64_t b = 0);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::deque<TraceEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
 
   int64_t CountOf(TraceEventKind kind) const;
@@ -101,8 +114,10 @@ class TraceLog {
 
  private:
   bool enabled_ = true;
+  size_t capacity_ = 0;
+  uint64_t dropped_ = 0;
   uint64_t next_seq_ = 0;
-  std::vector<TraceEvent> events_;
+  std::deque<TraceEvent> events_;
 };
 
 }  // namespace obs

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/chrome_trace.h"
 #include "obs/export.h"
 
 namespace ppa {
@@ -136,15 +137,28 @@ JsonValue JobSummaryToJson(const StreamingJob& job) {
   return root;
 }
 
+namespace {
+
+obs::TaskLabeler MakeTaskLabeler(const Topology* topology) {
+  return [topology](int64_t task) {
+    if (task < 0 || task >= topology->num_tasks()) {
+      return std::to_string(task);
+    }
+    return topology->TaskLabel(static_cast<TaskId>(task));
+  };
+}
+
+}  // namespace
+
 JsonValue JobProfileToJson(const StreamingJob& job) {
-  const Topology* topology = &job.topology();
-  return obs::RunProfileToJson(
-      job.metrics(), job.trace(), [topology](int64_t task) {
-        if (task < 0 || task >= topology->num_tasks()) {
-          return std::to_string(task);
-        }
-        return topology->TaskLabel(static_cast<TaskId>(task));
-      });
+  return obs::RunProfileToJson(job.metrics(), job.trace(),
+                               MakeTaskLabeler(&job.topology()), &job.spans(),
+                               &job.fidelity_timeseries());
+}
+
+JsonValue JobChromeTraceToJson(const StreamingJob& job) {
+  return obs::ChromeTraceToJson(job.trace(), &job.spans(),
+                                MakeTaskLabeler(&job.topology()));
 }
 
 Status WriteJsonFile(const std::string& path, const JsonValue& value) {

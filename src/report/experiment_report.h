@@ -31,8 +31,14 @@ JsonValue JobSummaryToJson(const StreamingJob& job);
 
 /// Observability profile of the run (obs::RunProfileToJson with task ids
 /// labeled through the job's topology): metrics snapshot, per-task
-/// recovery timelines, tentative-output windows, and the raw trace.
+/// recovery timelines, tentative-output windows, the span profile, the
+/// OF/IC fidelity timeseries, and the raw trace.
 JsonValue JobProfileToJson(const StreamingJob& job);
+
+/// Chrome/Perfetto Trace Event Format rendering of the job's trace and
+/// span profile (obs::ChromeTraceToJson with topology task labels). Load
+/// the written file in chrome://tracing or https://ui.perfetto.dev.
+JsonValue JobChromeTraceToJson(const StreamingJob& job);
 
 /// Writes `value` pretty-printed to `path` (truncates). Filesystem errors
 /// are returned as Internal.

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "fidelity/metrics.h"
 
 namespace ppa {
 
@@ -72,6 +73,12 @@ StreamingJob::StreamingJob(Topology topology, JobConfig config,
 
 void StreamingJob::InitObservability() {
   trace_.set_enabled(config_.observability);
+  spans_.set_enabled(config_.observability);
+  fidelity_.set_enabled(config_.observability);
+  m_sink_task_latency_stable_.assign(
+      static_cast<size_t>(topology_.num_tasks()), nullptr);
+  m_sink_task_latency_tentative_.assign(
+      static_cast<size_t>(topology_.num_tasks()), nullptr);
   if (!config_.observability) {
     return;
   }
@@ -99,8 +106,22 @@ void StreamingJob::InitObservability() {
   m_recovery_passive_latency_s_ =
       metrics_.histogram("recovery.passive_latency_s");
   m_tuples_per_batch_ = metrics_.histogram("engine.tuples_per_batch");
+  m_sink_latency_stable_ = metrics_.histogram("sink.latency_stable_s");
+  m_sink_latency_tentative_ = metrics_.histogram("sink.latency_tentative_s");
+  m_sink_lineage_hops_ = metrics_.histogram("sink.lineage_hops");
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    if (!topology_.IsSinkTask(t)) {
+      continue;
+    }
+    const std::string prefix = "sink.t" + std::to_string(t);
+    m_sink_task_latency_stable_[static_cast<size_t>(t)] =
+        metrics_.histogram(prefix + ".latency_stable_s");
+    m_sink_task_latency_tentative_[static_cast<size_t>(t)] =
+        metrics_.histogram(prefix + ".latency_tentative_s");
+  }
   cluster_.AttachMetrics(&metrics_);
   checkpoints_.AttachMetrics(&metrics_);
+  checkpoints_.AttachSpans(&spans_);
 }
 
 StreamingJob::~StreamingJob() = default;
@@ -172,6 +193,10 @@ Status StreamingJob::Start() {
   for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
     primaries_.push_back(MakeRuntime(t));
     primaries_.back()->AttachMetrics(m_tuples_primary_, m_batches_primary_);
+    if (config_.observability) {
+      primaries_.back()->AttachSpans(&spans_,
+                                     config_.process_cost_per_tuple_us);
+    }
   }
   for (TaskId t : active_set_.ToVector()) {
     replicas_[t] = MakeRuntime(t);
@@ -204,6 +229,7 @@ Status StreamingJob::Start() {
   started_ = true;
   if (config_.observability) {
     loop_->AttachMetrics(&metrics_);
+    loop_->AttachSpans(&spans_);
   }
 
   // Recurring engine events.
@@ -398,7 +424,9 @@ Status StreamingJob::ApplyActiveReplicaSet(const TaskSet& tasks) {
 void StreamingJob::OnAdaptation() {
   auto observed = ObservedTopology();
   if (observed.ok()) {
+    spans_.Begin(loop_->now(), obs::SpanCategory::kPlannerRun);
     auto plan = adaptation_planner_(*observed);
+    spans_.End(loop_->now());
     if (plan.ok()) {
       Status applied = ApplyActiveReplicaSet(*plan);
       if (!applied.ok()) {
@@ -414,6 +442,11 @@ void StreamingJob::OnAdaptation() {
 }
 
 void StreamingJob::OnBatchTick() {
+  if (frontier_ < 0) {
+    // Anchor of the latency lineage: batch b's tuples enter the system
+    // at first_tick_at_ + b * batch_interval.
+    first_tick_at_ = loop_->now();
+  }
   ++frontier_;
   Advance();
   const int64_t buffered = CurrentBufferedTuples();
@@ -483,7 +516,8 @@ bool StreamingJob::CanProcess(TaskId t, int64_t b) const {
 }
 
 std::vector<Tuple> StreamingJob::GatherInputs(TaskId t, int64_t b,
-                                              bool* punctured) {
+                                              bool* punctured,
+                                              BatchRunContext* ctx) {
   std::vector<Tuple> inputs;
   const OperatorId to_op = topology_.task(t).op;
   for (int si : topology_.task(t).in_substreams) {
@@ -496,11 +530,11 @@ std::vector<Tuple> StreamingJob::GatherInputs(TaskId t, int64_t b,
       }
       continue;
     }
-    for (const Tuple& tuple : bo->tuples) {
-      if (router_.Route(s.from, to_op, tuple) == t) {
-        inputs.push_back(tuple);
-      }
+    if (ctx != nullptr) {
+      ctx->ingest_at = std::min(ctx->ingest_at, bo->ingest_at);
+      ctx->hops = std::max(ctx->hops, bo->hops + 1);
     }
+    router_.RouteBatchTo(s.from, to_op, *bo, t, &inputs);
   }
   return inputs;
 }
@@ -517,12 +551,18 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
       break;
     }
     bool punctured = false;
+    BatchRunContext ctx;
+    ctx.now = loop_->now();
+    // Sources (and punctuation-fed batches, which gather no upstream
+    // lineage) stamp the batch's nominal tick time.
+    ctx.ingest_at = BatchTickTime(b);
+    ctx.replay = !is_replica && catching_up_.count(t) > 0;
     std::vector<Tuple> inputs;
     if (!rt->is_source()) {
-      inputs = GatherInputs(t, b, &punctured);
+      inputs = GatherInputs(t, b, &punctured, &ctx);
     }
     const size_t in_count = inputs.size();
-    const BatchOutput& out = rt->RunBatch(b, std::move(inputs));
+    const BatchOutput& out = rt->RunBatch(b, std::move(inputs), true, ctx);
     if (!is_replica) {
       const double work =
           rt->is_source() ? static_cast<double>(out.tuples.size())
@@ -542,12 +582,12 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
           const bool tentative =
               punctured || degraded_batches_.count(b) > 0;
           for (const Tuple& tuple : out.tuples) {
-            sink_records_.push_back(
-                SinkRecord{tuple, tentative, loop_->now()});
+            sink_records_.push_back(SinkRecord{
+                tuple, tentative, loop_->now(), false, out.ingest_at});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = b;
           RecordSinkBatch(t, b, static_cast<int64_t>(out.tuples.size()),
-                          tentative);
+                          tentative, out.ingest_at, out.hops);
         }
         // Sinks have no subscribers; their buffer is not needed for
         // replay.
@@ -560,15 +600,25 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
 }
 
 void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
-                                   bool tentative) {
+                                   bool tentative, TimePoint ingest_at,
+                                   int32_t hops) {
   obs::Add(m_sink_records_, tuples);
   if (tentative) {
     obs::Add(m_sink_tentative_, tuples);
   }
+  const double latency_s = (loop_->now() - ingest_at).seconds();
+  obs::Observe(tentative ? m_sink_latency_tentative_ : m_sink_latency_stable_,
+               latency_s);
+  obs::Observe(tentative
+                   ? m_sink_task_latency_tentative_[static_cast<size_t>(t)]
+                   : m_sink_task_latency_stable_[static_cast<size_t>(t)],
+               latency_s);
+  obs::Observe(m_sink_lineage_hops_, static_cast<double>(hops));
   trace_.Record(loop_->now(),
                 tentative ? obs::TraceEventKind::kSinkBatchTentative
                           : obs::TraceEventKind::kSinkBatchStable,
                 t, -1, batch, tuples);
+  const bool was_open = tentative_window_open_;
   if (tentative && !tentative_window_open_) {
     trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowBegin,
                   -1, -1, batch);
@@ -581,6 +631,32 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
     trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowEnd,
                   -1, -1, batch);
     tentative_window_open_ = false;
+  }
+  // Live fidelity timeseries: one OF/IC sample per sink delivery while a
+  // tentative window is open (or opening/closing), computed from the
+  // currently-failed primaries. Stable steady-state batches are skipped:
+  // there OF == IC == 1 by construction.
+  if (fidelity_.enabled() && (tentative || was_open)) {
+    TaskSet failed(topology_.num_tasks());
+    int64_t num_failed = 0;
+    for (TaskId u = 0; u < topology_.num_tasks(); ++u) {
+      if (!primaries_[static_cast<size_t>(u)]->alive()) {
+        failed.Add(u);
+        ++num_failed;
+      }
+    }
+    obs::FidelitySample sample;
+    sample.at = loop_->now();
+    sample.batch = batch;
+    sample.sink_task = t;
+    sample.tentative = tentative;
+    sample.failed_tasks = num_failed;
+    if (num_failed > 0) {
+      sample.output_fidelity = ComputeOutputFidelity(topology_, failed);
+      sample.internal_completeness =
+          ComputeInternalCompleteness(topology_, failed);
+    }
+    fidelity_.Record(sample);
   }
 }
 
@@ -597,37 +673,39 @@ void StreamingJob::OnCheckpoint(TaskId t) {
         config_.delta_checkpoints && rt->SupportsDeltaSnapshots() &&
         checkpoints_.Chain(t) != nullptr &&
         checkpoints_.ChainDeltas(t) < config_.max_delta_chain;
-    int64_t blob_bytes = 0;
     if (take_delta) {
       auto delta = rt->SnapshotDelta();
       PPA_CHECK_OK(delta.status());
       cp.state_tuples = delta->state_tuples;
       cp.blob = std::move(delta->blob);
-      blob_bytes = static_cast<int64_t>(cp.blob.size());
-      PPA_CHECK_OK(checkpoints_.PutDelta(std::move(cp)));
     } else {
       auto blob = rt->Snapshot();
       PPA_CHECK_OK(blob.status());
       cp.state_tuples = rt->StateSizeTuples();
       cp.blob = *std::move(blob);
-      blob_bytes = static_cast<int64_t>(cp.blob.size());
-      checkpoints_.Put(std::move(cp));
     }
-    ++checkpoint_count_[static_cast<size_t>(t)];
+    const int64_t blob_bytes = static_cast<int64_t>(cp.blob.size());
+    const int64_t state_tuples = cp.state_tuples;
     const double cp_us =
         config_.checkpoint_fixed_cost_us +
-        static_cast<double>(checkpoints_.Latest(t)->state_tuples) *
+        static_cast<double>(state_tuples) *
             config_.checkpoint_cost_per_state_tuple_us;
+    const Duration cp_cost = Duration::Micros(static_cast<int64_t>(cp_us));
+    if (take_delta) {
+      PPA_CHECK_OK(checkpoints_.PutDelta(std::move(cp), cp_cost));
+    } else {
+      checkpoints_.Put(std::move(cp), cp_cost);
+    }
+    ++checkpoint_count_[static_cast<size_t>(t)];
     checkpoint_us_[static_cast<size_t>(t)] += cp_us;
     // The end event carries the modeled CPU completion time; no loop event
     // is scheduled for it (scheduling one would perturb event ids and break
     // bit-identity with observability off).
-    trace_.Record(loop_->now() + Duration::Micros(static_cast<int64_t>(cp_us)),
-                  obs::TraceEventKind::kCheckpointEnd, t, -1, blob_bytes,
-                  static_cast<int64_t>(cp_us));
+    trace_.Record(loop_->now() + cp_cost, obs::TraceEventKind::kCheckpointEnd,
+                  t, -1, blob_bytes, static_cast<int64_t>(cp_us));
     obs::Observe(m_checkpoint_duration_us_, cp_us);
     obs::Observe(m_checkpoint_state_tuples_,
-                 static_cast<double>(checkpoints_.Latest(t)->state_tuples));
+                 static_cast<double>(state_tuples));
     obs::Set(m_checkpoint_bytes_total_,
              static_cast<double>(checkpoints_.TotalBlobBytes()));
     TrimUpstreamBuffers(t);
@@ -722,11 +800,8 @@ int64_t StreamingJob::EstimateReplayTuples(TaskId t, int64_t from_batch) const {
         continue;
       }
       ++batches_with_data;
-      for (const Tuple& tuple : bo.tuples) {
-        if (router_.Route(s.from, to_op, tuple) == t) {
-          ++total;
-        }
-      }
+      total += static_cast<int64_t>(
+          router_.RouteBatchTo(s.from, to_op, bo, t, nullptr));
     }
     // Batches a failed upstream will reproduce during its own recovery are
     // estimated analytically from the substream rate.
@@ -795,6 +870,10 @@ void StreamingJob::OnDetection() {
       trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryStart,
                     spec.task, -1, static_cast<int64_t>(spec.kind),
                     offset.micros());
+      // Recovery completion is already scheduled below, so the span's
+      // modeled extent is known at detection time.
+      spans_.Record(obs::SpanCategory::kRecovery, spec.task, loop_->now(),
+                    loop_->now() + offset);
       if (spec.kind == RecoveryKind::kActiveReplica) {
         obs::Add(m_recoveries_active_);
         obs::Observe(m_recovery_active_latency_s_, offset.seconds());
@@ -828,8 +907,11 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
       replicas_.erase(it);
       rep->MarkAlive();
       // The replica is the primary now; its tuples count toward the
-      // primary engine counters from here on.
+      // primary engine counters and span profile from here on.
       rep->AttachMetrics(m_tuples_primary_, m_batches_primary_);
+      if (config_.observability) {
+        rep->AttachSpans(&spans_, config_.process_cost_per_tuple_us);
+      }
       if (topology_.IsSinkTask(t)) {
         // The dead primary's records stop where delivery stopped; deliver
         // the replica's buffered outputs from there on (the takeover
@@ -840,12 +922,13 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
           }
           const bool tentative = degraded_batches_.count(bo.batch) > 0;
           for (const Tuple& tuple : bo.tuples) {
-            sink_records_.push_back(
-                SinkRecord{tuple, tentative, loop_->now()});
+            sink_records_.push_back(SinkRecord{
+                tuple, tentative, loop_->now(), false, bo.ingest_at});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = bo.batch;
           RecordSinkBatch(t, bo.batch,
-                          static_cast<int64_t>(bo.tuples.size()), tentative);
+                          static_cast<int64_t>(bo.tuples.size()), tentative,
+                          bo.ingest_at, bo.hops);
         }
         rep->TrimOutputBuffer(frontier_);
       }
@@ -999,6 +1082,9 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
       for (TaskId t : topology_.op(op).tasks) {
         TaskRuntime* rt = shadow[static_cast<size_t>(t)].get();
         std::vector<Tuple> inputs;
+        BatchRunContext ctx;
+        ctx.now = loop_->now();
+        ctx.ingest_at = BatchTickTime(b);
         const OperatorId to_op = topology_.task(t).op;
         for (int si : topology_.task(t).in_substreams) {
           const Substream& sub = topology_.substreams()[si];
@@ -1007,14 +1093,12 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
           if (bo == nullptr) {
             continue;  // Upstream warm-up started later than needed.
           }
-          for (const Tuple& tuple : bo->tuples) {
-            if (router_.Route(sub.from, to_op, tuple) == t) {
-              inputs.push_back(tuple);
-            }
-          }
+          ctx.ingest_at = std::min(ctx.ingest_at, bo->ingest_at);
+          ctx.hops = std::max(ctx.hops, bo->hops + 1);
+          router_.RouteBatchTo(sub.from, to_op, *bo, t, &inputs);
         }
         const size_t in_count = inputs.size();
-        const BatchOutput& out = rt->RunBatch(b, std::move(inputs));
+        const BatchOutput& out = rt->RunBatch(b, std::move(inputs), true, ctx);
         report.reprocessed_tuples +=
             rt->is_source() ? static_cast<int64_t>(out.tuples.size())
                             : static_cast<int64_t>(in_count);
@@ -1025,6 +1109,7 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
             record.tentative = false;
             record.emitted_at = loop_->now();
             record.correction = true;
+            record.ingest_at = out.ingest_at;
             report.corrected.push_back(record);
           }
         }
@@ -1063,6 +1148,12 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
   sink_records_.insert(sink_records_.end(), report.corrected.begin(),
                        report.corrected.end());
   obs::Add(m_sink_corrections_, static_cast<int64_t>(report.corrected.size()));
+  // Modeled reconciliation span: the shadow re-execution's CPU time.
+  spans_.Record(obs::SpanCategory::kReconcile, -1, loop_->now(),
+                loop_->now() +
+                    Duration::Micros(static_cast<int64_t>(
+                        static_cast<double>(report.reprocessed_tuples) *
+                        config_.process_cost_per_tuple_us)));
   trace_.Record(loop_->now(), obs::TraceEventKind::kReconcileDone, -1, -1,
                 report.missed_outputs, report.spurious_outputs);
   degraded_batches_.clear();

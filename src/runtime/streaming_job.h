@@ -14,7 +14,9 @@
 #include "engine/task_runtime.h"
 #include "ft/checkpoint.h"
 #include "ft/recovery_model.h"
+#include "obs/fidelity_timeseries.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 #include "runtime/cluster.h"
 #include "runtime/config.h"
@@ -38,6 +40,14 @@ struct SinkRecord {
   /// True for records produced by ReconcileTentativeOutputs() — late
   /// corrections of a tentative window, not real-time output.
   bool correction = false;
+  /// Source-ingest sim-time of the record's batch (latency lineage,
+  /// threaded through the engine per hop): the batch's nominal source
+  /// tick, which replayed batches keep, so Latency() reports the true
+  /// end-to-end age of late deliveries.
+  TimePoint ingest_at;
+
+  /// End-to-end latency: source ingest to user-visible emission.
+  Duration Latency() const { return emitted_at - ingest_at; }
 };
 
 /// Result of reconciling a tentative window after recovery (the
@@ -187,6 +197,15 @@ class StreamingJob {
   /// The job's sim-time trace (failures, checkpoints, recovery phases,
   /// tentative/stable sink emissions).
   const obs::TraceLog& trace() const { return trace_; }
+  /// The job's span profile (batch-process/replay/checkpoint/recovery/
+  /// planner-run/reconcile spans nested under the loop's sim-run roots;
+  /// empty when config().observability is false).
+  const obs::SpanProfiler& spans() const { return spans_; }
+  /// OF(t)/IC(t) samples taken per sink delivery during tentative
+  /// windows (empty when observability is off or no window opened).
+  const obs::FidelityTimeseries& fidelity_timeseries() const {
+    return fidelity_;
+  }
 
   /// Cumulative normal-processing CPU microseconds of a task.
   double ProcessingCostUs(TaskId t) const {
@@ -215,8 +234,17 @@ class StreamingJob {
   /// present, already produced-and-skipped, or punctuation-substituted).
   bool CanProcess(TaskId t, int64_t b) const;
   /// Collects the batch-`b` tuples routed to `t`; sets *punctured if any
-  /// upstream contributed a punctuation instead of data.
-  std::vector<Tuple> GatherInputs(TaskId t, int64_t b, bool* punctured);
+  /// upstream contributed a punctuation instead of data. Folds the
+  /// upstream batches' latency lineage into `ctx` (earliest ingest,
+  /// max hops + 1) when non-null.
+  std::vector<Tuple> GatherInputs(TaskId t, int64_t b, bool* punctured,
+                                  BatchRunContext* ctx);
+
+  /// Nominal source tick time of batch `b` (lineage stamp for sources
+  /// and punctuation-fed batches).
+  TimePoint BatchTickTime(int64_t b) const {
+    return first_tick_at_ + config_.batch_interval * b;
+  }
 
   void OnBatchTick();
   void OnCheckpoint(TaskId t);
@@ -236,10 +264,13 @@ class StreamingJob {
   /// config_.observability is false: every handle stays nullptr and the
   /// trace is disabled).
   void InitObservability();
-  /// Books one delivered sink batch: counters, the stable/tentative trace
-  /// event, and the tentative-window open/close transitions.
+  /// Books one delivered sink batch: counters, end-to-end latency
+  /// histograms (stable vs. tentative, aggregate and per sink task), the
+  /// stable/tentative trace event, the tentative-window open/close
+  /// transitions, and — while a window is open — one OF/IC fidelity
+  /// sample.
   void RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
-                       bool tentative);
+                       bool tentative, TimePoint ingest_at, int32_t hops);
   /// Emits kTaskCaughtUp for recovered tasks that reached the frontier.
   void NoteCaughtUpTasks();
 
@@ -263,6 +294,8 @@ class StreamingJob {
   std::map<TaskId, std::unique_ptr<TaskRuntime>> replicas_;
 
   int64_t frontier_ = -1;
+  /// Time of the first batch tick (anchor of BatchTickTime()).
+  TimePoint first_tick_at_;
   /// Failed tasks not yet detected by the master.
   std::set<TaskId> undetected_failures_;
   /// Tasks whose recovery is pending (detected, completion scheduled).
@@ -299,6 +332,8 @@ class StreamingJob {
   /// obs::Add/Set/Observe helpers make every call site null-safe.
   obs::MetricsRegistry metrics_;
   obs::TraceLog trace_;
+  obs::SpanProfiler spans_;
+  obs::FidelityTimeseries fidelity_;
   /// A tentative-output window is open (kTentativeWindowBegin emitted,
   /// end not yet seen).
   bool tentative_window_open_ = false;
@@ -327,6 +362,13 @@ class StreamingJob {
   obs::Histogram* m_recovery_active_latency_s_ = nullptr;
   obs::Histogram* m_recovery_passive_latency_s_ = nullptr;
   obs::Histogram* m_tuples_per_batch_ = nullptr;
+  obs::Histogram* m_sink_latency_stable_ = nullptr;
+  obs::Histogram* m_sink_latency_tentative_ = nullptr;
+  obs::Histogram* m_sink_lineage_hops_ = nullptr;
+  /// Per-sink-task latency handles, indexed by task id (nullptr for
+  /// non-sink tasks or with observability off).
+  std::vector<obs::Histogram*> m_sink_task_latency_stable_;
+  std::vector<obs::Histogram*> m_sink_task_latency_tentative_;
 };
 
 }  // namespace ppa

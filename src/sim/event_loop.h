@@ -9,6 +9,7 @@
 
 #include "common/sim_time.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ppa {
 
@@ -55,6 +56,12 @@ class EventLoop {
   /// scheduling, so attaching metrics cannot change a simulation.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
+  /// Registers a span profiler (nullptr detaches): each RunUntil /
+  /// RunUntilIdle drive then brackets its execution in a sim-run root
+  /// span, so spans recorded by event handlers nest under it. Like
+  /// AttachMetrics, recording never feeds back into scheduling.
+  void AttachSpans(obs::SpanProfiler* spans) { spans_ = spans; }
+
  private:
   struct Event {
     TimePoint at;
@@ -83,6 +90,7 @@ class EventLoop {
   std::unordered_set<uint64_t> cancelled_;
   obs::Counter* events_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace ppa

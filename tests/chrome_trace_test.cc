@@ -1,0 +1,285 @@
+// Tests for the Chrome/Perfetto trace exporter (src/obs/chrome_trace.*)
+// and the span profiler it renders: an exact golden-JSON test of the
+// Trace Event Format mapping, span nesting self/total accounting, and an
+// end-to-end correlated-failure run checked against the observability
+// acceptance criteria (tentative window in the trace, per-sink stable vs
+// tentative latency histograms, and a fidelity timeseries with at least
+// one sample per tentative sink batch).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/operators.h"
+#include "obs/chrome_trace.h"
+#include "obs/export.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+#include "report/experiment_report.h"
+#include "runtime/streaming_job.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace {
+
+using obs::SpanCategory;
+using obs::TraceEventKind;
+
+TEST(ChromeTraceTest, EmptyTraceIsValidAndStable) {
+  EXPECT_EQ(obs::EmptyChromeTrace().Serialize(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+// Pins the exact Trace Event Format serialization: metadata first, then
+// spans (ph "X"), then closed tentative windows, then instants (ph "i"),
+// all with microsecond timestamps and the pid/tid track layout
+// (0 = job, 1 = cluster, 2 = tasks).
+TEST(ChromeTraceTest, GoldenJson) {
+  const TimePoint t0 = TimePoint::Zero();
+  obs::TraceLog trace;
+  trace.Record(t0 + Duration::Seconds(1), TraceEventKind::kNodeFailure,
+               /*task=*/-1, /*node=*/3, /*a=*/2);
+  trace.Record(t0 + Duration::Seconds(2),
+               TraceEventKind::kTentativeWindowBegin, -1, -1, /*a=*/5);
+  trace.Record(t0 + Duration::Seconds(4),
+               TraceEventKind::kTentativeWindowEnd, -1, -1, /*a=*/7);
+
+  obs::SpanProfiler spans;
+  spans.Begin(t0, SpanCategory::kSimRun);
+  spans.Record(SpanCategory::kCheckpoint, /*task=*/2,
+               t0 + Duration::Micros(1500000),
+               t0 + Duration::Micros(1600000));
+  spans.End(t0 + Duration::Seconds(5));
+
+  const std::string json =
+      obs::ChromeTraceToJson(trace, &spans, [](int64_t task) {
+        return "task-" + std::to_string(task);
+      }).Serialize();
+
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"job\"}},"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"cluster\"}},"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"tasks\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"control\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":3,"
+      "\"args\":{\"name\":\"node 3\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":2,"
+      "\"args\":{\"name\":\"task-2\"}},"
+      "{\"name\":\"sim-run\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":5000000,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"self_us\":4900000,\"depth\":0}},"
+      "{\"name\":\"checkpoint\",\"cat\":\"span\",\"ph\":\"X\","
+      "\"ts\":1500000,\"dur\":100000,\"pid\":2,\"tid\":2,"
+      "\"args\":{\"self_us\":100000,\"depth\":1}},"
+      "{\"name\":\"tentative-window\",\"cat\":\"window\",\"ph\":\"X\","
+      "\"ts\":2000000,\"dur\":2000000,\"pid\":0,\"tid\":0,"
+      "\"args\":{\"first_batch\":5,\"last_batch\":7}},"
+      "{\"name\":\"node-failure\",\"cat\":\"trace\",\"ph\":\"i\","
+      "\"ts\":1000000,\"pid\":1,\"tid\":3,\"s\":\"t\","
+      "\"args\":{\"seq\":0,\"node\":3,\"a\":2,\"b\":0}},"
+      "{\"name\":\"tentative-window-begin\",\"cat\":\"trace\","
+      "\"ph\":\"i\",\"ts\":2000000,\"pid\":0,\"tid\":0,\"s\":\"t\","
+      "\"args\":{\"seq\":1,\"a\":5,\"b\":0}},"
+      "{\"name\":\"tentative-window-end\",\"cat\":\"trace\",\"ph\":\"i\","
+      "\"ts\":4000000,\"pid\":0,\"tid\":0,\"s\":\"t\","
+      "\"args\":{\"seq\":2,\"a\":7,\"b\":0}}"
+      "]}";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(SpanProfilerTest, NestedSelfTimesSumToRootTotal) {
+  const TimePoint t0 = TimePoint::Zero();
+  auto at = [&](int64_t us) { return t0 + Duration::Micros(us); };
+  obs::SpanProfiler p;
+  p.Begin(at(0), SpanCategory::kSimRun);
+  p.Begin(at(1000000), SpanCategory::kBatchProcess, /*task=*/1);
+  p.Record(SpanCategory::kCheckpoint, /*task=*/1, at(1200000), at(1500000));
+  p.End(at(2000000));
+  p.Record(SpanCategory::kRecovery, /*task=*/2, at(2000000), at(2250000));
+  p.End(at(3000000));
+
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.open_depth(), 0u);
+  EXPECT_EQ(p.spans()[1].depth, 1);
+  EXPECT_EQ(p.spans()[2].depth, 2);
+  EXPECT_EQ(p.spans()[2].parent, 1);
+  EXPECT_EQ(p.spans()[3].parent, 0);
+
+  const std::vector<obs::SpanStats> stats = p.AggregateByCategory();
+  ASSERT_EQ(stats.size(), obs::kNumSpanCategories);
+  const auto& sim = stats[static_cast<size_t>(SpanCategory::kSimRun)];
+  const auto& batch =
+      stats[static_cast<size_t>(SpanCategory::kBatchProcess)];
+  const auto& cp = stats[static_cast<size_t>(SpanCategory::kCheckpoint)];
+  const auto& rec = stats[static_cast<size_t>(SpanCategory::kRecovery)];
+  EXPECT_EQ(sim.total, Duration::Micros(3000000));
+  EXPECT_EQ(sim.self, Duration::Micros(1750000));
+  EXPECT_EQ(batch.total, Duration::Micros(1000000));
+  EXPECT_EQ(batch.self, Duration::Micros(700000));
+  EXPECT_EQ(cp.self, Duration::Micros(300000));
+  EXPECT_EQ(rec.self, Duration::Micros(250000));
+
+  // The root's total accounts for every microsecond exactly once: it
+  // equals the sum of self time over all categories.
+  Duration self_sum = Duration::Zero();
+  for (const obs::SpanStats& s : stats) {
+    self_sum += s.self;
+  }
+  EXPECT_EQ(self_sum, sim.total);
+}
+
+TEST(SpanProfilerTest, DisabledProfilerRecordsNothing) {
+  obs::SpanProfiler p;
+  p.set_enabled(false);
+  p.Begin(TimePoint::Zero(), SpanCategory::kSimRun);
+  p.Record(SpanCategory::kCheckpoint, 1, TimePoint::Zero(),
+           TimePoint::Zero() + Duration::Seconds(1));
+  p.End(TimePoint::Zero() + Duration::Seconds(2));
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_EQ(p.open_depth(), 0u);
+}
+
+/// src(2) -> mid(2) -> sink(1) job mirroring the obs_test harness: PPA
+/// mode, one replica on mid[1], and a node failure that kills the
+/// passive-only mid[0] so the sink degrades to tentative output.
+struct JobHarness {
+  JobHarness() {
+    TopologyBuilder b;
+    OperatorId src = b.AddOperator("src", 2);
+    OperatorId mid =
+        b.AddOperator("mid", 2, InputCorrelation::kIndependent, 0.5);
+    OperatorId sink =
+        b.AddOperator("sink", 1, InputCorrelation::kIndependent, 0.5);
+    b.Connect(src, mid, PartitionScheme::kOneToOne);
+    b.Connect(mid, sink, PartitionScheme::kMerge);
+    b.SetSourceRate(src, 40.0);
+    auto topo = b.Build();
+    PPA_CHECK(topo.ok());
+
+    JobConfig cfg;
+    cfg.ft_mode = FtMode::kPpa;
+    cfg.batch_interval = Duration::Seconds(1);
+    cfg.detection_interval = Duration::Seconds(2);
+    cfg.checkpoint_interval = Duration::Seconds(5);
+    cfg.replica_sync_interval = Duration::Seconds(2);
+    cfg.num_worker_nodes = 5;
+    cfg.num_standby_nodes = 5;
+    cfg.window_batches = 5;
+    cfg.stagger_checkpoints = false;
+    cfg.observability = true;
+
+    job = std::make_unique<StreamingJob>(*std::move(topo), cfg, &loop);
+    PPA_CHECK_OK(job->BindSource(0, [] {
+      return std::make_unique<SyntheticSource>(20, 64, 7);
+    }));
+    for (OperatorId op : {1, 2}) {
+      PPA_CHECK_OK(job->BindOperator(op, [] {
+        return std::make_unique<SlidingWindowAggregateOperator>(5, 0.5);
+      }));
+    }
+    TaskSet active(job->topology().num_tasks());
+    active.Add(3);
+    PPA_CHECK_OK(job->SetActiveReplicaSet(active));
+    PPA_CHECK_OK(job->Start());
+  }
+
+  void RunFailureScenario() {
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
+    PPA_CHECK_OK(job->InjectNodeFailure(2));
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  }
+
+  EventLoop loop;
+  std::unique_ptr<StreamingJob> job;
+};
+
+TEST(ChromeTraceIntegrationTest, FailureRunMeetsAcceptanceCriteria) {
+  JobHarness h;
+  h.RunFailureScenario();
+
+  // (a) The exported trace is Perfetto-shaped and shows the tentative
+  // window as a duration event alongside the profiled spans.
+  const std::string json = JobChromeTraceToJson(*h.job).Serialize();
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+  EXPECT_NE(json.find("\"tentative-window\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim-run\""), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch-process\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovery\""), std::string::npos);
+
+  // The profiled span categories cover the run: simulation root,
+  // steady-state batch work, checkpoints, and the injected recovery.
+  const auto stats = h.job->spans().AggregateByCategory();
+  EXPECT_EQ(stats[static_cast<size_t>(SpanCategory::kSimRun)].count, 2);
+  EXPECT_GT(stats[static_cast<size_t>(SpanCategory::kBatchProcess)].count,
+            0);
+  EXPECT_GT(stats[static_cast<size_t>(SpanCategory::kCheckpoint)].count, 0);
+  EXPECT_GT(stats[static_cast<size_t>(SpanCategory::kRecovery)].count, 0);
+  EXPECT_EQ(h.job->spans().open_depth(), 0u);
+
+  // (b) Per-sink stable vs tentative end-to-end latency histograms are
+  // populated (task 4 is the single sink task).
+  const auto& histograms = h.job->metrics().histograms();
+  for (const char* name :
+       {"sink.latency_stable_s", "sink.latency_tentative_s",
+        "sink.t4.latency_stable_s", "sink.t4.latency_tentative_s"}) {
+    auto it = histograms.find(name);
+    ASSERT_NE(it, histograms.end()) << name;
+    EXPECT_GT(it->second->count(), 0) << name;
+    EXPECT_GE(it->second->min(), 0.0) << name;
+  }
+  // Lineage depth: every sink batch crossed src -> mid -> sink.
+  auto hops = histograms.find("sink.lineage_hops");
+  ASSERT_NE(hops, histograms.end());
+  EXPECT_GT(hops->second->count(), 0);
+  EXPECT_DOUBLE_EQ(hops->second->max(), 3.0);
+  EXPECT_GE(hops->second->min(), 1.0);
+  for (const SinkRecord& r : h.job->sink_records()) {
+    EXPECT_GE(r.Latency().micros(), 0);
+  }
+
+  // (c) The fidelity timeseries has at least one sample per tentative
+  // sink batch, dips below OF = 1 while degraded, and closes at OF = 1.
+  const obs::FidelityTimeseries& fidelity = h.job->fidelity_timeseries();
+  const int64_t tentative_batches =
+      h.job->trace().CountOf(TraceEventKind::kSinkBatchTentative);
+  ASSERT_GT(tentative_batches, 0);
+  int64_t tentative_samples = 0;
+  bool degraded_sample = false;
+  for (const obs::FidelitySample& s : fidelity.samples()) {
+    if (s.tentative) {
+      ++tentative_samples;
+    }
+    if (s.tentative && s.output_fidelity < 1.0) {
+      degraded_sample = true;
+      EXPECT_GT(s.failed_tasks, 0);
+    }
+  }
+  EXPECT_GE(tentative_samples, tentative_batches);
+  EXPECT_TRUE(degraded_sample);
+  EXPECT_LT(fidelity.MinOutputFidelity(), 1.0);
+  ASSERT_FALSE(fidelity.samples().empty());
+  const obs::FidelitySample& last = fidelity.samples().back();
+  EXPECT_FALSE(last.tentative);
+  EXPECT_DOUBLE_EQ(last.output_fidelity, 1.0);
+  EXPECT_EQ(last.failed_tasks, 0);
+
+  // The run profile carries the new sections for report consumers.
+  const std::string profile = JobProfileToJson(*h.job).Serialize();
+  EXPECT_NE(profile.find("\"span_aggregate\""), std::string::npos);
+  EXPECT_NE(profile.find("\"spans\""), std::string::npos);
+  EXPECT_NE(profile.find("\"fidelity_timeseries\""), std::string::npos);
+  EXPECT_NE(profile.find("\"sink.latency_tentative_s\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppa

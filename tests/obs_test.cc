@@ -89,6 +89,29 @@ TEST(MetricsTest, PercentileOfEmptyAndSingleton) {
   EXPECT_DOUBLE_EQ(h.Percentile(99), 7.0);
 }
 
+TEST(MetricsTest, DefaultBoundsAreExactRoundNumbers) {
+  // 1-2-5 decades from 1e-3 to 5e9. The edges are built from an exact
+  // integer power of ten, so each one must equal the decimal literal
+  // bit-for-bit — no accumulated floating-point drift across decades.
+  const std::vector<double> bounds = obs::Histogram::DefaultBounds();
+  ASSERT_EQ(bounds.size(), 39u);
+  EXPECT_EQ(bounds[0], 0.001);
+  EXPECT_EQ(bounds[1], 0.002);
+  EXPECT_EQ(bounds[2], 0.005);
+  EXPECT_EQ(bounds[3], 0.01);
+  EXPECT_EQ(bounds[8], 0.5);
+  EXPECT_EQ(bounds[9], 1.0);
+  EXPECT_EQ(bounds[10], 2.0);
+  EXPECT_EQ(bounds[11], 5.0);
+  EXPECT_EQ(bounds[17], 500.0);
+  EXPECT_EQ(bounds[36], 1e9);
+  EXPECT_EQ(bounds[37], 2e9);
+  EXPECT_EQ(bounds[38], 5e9);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
 TEST(MetricsTest, RegistryHandlesAreStableAndKindScoped) {
   obs::MetricsRegistry registry;
   obs::Counter* c1 = registry.counter("x.events");
@@ -145,6 +168,35 @@ TEST(TraceTest, DisabledLogDropsEvents) {
   EXPECT_EQ(trace.size(), 1u);
   trace.Clear();
   EXPECT_EQ(trace.size(), 0u);
+}
+
+TEST(TraceTest, CapacityEvictsOldestFirst) {
+  obs::TraceLog trace;
+  EXPECT_EQ(trace.capacity(), 0u);  // Unbounded by default.
+  trace.set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    trace.Record(TimePoint::Zero() + Duration::Seconds(i),
+                 TraceEventKind::kTaskFailed, i, 0);
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 2u);
+  // Oldest two evicted; sequence numbers keep their global order.
+  EXPECT_EQ(trace.events().front().task, 2);
+  EXPECT_EQ(trace.events().front().seq, 2u);
+  EXPECT_EQ(trace.events().back().task, 4);
+  // Shrinking below the current size evicts immediately.
+  trace.set_capacity(1);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.dropped(), 4u);
+  EXPECT_EQ(trace.events().front().task, 4);
+  // Back to unbounded: nothing is evicted any more.
+  trace.set_capacity(0);
+  trace.Record(TimePoint::Zero() + Duration::Seconds(9),
+               TraceEventKind::kTaskFailed, 9, 0);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped(), 4u);
+  trace.Clear();
+  EXPECT_EQ(trace.dropped(), 0u);
 }
 
 TEST(TimelineTest, BuildsEpisodesPerFailure) {
@@ -282,9 +334,17 @@ TEST(ObsIntegrationTest, TraceIsDeterministicAcrossIdenticalRuns) {
   ASSERT_FALSE(a.job->trace().events().empty());
   ASSERT_EQ(a.job->trace().size(), b.job->trace().size());
   EXPECT_EQ(a.job->trace().events(), b.job->trace().events());
-  // The metrics snapshots serialize identically too.
+  // The metrics snapshots serialize identically too, and so do the
+  // profiled spans and the fidelity timeseries.
   EXPECT_EQ(obs::MetricsToJson(a.job->metrics()).Serialize(),
             obs::MetricsToJson(b.job->metrics()).Serialize());
+  EXPECT_EQ(obs::SpansToJson(a.job->spans(), nullptr).Serialize(),
+            obs::SpansToJson(b.job->spans(), nullptr).Serialize());
+  EXPECT_EQ(
+      obs::FidelityTimeseriesToJson(a.job->fidelity_timeseries(), nullptr)
+          .Serialize(),
+      obs::FidelityTimeseriesToJson(b.job->fidelity_timeseries(), nullptr)
+          .Serialize());
 }
 
 TEST(ObsIntegrationTest, ObservabilityDoesNotPerturbSimulation) {
@@ -299,6 +359,10 @@ TEST(ObsIntegrationTest, ObservabilityDoesNotPerturbSimulation) {
               off.job->sink_records()[i].tuple);
     EXPECT_EQ(on.job->sink_records()[i].tentative,
               off.job->sink_records()[i].tentative);
+    // Latency lineage is part of the simulation itself, so batches carry
+    // identical ingest stamps whether or not observability records them.
+    EXPECT_EQ(on.job->sink_records()[i].ingest_at,
+              off.job->sink_records()[i].ingest_at);
   }
   EXPECT_EQ(on.job->recovery_reports().size(),
             off.job->recovery_reports().size());
@@ -307,6 +371,8 @@ TEST(ObsIntegrationTest, ObservabilityDoesNotPerturbSimulation) {
   EXPECT_EQ(off.job->trace().size(), 0u);
   EXPECT_TRUE(off.job->metrics().counters().empty());
   EXPECT_TRUE(off.job->metrics().histograms().empty());
+  EXPECT_EQ(off.job->spans().size(), 0u);
+  EXPECT_TRUE(off.job->fidelity_timeseries().empty());
 }
 
 TEST(ObsIntegrationTest, FailureRunProducesConsistentProfile) {
