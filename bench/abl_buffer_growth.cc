@@ -5,16 +5,23 @@
 // source replay) costs instead.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 
 namespace {
 
 using namespace ppa;
 
-int64_t RunOne(FtMode mode, int interval_seconds,
-               bench::BenchMetricsSink* sink,
-               bench::ChromeTraceSink* traces, const char* label) {
+struct CellResult {
+  int64_t peak_buffered = 0;
+  JsonValue metrics;
+  JsonValue chrome_trace;
+};
+
+CellResult RunOne(FtMode mode, int interval_seconds, bool want_obs) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -25,38 +32,54 @@ int64_t RunOne(FtMode mode, int interval_seconds,
   PPA_CHECK_OK(PlaceSyntheticRecoveryWorkload(*workload, &job).status());
   PPA_CHECK_OK(job.Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(90));
-  sink->Add(label, job);
-  traces->Capture(bench::JobChromeTrace(job));
-  return job.PeakBufferedTuples();
+  CellResult cell;
+  cell.peak_buffered = job.PeakBufferedTuples();
+  if (want_obs) {
+    cell.metrics = obs::MetricsToJson(job.metrics());
+    cell.chrome_trace = bench::JobChromeTrace(job);
+  }
+  return cell;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  ppa::bench::BenchMetricsSink sink =
-      ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
-  ppa::bench::ChromeTraceSink traces =
-      ppa::bench::ChromeTraceSink::FromArgs(argc, argv);
+  using namespace ppa;
+
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
+
+  const int intervals[] = {2, 5, 15, 30};
+  const bool want_obs =
+      driver.metrics().enabled() || driver.traces().enabled();
+  // Cells 0-3: checkpoint mode per interval; cell 4: Storm source replay.
+  std::vector<CellResult> results = driver.Map<CellResult>(
+      5, [&intervals, want_obs](int i) {
+        if (i < 4) {
+          return RunOne(FtMode::kCheckpoint, intervals[i], want_obs);
+        }
+        return RunOne(FtMode::kSourceReplay, 15, want_obs);
+      });
 
   std::printf(
       "Ablation A5: peak upstream-buffer occupancy (tuples), window 30 s, "
       "1000 tuples/s, 90 s run\n");
   std::printf("%-24s %18s\n", "configuration", "peak buffered");
-  for (int interval : {2, 5, 15, 30}) {
+  for (size_t i = 0; i < std::size(intervals); ++i) {
     char label[64];
-    std::snprintf(label, sizeof(label), "checkpoint every %ds", interval);
+    std::snprintf(label, sizeof(label), "checkpoint every %ds",
+                  intervals[i]);
+    driver.metrics().Add(label, std::move(results[i].metrics));
+    driver.traces().Capture(std::move(results[i].chrome_trace));
     std::printf("%-24s %18lld\n", label,
-                static_cast<long long>(RunOne(FtMode::kCheckpoint, interval,
-                                              &sink, &traces, label)));
+                static_cast<long long>(results[i].peak_buffered));
   }
+  driver.metrics().Add("source replay", std::move(results[4].metrics));
+  driver.traces().Capture(std::move(results[4].chrome_trace));
   std::printf("%-24s %18lld\n", "source replay (Storm)",
-              static_cast<long long>(RunOne(FtMode::kSourceReplay, 15, &sink,
-                                            &traces, "source replay")));
+              static_cast<long long>(results[4].peak_buffered));
   std::printf(
       "\nExpected: buffers grow linearly with the checkpoint interval "
       "(trimming waits\nfor downstream checkpoints); Storm's no-checkpoint "
       "mode must retain a full\nreplay window instead.\n");
-  sink.Write("abl_buffer_growth");
-  traces.Write();
-  return 0;
+  return driver.Finish("abl_buffer_growth");
 }

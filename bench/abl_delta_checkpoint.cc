@@ -5,20 +5,23 @@
 // chain during recovery.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 
 namespace {
 
 using namespace ppa;
 
-struct Row {
+struct CellResult {
   double cpu_ratio = 0.0;
   double recovery_seconds = 0.0;
+  JsonValue metrics;
+  JsonValue chrome_trace;
 };
 
-Row RunOne(int interval_seconds, bool delta, bench::BenchMetricsSink* sink,
-           bench::ChromeTraceSink* traces) {
+CellResult RunOne(int interval_seconds, bool delta, bool want_obs) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
   EventLoop loop;
@@ -35,9 +38,9 @@ Row RunOne(int interval_seconds, bool delta, bench::BenchMetricsSink* sink,
   PPA_CHECK_OK(job.InjectNodeFailure((*nodes)[4]));
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(70));
 
-  Row row;
+  CellResult cell;
   PPA_CHECK(job.recovery_reports().size() == 1);
-  row.recovery_seconds = job.recovery_reports()[0].TotalLatency().seconds();
+  cell.recovery_seconds = job.recovery_reports()[0].TotalLatency().seconds();
   double ratio = 0;
   int counted = 0;
   for (OperatorId op :
@@ -49,32 +52,44 @@ Row RunOne(int interval_seconds, bool delta, bench::BenchMetricsSink* sink,
       }
     }
   }
-  row.cpu_ratio = counted > 0 ? ratio / counted : 0.0;
-  char label[64];
-  std::snprintf(label, sizeof(label), "%s/cp%ds", delta ? "delta" : "full",
-                interval_seconds);
-  sink->Add(label, job);
-  traces->Capture(bench::JobChromeTrace(job));
-  return row;
+  cell.cpu_ratio = counted > 0 ? ratio / counted : 0.0;
+  if (want_obs) {
+    cell.metrics = obs::MetricsToJson(job.metrics());
+    cell.chrome_trace = bench::JobChromeTrace(job);
+  }
+  return cell;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
+
+  const int intervals[] = {1, 5, 15};
+  const bool want_obs =
+      driver.metrics().enabled() || driver.traces().enabled();
+  // Cell i: interval i/2; even = full checkpoints, odd = delta.
+  std::vector<CellResult> results = driver.Map<CellResult>(
+      6, [&intervals, want_obs](int i) {
+        return RunOne(intervals[i / 2], (i % 2) == 1, want_obs);
+      });
 
   std::printf(
       "Ablation A2: full vs delta checkpoints, window 30 s, 1000 "
       "tuples/s\n");
   std::printf("%-10s %12s %12s %14s %14s\n", "interval", "full ratio",
               "delta ratio", "full rec (s)", "delta rec (s)");
-  for (int interval : {1, 5, 15}) {
-    Row full = RunOne(interval, false, &sink, &traces);
-    Row delta = RunOne(interval, true, &sink, &traces);
-    std::printf("%-10d %12.3f %12.3f %14.2f %14.2f\n", interval,
+  for (size_t i = 0; i < std::size(intervals); ++i) {
+    CellResult& full = results[i * 2];
+    CellResult& delta = results[i * 2 + 1];
+    for (CellResult* cell : {&full, &delta}) {
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s/cp%ds",
+                    cell == &delta ? "delta" : "full", intervals[i]);
+      driver.metrics().Add(label, std::move(cell->metrics));
+      driver.traces().Capture(std::move(cell->chrome_trace));
+    }
+    std::printf("%-10d %12.3f %12.3f %14.2f %14.2f\n", intervals[i],
                 full.cpu_ratio, delta.cpu_ratio, full.recovery_seconds,
                 delta.recovery_seconds);
   }
@@ -83,7 +98,5 @@ int main(int argc, char** argv) {
       "serializes the\nwindow's fresh slices), making 1-second intervals "
       "practical; recovery latency\nstays comparable (shorter replay, "
       "slightly larger state-load chain).\n");
-  sink.Write("abl_delta_checkpoint");
-  traces.Write();
-  return 0;
+  return driver.Finish("abl_delta_checkpoint");
 }

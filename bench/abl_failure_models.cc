@@ -7,8 +7,10 @@
 // random topologies.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 #include "common/random.h"
 #include "fidelity/expected.h"
 #include "obs/export.h"
@@ -17,31 +19,26 @@
 #include "planner/structure_aware_planner.h"
 #include "topology/random_topology.h"
 
+namespace {
+
+using namespace ppa;
+
+struct CellResult {
+  double e_indep = 0.0;
+  double e_sa = 0.0;
+  double w_indep = 0.0;
+  double w_sa = 0.0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ppa;
 
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
   // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
   // and writes an empty (but valid) trace.
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
-  obs::MetricsRegistry registry;
-  obs::Histogram* h_e_indep =
-      sink.enabled() ? registry.histogram("planner.expected_of_indep")
-                     : nullptr;
-  obs::Histogram* h_e_sa =
-      sink.enabled() ? registry.histogram("planner.expected_of_sa") : nullptr;
-  obs::Histogram* h_w_indep =
-      sink.enabled() ? registry.histogram("planner.worst_of_indep") : nullptr;
-  obs::Histogram* h_w_sa =
-      sink.enabled() ? registry.histogram("planner.worst_of_sa") : nullptr;
-
-  std::printf(
-      "Ablation A4: planning for the wrong failure model (means over 100 "
-      "random topologies)\n\n");
-  std::printf("%-12s %14s %14s %14s %14s\n", "consumption", "E[OF]-indep",
-              "E[OF]-SA", "worstOF-indep", "worstOF-SA");
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
+  const uint64_t seed = driver.seed_or(4242);
 
   RandomTopologyOptions opts;
   opts.min_operators = 5;
@@ -50,40 +47,83 @@ int main(int argc, char** argv) {
   opts.max_parallelism = 6;
   opts.join_fraction = 0.3;
 
-  for (double consumption : {0.1, 0.2, 0.4, 0.6}) {
-    Rng rng(4242);
+  const double consumptions[] = {0.1, 0.2, 0.4, 0.6};
+  const int kTrials = 100;
+  // Cell i: consumption i / kTrials, trial i % kTrials. Trial t always
+  // plans the same topology (seed DeriveSeed(seed, t)) at every
+  // consumption level, mirroring the original per-consumption RNG reset.
+  std::vector<CellResult> results = driver.Map<CellResult>(
+      static_cast<int>(std::size(consumptions)) * kTrials,
+      [&opts, &consumptions, seed](int i) {
+        const double consumption = consumptions[i / kTrials];
+        const int trial = i % kTrials;
+        Rng rng(DeriveSeed(seed, static_cast<uint64_t>(trial)));
+        auto topo = GenerateRandomTopology(opts, &rng);
+        PPA_CHECK_OK(topo.status());
+        const int budget =
+            static_cast<int>(consumption * topo->num_tasks() + 0.5);
+        // One failure expected per window, uniformly spread over tasks.
+        std::vector<double> p(static_cast<size_t>(topo->num_tasks()),
+                              0.9 / topo->num_tasks());
+        ExpectedFidelityPlanner indep(p);
+        StructureAwarePlanner sa;
+        auto indep_plan = indep.Plan(PlanRequest(*topo, budget));
+        auto sa_plan = sa.Plan(PlanRequest(*topo, budget));
+        PPA_CHECK_OK(indep_plan.status());
+        PPA_CHECK_OK(sa_plan.status());
+        auto indep_expected =
+            ExpectedFidelitySingleFailure(*topo, indep_plan->replicated, p);
+        auto sa_expected =
+            ExpectedFidelitySingleFailure(*topo, sa_plan->replicated, p);
+        PPA_CHECK_OK(indep_expected.status());
+        PPA_CHECK_OK(sa_expected.status());
+        CellResult cell;
+        cell.e_indep = *indep_expected;
+        cell.e_sa = *sa_expected;
+        cell.w_indep = indep_plan->output_fidelity;
+        cell.w_sa = sa_plan->output_fidelity;
+        return cell;
+      });
+
+  obs::MetricsRegistry registry;
+  obs::Histogram* h_e_indep =
+      driver.metrics().enabled()
+          ? registry.histogram("planner.expected_of_indep")
+          : nullptr;
+  obs::Histogram* h_e_sa =
+      driver.metrics().enabled()
+          ? registry.histogram("planner.expected_of_sa")
+          : nullptr;
+  obs::Histogram* h_w_indep =
+      driver.metrics().enabled()
+          ? registry.histogram("planner.worst_of_indep")
+          : nullptr;
+  obs::Histogram* h_w_sa =
+      driver.metrics().enabled()
+          ? registry.histogram("planner.worst_of_sa")
+          : nullptr;
+
+  std::printf(
+      "Ablation A4: planning for the wrong failure model (means over 100 "
+      "random topologies)\n\n");
+  std::printf("%-12s %14s %14s %14s %14s\n", "consumption", "E[OF]-indep",
+              "E[OF]-SA", "worstOF-indep", "worstOF-SA");
+  for (size_t c = 0; c < std::size(consumptions); ++c) {
     double e_indep = 0, e_sa = 0, w_indep = 0, w_sa = 0;
-    const int kTrials = 100;
-    for (int i = 0; i < kTrials; ++i) {
-      auto topo = GenerateRandomTopology(opts, &rng);
-      PPA_CHECK_OK(topo.status());
-      const int budget =
-          static_cast<int>(consumption * topo->num_tasks() + 0.5);
-      // One failure expected per window, uniformly spread over tasks.
-      std::vector<double> p(static_cast<size_t>(topo->num_tasks()),
-                            0.9 / topo->num_tasks());
-      ExpectedFidelityPlanner indep(p);
-      StructureAwarePlanner sa;
-      auto indep_plan = indep.Plan(*topo, budget);
-      auto sa_plan = sa.Plan(*topo, budget);
-      PPA_CHECK_OK(indep_plan.status());
-      PPA_CHECK_OK(sa_plan.status());
-      auto indep_expected =
-          ExpectedFidelitySingleFailure(*topo, indep_plan->replicated, p);
-      auto sa_expected =
-          ExpectedFidelitySingleFailure(*topo, sa_plan->replicated, p);
-      PPA_CHECK_OK(indep_expected.status());
-      PPA_CHECK_OK(sa_expected.status());
-      e_indep += *indep_expected;
-      e_sa += *sa_expected;
-      w_indep += indep_plan->output_fidelity;
-      w_sa += sa_plan->output_fidelity;
-      obs::Observe(h_e_indep, *indep_expected);
-      obs::Observe(h_e_sa, *sa_expected);
-      obs::Observe(h_w_indep, indep_plan->output_fidelity);
-      obs::Observe(h_w_sa, sa_plan->output_fidelity);
+    for (int t = 0; t < kTrials; ++t) {
+      const CellResult& cell =
+          results[c * static_cast<size_t>(kTrials) +
+                  static_cast<size_t>(t)];
+      e_indep += cell.e_indep;
+      e_sa += cell.e_sa;
+      w_indep += cell.w_indep;
+      w_sa += cell.w_sa;
+      obs::Observe(h_e_indep, cell.e_indep);
+      obs::Observe(h_e_sa, cell.e_sa);
+      obs::Observe(h_w_indep, cell.w_indep);
+      obs::Observe(h_w_sa, cell.w_sa);
     }
-    std::printf("%-12.1f %14.3f %14.3f %14.3f %14.3f\n", consumption,
+    std::printf("%-12.1f %14.3f %14.3f %14.3f %14.3f\n", consumptions[c],
                 e_indep / kTrials, e_sa / kTrials, w_indep / kTrials,
                 w_sa / kTrials);
   }
@@ -93,8 +133,6 @@ int main(int argc, char** argv) {
       "worst case (worstOF) the\nindependent-optimal plan collapses while "
       "SA's structure-aware trees survive:\nthe reason PPA plans for "
       "correlated failures explicitly.\n");
-  sink.Add("a4", obs::MetricsToJson(registry));
-  sink.Write("abl_failure_models");
-  traces.Write();
-  return 0;
+  driver.metrics().Add("a4", obs::MetricsToJson(registry));
+  return driver.Finish("abl_failure_models");
 }

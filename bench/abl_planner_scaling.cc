@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 #include "common/random.h"
 #include "fidelity/mc_tree.h"
 #include "obs/export.h"
@@ -57,7 +58,7 @@ void BM_DpPlanner(benchmark::State& state) {
   const int budget = topo.num_tasks() / 2;
   DpPlanner planner;
   for (auto _ : state) {
-    auto plan = planner.Plan(topo, budget);
+    auto plan = planner.Plan(PlanRequest(topo, budget));
     PPA_CHECK_OK(plan.status());
     benchmark::DoNotOptimize(plan->output_fidelity);
   }
@@ -71,7 +72,7 @@ void BM_StructureAwarePlanner(benchmark::State& state) {
   const int budget = topo.num_tasks() / 2;
   StructureAwarePlanner planner;
   for (auto _ : state) {
-    auto plan = planner.Plan(topo, budget);
+    auto plan = planner.Plan(PlanRequest(topo, budget));
     PPA_CHECK_OK(plan.status());
     benchmark::DoNotOptimize(plan->output_fidelity);
   }
@@ -90,7 +91,7 @@ void BM_GreedyPlanner(benchmark::State& state) {
   const int budget = topo.num_tasks() / 2;
   GreedyPlanner planner;
   for (auto _ : state) {
-    auto plan = planner.Plan(topo, budget);
+    auto plan = planner.Plan(PlanRequest(topo, budget));
     PPA_CHECK_OK(plan.status());
     benchmark::DoNotOptimize(plan->output_fidelity);
   }
@@ -126,39 +127,24 @@ void FillScalingMetrics(obs::MetricsRegistry* registry) {
 }  // namespace ppa
 
 int main(int argc, char** argv) {
-  ppa::bench::BenchMetricsSink sink =
-      ppa::bench::BenchMetricsSink::FromArgs(argc, argv);
+  // Timing microbenchmark: google-benchmark owns the execution (always
+  // serial — wall-clock timings must not share cores), but the shared
+  // driver still strips the common flags it would otherwise reject
+  // (--jobs is accepted and ignored) and owns the sinks.
   // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
   // and writes an empty (but valid) trace.
-  ppa::bench::ChromeTraceSink traces =
-      ppa::bench::ChromeTraceSink::FromArgs(argc, argv);
-  // google-benchmark rejects flags it does not know; strip ours first.
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg.substr(0, 13) == "--metrics_out" ||
-        arg.substr(0, 18) == "--chrome_trace_out") {
-      if ((arg == "--metrics_out" || arg == "--chrome_trace_out") &&
-          i + 1 < argc) {
-        ++i;
-      }
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  int benchmark_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&benchmark_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(benchmark_argc, args.data())) {
+  ppa::bench::Driver driver = ppa::bench::Driver::FromArgs(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  if (sink.enabled()) {
+  if (driver.metrics().enabled()) {
     ppa::obs::MetricsRegistry registry;
     ppa::FillScalingMetrics(&registry);
-    sink.Add("size_classes", ppa::obs::MetricsToJson(registry));
-    sink.Write("abl_planner_scaling");
+    driver.metrics().Add("size_classes",
+                         ppa::obs::MetricsToJson(registry));
   }
-  traces.Write();
-  return 0;
+  return driver.Finish("abl_planner_scaling");
 }

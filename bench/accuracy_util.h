@@ -31,15 +31,25 @@ struct AccuracyExperiment {
   int64_t stale_grace_batches = 16;
 };
 
+/// Outcome of one tentative-accuracy measurement. Carrying the failure
+/// run's observability documents (instead of writing them to sinks
+/// in-place) keeps the measurement free of shared state, so independent
+/// measurements can run on parallel workers and be recorded in a
+/// deterministic order afterwards.
+struct AccuracyResult {
+  /// Tentative accuracy over the measured window.
+  double accuracy = 0.0;
+  /// Metrics snapshot of the failure run (obs::MetricsToJson).
+  JsonValue metrics;
+  /// Chrome/Perfetto trace of the failure run (JobChromeTrace).
+  JsonValue chrome_trace;
+};
+
 /// Measured tentative accuracy of `plan` under a correlated failure of
-/// every primary (sources included), against a failure-free reference run.
-/// When `sink` is given, the failure run's metrics snapshot is recorded
-/// under `label`; when `trace_sink` is given, the failure run's
-/// Chrome/Perfetto trace is offered to it.
-inline StatusOr<double> MeasureTentativeAccuracy(
-    const AccuracyExperiment& experiment, const TaskSet& plan,
-    BenchMetricsSink* sink = nullptr, const std::string& label = "",
-    ChromeTraceSink* trace_sink = nullptr) {
+/// every primary (sources included), against a failure-free reference
+/// run.
+inline StatusOr<AccuracyResult> MeasureTentativeAccuracy(
+    const AccuracyExperiment& experiment, const TaskSet& plan) {
   // Reference run.
   EventLoop clean_loop;
   std::unique_ptr<StreamingJob> clean = experiment.make_job(&clean_loop);
@@ -74,13 +84,12 @@ inline StatusOr<double> MeasureTentativeAccuracy(
   }
   const auto timely =
       FilterTimely(job->sink_records(), job->config().batch_interval, 0);
-  if (sink != nullptr) {
-    sink->Add(label, *job);
-  }
-  if (trace_sink != nullptr) {
-    trace_sink->Capture(JobChromeTrace(*job));
-  }
-  return experiment.accuracy(timely, clean->sink_records(), from, to);
+  AccuracyResult result;
+  result.accuracy =
+      experiment.accuracy(timely, clean->sink_records(), from, to);
+  result.metrics = obs::MetricsToJson(job->metrics());
+  result.chrome_trace = JobChromeTrace(*job);
+  return result;
 }
 
 }  // namespace bench

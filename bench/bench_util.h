@@ -25,14 +25,7 @@ namespace bench {
 /// node costs ~1s, and neighbouring recoveries synchronize with a 250 ms
 /// handshake.
 inline RecoveryCostModel PaperCostModel() {
-  RecoveryCostModel model;
-  model.replay_rate_tuples_per_sec = 4000.0;
-  model.state_load_rate_tuples_per_sec = 50000.0;
-  model.task_restart_delay = Duration::Seconds(1.0);
-  model.replica_activation_delay = Duration::Millis(200);
-  model.sync_handshake_delay = Duration::Millis(250);
-  model.replica_resend_rate_tuples_per_sec = 10000.0;
-  return model;
+  return JobConfig::CheckpointDefaults().recovery;
 }
 
 /// Job configuration matching the paper's cluster setup: 5 s heartbeat
@@ -40,16 +33,8 @@ inline RecoveryCostModel PaperCostModel() {
 /// nodes (4 source + 15 processing) and 15 standby nodes, CPU cost model
 /// calibrated to reproduce Fig. 9's checkpoint-to-processing ratios.
 inline JobConfig PaperJobConfig(FtMode mode) {
-  JobConfig config;
+  JobConfig config = JobConfig::CheckpointDefaults();
   config.ft_mode = mode;
-  config.batch_interval = Duration::Seconds(1);
-  config.detection_interval = Duration::Seconds(5);
-  config.num_worker_nodes = 19;
-  config.num_standby_nodes = 15;
-  config.recovery = PaperCostModel();
-  config.process_cost_per_tuple_us = 2.0;
-  config.checkpoint_cost_per_state_tuple_us = 0.04;
-  config.checkpoint_fixed_cost_us = 500.0;
   return config;
 }
 
@@ -74,25 +59,13 @@ struct Fig6Result {
 };
 
 /// Collects labeled metrics snapshots from benchmark runs and writes them
-/// as one JSON document when the binary was invoked with
-/// `--metrics_out=<path>` (or `--metrics_out <path>`). Without the flag
+/// as one JSON document. Constructed with an empty path (the default when
+/// the binary was invoked without `--metrics_out`, see bench::Driver),
 /// every call is a no-op, so benchmark output is unchanged.
 class BenchMetricsSink {
  public:
-  static BenchMetricsSink FromArgs(int argc, char** argv) {
-    BenchMetricsSink sink;
-    constexpr std::string_view kFlag = "--metrics_out";
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg.substr(0, kFlag.size()) == kFlag &&
-          arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
-        sink.path_ = std::string(arg.substr(kFlag.size() + 1));
-      } else if (arg == kFlag && i + 1 < argc) {
-        sink.path_ = argv[++i];
-      }
-    }
-    return sink;
-  }
+  BenchMetricsSink() = default;
+  explicit BenchMetricsSink(std::string path) : path_(std::move(path)) {}
 
   bool enabled() const { return !path_.empty(); }
 
@@ -158,27 +131,15 @@ class BenchMetricsSink {
 };
 
 /// Captures one Chrome/Perfetto trace from a benchmark run and writes it
-/// when the binary was invoked with `--chrome_trace_out=<path>` (or
-/// `--chrome_trace_out <path>`). One Trace Event document holds one
-/// timeline, so the first captured run wins; without the flag every call
-/// is a no-op. Write() falls back to an empty (but valid) trace when no
-/// run captured anything, so the flag always produces a loadable file.
+/// to the configured path. One Trace Event document holds one timeline,
+/// so the first captured run wins; constructed with an empty path (no
+/// `--chrome_trace_out` flag, see bench::Driver) every call is a no-op.
+/// Write() falls back to an empty (but valid) trace when no run captured
+/// anything, so the flag always produces a loadable file.
 class ChromeTraceSink {
  public:
-  static ChromeTraceSink FromArgs(int argc, char** argv) {
-    ChromeTraceSink sink;
-    constexpr std::string_view kFlag = "--chrome_trace_out";
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg.substr(0, kFlag.size()) == kFlag &&
-          arg.size() > kFlag.size() && arg[kFlag.size()] == '=') {
-        sink.path_ = std::string(arg.substr(kFlag.size() + 1));
-      } else if (arg == kFlag && i + 1 < argc) {
-        sink.path_ = argv[++i];
-      }
-    }
-    return sink;
-  }
+  ChromeTraceSink() = default;
+  explicit ChromeTraceSink(std::string path) : path_(std::move(path)) {}
 
   bool enabled() const { return !path_.empty(); }
   bool captured() const { return captured_; }

@@ -1,0 +1,73 @@
+#include "bench/driver.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/thread_pool.h"
+
+namespace ppa {
+namespace bench {
+
+Driver Driver::FromArgs(int* argc, char** argv) {
+  Driver driver;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string jobs_value;
+  std::string seed_value;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto match = [&](std::string_view flag, std::string* out) {
+      if (arg.size() > flag.size() + 1 &&
+          arg.substr(0, flag.size()) == flag && arg[flag.size()] == '=') {
+        *out = std::string(arg.substr(flag.size() + 1));
+        return true;
+      }
+      if (arg == flag && i + 1 < *argc) {
+        *out = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (match("--metrics_out", &metrics_path) ||
+        match("--chrome_trace_out", &trace_path)) {
+      continue;
+    }
+    if (match("--jobs", &jobs_value)) {
+      driver.jobs_ = static_cast<int>(
+          std::strtol(jobs_value.c_str(), nullptr, 10));
+      continue;
+    }
+    if (match("--seed", &seed_value)) {
+      driver.has_seed_ = true;
+      driver.seed_ = std::strtoull(seed_value.c_str(), nullptr, 10);
+      continue;
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+  if (driver.jobs_ <= 0) {
+    driver.jobs_ = ThreadPool::DefaultParallelism();
+  }
+  driver.metrics_ = BenchMetricsSink(metrics_path);
+  driver.traces_ = ChromeTraceSink(trace_path);
+  return driver;
+}
+
+exp::ParallelRunner& Driver::runner() {
+  if (runner_ == nullptr) {
+    exp::ParallelRunnerOptions options;
+    options.jobs = jobs_;
+    runner_ = std::make_unique<exp::ParallelRunner>(options);
+  }
+  return *runner_;
+}
+
+int Driver::Finish(std::string_view benchmark) {
+  bool ok = metrics_.Write(benchmark);
+  ok = traces_.Write() && ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace bench
+}  // namespace ppa

@@ -1,0 +1,79 @@
+#ifndef PPA_BENCH_DRIVER_H_
+#define PPA_BENCH_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "exp/parallel_runner.h"
+
+namespace ppa {
+namespace bench {
+
+/// Shared driver of every experiment binary: owns the flags all of them
+/// understand, the metrics/trace sinks, and the parallel runner the
+/// binary fans its independent runs across.
+///
+/// Flags (parsed and stripped by FromArgs, `--flag=value` and
+/// `--flag value` forms):
+///   --metrics_out <file>       write labeled metrics snapshots as JSON
+///   --chrome_trace_out <file>  write a Chrome/Perfetto trace
+///   --jobs <n>                 worker threads for independent runs
+///                              (default 1; 0 = all hardware threads).
+///                              Results are byte-identical for any value.
+///   --seed <n>                 base RNG seed of randomized experiments
+class Driver {
+ public:
+  /// Parses the shared flags and strips them from argv (updating *argc),
+  /// so the binary's own flag handling never sees them.
+  static Driver FromArgs(int* argc, char** argv);
+
+  /// Worker threads to run on; always >= 1 (0 was resolved to the
+  /// hardware thread count at parse time).
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  /// The --seed value, or `fallback` when the flag was absent.
+  [[nodiscard]] uint64_t seed_or(uint64_t fallback) const {
+    return has_seed_ ? seed_ : fallback;
+  }
+
+  /// Metrics sink (no-op unless --metrics_out was given).
+  BenchMetricsSink& metrics() { return metrics_; }
+
+  /// Trace sink (no-op unless --chrome_trace_out was given).
+  ChromeTraceSink& traces() { return traces_; }
+
+  /// The runner independent runs execute on; created on first use with
+  /// jobs() workers and reused for every subsequent Map.
+  exp::ParallelRunner& runner();
+
+  /// Shorthand for runner().Map: runs fn(0..count-1) across jobs()
+  /// threads, results in index order. Mutate sinks/registries only from
+  /// the ordered result pass, never inside fn.
+  template <typename T>
+  std::vector<T> Map(int count, const std::function<T(int)>& fn) {
+    return runner().Map<T>(count, fn);
+  }
+
+  /// Writes both sinks; returns the process exit code (0 on success, 1
+  /// when a sink could not be written).
+  [[nodiscard]] int Finish(std::string_view benchmark);
+
+ private:
+  Driver() = default;
+
+  int jobs_ = 1;
+  bool has_seed_ = false;
+  uint64_t seed_ = 0;
+  BenchMetricsSink metrics_;
+  ChromeTraceSink traces_;
+  std::unique_ptr<exp::ParallelRunner> runner_;
+};
+
+}  // namespace bench
+}  // namespace ppa
+
+#endif  // PPA_BENCH_DRIVER_H_

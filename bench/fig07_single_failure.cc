@@ -5,18 +5,18 @@
 // (1000 / 2000 tuples/s per source task).
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 
 int main(int argc, char** argv) {
   using namespace ppa;
   using bench::Fig6Options;
+  using bench::Fig6Result;
   using bench::RunFig6;
 
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
 
   struct Technique {
     const char* label;
@@ -39,40 +39,61 @@ int main(int argc, char** argv) {
        Duration::Seconds(5)},
   };
 
+  struct Cell {
+    const Technique* tech;
+    int64_t window;
+    double rate;
+  };
+  std::vector<Cell> cells;
+  for (const Technique& tech : techniques) {
+    for (int64_t window : {10, 30}) {
+      for (double rate : {1000.0, 2000.0}) {
+        cells.push_back(Cell{&tech, window, rate});
+      }
+    }
+  }
+
+  std::vector<StatusOr<Fig6Result>> results =
+      driver.Map<StatusOr<Fig6Result>>(
+          static_cast<int>(cells.size()), [&cells](int i) {
+            const Cell& cell = cells[static_cast<size_t>(i)];
+            Fig6Options options;
+            options.mode = cell.tech->mode;
+            options.rate_per_task = cell.rate;
+            options.window_batches = cell.window;
+            options.checkpoint_interval = cell.tech->checkpoint_interval;
+            options.replica_sync_interval = cell.tech->sync_interval;
+            options.correlated = false;
+            return RunFig6(options);
+          });
+
   std::printf("Figure 7: recovery latency of single node failure (seconds)\n");
   std::printf("%-15s %14s %14s %14s %14s\n", "technique", "win10,r1000",
               "win10,r2000", "win30,r1000", "win30,r2000");
-  for (const Technique& tech : techniques) {
-    std::printf("%-15s", tech.label);
-    for (int64_t window : {10, 30}) {
-      for (double rate : {1000.0, 2000.0}) {
-        Fig6Options options;
-        options.mode = tech.mode;
-        options.rate_per_task = rate;
-        options.window_batches = window;
-        options.checkpoint_interval = tech.checkpoint_interval;
-        options.replica_sync_interval = tech.sync_interval;
-        options.correlated = false;
-        auto result = RunFig6(options);
-        if (!result.ok()) {
-          std::printf(" %14s", result.status().ToString().c_str());
-        } else {
-          std::printf(" %14.2f", result->total_latency.seconds());
-          char label[64];
-          std::snprintf(label, sizeof(label), "%s/win%lld/r%.0f",
-                        tech.label, static_cast<long long>(window), rate);
-          sink.Add(label, std::move(result->metrics));
-          traces.Capture(std::move(result->chrome_trace));
-        }
-      }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (i % 4 == 0) {
+      std::printf("%-15s", cell.tech->label);
     }
-    std::printf("\n");
+    StatusOr<Fig6Result>& result = results[i];
+    if (!result.ok()) {
+      std::printf(" %14s", result.status().ToString().c_str());
+    } else {
+      std::printf(" %14.2f", result->total_latency.seconds());
+      char label[64];
+      std::snprintf(label, sizeof(label), "%s/win%lld/r%.0f",
+                    cell.tech->label, static_cast<long long>(cell.window),
+                    cell.rate);
+      driver.metrics().Add(label, std::move(result->metrics));
+      driver.traces().Capture(std::move(result->chrome_trace));
+    }
+    if (i % 4 == 3) {
+      std::printf("\n");
+    }
   }
   std::printf(
       "\nExpected shape (paper): active << checkpoint; checkpoint latency "
       "grows with\ninterval and rate; Storm grows with window and rate and "
       "is the worst at 30s windows.\n");
-  sink.Write("fig07_single_failure");
-  traces.Write();
-  return 0;
+  return driver.Finish("fig07_single_failure");
 }

@@ -6,35 +6,28 @@
 // plan — the moment tentative outputs can start flowing.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 #include "planner/structure_aware_planner.h"
 
 int main(int argc, char** argv) {
   using namespace ppa;
   using bench::Fig6Options;
+  using bench::Fig6Result;
   using bench::RunFig6;
 
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
 
   for (double rate : {1000.0, 2000.0}) {
-    std::printf(
-        "Figure 10%s: correlated-failure recovery latency (s), window 30 "
-        "s, rate %.0f tuples/s\n",
-        rate == 1000.0 ? "(a)" : "(b)", rate);
-    std::printf("%-18s %12s %12s %12s\n", "plan", "cp=5s", "cp=15s",
-                "cp=30s");
-
     // Plans are computed once per rate (rates do not change the topology
     // shape, but keep it faithful).
     auto workload = MakeSyntheticRecoveryWorkload(rate, 30);
     PPA_CHECK_OK(workload.status());
     const int n = workload->topo.num_tasks();
     StructureAwarePlanner planner;
-    auto half_plan = planner.Plan(workload->topo, n / 2);
+    auto half_plan = planner.Plan(PlanRequest(workload->topo, n / 2));
     PPA_CHECK_OK(half_plan.status());
     const TaskSet all = TaskSet::All(n);
     const TaskSet half = half_plan->replicated;
@@ -51,39 +44,68 @@ int main(int argc, char** argv) {
         {"PPA-0.5", &half, false},
         {"PPA-0", &none, false},
     };
+
+    struct Cell {
+      const PlanRow* row;
+      int interval;
+    };
+    std::vector<Cell> cells;
     for (const PlanRow& row : rows) {
-      std::printf("%-18s", row.label);
       for (int interval : {5, 15, 30}) {
-        Fig6Options options;
-        options.mode = FtMode::kPpa;
-        options.rate_per_task = rate;
-        options.window_batches = 30;
-        options.checkpoint_interval = Duration::Seconds(interval);
-        options.correlated = true;
-        options.active_set = row.active_set;
-        options.run_for_seconds = 70.0;
-        auto result = RunFig6(options);
-        if (!result.ok()) {
-          std::printf(" %12s", result.status().ToString().c_str());
-        } else {
-          const Duration latency = row.report_active_only
-                                       ? result->active_latency
-                                       : result->total_latency;
-          std::printf(" %12.2f", latency.seconds());
-          char label[64];
-          std::snprintf(label, sizeof(label), "%s/cp%ds/r%.0f", row.label,
-                        interval, rate);
-          sink.Add(label, std::move(result->metrics),
-                   std::move(result->fidelity));
-          // Capture the partially-replicated plan: PPA-1.0 fails over
-          // instantly and never degrades, while PPA-0.5 shows the paper's
-          // story — a tentative window bridged by the active half.
-          if (row.active_set == &half && !row.report_active_only) {
-            traces.Capture(std::move(result->chrome_trace));
-          }
+        cells.push_back(Cell{&row, interval});
+      }
+    }
+
+    std::vector<StatusOr<Fig6Result>> results =
+        driver.Map<StatusOr<Fig6Result>>(
+            static_cast<int>(cells.size()), [&cells, rate](int i) {
+              const Cell& cell = cells[static_cast<size_t>(i)];
+              Fig6Options options;
+              options.mode = FtMode::kPpa;
+              options.rate_per_task = rate;
+              options.window_batches = 30;
+              options.checkpoint_interval =
+                  Duration::Seconds(cell.interval);
+              options.correlated = true;
+              options.active_set = cell.row->active_set;
+              options.run_for_seconds = 70.0;
+              return RunFig6(options);
+            });
+
+    std::printf(
+        "Figure 10%s: correlated-failure recovery latency (s), window 30 "
+        "s, rate %.0f tuples/s\n",
+        rate == 1000.0 ? "(a)" : "(b)", rate);
+    std::printf("%-18s %12s %12s %12s\n", "plan", "cp=5s", "cp=15s",
+                "cp=30s");
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      if (i % 3 == 0) {
+        std::printf("%-18s", cell.row->label);
+      }
+      StatusOr<Fig6Result>& result = results[i];
+      if (!result.ok()) {
+        std::printf(" %12s", result.status().ToString().c_str());
+      } else {
+        const Duration latency = cell.row->report_active_only
+                                     ? result->active_latency
+                                     : result->total_latency;
+        std::printf(" %12.2f", latency.seconds());
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s/cp%ds/r%.0f",
+                      cell.row->label, cell.interval, rate);
+        driver.metrics().Add(label, std::move(result->metrics),
+                             std::move(result->fidelity));
+        // Capture the partially-replicated plan: PPA-1.0 fails over
+        // instantly and never degrades, while PPA-0.5 shows the paper's
+        // story — a tentative window bridged by the active half.
+        if (cell.row->active_set == &half && !cell.row->report_active_only) {
+          driver.traces().Capture(std::move(result->chrome_trace));
         }
       }
-      std::printf("\n");
+      if (i % 3 == 2) {
+        std::printf("\n");
+      }
     }
     std::printf("\n");
   }
@@ -91,7 +113,5 @@ int main(int argc, char** argv) {
       "Expected shape (paper): PPA-1.0 < PPA-0.5 < PPA-0 overall; "
       "PPA-0.5-active is\nnearly as fast as PPA-1.0, so tentative outputs "
       "start up to an order of magnitude\nbefore full recovery completes.\n");
-  sink.Write("fig10_ppa_recovery");
-  traces.Write();
-  return 0;
+  return driver.Finish("fig10_ppa_recovery");
 }

@@ -8,9 +8,11 @@
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/accuracy_util.h"
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 #include "fidelity/metrics.h"
 #include "planner/structure_aware_planner.h"
 #include "workloads/incident.h"
@@ -32,41 +34,68 @@ JobConfig AccuracyJobConfig() {
   return config;
 }
 
+/// One (consumption, metric) cell: the planned metric value and the
+/// measured tentative accuracy of the resulting plan.
+struct CellResult {
+  double metric_value = 0.0;
+  bench::AccuracyResult accuracy;
+};
+
 void RunQuery(const char* title, const char* tag, const Topology& topo,
               const bench::AccuracyExperiment& experiment,
-              bench::BenchMetricsSink* sink,
-              bench::ChromeTraceSink* traces) {
+              bench::Driver* driver) {
+  const double consumptions[] = {0.2, 0.4, 0.6, 0.8};
+  // Cell i: consumption i/2; even = OF-optimized, odd = IC-optimized.
+  const int cell_count = 8;
+  std::vector<StatusOr<CellResult>> results =
+      driver->Map<StatusOr<CellResult>>(
+          cell_count,
+          [&consumptions, &topo,
+           &experiment](int i) -> StatusOr<CellResult> {
+            const double consumption = consumptions[i / 2];
+            const bool use_ic = (i % 2) == 1;
+            const int budget =
+                static_cast<int>(consumption * topo.num_tasks() + 0.5);
+            StructureAwareOptions options;
+            if (use_ic) {
+              options.metric = LossModel::kInternalCompleteness;
+            }
+            StructureAwarePlanner planner(options);
+            PPA_ASSIGN_OR_RETURN(ReplicationPlan plan,
+                                 planner.Plan(PlanRequest(topo, budget)));
+            CellResult cell;
+            cell.metric_value =
+                use_ic ? PlanInternalCompleteness(topo, plan.replicated)
+                       : PlanOutputFidelity(topo, plan.replicated);
+            PPA_ASSIGN_OR_RETURN(
+                cell.accuracy,
+                bench::MeasureTentativeAccuracy(experiment,
+                                                plan.replicated));
+            return cell;
+          });
+
   std::printf("%s\n", title);
   std::printf("%-12s %8s %14s %8s %14s\n", "consumption", "OF",
               "OF-SA-Accuracy", "IC", "IC-SA-Accuracy");
-  for (double consumption : {0.2, 0.4, 0.6, 0.8}) {
-    const int budget =
-        static_cast<int>(consumption * topo.num_tasks() + 0.5);
-    StructureAwarePlanner planner;
-    auto of_plan = planner.Plan(topo, budget);
-    PPA_CHECK_OK(of_plan.status());
-    StructureAwareOptions ic_options;
-    ic_options.metric = LossModel::kInternalCompleteness;
-    StructureAwarePlanner ic_planner(ic_options);
-    auto ic_plan = ic_planner.Plan(topo, budget);
-    PPA_CHECK_OK(ic_plan.status());
-
+  for (int i = 0; i < cell_count; i += 2) {
+    const double consumption = consumptions[i / 2];
+    PPA_CHECK_OK(results[static_cast<size_t>(i)].status());
+    PPA_CHECK_OK(results[static_cast<size_t>(i + 1)].status());
+    CellResult& of_cell = *results[static_cast<size_t>(i)];
+    CellResult& ic_cell = *results[static_cast<size_t>(i + 1)];
     char of_label[64];
     std::snprintf(of_label, sizeof(of_label), "%s/of/c%.1f", tag,
                   consumption);
     char ic_label[64];
     std::snprintf(ic_label, sizeof(ic_label), "%s/ic/c%.1f", tag,
                   consumption);
-    auto of_accuracy = bench::MeasureTentativeAccuracy(
-        experiment, of_plan->replicated, sink, of_label, traces);
-    auto ic_accuracy = bench::MeasureTentativeAccuracy(
-        experiment, ic_plan->replicated, sink, ic_label, traces);
-    PPA_CHECK_OK(of_accuracy.status());
-    PPA_CHECK_OK(ic_accuracy.status());
+    driver->metrics().Add(of_label, std::move(of_cell.accuracy.metrics));
+    driver->traces().Capture(std::move(of_cell.accuracy.chrome_trace));
+    driver->metrics().Add(ic_label, std::move(ic_cell.accuracy.metrics));
+    driver->traces().Capture(std::move(ic_cell.accuracy.chrome_trace));
     std::printf("%-12.1f %8.3f %14.3f %8.3f %14.3f\n", consumption,
-                PlanOutputFidelity(topo, of_plan->replicated), *of_accuracy,
-                PlanInternalCompleteness(topo, ic_plan->replicated),
-                *ic_accuracy);
+                of_cell.metric_value, of_cell.accuracy.accuracy,
+                ic_cell.metric_value, ic_cell.accuracy.accuracy);
   }
   std::printf("\n");
 }
@@ -74,10 +103,7 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
 
   // ------------------------------------------------------------- Q1 --
   WorldCupSource::Options source;
@@ -95,7 +121,7 @@ int main(int argc, char** argv) {
   q1_exp.accuracy = PerBatchSetAccuracy;
   q1_exp.stale_grace_batches = 16;  // Top-k freshness window + 1.
   RunQuery("Figure 12(a): Q1 top-100 aggregate query", "q1", q1->topo,
-           q1_exp, &sink, &traces);
+           q1_exp, &driver);
 
   // ------------------------------------------------------------- Q2 --
   IncidentSchedule::Options schedule_options;
@@ -115,14 +141,12 @@ int main(int argc, char** argv) {
   q2_exp.accuracy = DistinctSetAccuracy;
   q2_exp.stale_grace_batches = 4;  // Join speed-freshness window + 1.
   RunQuery("Figure 12(b): Q2 incident detection query", "q2", q2->topo,
-           q2_exp, &sink, &traces);
+           q2_exp, &driver);
 
   std::printf(
       "Expected shape (paper): on Q1 both metrics predict accuracy "
       "reasonably; on Q2\nIC keeps rising with budget while the measured "
       "accuracy of IC-optimized plans\nstalls - IC ignores the join's "
       "stream correlation, OF does not.\n");
-  sink.Write("fig12_metric_validation");
-  traces.Write();
-  return 0;
+  return driver.Finish("fig12_metric_validation");
 }

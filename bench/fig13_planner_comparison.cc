@@ -7,12 +7,13 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench/accuracy_util.h"
 #include "bench/bench_util.h"
-#include "planner/dp_planner.h"
-#include "planner/greedy_planner.h"
-#include "planner/structure_aware_planner.h"
+#include "bench/driver.h"
+#include "planner/planner.h"
 #include "workloads/incident.h"
 #include "workloads/topk.h"
 
@@ -30,10 +31,47 @@ JobConfig AccuracyJobConfig() {
   return config;
 }
 
+/// One (consumption, planner) cell. `planned` is false when the planner
+/// refused the topology (DP beyond its exponential-search cap) — the
+/// table shows n/a for that cell.
+struct CellResult {
+  bool planned = false;
+  double of = -1;
+  bench::AccuracyResult accuracy;
+};
+
 void RunQuery(const char* title, const char* tag, const Topology& topo,
               const bench::AccuracyExperiment& experiment,
-              bench::BenchMetricsSink* sink,
-              bench::ChromeTraceSink* traces) {
+              bench::Driver* driver) {
+  const double consumptions[] = {0.2, 0.4, 0.6, 0.8};
+  const PlannerKind kinds[] = {PlannerKind::kDynamicProgramming,
+                               PlannerKind::kStructureAware,
+                               PlannerKind::kGreedy};
+  // Cell i: consumption i/3, planner i%3 (DP, SA, Greedy).
+  const int cell_count = 12;
+  std::vector<StatusOr<CellResult>> results =
+      driver->Map<StatusOr<CellResult>>(
+          cell_count,
+          [&consumptions, &kinds, &topo,
+           &experiment](int i) -> StatusOr<CellResult> {
+            const double consumption = consumptions[i / 3];
+            const int budget =
+                static_cast<int>(consumption * topo.num_tasks() + 0.5);
+            std::unique_ptr<Planner> planner = CreatePlanner(kinds[i % 3]);
+            CellResult cell;
+            auto plan = planner->Plan(PlanRequest(topo, budget));
+            if (!plan.ok()) {
+              return cell;  // DP may exceed its exponential-search cap.
+            }
+            cell.planned = true;
+            cell.of = plan->output_fidelity;
+            PPA_ASSIGN_OR_RETURN(
+                cell.accuracy,
+                bench::MeasureTentativeAccuracy(experiment,
+                                                plan->replicated));
+            return cell;
+          });
+
   std::printf("%s (%d tasks)\n", title, topo.num_tasks());
   std::printf("%-12s", "consumption");
   for (const char* col : {"DP-OF", "SA-OF", "Greedy-OF", "DP-Acc", "SA-Acc",
@@ -42,29 +80,25 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
   }
   std::printf("\n");
 
-  DpPlanner dp;
-  StructureAwarePlanner sa;
-  GreedyPlanner greedy;
-  Planner* planners[] = {&dp, &sa, &greedy};
-  for (double consumption : {0.2, 0.4, 0.6, 0.8}) {
-    const int budget =
-        static_cast<int>(consumption * topo.num_tasks() + 0.5);
+  for (int row = 0; row < 4; ++row) {
+    const double consumption = consumptions[row];
     double of[3] = {-1, -1, -1};
     double acc[3] = {-1, -1, -1};
     for (int p = 0; p < 3; ++p) {
-      auto plan = planners[p]->Plan(topo, budget);
-      if (!plan.ok()) {
-        continue;  // DP may exceed its exponential-search cap.
+      StatusOr<CellResult>& result =
+          results[static_cast<size_t>(row * 3 + p)];
+      PPA_CHECK_OK(result.status());
+      if (!result->planned) {
+        continue;
       }
-      of[p] = plan->output_fidelity;
-      static const char* kPlannerNames[] = {"dp", "sa", "greedy"};
+      of[p] = result->of;
+      acc[p] = result->accuracy.accuracy;
       char label[64];
       std::snprintf(label, sizeof(label), "%s/%s/c%.1f", tag,
-                    kPlannerNames[p], consumption);
-      auto accuracy = bench::MeasureTentativeAccuracy(
-          experiment, plan->replicated, sink, label, traces);
-      PPA_CHECK_OK(accuracy.status());
-      acc[p] = *accuracy;
+                    std::string(PlannerKindToString(kinds[p])).c_str(),
+                    consumption);
+      driver->metrics().Add(label, std::move(result->accuracy.metrics));
+      driver->traces().Capture(std::move(result->accuracy.chrome_trace));
     }
     std::printf("%-12.1f", consumption);
     for (double v : {of[0], of[1], of[2], acc[0], acc[1], acc[2]}) {
@@ -82,10 +116,7 @@ void RunQuery(const char* title, const char* tag, const Topology& topo,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
 
   // ------------------------------------------------------------- Q1 --
   WorldCupSource::Options source;
@@ -104,7 +135,7 @@ int main(int argc, char** argv) {
   q1_exp.accuracy = PerBatchSetAccuracy;
   q1_exp.stale_grace_batches = 16;
   RunQuery("Figure 13(a): Q1 top-100 aggregate query", "q1", q1->topo,
-           q1_exp, &sink, &traces);
+           q1_exp, &driver);
 
   // ------------------------------------------------------------- Q2 --
   IncidentSchedule::Options schedule_options;
@@ -125,13 +156,11 @@ int main(int argc, char** argv) {
   q2_exp.accuracy = DistinctSetAccuracy;
   q2_exp.stale_grace_batches = 4;
   RunQuery("Figure 13(b): Q2 incident detection query", "q2", q2->topo,
-           q2_exp, &sink, &traces);
+           q2_exp, &driver);
 
   std::printf(
       "Expected shape (paper): SA tracks the optimal DP closely in both OF "
       "and measured\naccuracy; Greedy is clearly worse, especially at small "
       "budgets where its picks\ndo not form complete MC-trees.\n");
-  sink.Write("fig13_planner_comparison");
-  traces.Write();
-  return 0;
+  return driver.Finish("fig13_planner_comparison");
 }

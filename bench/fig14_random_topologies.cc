@@ -6,10 +6,13 @@
 // DP is omitted, as in the paper, because its complexity is prohibitive on
 // these topologies.
 
+#include <array>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/driver.h"
 #include "common/random.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -29,15 +32,42 @@ struct MeanOf {
   double greedy = 0.0;
 };
 
+/// Per-topology OF of both planners at every consumption level.
+struct TopoResult {
+  std::array<double, std::size(kConsumptions)> sa;
+  std::array<double, std::size(kConsumptions)> greedy;
+};
+
 /// Mean OF of SA and Greedy plans over kTopologiesPerConfig topologies at
-/// each consumption level. When `registry` is given, every plan's OF lands
-/// in the "planner.sa_of"/"planner.greedy_of" histograms.
-std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
+/// each consumption level. Topology i draws its own RNG stream from
+/// DeriveSeed(seed, i), so results do not depend on the order (or the
+/// thread) topologies are planned on. When `registry` is given, every
+/// plan's OF lands in the "planner.sa_of"/"planner.greedy_of" histograms,
+/// recorded in topology order.
+std::vector<MeanOf> Sweep(bench::Driver* driver,
+                          const RandomTopologyOptions& options,
                           uint64_t seed, obs::MetricsRegistry* registry) {
-  std::vector<MeanOf> means(std::size(kConsumptions));
-  Rng rng(seed);
-  StructureAwarePlanner sa;
-  GreedyPlanner greedy;
+  std::vector<TopoResult> per_topo = driver->Map<TopoResult>(
+      kTopologiesPerConfig, [&options, seed](int i) {
+        Rng rng(DeriveSeed(seed, static_cast<uint64_t>(i)));
+        auto topo = GenerateRandomTopology(options, &rng);
+        PPA_CHECK_OK(topo.status());
+        StructureAwarePlanner sa;
+        GreedyPlanner greedy;
+        TopoResult result;
+        for (size_t c = 0; c < std::size(kConsumptions); ++c) {
+          const int budget = static_cast<int>(kConsumptions[c] *
+                                                  topo->num_tasks() + 0.5);
+          auto sa_plan = sa.Plan(PlanRequest(*topo, budget));
+          auto greedy_plan = greedy.Plan(PlanRequest(*topo, budget));
+          PPA_CHECK_OK(sa_plan.status());
+          PPA_CHECK_OK(greedy_plan.status());
+          result.sa[c] = sa_plan->output_fidelity;
+          result.greedy[c] = greedy_plan->output_fidelity;
+        }
+        return result;
+      });
+
   obs::Histogram* sa_of =
       registry != nullptr ? registry->histogram("planner.sa_of") : nullptr;
   obs::Histogram* greedy_of =
@@ -45,21 +75,14 @@ std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
                           : nullptr;
   obs::Counter* topologies =
       registry != nullptr ? registry->counter("planner.topologies") : nullptr;
-  for (int i = 0; i < kTopologiesPerConfig; ++i) {
-    auto topo = GenerateRandomTopology(options, &rng);
-    PPA_CHECK_OK(topo.status());
+  std::vector<MeanOf> means(std::size(kConsumptions));
+  for (const TopoResult& result : per_topo) {
     obs::Add(topologies);
     for (size_t c = 0; c < std::size(kConsumptions); ++c) {
-      const int budget = static_cast<int>(kConsumptions[c] *
-                                              topo->num_tasks() + 0.5);
-      auto sa_plan = sa.Plan(*topo, budget);
-      auto greedy_plan = greedy.Plan(*topo, budget);
-      PPA_CHECK_OK(sa_plan.status());
-      PPA_CHECK_OK(greedy_plan.status());
-      means[c].sa += sa_plan->output_fidelity;
-      means[c].greedy += greedy_plan->output_fidelity;
-      obs::Observe(sa_of, sa_plan->output_fidelity);
-      obs::Observe(greedy_of, greedy_plan->output_fidelity);
+      means[c].sa += result.sa[c];
+      means[c].greedy += result.greedy[c];
+      obs::Observe(sa_of, result.sa[c]);
+      obs::Observe(greedy_of, result.greedy[c]);
     }
   }
   for (MeanOf& m : means) {
@@ -71,19 +94,20 @@ std::vector<MeanOf> Sweep(const RandomTopologyOptions& options,
 
 void Panel(const char* title, const char* label_a, const char* label_b,
            const RandomTopologyOptions& a, const RandomTopologyOptions& b,
-           uint64_t seed, bench::BenchMetricsSink* sink) {
+           uint64_t seed, bench::Driver* driver) {
+  bench::BenchMetricsSink* sink = &driver->metrics();
+  obs::MetricsRegistry registry_a;
+  obs::MetricsRegistry registry_b;
+  const auto means_a =
+      Sweep(driver, a, seed, sink->enabled() ? &registry_a : nullptr);
+  const auto means_b =
+      Sweep(driver, b, seed + 1, sink->enabled() ? &registry_b : nullptr);
   std::printf("%s\n", title);
   std::printf("%-12s %12s %12s %12s %12s\n", "consumption",
               (std::string("SA-") + label_a).c_str(),
               (std::string("Greedy-") + label_a).c_str(),
               (std::string("SA-") + label_b).c_str(),
               (std::string("Greedy-") + label_b).c_str());
-  obs::MetricsRegistry registry_a;
-  obs::MetricsRegistry registry_b;
-  const auto means_a =
-      Sweep(a, seed, sink->enabled() ? &registry_a : nullptr);
-  const auto means_b =
-      Sweep(b, seed + 1, sink->enabled() ? &registry_b : nullptr);
   sink->Add(label_a, obs::MetricsToJson(registry_a));
   sink->Add(label_b, obs::MetricsToJson(registry_b));
   for (size_t c = 0; c < std::size(kConsumptions); ++c) {
@@ -109,12 +133,10 @@ RandomTopologyOptions Base() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::BenchMetricsSink sink =
-      bench::BenchMetricsSink::FromArgs(argc, argv);
   // Planner-only bench: accepts --chrome_trace_out for tooling uniformity
   // and writes an empty (but valid) trace.
-  bench::ChromeTraceSink traces =
-      bench::ChromeTraceSink::FromArgs(argc, argv);
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
+  const uint64_t base_seed = driver.seed_or(100);
 
   std::printf(
       "Figure 14: SA vs Greedy output fidelity on 100 random topologies "
@@ -125,7 +147,7 @@ int main(int argc, char** argv) {
   zipf.skew = RandomTopologyOptions::WorkloadSkew::kZipf;
   zipf.zipf_s = 0.1;
   Panel("Figure 14(a): workload skew (Zipf s=0.1 vs uniform)", "zipf",
-        "uniform", zipf, Base(), /*seed=*/100, &sink);
+        "uniform", zipf, Base(), base_seed, &driver);
 
   // (b) Degree of parallelization.
   RandomTopologyOptions high = Base();
@@ -135,27 +157,25 @@ int main(int argc, char** argv) {
   low.min_parallelism = 1;
   low.max_parallelism = 10;
   Panel("Figure 14(b): parallelism (10-20 vs 1-10)", "para10-20",
-        "para1-10", high, low, /*seed=*/200, &sink);
+        "para1-10", high, low, base_seed + 100, &driver);
 
   // (c) Structured vs full topologies.
   RandomTopologyOptions structured = Base();
   RandomTopologyOptions full = Base();
   full.kind = RandomTopologyOptions::Kind::kFull;
   Panel("Figure 14(c): structured vs full partitioning", "structure",
-        "full", structured, full, /*seed=*/300, &sink);
+        "full", structured, full, base_seed + 200, &driver);
 
   // (d) Fraction of join operators.
   RandomTopologyOptions no_join = Base();
   RandomTopologyOptions half_join = Base();
   half_join.join_fraction = 0.5;
   Panel("Figure 14(d): join fraction (0 vs 50%)", "nojoin", "join50",
-        no_join, half_join, /*seed=*/400, &sink);
+        no_join, half_join, base_seed + 300, &driver);
 
   std::printf(
       "Expected shape (paper): SA >= Greedy everywhere, with the largest "
       "gap at small\nbudgets; skew raises SA's OF; structured topologies "
       "score higher than full ones;\nmore joins lower OF.\n");
-  sink.Write("fig14_random_topologies");
-  traces.Write();
-  return 0;
+  return driver.Finish("fig14_random_topologies");
 }

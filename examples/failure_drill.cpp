@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   }
 
   StructureAwarePlanner planner;
-  auto plan = planner.Plan(workload->topo, budget);
+  auto plan = planner.Plan(PlanRequest(workload->topo, budget));
   PPA_CHECK_OK(plan.status());
   std::printf("plan: %d replicas (budget %d), worst-case OF %.3f\n",
               plan->resource_usage(), budget, plan->output_fidelity);

@@ -67,7 +67,7 @@ int main() {
 
   // PPA run with a 50% replication budget and a correlated failure.
   StructureAwarePlanner planner;
-  auto plan = planner.Plan(topo, topo.num_tasks() / 2);
+  auto plan = planner.Plan(PlanRequest(topo, topo.num_tasks() / 2));
   PPA_CHECK_OK(plan.status());
   EventLoop loop;
   StreamingJob job(topo, IncidentConfig(), &loop);

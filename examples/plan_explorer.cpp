@@ -64,9 +64,9 @@ int main(int argc, char** argv) {
   std::printf("\n%-8s %10s %10s %10s\n", "budget", "dp", "sa", "greedy");
   for (int pct = 10; pct <= 80; pct += 10) {
     const int budget = topo->num_tasks() * pct / 100;
-    auto dp_plan = dp.Plan(*topo, budget);
-    auto sa_plan = sa.Plan(*topo, budget);
-    auto greedy_plan = greedy.Plan(*topo, budget);
+    auto dp_plan = dp.Plan(PlanRequest(*topo, budget));
+    auto sa_plan = sa.Plan(PlanRequest(*topo, budget));
+    auto greedy_plan = greedy.Plan(PlanRequest(*topo, budget));
     std::printf("%3d%% %3d ", pct, budget);
     if (dp_plan.ok()) {
       std::printf("%10.4f", dp_plan->output_fidelity);

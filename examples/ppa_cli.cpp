@@ -7,20 +7,27 @@
 //   ppa_cli <topology.spec> [options]
 //     --scenario <file>    timed failure script (see ParseScenario)
 //     --mode <checkpoint|source-replay|active|ppa>   (default ppa)
+//     --planner <dp|greedy|sa|exhaustive|random|expected>  PPA planner
+//                          (default sa, the structure-aware heuristic)
 //     --budget <n>         PPA replication budget (default: tasks/2)
 //     --seconds <s>        simulated duration (default 60)
 //     --window <batches>   operator window length (default 10)
 //     --json <file>        write the job summary report here
+//     --dot <file>         write the (plan-annotated) topology as DOT
+//
+// Shared experiment flags (parsed by bench::Driver):
 //     --metrics_out <file> write the observability profile (metrics,
 //                          recovery timelines, tentative windows, spans,
 //                          fidelity timeseries, trace)
 //     --chrome_trace_out <file>  write a Chrome/Perfetto Trace Event
 //                          Format JSON (load in chrome://tracing or
 //                          https://ui.perfetto.dev)
-//     --dot <file>         write the (plan-annotated) topology as DOT
+//     --jobs <n>           accepted for tooling uniformity (one run only)
+//     --seed <n>           seed forwarded to the planner
 //
 // Example spec + scenario live in the repository README.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,14 +35,14 @@
 #include <sstream>
 #include <string>
 
-#include "engine/operators.h"
-#include "planner/structure_aware_planner.h"
+#include "bench/driver.h"
+#include "exp/run_spec.h"
+#include "planner/planner.h"
 #include "report/experiment_report.h"
 #include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
 #include "sim/event_loop.h"
 #include "topology/serialize.h"
-#include "workloads/synthetic_recovery.h"
 
 namespace {
 
@@ -68,13 +75,14 @@ StatusOr<FtMode> ModeFromString(const std::string& s) {
 }
 
 int Run(int argc, char** argv) {
+  bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
   if (argc < 2) {
     std::fprintf(stderr, "usage: %s <topology.spec> [options]\n", argv[0]);
     return 2;
   }
-  std::string scenario_path, json_path, dot_path, metrics_path;
-  std::string chrome_trace_path;
+  std::string scenario_path, json_path, dot_path;
   FtMode mode = FtMode::kPpa;
+  PlannerKind planner_kind = PlannerKind::kStructureAware;
   int budget = -1;
   double seconds = 60;
   int64_t window = 10;
@@ -92,6 +100,10 @@ int Run(int argc, char** argv) {
       auto parsed = ModeFromString(need_value("--mode"));
       PPA_CHECK_OK(parsed.status());
       mode = *parsed;
+    } else if (std::strcmp(argv[i], "--planner") == 0) {
+      auto parsed = PlannerKindFromString(need_value("--planner"));
+      PPA_CHECK_OK(parsed.status());
+      planner_kind = *parsed;
     } else if (std::strcmp(argv[i], "--budget") == 0) {
       budget = std::stoi(need_value("--budget"));
     } else if (std::strcmp(argv[i], "--seconds") == 0) {
@@ -100,10 +112,6 @@ int Run(int argc, char** argv) {
       window = std::stoll(need_value("--window"));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = need_value("--json");
-    } else if (std::strcmp(argv[i], "--metrics_out") == 0) {
-      metrics_path = need_value("--metrics_out");
-    } else if (std::strcmp(argv[i], "--chrome_trace_out") == 0) {
-      chrome_trace_path = need_value("--chrome_trace_out");
     } else if (std::strcmp(argv[i], "--dot") == 0) {
       dot_path = need_value("--dot");
     } else {
@@ -133,25 +141,7 @@ int Run(int argc, char** argv) {
 
   // Generic bindings: deterministic synthetic sources at the spec's rates,
   // sliding-window aggregates with the spec's selectivities elsewhere.
-  for (const OperatorInfo& oi : topo->operators()) {
-    if (oi.upstream.empty()) {
-      double rate = 0;
-      for (TaskId t : oi.tasks) {
-        rate += topo->task(t).output_rate;
-      }
-      const int64_t per_task_batch = static_cast<int64_t>(
-          rate / oi.parallelism * config.batch_interval.seconds());
-      PPA_CHECK_OK(job.BindSource(oi.id, [per_task_batch, id = oi.id] {
-        return std::make_unique<SyntheticSource>(
-            std::max<int64_t>(per_task_batch, 1), 256,
-            static_cast<uint64_t>(id) + 1);
-      }));
-    } else {
-      PPA_CHECK_OK(job.BindOperator(oi.id, [window, sel = oi.selectivity] {
-        return std::make_unique<SlidingWindowAggregateOperator>(window, sel);
-      }));
-    }
-  }
+  PPA_CHECK_OK(exp::BindGenericWorkload(*topo, config, &job));
 
   ReplicationPlan plan;
   plan.replicated = TaskSet(topo->num_tasks());
@@ -159,12 +149,15 @@ int Run(int argc, char** argv) {
     if (budget < 0) {
       budget = topo->num_tasks() / 2;
     }
-    StructureAwarePlanner planner;
-    auto planned = planner.Plan(*topo, budget);
+    PlannerOptions planner_options;
+    planner_options.seed = driver.seed_or(planner_options.seed);
+    auto planner = CreatePlanner(planner_kind, planner_options);
+    auto planned = planner->Plan(PlanRequest(*topo, budget));
     PPA_CHECK_OK(planned.status());
     plan = *std::move(planned);
-    std::printf("plan: %d replicas, worst-case OF %.3f\n",
-                plan.resource_usage(), plan.output_fidelity);
+    std::printf("plan (%s): %d replicas, worst-case OF %.3f\n",
+                std::string(planner->name()).c_str(), plan.resource_usage(),
+                plan.output_fidelity);
     PPA_CHECK_OK(job.SetActiveReplicaSet(plan.replicated));
   }
   PPA_CHECK_OK(job.Start());
@@ -205,23 +198,14 @@ int Run(int argc, char** argv) {
     PPA_CHECK_OK(WriteJsonFile(json_path, JobSummaryToJson(job)));
     std::printf("report written to %s\n", json_path.c_str());
   }
-  if (!metrics_path.empty()) {
-    PPA_CHECK_OK(WriteJsonFile(metrics_path, JobProfileToJson(job)));
-    std::printf("observability profile written to %s\n",
-                metrics_path.c_str());
-  }
-  if (!chrome_trace_path.empty()) {
-    PPA_CHECK_OK(WriteJsonFile(chrome_trace_path, JobChromeTraceToJson(job)));
-    std::printf("chrome trace written to %s (load in chrome://tracing or "
-                "https://ui.perfetto.dev)\n",
-                chrome_trace_path.c_str());
-  }
+  driver.metrics().Add("profile", JobProfileToJson(job));
+  driver.traces().Capture(JobChromeTraceToJson(job));
   if (!dot_path.empty()) {
     std::ofstream out(dot_path);
     out << ToDot(*topo, mode == FtMode::kPpa ? &plan.replicated : nullptr);
     std::printf("DOT written to %s\n", dot_path.c_str());
   }
-  return 0;
+  return driver.Finish("ppa_cli");
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ int main() {
                            PlannerKind::kStructureAware,
                            PlannerKind::kGreedy}) {
     auto planner = CreatePlanner(kind);
-    auto plan = planner->Plan(topo, budget);
+    auto plan = planner->Plan(PlanRequest(topo, budget));
     if (!plan.ok()) {
       std::fprintf(stderr, "%s failed: %s\n",
                    std::string(planner->name()).c_str(),
@@ -87,7 +87,8 @@ int main() {
   // ---------------------------------------------------------------- 4 --
   // Run it: PPA fault tolerance with the structure-aware plan, correlated
   // failure at t=20s, tentative outputs while passive recovery runs.
-  auto sa_plan = CreatePlanner(PlannerKind::kStructureAware)->Plan(topo, budget);
+  auto sa_plan = CreatePlanner(PlannerKind::kStructureAware)
+                     ->Plan(PlanRequest(topo, budget));
   EventLoop loop;
   JobConfig config;
   config.ft_mode = FtMode::kPpa;

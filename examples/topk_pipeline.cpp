@@ -52,7 +52,8 @@ int main() {
   // Failure run: replicate 40% of the tasks with the structure-aware
   // planner, then kill every primary at t=25s.
   StructureAwarePlanner planner;
-  auto plan = planner.Plan(workload->topo, workload->topo.num_tasks() * 2 / 5);
+  auto plan = planner.Plan(
+      PlanRequest(workload->topo, workload->topo.num_tasks() * 2 / 5));
   PPA_CHECK_OK(plan.status());
   std::printf("structure-aware plan: %d replicas, worst-case OF %.3f\n",
               plan->resource_usage(), plan->output_fidelity);

@@ -19,6 +19,19 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitMix64Mix(uint64_t x) {
+  uint64_t state = x;
+  return SplitMix64(&state);
+}
+
+uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+  // Mix the index through one SplitMix64 round before combining so that
+  // consecutive indices land in unrelated regions of the seed space, then
+  // mix again: (base, index) and (base, index + 1) share no structure.
+  uint64_t state = base ^ SplitMix64Mix(index + 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& word : state_) {

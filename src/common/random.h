@@ -44,6 +44,18 @@ class Rng {
   uint64_t state_[4];
 };
 
+/// One step of the stateless SplitMix64 mixer: maps `x` to a uniformly
+/// distributed 64-bit value. Building block for deriving independent seeds
+/// (see DeriveSeed); also how Rng expands its own seed.
+[[nodiscard]] uint64_t SplitMix64Mix(uint64_t x);
+
+/// Derives the RNG seed of run `index` within a sweep seeded with `base`.
+/// Runs of the same sweep get decorrelated streams, and the derivation
+/// depends only on (base, index) — never on execution order — so a sweep
+/// fanned across threads reproduces the serial run bit for bit
+/// (src/exp/parallel_runner.h relies on this).
+[[nodiscard]] uint64_t DeriveSeed(uint64_t base, uint64_t index);
+
 /// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}: rank r is
 /// drawn with probability proportional to 1 / (r+1)^s. Uses a precomputed
 /// cumulative table (O(log n) per sample). s == 0 degenerates to uniform.

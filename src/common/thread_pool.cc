@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace ppa {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const size_t n = static_cast<size_t>(std::max(num_threads, 1));
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  PPA_CHECK(fn != nullptr) << "ThreadPool::Submit requires a task";
+  size_t shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PPA_CHECK(!stop_) << "Submit after ThreadPool destruction began";
+    shard = next_shard_++ % workers_.size();
+    ++queued_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[shard]->mu);
+    workers_[shard]->tasks.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t self) {
+  std::function<void()> task;
+  {
+    Worker& own = *workers_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (task == nullptr) {
+    for (size_t k = 1; k < workers_.size() && task == nullptr; ++k) {
+      Worker& victim = *workers_[(self + k) % workers_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+      }
+    }
+  }
+  if (task == nullptr) {
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --queued_;
+  }
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    if (RunOneTask(self)) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (queued_ > 0) {
+      continue;  // Claim it through RunOneTask (another worker may win).
+    }
+    if (stop_) {
+      return;
+    }
+  }
+}
+
+int ThreadPool::DefaultParallelism() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace ppa

@@ -1,0 +1,132 @@
+#include "exp/run_spec.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "engine/operators.h"
+#include "report/experiment_report.h"
+#include "sim/event_loop.h"
+#include "workloads/synthetic_recovery.h"
+
+namespace ppa {
+namespace exp {
+
+Status BindGenericWorkload(const Topology& topology, const JobConfig& config,
+                           StreamingJob* job) {
+  for (const OperatorInfo& oi : topology.operators()) {
+    if (oi.upstream.empty()) {
+      double rate = 0;
+      for (TaskId t : oi.tasks) {
+        rate += topology.task(t).output_rate;
+      }
+      const int64_t per_task_batch = static_cast<int64_t>(
+          rate / oi.parallelism * config.batch_interval.seconds());
+      PPA_RETURN_IF_ERROR(
+          job->BindSource(oi.id, [per_task_batch, id = oi.id] {
+            return std::make_unique<SyntheticSource>(
+                std::max<int64_t>(per_task_batch, 1), 256,
+                static_cast<uint64_t>(id) + 1);
+          }));
+    } else {
+      PPA_RETURN_IF_ERROR(job->BindOperator(
+          oi.id, [window = config.window_batches, sel = oi.selectivity] {
+            return std::make_unique<SlidingWindowAggregateOperator>(window,
+                                                                   sel);
+          }));
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<RunResult> ExecuteRun(const RunSpec& spec, uint64_t derived_seed) {
+  if (!spec.make_topology) {
+    return InvalidArgument("RunSpec.make_topology is required");
+  }
+  PPA_RETURN_IF_ERROR(spec.config.Validate());
+  Rng rng(derived_seed);
+  PPA_ASSIGN_OR_RETURN(Topology topology, spec.make_topology(&rng));
+
+  EventLoop loop;
+  StreamingJob job(topology, spec.config, &loop);
+  if (spec.bind) {
+    PPA_RETURN_IF_ERROR(spec.bind(topology, &job));
+  } else {
+    PPA_RETURN_IF_ERROR(BindGenericWorkload(topology, spec.config, &job));
+  }
+
+  RunResult result;
+  result.label = spec.label;
+  if (spec.planner.has_value()) {
+    const int budget =
+        spec.budget >= 0 ? spec.budget : topology.num_tasks() / 2;
+    std::unique_ptr<Planner> planner =
+        CreatePlanner(*spec.planner, spec.planner_options);
+    PPA_ASSIGN_OR_RETURN(ReplicationPlan plan,
+                         planner->Plan(PlanRequest(topology, budget)));
+    result.output_fidelity = plan.output_fidelity;
+    result.resource_usage = plan.resource_usage();
+    PPA_RETURN_IF_ERROR(job.SetActiveReplicaSet(plan.replicated));
+  }
+  PPA_RETURN_IF_ERROR(job.Start());
+
+  ScenarioRunner scenario(&job, &loop);
+  if (!spec.scenario.empty()) {
+    PPA_RETURN_IF_ERROR(scenario.Run(spec.scenario));
+  }
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(spec.run_for_seconds));
+  PPA_RETURN_IF_ERROR(scenario.FirstError());
+
+  result.sink_records = job.sink_records().size();
+  result.recoveries = job.recovery_reports().size();
+  for (const RecoveryReport& report : job.recovery_reports()) {
+    result.max_recovery_latency_seconds =
+        std::max(result.max_recovery_latency_seconds,
+                 report.TotalLatency().seconds());
+  }
+  result.summary = JobSummaryToJson(job);
+  return result;
+}
+
+StatusOr<std::vector<RunResult>> RunAll(ParallelRunner* runner,
+                                        const std::vector<RunSpec>& specs) {
+  std::vector<StatusOr<RunResult>> raw =
+      runner->Map<StatusOr<RunResult>>(
+          static_cast<int>(specs.size()), [&specs](int i) {
+            const RunSpec& spec = specs[static_cast<size_t>(i)];
+            return ExecuteRun(spec,
+                              DeriveSeed(spec.seed,
+                                         static_cast<uint64_t>(i)));
+          });
+  std::vector<RunResult> results;
+  results.reserve(raw.size());
+  for (StatusOr<RunResult>& run : raw) {
+    PPA_RETURN_IF_ERROR(run.status());
+    results.push_back(*std::move(run));
+  }
+  return results;
+}
+
+JsonValue RunResultToJson(const RunResult& result) {
+  JsonValue v = JsonValue::Object();
+  v.Set("label", result.label);
+  v.Set("output_fidelity", result.output_fidelity);
+  v.Set("resource_usage", result.resource_usage);
+  v.Set("sink_records", static_cast<int64_t>(result.sink_records));
+  v.Set("recoveries", static_cast<int64_t>(result.recoveries));
+  v.Set("max_recovery_latency_seconds",
+        result.max_recovery_latency_seconds);
+  v.Set("summary", result.summary);
+  return v;
+}
+
+JsonValue RunResultsToJson(const std::vector<RunResult>& results) {
+  JsonValue v = JsonValue::Array();
+  for (const RunResult& result : results) {
+    v.Append(RunResultToJson(result));
+  }
+  return v;
+}
+
+}  // namespace exp
+}  // namespace ppa

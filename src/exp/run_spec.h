@@ -1,0 +1,104 @@
+#ifndef PPA_EXP_RUN_SPEC_H_
+#define PPA_EXP_RUN_SPEC_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status_or.h"
+#include "exp/parallel_runner.h"
+#include "planner/planner.h"
+#include "report/json.h"
+#include "runtime/config.h"
+#include "runtime/scenario.h"
+#include "runtime/streaming_job.h"
+
+namespace ppa {
+namespace exp {
+
+/// Value-type description of one complete experiment: topology, job
+/// configuration, operator bindings, failure scenario, planner choice, and
+/// seed. A RunSpec is self-contained — executing it never reads ambient
+/// state — so specs can be fanned across threads and always reproduce.
+struct RunSpec {
+  /// Identifies the run in results and JSON output.
+  std::string label;
+  /// Builds the run's topology. Receives the run's derived-seed RNG, so
+  /// randomized topologies are reproducible and independent of the order
+  /// runs execute in.
+  std::function<StatusOr<Topology>(Rng*)> make_topology;
+  /// Job configuration; validated before the job is constructed.
+  JobConfig config;
+  /// Custom operator/source bindings. When empty, BindGenericWorkload()
+  /// attaches deterministic synthetic sources and sliding-window
+  /// aggregates (the ppa_cli semantics).
+  std::function<Status(const Topology&, StreamingJob*)> bind;
+  /// Timed failure script executed while the job runs.
+  std::vector<ScenarioEvent> scenario;
+  /// Planner whose plan is activated as the job's replica set before the
+  /// run starts; no planning when unset.
+  std::optional<PlannerKind> planner;
+  /// Options forwarded to CreatePlanner() when `planner` is set.
+  PlannerOptions planner_options;
+  /// Replication budget; negative means num_tasks / 2.
+  int budget = -1;
+  /// Base seed. RunAll() derives the per-run seed with
+  /// DeriveSeed(seed, run_index).
+  uint64_t seed = 1;
+  /// Simulated duration of the run.
+  double run_for_seconds = 60.0;
+};
+
+/// Outcome of one executed RunSpec.
+struct RunResult {
+  /// Copied from the spec.
+  std::string label;
+  /// Worst-case OF of the activated plan; 1.0 when no planner ran.
+  double output_fidelity = 1.0;
+  /// Replicas the activated plan consumed; 0 when no planner ran.
+  int resource_usage = 0;
+  /// Sink records the job emitted.
+  size_t sink_records = 0;
+  /// Recoveries the job completed.
+  size_t recoveries = 0;
+  /// Slowest recovery in seconds; 0 without failures.
+  double max_recovery_latency_seconds = 0.0;
+  /// Full job summary (JobSummaryToJson).
+  JsonValue summary;
+};
+
+/// JSON object for one result, with a stable field order (suitable for
+/// byte-identity comparisons across worker counts).
+[[nodiscard]] JsonValue RunResultToJson(const RunResult& result);
+
+/// JSON array of results in run order.
+[[nodiscard]] JsonValue RunResultsToJson(const std::vector<RunResult>& results);
+
+/// Binds the generic workload ppa_cli uses: deterministic synthetic
+/// sources at each source operator's spec rate, sliding-window aggregates
+/// (window = config.window_batches, the operator's spec selectivity)
+/// everywhere else.
+[[nodiscard]] Status BindGenericWorkload(const Topology& topology,
+                                         const JobConfig& config,
+                                         StreamingJob* job);
+
+/// Executes one spec with the given derived seed: builds the topology,
+/// validates the config, binds operators, optionally plans and activates a
+/// replica set, schedules the scenario, and runs the simulation for
+/// spec.run_for_seconds of virtual time.
+[[nodiscard]] StatusOr<RunResult> ExecuteRun(const RunSpec& spec,
+                                             uint64_t derived_seed);
+
+/// Executes every spec through the runner and returns results in spec
+/// order. Run i executes with seed DeriveSeed(specs[i].seed, i), so the
+/// result vector is identical for any worker count.
+[[nodiscard]] StatusOr<std::vector<RunResult>> RunAll(
+    ParallelRunner* runner, const std::vector<RunSpec>& specs);
+
+}  // namespace exp
+}  // namespace ppa
+
+#endif  // PPA_EXP_RUN_SPEC_H_

@@ -8,13 +8,14 @@
 
 namespace ppa {
 
-StatusOr<ReplicationPlan> DpPlanner::Plan(const Topology& topology,
-                                          int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+StatusOr<ReplicationPlan> DpPlanner::Plan(const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
+  const size_t max_candidates = request.max_search_steps != 0
+                                    ? request.max_search_steps
+                                    : options_.max_candidate_plans;
   const int n = topology.num_tasks();
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
 
   PPA_ASSIGN_OR_RETURN(std::vector<TaskSet> trees,
                        EnumerateMcTrees(topology, options_.mc_tree));
@@ -54,7 +55,7 @@ StatusOr<ReplicationPlan> DpPlanner::Plan(const Topology& topology,
     for (TaskSet& plan : to_add) {
       open.insert(std::move(plan));
     }
-    if (open.size() + closed.size() > options_.max_candidate_plans) {
+    if (open.size() + closed.size() > max_candidates) {
       return ResourceExhausted("DP planner candidate set exceeded limit");
     }
   }

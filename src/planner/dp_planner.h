@@ -27,8 +27,9 @@ class DpPlanner : public Planner {
 
   std::string_view name() const override { return "dp"; }
 
-  StatusOr<ReplicationPlan> Plan(const Topology& topology,
-                                 int budget) override;
+  /// `request.max_search_steps`, when nonzero, overrides
+  /// `options_.max_candidate_plans` as the candidate-set cap.
+  StatusOr<ReplicationPlan> Plan(const PlanRequest& request) override;
 
  private:
   DpPlannerOptions options_;

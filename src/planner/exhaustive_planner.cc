@@ -6,22 +6,26 @@
 
 namespace ppa {
 
-StatusOr<ReplicationPlan> ExhaustivePlanner::Plan(const Topology& topology,
-                                                  int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+StatusOr<ReplicationPlan> ExhaustivePlanner::Plan(
+    const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
   const int n = topology.num_tasks();
   if (n > max_tasks_) {
     return ResourceExhausted(
         "exhaustive planner refuses topologies beyond its task cap");
   }
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
 
   ReplicationPlan best;
   best.replicated = TaskSet(n);
   best.output_fidelity = PlanOutputFidelity(topology, best.replicated);
   for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (request.max_search_steps != 0 &&
+        mask >= request.max_search_steps) {
+      return ResourceExhausted(
+          "exhaustive planner exceeded max_search_steps");
+    }
     if (__builtin_popcountll(mask) > budget) {
       continue;
     }
@@ -42,13 +46,11 @@ StatusOr<ReplicationPlan> ExhaustivePlanner::Plan(const Topology& topology,
   return best;
 }
 
-StatusOr<ReplicationPlan> RandomPlanner::Plan(const Topology& topology,
-                                              int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+StatusOr<ReplicationPlan> RandomPlanner::Plan(const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
   const int n = topology.num_tasks();
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
   std::vector<TaskId> tasks(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     tasks[static_cast<size_t>(i)] = static_cast<TaskId>(i);

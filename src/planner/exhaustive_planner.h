@@ -16,8 +16,9 @@ class ExhaustivePlanner : public Planner {
 
   std::string_view name() const override { return "exhaustive"; }
 
-  StatusOr<ReplicationPlan> Plan(const Topology& topology,
-                                 int budget) override;
+  /// `request.max_search_steps`, when nonzero, caps the number of subsets
+  /// examined (ResourceExhausted beyond it).
+  StatusOr<ReplicationPlan> Plan(const PlanRequest& request) override;
 
  private:
   int max_tasks_;
@@ -32,8 +33,8 @@ class RandomPlanner : public Planner {
 
   std::string_view name() const override { return "random"; }
 
-  StatusOr<ReplicationPlan> Plan(const Topology& topology,
-                                 int budget) override;
+  /// Linear; ignores `request.max_search_steps`.
+  StatusOr<ReplicationPlan> Plan(const PlanRequest& request) override;
 
  private:
   uint64_t seed_;

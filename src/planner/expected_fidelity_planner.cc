@@ -8,12 +8,11 @@
 namespace ppa {
 
 StatusOr<ReplicationPlan> ExpectedFidelityPlanner::Plan(
-    const Topology& topology, int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+    const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
   const int n = topology.num_tasks();
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
   std::vector<double> probabilities = probabilities_;
   if (probabilities.empty()) {
     probabilities.assign(static_cast<size_t>(n),

@@ -7,13 +7,11 @@
 
 namespace ppa {
 
-StatusOr<ReplicationPlan> GreedyPlanner::Plan(const Topology& topology,
-                                              int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+StatusOr<ReplicationPlan> GreedyPlanner::Plan(const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
   const int n = topology.num_tasks();
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
 
   struct Scored {
     TaskId task;

@@ -17,8 +17,8 @@ class GreedyPlanner : public Planner {
  public:
   std::string_view name() const override { return "greedy"; }
 
-  StatusOr<ReplicationPlan> Plan(const Topology& topology,
-                                 int budget) override;
+  /// Polynomial search; ignores `request.max_search_steps`.
+  StatusOr<ReplicationPlan> Plan(const PlanRequest& request) override;
 };
 
 }  // namespace ppa

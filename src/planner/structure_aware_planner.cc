@@ -11,12 +11,11 @@
 namespace ppa {
 
 StatusOr<ReplicationPlan> StructureAwarePlanner::Plan(
-    const Topology& topology, int budget) {
-  if (budget < 0) {
-    return InvalidArgument("budget must be non-negative");
-  }
+    const PlanRequest& request) {
+  PPA_RETURN_IF_ERROR(ValidatePlanRequest(request));
+  const Topology& topology = *request.topology;
   const int n = topology.num_tasks();
-  budget = std::min(budget, n);
+  const int budget = std::min(request.budget, n);
 
   PPA_ASSIGN_OR_RETURN(std::vector<SubTopology> subs,
                        DecomposeTopology(topology));

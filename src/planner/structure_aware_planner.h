@@ -33,8 +33,9 @@ class StructureAwarePlanner : public Planner {
 
   std::string_view name() const override { return "sa"; }
 
-  StatusOr<ReplicationPlan> Plan(const Topology& topology,
-                                 int budget) override;
+  /// Polynomial in the sub-planner expansions; ignores
+  /// `request.max_search_steps`.
+  StatusOr<ReplicationPlan> Plan(const PlanRequest& request) override;
 
  private:
   StructureAwareOptions options_;

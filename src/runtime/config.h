@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/sim_time.h"
+#include "common/status.h"
 #include "ft/recovery_model.h"
 
 namespace ppa {
@@ -81,6 +82,25 @@ struct JobConfig {
   /// scheduling — so disabling it must not change any simulation output
   /// (tests/obs_test.cc pins this).
   bool observability = true;
+
+  /// Checks the configuration for values the simulation cannot run with:
+  /// non-positive batch/detection/checkpoint/replica-sync intervals,
+  /// negative CPU costs, `max_delta_chain` < 1, non-positive
+  /// `window_batches`, or a cluster without worker nodes. Returns
+  /// InvalidArgument naming the offending field; StreamingJob construction
+  /// PPA_CHECK-fails on an invalid config.
+  [[nodiscard]] Status Validate() const;
+
+  /// The paper's cluster calibration with pure checkpoint-based fault
+  /// tolerance: 1 s batches, 5 s heartbeat detection, 19 worker nodes
+  /// (4 source + 15 processing) and 15 standby nodes, recovery cost model
+  /// and CPU costs calibrated to reproduce Fig. 9's checkpoint-to-
+  /// processing ratios. Benchmarks and tests start from this preset.
+  [[nodiscard]] static JobConfig CheckpointDefaults();
+
+  /// CheckpointDefaults() with `ft_mode = kPpa` (tentative outputs are
+  /// forced on by StreamingJob for that mode).
+  [[nodiscard]] static JobConfig PpaDefaults();
 };
 
 }  // namespace ppa

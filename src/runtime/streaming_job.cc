@@ -58,6 +58,7 @@ StreamingJob::StreamingJob(Topology topology, JobConfig config,
       router_(&topology_),
       cluster_(config.num_worker_nodes, config.num_standby_nodes),
       active_set_(topology_.num_tasks()) {
+  PPA_CHECK_OK(config_.Validate());
   if (config_.ft_mode == FtMode::kPpa) {
     config_.tentative_outputs = true;
   }

@@ -252,7 +252,7 @@ TEST(AdaptationTest, PeriodicAdaptationFollowsTheHotTask) {
       Duration::Seconds(10), [](const Topology& observed) -> StatusOr<TaskSet> {
         StructureAwarePlanner planner;
         PPA_ASSIGN_OR_RETURN(ReplicationPlan plan,
-                             planner.Plan(observed, 3));
+                             planner.Plan({observed, 3}));
         return plan.replicated;
       }));
   PPA_CHECK_OK(job->Start());

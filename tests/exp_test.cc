@@ -1,0 +1,249 @@
+// Tests of the deterministic parallel experiment engine: the thread pool,
+// the submission-order ParallelRunner, RunSpec execution, and the
+// serial-vs-parallel bit-identity contract the bench binaries rely on
+// (--jobs N must never change any output byte).
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <future>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "exp/parallel_runner.h"
+#include "exp/run_spec.h"
+#include "planner/planner.h"
+#include "runtime/config.h"
+#include "topology/random_topology.h"
+
+namespace ppa {
+namespace {
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 200);
+}
+
+TEST(ThreadPoolTest, WorkerMaySubmitFollowUpTasks) {
+  ThreadPool pool(2);
+  std::promise<int> done;
+  std::future<int> got = done.get_future();
+  pool.Submit([&pool, &done] {
+    pool.Submit([&done] { done.set_value(42); });
+  });
+  EXPECT_EQ(got.get(), 42);
+}
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+// --- ParallelRunner ------------------------------------------------------
+
+TEST(ParallelRunnerTest, SerialWhenJobsIsOne) {
+  exp::ParallelRunner runner;
+  EXPECT_EQ(runner.jobs(), 1);
+  std::vector<int> out =
+      runner.Map<int>(5, [](int i) { return i * i; });
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 4, 9, 16}));
+}
+
+TEST(ParallelRunnerTest, ReportsWorkerCount) {
+  exp::ParallelRunner runner(exp::ParallelRunnerOptions{.jobs = 4});
+  EXPECT_EQ(runner.jobs(), 4);
+}
+
+TEST(ParallelRunnerTest, ResultsInSubmissionOrderUnderJitter) {
+  // Early indices get the largest busy-work, so with 8 workers the last
+  // submissions finish first; the result vector must stay index-ordered
+  // regardless.
+  exp::ParallelRunner runner(exp::ParallelRunnerOptions{.jobs = 8});
+  const int count = 64;
+  std::vector<int> out = runner.Map<int>(count, [count](int i) {
+    double acc = 0;
+    for (int k = 0; k < (count - i) * 4000; ++k) {
+      acc += std::sqrt(static_cast<double>(k + i));
+    }
+    return acc >= 0 ? i : -1;
+  });
+  ASSERT_EQ(out.size(), static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(ParallelRunnerTest, RethrowsWorkerExceptionAndStaysUsable) {
+  exp::ParallelRunner runner(exp::ParallelRunnerOptions{.jobs = 4});
+  auto faulty = [](int i) -> int {
+    if (i == 3) {
+      throw std::runtime_error("boom at 3");
+    }
+    return i;
+  };
+  EXPECT_THROW(runner.Map<int>(8, faulty), std::runtime_error);
+  // The pool survives the unwound Map and keeps producing ordered results.
+  std::vector<int> out = runner.Map<int>(6, [](int i) { return i + 10; });
+  EXPECT_EQ(out, (std::vector<int>{10, 11, 12, 13, 14, 15}));
+}
+
+// --- Seed derivation -----------------------------------------------------
+
+TEST(DeriveSeedTest, DistinctPerIndexAndReproducible) {
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 256; ++i) {
+    const uint64_t s = DeriveSeed(7, i);
+    EXPECT_EQ(s, DeriveSeed(7, i));
+    EXPECT_TRUE(seen.insert(s).second) << "collision at index " << i;
+  }
+  EXPECT_NE(DeriveSeed(7, 0), DeriveSeed(8, 0));
+}
+
+// --- PlannerKind round-trip ----------------------------------------------
+
+TEST(PlannerKindTest, RoundTripsThroughString) {
+  for (PlannerKind kind :
+       {PlannerKind::kDynamicProgramming, PlannerKind::kGreedy,
+        PlannerKind::kStructureAware, PlannerKind::kExhaustive,
+        PlannerKind::kRandom, PlannerKind::kExpectedFidelity}) {
+    auto parsed = PlannerKindFromString(PlannerKindToString(kind));
+    ASSERT_TRUE(parsed.ok()) << PlannerKindToString(kind);
+    EXPECT_EQ(*parsed, kind);
+    auto planner = CreatePlanner(kind);
+    ASSERT_NE(planner, nullptr);
+    EXPECT_EQ(planner->name(), PlannerKindToString(kind));
+  }
+}
+
+TEST(PlannerKindTest, AcceptsAliasesAndRejectsUnknown) {
+  auto sa = PlannerKindFromString("structure-aware");
+  ASSERT_TRUE(sa.ok());
+  EXPECT_EQ(*sa, PlannerKind::kStructureAware);
+  auto expected = PlannerKindFromString("expected-fidelity");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(*expected, PlannerKind::kExpectedFidelity);
+  EXPECT_EQ(PlannerKindFromString("nope").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- JobConfig validation ------------------------------------------------
+
+TEST(JobConfigTest, DefaultsAndPresetsValidate) {
+  EXPECT_TRUE(JobConfig().Validate().ok());
+  EXPECT_TRUE(JobConfig::CheckpointDefaults().Validate().ok());
+  EXPECT_TRUE(JobConfig::PpaDefaults().Validate().ok());
+  EXPECT_EQ(JobConfig::CheckpointDefaults().ft_mode, FtMode::kCheckpoint);
+  EXPECT_EQ(JobConfig::PpaDefaults().ft_mode, FtMode::kPpa);
+}
+
+TEST(JobConfigTest, RejectsDegenerateValues) {
+  auto broken = [](auto mutate) {
+    JobConfig config = JobConfig::CheckpointDefaults();
+    mutate(&config);
+    return config.Validate();
+  };
+  EXPECT_EQ(broken([](JobConfig* c) { c->batch_interval = Duration::Zero(); })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) {
+              c->detection_interval = Duration::Seconds(-1);
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) {
+              c->checkpoint_interval = Duration::Zero();
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      broken([](JobConfig* c) { c->process_cost_per_tuple_us = -0.5; }).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) { c->num_worker_nodes = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) { c->num_standby_nodes = -1; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) { c->window_batches = 0; }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(broken([](JobConfig* c) { c->max_delta_chain = 0; }).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- RunSpec execution and serial-vs-parallel bit-identity ----------------
+
+std::vector<exp::RunSpec> Fig14StyleSweep() {
+  RandomTopologyOptions options;
+  options.min_operators = 3;
+  options.max_operators = 5;
+  options.min_parallelism = 1;
+  options.max_parallelism = 3;
+  options.join_fraction = 0.4;
+  std::vector<exp::RunSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    exp::RunSpec spec;
+    spec.label = "topo-" + std::to_string(i);
+    spec.make_topology = [options](Rng* rng) {
+      return GenerateRandomTopology(options, rng);
+    };
+    spec.config = JobConfig::PpaDefaults();
+    spec.planner = PlannerKind::kStructureAware;
+    spec.seed = 100;
+    spec.run_for_seconds = 8.0;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+TEST(RunSpecTest, ParallelSweepIsBitIdenticalToSerial) {
+  const std::vector<exp::RunSpec> specs = Fig14StyleSweep();
+  exp::ParallelRunner serial;
+  auto serial_results = exp::RunAll(&serial, specs);
+  ASSERT_TRUE(serial_results.ok()) << serial_results.status().ToString();
+
+  exp::ParallelRunner parallel(exp::ParallelRunnerOptions{.jobs = 8});
+  auto parallel_results = exp::RunAll(&parallel, specs);
+  ASSERT_TRUE(parallel_results.ok()) << parallel_results.status().ToString();
+
+  const std::string serial_json =
+      exp::RunResultsToJson(*serial_results).Pretty();
+  const std::string parallel_json =
+      exp::RunResultsToJson(*parallel_results).Pretty();
+  EXPECT_EQ(serial_json, parallel_json);
+  ASSERT_EQ(serial_results->size(), specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ((*serial_results)[i].label, specs[i].label);
+  }
+}
+
+TEST(RunSpecTest, ExecuteRunPlansAndRuns) {
+  exp::RunSpec spec = Fig14StyleSweep()[0];
+  auto result = exp::ExecuteRun(spec, DeriveSeed(spec.seed, 0));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->label, "topo-0");
+  EXPECT_GT(result->resource_usage, 0);
+  EXPECT_GT(result->output_fidelity, 0.0);
+  EXPECT_LE(result->output_fidelity, 1.0);
+  EXPECT_GT(result->sink_records, 0u);
+}
+
+TEST(RunSpecTest, InvalidConfigIsRejected) {
+  exp::RunSpec spec = Fig14StyleSweep()[0];
+  spec.config.batch_interval = Duration::Zero();
+  auto result = exp::ExecuteRun(spec, 1);
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppa

@@ -96,7 +96,7 @@ TEST(ExpectedFidelityPlannerTest, OptimalForSingleFailureObjective) {
   std::vector<double> p = {0.05, 0.1, 0.15, 0.05, 0.1};
   ExpectedFidelityPlanner planner(p);
   for (int budget : {1, 2, 3}) {
-    auto plan = planner.Plan(f.topo, budget);
+    auto plan = planner.Plan({f.topo, budget});
     ASSERT_TRUE(plan.ok());
     auto objective =
         ExpectedFidelitySingleFailure(f.topo, plan->replicated, p);
@@ -142,8 +142,8 @@ TEST(ExpectedFidelityPlannerTest, DichotomyAgainstCorrelatedPlanner) {
                           0.5 / topo->num_tasks());
     ExpectedFidelityPlanner expected_planner(p);
     StructureAwarePlanner sa;
-    auto e_plan = expected_planner.Plan(*topo, budget);
-    auto sa_plan = sa.Plan(*topo, budget);
+    auto e_plan = expected_planner.Plan({*topo, budget});
+    auto sa_plan = sa.Plan({*topo, budget});
     ASSERT_TRUE(e_plan.ok());
     ASSERT_TRUE(sa_plan.ok());
     auto e_obj =

@@ -48,7 +48,7 @@ TEST(GreedyPlannerTest, RespectsBudget) {
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   GreedyPlanner planner;
   for (int budget = 0; budget <= f.topo.num_tasks() + 2; ++budget) {
-    auto plan = planner.Plan(f.topo, budget);
+    auto plan = planner.Plan({f.topo, budget});
     ASSERT_TRUE(plan.ok());
     EXPECT_LE(plan->resource_usage(),
               std::min(budget, f.topo.num_tasks()));
@@ -58,7 +58,7 @@ TEST(GreedyPlannerTest, RespectsBudget) {
 TEST(GreedyPlannerTest, RejectsNegativeBudget) {
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   GreedyPlanner planner;
-  EXPECT_EQ(planner.Plan(f.topo, -1).status().code(),
+  EXPECT_EQ(planner.Plan({f.topo, -1}).status().code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -67,7 +67,7 @@ TEST(GreedyPlannerTest, PicksMostDamagingTasksFirst) {
   // 0), so it must be in every nonempty greedy plan.
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   GreedyPlanner planner;
-  auto plan = planner.Plan(f.topo, 1);
+  auto plan = planner.Plan({f.topo, 1});
   ASSERT_TRUE(plan.ok());
   EXPECT_TRUE(plan->replicated.Contains(f.t31));
 }
@@ -75,7 +75,7 @@ TEST(GreedyPlannerTest, PicksMostDamagingTasksFirst) {
 TEST(GreedyPlannerTest, FullBudgetReachesFullFidelity) {
   Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
   GreedyPlanner planner;
-  auto plan = planner.Plan(f.topo, f.topo.num_tasks());
+  auto plan = planner.Plan({f.topo, f.topo.num_tasks()});
   ASSERT_TRUE(plan.ok());
   EXPECT_DOUBLE_EQ(plan->output_fidelity, 1.0);
 }
@@ -86,7 +86,7 @@ TEST(DpPlannerTest, MatchesBruteForceOnFig2) {
     Fig2Topology f = MakeFig2(corr);
     DpPlanner planner;
     for (int budget = 0; budget <= f.topo.num_tasks(); ++budget) {
-      auto plan = planner.Plan(f.topo, budget);
+      auto plan = planner.Plan({f.topo, budget});
       ASSERT_TRUE(plan.ok());
       EXPECT_NEAR(plan->output_fidelity, BruteForceBestOf(f.topo, budget),
                   1e-12)
@@ -108,7 +108,7 @@ TEST(DpPlannerTest, MatchesBruteForceOnChains) {
   DpPlanner planner;
   for (const Topology& topo : topologies) {
     for (int budget : {0, 2, 3, 4, topo.num_tasks()}) {
-      auto plan = planner.Plan(topo, budget);
+      auto plan = planner.Plan({topo, budget});
       ASSERT_TRUE(plan.ok());
       EXPECT_NEAR(plan->output_fidelity, BruteForceBestOf(topo, budget),
                   1e-12);
@@ -121,7 +121,7 @@ TEST(DpPlannerTest, SkewedRatesChangeTheOptimalTree) {
   // t21 (rate 3) over t22 (rate 2).
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   DpPlanner planner;
-  auto plan = planner.Plan(f.topo, 2);
+  auto plan = planner.Plan({f.topo, 2});
   ASSERT_TRUE(plan.ok());
   EXPECT_TRUE(plan->replicated.Contains(f.t21));
   EXPECT_TRUE(plan->replicated.Contains(f.t31));
@@ -132,7 +132,7 @@ TEST(StructureAwarePlannerTest, RespectsBudgetAndFillsIt) {
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   StructureAwarePlanner planner;
   for (int budget = 0; budget <= f.topo.num_tasks(); ++budget) {
-    auto plan = planner.Plan(f.topo, budget);
+    auto plan = planner.Plan({f.topo, budget});
     ASSERT_TRUE(plan.ok());
     EXPECT_EQ(plan->resource_usage(), budget) << "fill_budget should use "
                                                  "the full budget";
@@ -142,7 +142,7 @@ TEST(StructureAwarePlannerTest, RespectsBudgetAndFillsIt) {
 TEST(StructureAwarePlannerTest, FindsACompleteTreeWithMinimalBudget) {
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   StructureAwarePlanner planner;
-  auto plan = planner.Plan(f.topo, 2);
+  auto plan = planner.Plan({f.topo, 2});
   ASSERT_TRUE(plan.ok());
   EXPECT_GT(plan->output_fidelity, 0.0);
 }
@@ -158,8 +158,8 @@ TEST(StructureAwarePlannerTest, NearOptimalOnSmallTopologies) {
   StructureAwarePlanner sa;
   for (const Topology& topo : topologies) {
     for (int budget : {3, 4, topo.num_tasks() / 2}) {
-      auto dp_plan = dp.Plan(topo, budget);
-      auto sa_plan = sa.Plan(topo, budget);
+      auto dp_plan = dp.Plan({topo, budget});
+      auto sa_plan = sa.Plan({topo, budget});
       ASSERT_TRUE(dp_plan.ok());
       ASSERT_TRUE(sa_plan.ok());
       EXPECT_GE(sa_plan->output_fidelity,
@@ -172,22 +172,22 @@ TEST(ExhaustivePlannerTest, MatchesBruteForceHelperAndRefusesBigInputs) {
   Fig2Topology f = MakeFig2(InputCorrelation::kCorrelated);
   ExhaustivePlanner planner;
   for (int budget = 0; budget <= f.topo.num_tasks(); ++budget) {
-    auto plan = planner.Plan(f.topo, budget);
+    auto plan = planner.Plan({f.topo, budget});
     ASSERT_TRUE(plan.ok());
     EXPECT_NEAR(plan->output_fidelity, BruteForceBestOf(f.topo, budget),
                 1e-12);
   }
   ExhaustivePlanner tiny(/*max_tasks=*/4);
-  EXPECT_EQ(tiny.Plan(f.topo, 2).status().code(),
+  EXPECT_EQ(tiny.Plan({f.topo, 2}).status().code(),
             StatusCode::kResourceExhausted);
 }
 
 TEST(RandomPlannerTest, DeterministicAndBudgetRespecting) {
   Fig2Topology f = MakeFig2(InputCorrelation::kIndependent);
   RandomPlanner a(7), b(7), c(8);
-  auto pa = a.Plan(f.topo, 3);
-  auto pb = b.Plan(f.topo, 3);
-  auto pc = c.Plan(f.topo, 3);
+  auto pa = a.Plan({f.topo, 3});
+  auto pb = b.Plan({f.topo, 3});
+  auto pc = c.Plan({f.topo, 3});
   ASSERT_TRUE(pa.ok());
   ASSERT_TRUE(pb.ok());
   ASSERT_TRUE(pc.ok());
@@ -221,8 +221,8 @@ TEST_P(DpOptimalityTest, DpMatchesExhaustiveOracle) {
   DpPlanner dp;
   ExhaustivePlanner oracle;
   for (int budget : {2, topo->num_tasks() / 2, topo->num_tasks()}) {
-    auto dp_plan = dp.Plan(*topo, budget);
-    auto oracle_plan = oracle.Plan(*topo, budget);
+    auto dp_plan = dp.Plan({*topo, budget});
+    auto oracle_plan = oracle.Plan({*topo, budget});
     ASSERT_TRUE(dp_plan.ok());
     ASSERT_TRUE(oracle_plan.ok());
     EXPECT_NEAR(dp_plan->output_fidelity, oracle_plan->output_fidelity,
@@ -265,9 +265,9 @@ TEST_P(PlannerPropertyTest, DpDominatesAndPlansAreConsistent) {
   DpPlanner dp;
   GreedyPlanner greedy;
   StructureAwarePlanner sa;
-  auto dp_plan = dp.Plan(*topo, budget);
-  auto greedy_plan = greedy.Plan(*topo, budget);
-  auto sa_plan = sa.Plan(*topo, budget);
+  auto dp_plan = dp.Plan({*topo, budget});
+  auto greedy_plan = greedy.Plan({*topo, budget});
+  auto sa_plan = sa.Plan({*topo, budget});
   ASSERT_TRUE(dp_plan.ok()) << dp_plan.status();
   ASSERT_TRUE(greedy_plan.ok());
   ASSERT_TRUE(sa_plan.ok()) << sa_plan.status();
@@ -302,8 +302,8 @@ TEST(PlannerComparisonTest, SaBeatsGreedyOnAverage) {
     auto topo = GenerateRandomTopology(opts, &rng);
     ASSERT_TRUE(topo.ok());
     const int budget = std::max(2, topo->num_tasks() / 5);
-    auto sa_plan = sa.Plan(*topo, budget);
-    auto greedy_plan = greedy.Plan(*topo, budget);
+    auto sa_plan = sa.Plan({*topo, budget});
+    auto greedy_plan = greedy.Plan({*topo, budget});
     ASSERT_TRUE(sa_plan.ok());
     ASSERT_TRUE(greedy_plan.ok());
     sa_total += sa_plan->output_fidelity;
@@ -410,13 +410,13 @@ TEST(StructureAwarePlannerTest, ZeroAndTinyBudgets) {
   StructureAwareOptions opts;
   opts.fill_budget = false;
   StructureAwarePlanner planner(opts);
-  auto zero = planner.Plan(f.topo, 0);
+  auto zero = planner.Plan({f.topo, 0});
   ASSERT_TRUE(zero.ok());
   EXPECT_EQ(zero->resource_usage(), 0);
   EXPECT_DOUBLE_EQ(zero->output_fidelity, 0.0);
   // Budget 1 cannot afford Fig. 2's minimal MC-tree (3 tasks for the
   // join); without top-up nothing is replicated.
-  auto one = planner.Plan(f.topo, 1);
+  auto one = planner.Plan({f.topo, 1});
   ASSERT_TRUE(one.ok());
   EXPECT_DOUBLE_EQ(one->output_fidelity, 0.0);
   EXPECT_LE(one->resource_usage(), 1);
@@ -432,8 +432,8 @@ TEST(StructureAwarePlannerTest, IcMetricOptionChangesTheObjective) {
   ic_opts.metric = LossModel::kInternalCompleteness;
   StructureAwarePlanner ic_planner(ic_opts);
   for (int budget : {2, 3}) {
-    auto of_plan = of_planner.Plan(f.topo, budget);
-    auto ic_plan = ic_planner.Plan(f.topo, budget);
+    auto of_plan = of_planner.Plan({f.topo, budget});
+    auto ic_plan = ic_planner.Plan({f.topo, budget});
     ASSERT_TRUE(of_plan.ok());
     ASSERT_TRUE(ic_plan.ok());
     EXPECT_GE(PlanInternalCompleteness(f.topo, ic_plan->replicated),

@@ -69,7 +69,7 @@ TEST(ReportTest, TopologyAndPlanJson) {
   EXPECT_THAT(topo_json, HasSubstr("\"num_tasks\":5"));
 
   GreedyPlanner planner;
-  auto plan = planner.Plan(f.topo, 2);
+  auto plan = planner.Plan({f.topo, 2});
   ASSERT_TRUE(plan.ok());
   const std::string plan_json = PlanToJson(f.topo, *plan).Serialize();
   EXPECT_THAT(plan_json, HasSubstr("\"resource_usage\":2"));

@@ -201,7 +201,7 @@ TEST(TopKWorkloadTest, PpaTentativeAccuracyDegradesGracefully) {
     TaskSet plan(w->topo.num_tasks());
     if (budget > 0) {
       StructureAwarePlanner planner;
-      auto p = planner.Plan(w->topo, budget);
+      auto p = planner.Plan({w->topo, budget});
       PPA_CHECK_OK(p.status());
       plan = p->replicated;
     }
