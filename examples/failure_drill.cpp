@@ -3,13 +3,22 @@
 // takeovers, tentative outputs, passive recovery, and finally the
 // Borealis-style reconciliation of the tentative window.
 //
-// Usage: failure_drill [replication_budget] [fail_at_seconds]
+// Usage: failure_drill [replication_budget] [fail_at_seconds] [scenario]
+//
+// With a third argument, the named scenario file (line-oriented script or
+// JSON event array, see runtime/scenario.h) replaces the built-in rack
+// outage: its events are scheduled at their own offsets and the drill
+// reports whatever recoveries they caused.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "planner/structure_aware_planner.h"
 #include "runtime/domain_analysis.h"
+#include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
 #include "sim/event_loop.h"
 #include "workloads/synthetic_recovery.h"
@@ -19,11 +28,15 @@ int main(int argc, char** argv) {
 
   int budget = 12;
   double fail_at = 40.0;
+  std::string scenario_path;
   if (argc > 1) {
     budget = std::atoi(argv[1]);
   }
   if (argc > 2) {
     fail_at = std::atof(argv[2]);
+  }
+  if (argc > 3) {
+    scenario_path = argv[3];
   }
 
   auto workload = MakeSyntheticRecoveryWorkload(/*rate_per_source_task=*/500,
@@ -81,24 +94,51 @@ int main(int argc, char** argv) {
         impact.fidelity);
   }
 
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at));
-  std::printf("t=%.0fs: rack 102 loses power (5 worker nodes)\n", fail_at);
-  PPA_CHECK_OK(job.InjectDomainFailure(102));
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at + 90));
-
-  PPA_CHECK(job.recovery_reports().size() == 1);
-  const RecoveryReport& report = job.recovery_reports()[0];
-  int active = 0, passive = 0;
-  for (const TaskRecoverySpec& spec : report.specs) {
-    (spec.kind == RecoveryKind::kActiveReplica ? active : passive) += 1;
+  ScenarioRunner scenario(&job, &loop);
+  if (scenario_path.empty()) {
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at));
+    std::printf("t=%.0fs: rack 102 loses power (5 worker nodes)\n", fail_at);
+    PPA_CHECK_OK(job.InjectDomainFailure(102));
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at + 90));
+    PPA_CHECK(job.recovery_reports().size() == 1);
+  } else {
+    std::ifstream in(scenario_path);
+    PPA_CHECK(in.good());
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string script = contents.str();
+    const size_t first = script.find_first_not_of(" \t\r\n");
+    auto events = first != std::string::npos && script[first] == '['
+                      ? ParseScenarioJson(script)
+                      : ParseScenario(workload->topo, script);
+    PPA_CHECK_OK(events.status());
+    double last_at = 0;
+    for (const ScenarioEvent& event : *events) {
+      last_at = std::max(last_at, event.at.seconds());
+    }
+    std::printf("running scenario %s (%zu events)\n", scenario_path.c_str(),
+                events->size());
+    PPA_CHECK_OK(scenario.Run(*std::move(events)));
+    loop.RunUntil(TimePoint::Zero() + Duration::Seconds(last_at + 90));
+    if (!scenario.FirstError().ok()) {
+      std::printf("first failed event: %s\n",
+                  scenario.FirstError().ToString().c_str());
+    }
   }
-  std::printf(
-      "detected at t=%.0fs; %d tasks failed (%d active takeover, %d "
-      "passive)\n"
-      "  active takeovers done in %.2fs, passive recovery in %.2fs\n",
-      report.detection_time.seconds(), static_cast<int>(report.specs.size()),
-      active, passive, report.ActiveLatency().seconds(),
-      report.PassiveLatency().seconds());
+
+  for (const RecoveryReport& report : job.recovery_reports()) {
+    int active = 0, passive = 0;
+    for (const TaskRecoverySpec& spec : report.specs) {
+      (spec.kind == RecoveryKind::kActiveReplica ? active : passive) += 1;
+    }
+    std::printf(
+        "detected at t=%.0fs; %d tasks failed (%d active takeover, %d "
+        "passive)\n"
+        "  active takeovers done in %.2fs, passive recovery in %.2fs\n",
+        report.detection_time.seconds(),
+        static_cast<int>(report.specs.size()), active, passive,
+        report.ActiveLatency().seconds(), report.PassiveLatency().seconds());
+  }
 
   int64_t tentative = 0;
   for (const SinkRecord& r : job.sink_records()) {
@@ -109,6 +149,11 @@ int main(int argc, char** argv) {
 
   if (tentative > 0) {
     auto recon = job.ReconcileTentativeOutputs();
+    if (recon.status().code() == StatusCode::kFailedPrecondition) {
+      // A scripted `reconcile` event already consumed the window.
+      std::printf("tentative outputs already reconciled by the scenario\n");
+      return 0;
+    }
     PPA_CHECK_OK(recon.status());
     std::printf(
         "reconciliation: re-executed batches %lld-%lld "

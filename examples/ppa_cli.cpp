@@ -5,7 +5,10 @@
 //
 // Usage:
 //   ppa_cli <topology.spec> [options]
-//     --scenario <file>    timed failure script (see ParseScenario)
+//     --scenario <file>    timed failure script (see ParseScenario), or a
+//                          JSON event array (see ScenarioToJson) — picked
+//                          by content, so minimized chaos repro timelines
+//                          replay directly
 //     --mode <checkpoint|source-replay|active|ppa>   (default ppa)
 //     --planner <dp|greedy|sa|exhaustive|random|expected>  PPA planner
 //                          (default sa, the structure-aware heuristic)
@@ -166,7 +169,12 @@ int Run(int argc, char** argv) {
   if (!scenario_path.empty()) {
     auto script = ReadFile(scenario_path);
     PPA_CHECK_OK(script.status());
-    auto events = ParseScenario(*topo, *script);
+    // A scenario file is either a line-oriented script or a JSON event
+    // array; a leading '[' can only be the latter.
+    const size_t first = script->find_first_not_of(" \t\r\n");
+    auto events = first != std::string::npos && (*script)[first] == '['
+                      ? ParseScenarioJson(*script)
+                      : ParseScenario(*topo, *script);
     if (!events.ok()) {
       std::fprintf(stderr, "bad scenario: %s\n",
                    events.status().ToString().c_str());

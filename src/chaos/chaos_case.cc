@@ -1,0 +1,149 @@
+#include "chaos/chaos_case.h"
+
+#include <utility>
+
+namespace ppa {
+namespace chaos {
+
+JobConfig ChaosCase::ToJobConfig() const {
+  JobConfig config = JobConfig::PpaDefaults();
+  config.batch_interval = Duration::Seconds(batch_interval_seconds);
+  config.detection_interval = Duration::Seconds(detection_interval_seconds);
+  config.checkpoint_interval = Duration::Seconds(checkpoint_interval_seconds);
+  config.num_worker_nodes = num_worker_nodes;
+  config.num_standby_nodes = num_standby_nodes;
+  config.window_batches = window_batches;
+  config.delta_checkpoints = delta_checkpoints;
+  return config;
+}
+
+JsonValue ChaosCaseToJson(const ChaosCase& chaos_case) {
+  JsonValue json = JsonValue::Object();
+  json.Set("seed", static_cast<int64_t>(chaos_case.seed));
+  json.Set("topology_spec", chaos_case.topology_spec);
+  json.Set("batch_interval_seconds", chaos_case.batch_interval_seconds);
+  json.Set("detection_interval_seconds",
+           chaos_case.detection_interval_seconds);
+  json.Set("checkpoint_interval_seconds",
+           chaos_case.checkpoint_interval_seconds);
+  json.Set("num_worker_nodes", chaos_case.num_worker_nodes);
+  json.Set("num_standby_nodes", chaos_case.num_standby_nodes);
+  json.Set("window_batches", chaos_case.window_batches);
+  json.Set("delta_checkpoints", chaos_case.delta_checkpoints);
+  JsonValue domains = JsonValue::Array();
+  for (int domain : chaos_case.node_domains) {
+    domains.Append(domain);
+  }
+  json.Set("node_domains", std::move(domains));
+  JsonValue plan = JsonValue::Array();
+  for (TaskId t : chaos_case.initial_plan) {
+    plan.Append(static_cast<int64_t>(t));
+  }
+  json.Set("initial_plan", std::move(plan));
+  json.Set("budget", chaos_case.budget);
+  json.Set("events", ScenarioToJson(chaos_case.events));
+  json.Set("run_for_seconds", chaos_case.run_for_seconds);
+  return json;
+}
+
+namespace {
+
+StatusOr<const JsonValue*> Require(const JsonValue& json, const char* key) {
+  const JsonValue* value = json.Find(key);
+  if (value == nullptr) {
+    return InvalidArgument(std::string("chaos case is missing '") + key +
+                           "'");
+  }
+  return value;
+}
+
+StatusOr<double> RequireNumber(const JsonValue& json, const char* key) {
+  PPA_ASSIGN_OR_RETURN(const JsonValue* value, Require(json, key));
+  if (!value->is_number()) {
+    return InvalidArgument(std::string("'") + key + "' must be a number");
+  }
+  return value->AsDouble();
+}
+
+StatusOr<int64_t> RequireInt(const JsonValue& json, const char* key) {
+  PPA_ASSIGN_OR_RETURN(const JsonValue* value, Require(json, key));
+  if (!value->is_number()) {
+    return InvalidArgument(std::string("'") + key + "' must be a number");
+  }
+  return value->AsInt();
+}
+
+}  // namespace
+
+StatusOr<ChaosCase> ChaosCaseFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return InvalidArgument("chaos case must be a JSON object");
+  }
+  ChaosCase chaos_case;
+  PPA_ASSIGN_OR_RETURN(int64_t seed, RequireInt(json, "seed"));
+  chaos_case.seed = static_cast<uint64_t>(seed);
+  PPA_ASSIGN_OR_RETURN(const JsonValue* spec,
+                       Require(json, "topology_spec"));
+  if (!spec->is_string()) {
+    return InvalidArgument("'topology_spec' must be a string");
+  }
+  chaos_case.topology_spec = spec->AsString();
+  PPA_ASSIGN_OR_RETURN(chaos_case.batch_interval_seconds,
+                       RequireNumber(json, "batch_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(chaos_case.detection_interval_seconds,
+                       RequireNumber(json, "detection_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(chaos_case.checkpoint_interval_seconds,
+                       RequireNumber(json, "checkpoint_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(int64_t workers,
+                       RequireInt(json, "num_worker_nodes"));
+  chaos_case.num_worker_nodes = static_cast<int>(workers);
+  PPA_ASSIGN_OR_RETURN(int64_t standbys,
+                       RequireInt(json, "num_standby_nodes"));
+  chaos_case.num_standby_nodes = static_cast<int>(standbys);
+  PPA_ASSIGN_OR_RETURN(chaos_case.window_batches,
+                       RequireInt(json, "window_batches"));
+  PPA_ASSIGN_OR_RETURN(const JsonValue* deltas,
+                       Require(json, "delta_checkpoints"));
+  if (!deltas->is_bool()) {
+    return InvalidArgument("'delta_checkpoints' must be a bool");
+  }
+  chaos_case.delta_checkpoints = deltas->AsBool();
+  PPA_ASSIGN_OR_RETURN(const JsonValue* domains,
+                       Require(json, "node_domains"));
+  if (!domains->is_array()) {
+    return InvalidArgument("'node_domains' must be an array");
+  }
+  for (size_t i = 0; i < domains->size(); ++i) {
+    if (!domains->at(i).is_number()) {
+      return InvalidArgument("'node_domains' entries must be ints");
+    }
+    chaos_case.node_domains.push_back(
+        static_cast<int>(domains->at(i).AsInt()));
+  }
+  PPA_ASSIGN_OR_RETURN(const JsonValue* plan, Require(json, "initial_plan"));
+  if (!plan->is_array()) {
+    return InvalidArgument("'initial_plan' must be an array");
+  }
+  for (size_t i = 0; i < plan->size(); ++i) {
+    if (!plan->at(i).is_number()) {
+      return InvalidArgument("'initial_plan' entries must be task ids");
+    }
+    chaos_case.initial_plan.push_back(
+        static_cast<TaskId>(plan->at(i).AsInt()));
+  }
+  PPA_ASSIGN_OR_RETURN(int64_t budget, RequireInt(json, "budget"));
+  chaos_case.budget = static_cast<int>(budget);
+  PPA_ASSIGN_OR_RETURN(const JsonValue* events, Require(json, "events"));
+  PPA_ASSIGN_OR_RETURN(chaos_case.events, ScenarioFromJson(*events));
+  PPA_ASSIGN_OR_RETURN(chaos_case.run_for_seconds,
+                       RequireNumber(json, "run_for_seconds"));
+  return chaos_case;
+}
+
+StatusOr<ChaosCase> ParseChaosCaseJson(std::string_view text) {
+  PPA_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(text));
+  return ChaosCaseFromJson(json);
+}
+
+}  // namespace chaos
+}  // namespace ppa

@@ -1,0 +1,78 @@
+#ifndef PPA_CHAOS_CHAOS_CASE_H_
+#define PPA_CHAOS_CHAOS_CASE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status_or.h"
+#include "report/json.h"
+#include "runtime/config.h"
+#include "runtime/scenario.h"
+#include "topology/topology.h"
+
+namespace ppa {
+namespace chaos {
+
+/// A self-contained chaos experiment: everything needed to reproduce one
+/// randomized fault-injection run bit for bit — the topology (as its
+/// ParseTopologySpec text), the job configuration scalars, the cluster
+/// shape and failure-domain assignment, the initial replication plan, and
+/// the event timeline. A ChaosCase round-trips through JSON, which is the
+/// minimizer's repro artifact format (`chaos_hunt --replay <file>`).
+struct ChaosCase {
+  /// Seed the case was generated from (recorded for provenance; replaying
+  /// a case never re-rolls any dice).
+  uint64_t seed = 1;
+
+  /// Topology as ParseTopologySpec() text (see topology/serialize.h).
+  std::string topology_spec;
+
+  /// Job configuration scalars (a subset of JobConfig that chaos varies;
+  /// everything else comes from JobConfig::PpaDefaults()).
+  double batch_interval_seconds = 1.0;
+  double detection_interval_seconds = 5.0;
+  double checkpoint_interval_seconds = 15.0;
+  int num_worker_nodes = 4;
+  int num_standby_nodes = 2;
+  int64_t window_batches = 10;
+  bool delta_checkpoints = false;
+
+  /// Failure-domain id of each cluster node (dense, size = worker +
+  /// standby nodes). Empty keeps the default singleton domains.
+  std::vector<int> node_domains;
+
+  /// Tasks actively replicated before the run starts.
+  std::vector<TaskId> initial_plan;
+
+  /// Replication budget the initial plan was drawn with (recorded so the
+  /// replica-budget invariant knows the ceiling; plan swaps during the
+  /// run are generated within the same budget).
+  int budget = 0;
+
+  /// The fault timeline.
+  std::vector<ScenarioEvent> events;
+
+  /// Simulated duration before the recovery grace period begins.
+  double run_for_seconds = 60.0;
+
+  bool operator==(const ChaosCase&) const = default;
+
+  /// JobConfig::PpaDefaults() overridden with this case's scalars.
+  [[nodiscard]] JobConfig ToJobConfig() const;
+};
+
+/// Serializes a case as a stable-field-order JSON object.
+[[nodiscard]] JsonValue ChaosCaseToJson(const ChaosCase& chaos_case);
+
+/// Inverse of ChaosCaseToJson.
+[[nodiscard]] StatusOr<ChaosCase> ChaosCaseFromJson(const JsonValue& json);
+
+/// Parses a case from JSON text (a serialized ChaosCaseToJson object).
+[[nodiscard]] StatusOr<ChaosCase> ParseChaosCaseJson(std::string_view text);
+
+}  // namespace chaos
+}  // namespace ppa
+
+#endif  // PPA_CHAOS_CHAOS_CASE_H_

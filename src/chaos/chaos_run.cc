@@ -1,0 +1,132 @@
+#include "chaos/chaos_run.h"
+
+#include <memory>
+#include <utility>
+
+#include "exp/run_spec.h"
+#include "runtime/scenario.h"
+#include "runtime/streaming_job.h"
+#include "sim/event_loop.h"
+#include "topology/serialize.h"
+
+namespace ppa {
+namespace chaos {
+namespace {
+
+/// Builds, binds, and configures a job for `chaos_case` but does not
+/// start it. `replicate` selects whether the case's initial plan is
+/// activated (the chaos run) or no replicas at all (the golden run).
+StatusOr<std::unique_ptr<StreamingJob>> MakeJob(const ChaosCase& chaos_case,
+                                                const Topology& topology,
+                                                const JobConfig& config,
+                                                EventLoop* loop,
+                                                bool replicate) {
+  auto job = std::make_unique<StreamingJob>(topology, config, loop);
+  PPA_RETURN_IF_ERROR(
+      exp::BindGenericWorkload(topology, config, job.get()));
+  const int num_nodes = config.num_worker_nodes + config.num_standby_nodes;
+  if (!chaos_case.node_domains.empty()) {
+    if (static_cast<int>(chaos_case.node_domains.size()) != num_nodes) {
+      return InvalidArgument("node_domains size does not match the cluster");
+    }
+    for (int node = 0; node < num_nodes; ++node) {
+      PPA_RETURN_IF_ERROR(job->cluster().AssignDomain(
+          node, chaos_case.node_domains[static_cast<size_t>(node)]));
+    }
+  }
+  TaskSet plan(topology.num_tasks());
+  if (replicate) {
+    for (TaskId t : chaos_case.initial_plan) {
+      if (t < 0 || t >= topology.num_tasks()) {
+        return InvalidArgument("initial_plan task id out of range");
+      }
+      plan.Add(t);
+    }
+  }
+  PPA_RETURN_IF_ERROR(job->SetActiveReplicaSet(plan));
+  return job;
+}
+
+}  // namespace
+
+StatusOr<ChaosRunReport> RunChaosCase(
+    const ChaosCase& chaos_case,
+    const std::vector<const Invariant*>& invariants) {
+  PPA_ASSIGN_OR_RETURN(Topology topology,
+                       ParseTopologySpec(chaos_case.topology_spec));
+  const JobConfig config = chaos_case.ToJobConfig();
+  PPA_RETURN_IF_ERROR(config.Validate());
+  if (chaos_case.run_for_seconds <= 0) {
+    return InvalidArgument("run_for_seconds must be positive");
+  }
+
+  EventLoop loop;
+  PPA_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamingJob> job,
+      MakeJob(chaos_case, topology, config, &loop, /*replicate=*/true));
+  PPA_RETURN_IF_ERROR(job->Start());
+
+  ScenarioRunner scenario(job.get(), &loop);
+  PPA_RETURN_IF_ERROR(scenario.Run(chaos_case.events));
+  loop.RunUntil(TimePoint::Zero() +
+                Duration::Seconds(chaos_case.run_for_seconds));
+
+  // Recovery grace: a dense schedule may still be mid-recovery (or hold
+  // unfired events) when the nominal duration ends. Liveness is judged
+  // by the invariants, so give the system bounded room to settle rather
+  // than failing every run that was cut short.
+  const TimePoint grace_cap = loop.now() + Duration::Seconds(1800.0);
+  while ((!scenario.finished() || !job->AllRecovered()) &&
+         loop.now() < grace_cap) {
+    loop.RunUntil(loop.now() + config.detection_interval);
+  }
+  // Quiet tail: a few more batches so the first post-recovery stable
+  // emission closes the tentative window.
+  loop.RunUntil(loop.now() + config.batch_interval * 5);
+
+  if (job->AllRecovered()) {
+    auto reconciled = job->ReconcileTentativeOutputs();
+    if (!reconciled.ok() &&
+        reconciled.status().code() != StatusCode::kFailedPrecondition) {
+      return reconciled.status();
+    }
+  }
+  const TimePoint end_time = loop.now();
+
+  // The fault-free golden twin: same topology, config, bindings, and
+  // domains, no replicas, no events, same end time.
+  EventLoop golden_loop;
+  PPA_ASSIGN_OR_RETURN(
+      std::unique_ptr<StreamingJob> golden,
+      MakeJob(chaos_case, topology, config, &golden_loop,
+              /*replicate=*/false));
+  PPA_RETURN_IF_ERROR(golden->Start());
+  golden_loop.RunUntil(end_time);
+
+  ChaosRunContext context;
+  context.chaos_case = &chaos_case;
+  context.job = job.get();
+  context.golden = golden.get();
+  context.event_outcomes = &scenario.outcomes();
+  context.scenario_finished = scenario.finished();
+  context.end_time = end_time;
+
+  ChaosRunReport report;
+  report.seed = chaos_case.seed;
+  report.events_scheduled = chaos_case.events.size();
+  report.events_executed = scenario.outcomes().size();
+  report.sink_records = job->sink_records().size();
+  report.recoveries = job->recovery_reports().size();
+  report.end_seconds = end_time.seconds();
+  for (const Invariant* invariant : invariants) {
+    invariant->Check(context, &report.violations);
+  }
+  return report;
+}
+
+StatusOr<ChaosRunReport> RunChaosCase(const ChaosCase& chaos_case) {
+  return RunChaosCase(chaos_case, BuiltinInvariants());
+}
+
+}  // namespace chaos
+}  // namespace ppa

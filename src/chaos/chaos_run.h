@@ -1,0 +1,51 @@
+#ifndef PPA_CHAOS_CHAOS_RUN_H_
+#define PPA_CHAOS_CHAOS_RUN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "chaos/chaos_case.h"
+#include "chaos/invariants.h"
+#include "common/status_or.h"
+
+namespace ppa {
+namespace chaos {
+
+/// Outcome of one executed chaos case. A non-empty `violations` means an
+/// invariant broke; a returned error Status from RunChaosCase means the
+/// case could not even be executed (bad spec, config, or a runtime error
+/// outside the scenario path) — campaigns report both.
+struct ChaosRunReport {
+  uint64_t seed = 0;
+  size_t events_scheduled = 0;
+  size_t events_executed = 0;
+  size_t sink_records = 0;
+  size_t recoveries = 0;
+  /// Final sim time the run (and its golden twin) reached, in seconds.
+  double end_seconds = 0.0;
+  std::vector<ChaosViolation> violations;
+};
+
+/// Executes one chaos case deterministically and checks `invariants`
+/// against the completed run:
+///  1. builds the job from the case (topology spec, config scalars,
+///     domain assignment, initial plan) and schedules the event timeline;
+///  2. runs for `run_for_seconds`, then keeps running in
+///     detection-interval steps until the scenario drained and every task
+///     recovered (capped at 1800 extra sim-seconds), then a short quiet
+///     tail so the tentative window closes;
+///  3. reconciles any outstanding tentative outputs;
+///  4. replays a fault-free golden run of the same case to the same end
+///     time and hands both jobs to the invariant oracles.
+[[nodiscard]] StatusOr<ChaosRunReport> RunChaosCase(
+    const ChaosCase& chaos_case,
+    const std::vector<const Invariant*>& invariants);
+
+/// RunChaosCase against BuiltinInvariants().
+[[nodiscard]] StatusOr<ChaosRunReport> RunChaosCase(
+    const ChaosCase& chaos_case);
+
+}  // namespace chaos
+}  // namespace ppa
+
+#endif  // PPA_CHAOS_CHAOS_RUN_H_

@@ -1,0 +1,80 @@
+#ifndef PPA_CHAOS_INVARIANTS_H_
+#define PPA_CHAOS_INVARIANTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/chaos_case.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "runtime/streaming_job.h"
+
+namespace ppa {
+namespace chaos {
+
+/// One invariant failure found by an oracle. `invariant` is the oracle's
+/// stable name; the minimizer shrinks schedules while preserving a
+/// violation of the same invariant.
+struct ChaosViolation {
+  std::string invariant;
+  std::string message;
+
+  bool operator==(const ChaosViolation&) const = default;
+};
+
+/// Everything an invariant may inspect after a chaos run completed: the
+/// case that was executed, the job it ran (trace, metrics, timelines,
+/// sink records), the fault-free golden job of the same case run to the
+/// same end time, and the scenario outcome statuses.
+struct ChaosRunContext {
+  const ChaosCase* chaos_case = nullptr;
+  const StreamingJob* job = nullptr;
+  const StreamingJob* golden = nullptr;
+  /// Per-event statuses in execution order.
+  const std::vector<Status>* event_outcomes = nullptr;
+  /// Whether every scheduled event fired before the run ended.
+  bool scenario_finished = false;
+  /// Final sim time both jobs ran to.
+  TimePoint end_time;
+};
+
+/// A system-level correctness oracle evaluated against a completed run.
+/// Implementations append one ChaosViolation per distinct failure; an
+/// empty append means the invariant held.
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+
+  /// Stable identifier ("exactly-once-stable", "liveness", ...).
+  virtual std::string_view name() const = 0;
+
+  /// Appends violations found in `context` to `violations`.
+  virtual void Check(const ChaosRunContext& context,
+                     std::vector<ChaosViolation>* violations) const = 0;
+};
+
+/// The built-in oracle catalog (see DESIGN.md §12 for the precise
+/// statements):
+///  - exactly-once-stable: stable non-correction output matches the
+///    golden run per (sink, batch), outside the post-recovery window
+///    guard; reconcile corrections match golden exactly.
+///  - fidelity-bounds: every OF/IC sample is in [0, 1], and fidelity is
+///    back at 1.0 once everything recovered and windows closed.
+///  - liveness: every failed task's last episode restores and catches up
+///    within a sim-time bound, and the job ends fully recovered.
+///  - replica-budget: the count of live active replicas never exceeds
+///    the case budget plus the number of currently-failed tasks (whose
+///    replicas a plan swap must not tear down).
+///  - timeline-sanity: recovery phases and tentative windows are
+///    time-ordered; recovery reports carry no negative latency.
+///  - event-sanity: every scenario event executed and resolved to an
+///    acceptable status (OK, or the precondition rejections a random
+///    schedule legitimately hits), never InvalidArgument/Internal.
+/// The pointers are to function-local statics; never delete them.
+const std::vector<const Invariant*>& BuiltinInvariants();
+
+}  // namespace chaos
+}  // namespace ppa
+
+#endif  // PPA_CHAOS_INVARIANTS_H_

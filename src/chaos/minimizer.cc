@@ -1,0 +1,280 @@
+#include "chaos/minimizer.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/chaos_run.h"
+#include "topology/serialize.h"
+
+namespace ppa {
+namespace chaos {
+namespace {
+
+/// Rewrites a topology spec with every operator's parallelism halved
+/// (floored at 1). Weight lines whose task index no longer exists are
+/// dropped. Returns the input unchanged when nothing can shrink.
+std::string HalveParallelism(const std::string& spec) {
+  std::istringstream in(spec);
+  std::ostringstream out;
+  std::map<std::string, int> new_parallelism;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream tokens(line);
+    std::string word;
+    tokens >> word;
+    if (word == "operator") {
+      std::string name;
+      int parallelism = 0;
+      if (tokens >> name >> parallelism) {
+        const int halved = std::max(1, parallelism / 2);
+        new_parallelism[name] = halved;
+        out << "operator " << name << " " << halved;
+        std::string rest;
+        while (tokens >> rest) {
+          out << " " << rest;
+        }
+        out << "\n";
+        continue;
+      }
+    } else if (word == "weight") {
+      std::string name;
+      int index = 0;
+      if (tokens >> name >> index) {
+        auto it = new_parallelism.find(name);
+        if (it != new_parallelism.end() && index >= it->second) {
+          continue;  // The task this weight applied to no longer exists.
+        }
+      }
+    }
+    out << line << "\n";
+  }
+  return out.str();
+}
+
+/// Greatest task id a case's plan-bearing fields reference; -1 if none.
+TaskId MaxTaskReference(const ChaosCase& chaos_case) {
+  TaskId max_task = -1;
+  for (TaskId t : chaos_case.initial_plan) {
+    max_task = std::max(max_task, t);
+  }
+  for (const ScenarioEvent& event : chaos_case.events) {
+    for (TaskId t : event.plan) {
+      max_task = std::max(max_task, t);
+    }
+  }
+  return max_task;
+}
+
+/// Greatest node id the case's events reference; -1 if none.
+int MaxNodeReference(const ChaosCase& chaos_case) {
+  int max_node = -1;
+  for (const ScenarioEvent& event : chaos_case.events) {
+    max_node = std::max(max_node, event.node);
+  }
+  return max_node;
+}
+
+class Shrinker {
+ public:
+  Shrinker(ChaosCase best, std::string invariant, const CaseOracle& oracle,
+           const MinimizeOptions& options)
+      : best_(std::move(best)),
+        invariant_(std::move(invariant)),
+        oracle_(oracle),
+        options_(options) {}
+
+  MinimizeResult Run() {
+    DdminEvents();
+    ShrinkOffsets();
+    ShrinkStructure();
+    // Structure shrinks can unlock further event drops (e.g. a revive of
+    // a node that no longer matters); one more cheap pass.
+    DdminEvents();
+    MinimizeResult result;
+    result.minimized = std::move(best_);
+    result.invariant = std::move(invariant_);
+    result.oracle_calls = oracle_calls_;
+    return result;
+  }
+
+ private:
+  bool FailsSame(const ChaosCase& candidate) {
+    if (oracle_calls_ >= options_.max_oracle_calls) {
+      return false;
+    }
+    ++oracle_calls_;
+    StatusOr<std::vector<ChaosViolation>> violations = oracle_(candidate);
+    if (!violations.ok()) {
+      return false;  // A candidate that cannot run does not reproduce.
+    }
+    for (const ChaosViolation& violation : *violations) {
+      if (violation.invariant == invariant_) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool Accept(const ChaosCase& candidate) {
+    if (!FailsSame(candidate)) {
+      return false;
+    }
+    best_ = candidate;
+    return true;
+  }
+
+  /// Classic ddmin over the event list: at granularity n, try dropping
+  /// each of n chunks; on success restart at coarser granularity, else
+  /// refine until chunks are single events.
+  void DdminEvents() {
+    size_t n = 2;
+    while (best_.events.size() >= 2 &&
+           oracle_calls_ < options_.max_oracle_calls) {
+      const size_t count = best_.events.size();
+      n = std::min(n, count);
+      const size_t chunk = (count + n - 1) / n;
+      bool reduced = false;
+      for (size_t start = 0; start < count; start += chunk) {
+        ChaosCase candidate = best_;
+        candidate.events.erase(
+            candidate.events.begin() + static_cast<ptrdiff_t>(start),
+            candidate.events.begin() +
+                static_cast<ptrdiff_t>(std::min(start + chunk, count)));
+        if (Accept(candidate)) {
+          n = std::max<size_t>(2, n - 1);
+          reduced = true;
+          break;
+        }
+      }
+      if (!reduced) {
+        if (n >= count) {
+          break;
+        }
+        n = std::min(n * 2, count);
+      }
+    }
+  }
+
+  /// Halves event offsets toward zero while the failure reproduces.
+  void ShrinkOffsets() {
+    bool changed = true;
+    while (changed && oracle_calls_ < options_.max_oracle_calls) {
+      changed = false;
+      for (size_t i = 0; i < best_.events.size(); ++i) {
+        const int64_t at = best_.events[i].at.micros();
+        if (at == 0) {
+          continue;
+        }
+        ChaosCase candidate = best_;
+        candidate.events[i].at = Duration::Micros(at / 2);
+        if (Accept(candidate)) {
+          changed = true;
+        }
+      }
+    }
+  }
+
+  void ShrinkStructure() {
+    // Drop initial-plan entries one at a time.
+    bool changed = true;
+    while (changed && oracle_calls_ < options_.max_oracle_calls) {
+      changed = false;
+      for (size_t i = 0; i < best_.initial_plan.size(); ++i) {
+        ChaosCase candidate = best_;
+        candidate.initial_plan.erase(candidate.initial_plan.begin() +
+                                     static_cast<ptrdiff_t>(i));
+        if (Accept(candidate)) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    // Cut the run to just past the last event.
+    double last_event_seconds = 0.0;
+    for (const ScenarioEvent& event : best_.events) {
+      last_event_seconds = std::max(last_event_seconds, event.at.seconds());
+    }
+    const double floor_seconds = last_event_seconds + 10.0;
+    if (best_.run_for_seconds > floor_seconds) {
+      ChaosCase candidate = best_;
+      candidate.run_for_seconds = floor_seconds;
+      Accept(candidate);
+    }
+    // Shrink the cluster's surplus, never below what events reference.
+    const int min_nodes = MaxNodeReference(best_) + 1;
+    while (oracle_calls_ < options_.max_oracle_calls) {
+      ChaosCase candidate = best_;
+      if (candidate.num_standby_nodes > 1) {
+        --candidate.num_standby_nodes;
+      } else if (candidate.num_worker_nodes > 1) {
+        --candidate.num_worker_nodes;
+      } else {
+        break;
+      }
+      if (candidate.num_worker_nodes + candidate.num_standby_nodes <
+          min_nodes) {
+        break;
+      }
+      if (!candidate.node_domains.empty()) {
+        candidate.node_domains.resize(static_cast<size_t>(
+            candidate.num_worker_nodes + candidate.num_standby_nodes));
+      }
+      if (!Accept(candidate)) {
+        break;
+      }
+    }
+    // Halve operator parallelism while the case's task references fit.
+    while (oracle_calls_ < options_.max_oracle_calls) {
+      ChaosCase candidate = best_;
+      candidate.topology_spec = HalveParallelism(best_.topology_spec);
+      if (candidate.topology_spec == best_.topology_spec) {
+        break;
+      }
+      StatusOr<Topology> shrunk = ParseTopologySpec(candidate.topology_spec);
+      if (!shrunk.ok() || MaxTaskReference(candidate) >= shrunk->num_tasks()) {
+        break;
+      }
+      if (!Accept(candidate)) {
+        break;
+      }
+    }
+  }
+
+  ChaosCase best_;
+  std::string invariant_;
+  const CaseOracle& oracle_;
+  MinimizeOptions options_;
+  int oracle_calls_ = 0;
+};
+
+}  // namespace
+
+StatusOr<MinimizeResult> MinimizeFailingCase(const ChaosCase& failing,
+                                             const CaseOracle& oracle,
+                                             const MinimizeOptions& options) {
+  PPA_ASSIGN_OR_RETURN(std::vector<ChaosViolation> baseline,
+                       oracle(failing));
+  if (baseline.empty()) {
+    return InvalidArgument(
+        "cannot minimize: the case does not violate any invariant");
+  }
+  Shrinker shrinker(failing, baseline[0].invariant, oracle, options);
+  MinimizeResult result = shrinker.Run();
+  result.oracle_calls += 1;  // The baseline call above.
+  return result;
+}
+
+CaseOracle BuiltinOracle() {
+  return [](const ChaosCase& chaos_case)
+             -> StatusOr<std::vector<ChaosViolation>> {
+    PPA_ASSIGN_OR_RETURN(ChaosRunReport report, RunChaosCase(chaos_case));
+    return std::move(report.violations);
+  };
+}
+
+}  // namespace chaos
+}  // namespace ppa

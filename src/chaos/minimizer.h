@@ -1,0 +1,64 @@
+#ifndef PPA_CHAOS_MINIMIZER_H_
+#define PPA_CHAOS_MINIMIZER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_case.h"
+#include "chaos/invariants.h"
+#include "common/status_or.h"
+
+namespace ppa {
+namespace chaos {
+
+/// Judges one candidate case: returns the violations its execution
+/// produced (empty = the case passes). A returned error means the
+/// candidate could not run at all; the minimizer treats that as "does
+/// not reproduce" and keeps the previous case. The production oracle is
+/// RunChaosCase with the built-in invariants; tests substitute fakes.
+using CaseOracle =
+    std::function<StatusOr<std::vector<ChaosViolation>>(const ChaosCase&)>;
+
+/// Knobs of MinimizeFailingCase.
+struct MinimizeOptions {
+  /// Hard cap on oracle invocations across all phases; minimization
+  /// returns the best case found when the budget runs out.
+  int max_oracle_calls = 300;
+};
+
+/// Result of a minimization.
+struct MinimizeResult {
+  /// The smallest case found that still violates `invariant`.
+  ChaosCase minimized;
+  /// Name of the invariant preserved throughout shrinking (the first
+  /// violation of the original case).
+  std::string invariant;
+  /// Oracle invocations spent.
+  int oracle_calls = 0;
+};
+
+/// Shrinks `failing` to a smaller case that still violates the same
+/// invariant, ddmin-style:
+///  1. events: classic delta debugging over the timeline (drop chunks
+///     and chunk complements at increasing granularity);
+///  2. offsets: repeatedly halve event offsets toward zero (tighter
+///     schedules are easier to read and re-simulate);
+///  3. structure: drop initial-plan entries, shrink the cluster's
+///     standby/worker surplus, halve operator parallelism in the
+///     topology spec (skipped when events reference what would vanish),
+///     and cut the run duration to just past the last event.
+/// Every accepted step re-validates with the oracle, so the returned
+/// case is guaranteed to still fail the same invariant.
+/// InvalidArgument if `failing` does not fail the oracle at all.
+[[nodiscard]] StatusOr<MinimizeResult> MinimizeFailingCase(
+    const ChaosCase& failing, const CaseOracle& oracle,
+    const MinimizeOptions& options = {});
+
+/// The production oracle: RunChaosCase with BuiltinInvariants().
+[[nodiscard]] CaseOracle BuiltinOracle();
+
+}  // namespace chaos
+}  // namespace ppa
+
+#endif  // PPA_CHAOS_MINIMIZER_H_

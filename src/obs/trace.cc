@@ -35,6 +35,8 @@ std::string_view TraceEventKindToString(TraceEventKind kind) {
       return "tentative-window-end";
     case TraceEventKind::kReconcileDone:
       return "reconcile-done";
+    case TraceEventKind::kNodeRevived:
+      return "node-revived";
   }
   return "?";
 }

@@ -50,11 +50,14 @@ enum class TraceEventKind : uint8_t {
   kSinkBatchTentative,
   /// First tentative output of a degraded period. a = batch index.
   kTentativeWindowBegin,
-  /// First stable output after every task recovered. a = batch index.
+  /// First stable output after every task recovered closed the degraded
+  /// period. a = the window's last tentative batch.
   kTentativeWindowEnd,
   /// Tentative outputs were reconciled. a = missed outputs,
   /// b = spurious outputs.
   kReconcileDone,
+  /// A previously failed cluster node came back. node = node id.
+  kNodeRevived,
 };
 
 /// Stable wire/name of a trace event kind (e.g. "node-failure").

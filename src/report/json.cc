@@ -2,10 +2,312 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/logging.h"
 
 namespace ppa {
+
+/// Recursive-descent parser over a string_view. Kept out of the header:
+/// callers only see the static JsonValue::Parse entry point.
+class JsonValue::Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> ParseDocument() {
+    PPA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(/*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 96;
+
+  StatusOr<JsonValue> ParseValue(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > kMaxDepth) {
+      return Error("JSON nested deeper than the supported limit");
+    }
+    SkipWhitespace();
+    if (pos_ >= text_.size()) {
+      return Error("unexpected end of JSON input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        PPA_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        PPA_RETURN_IF_ERROR(Expect("true"));
+        return JsonValue(true);
+      case 'f':
+        PPA_RETURN_IF_ERROR(Expect("false"));
+        return JsonValue(false);
+      case 'n':
+        PPA_RETURN_IF_ERROR(Expect("null"));
+        return JsonValue();
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // consume '{'
+    JsonValue object = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected string key in JSON object");
+      }
+      PPA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':' after JSON object key");
+      }
+      ++pos_;
+      PPA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.Set(key, std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Error("unterminated JSON object");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return object;
+      }
+      return Error("expected ',' or '}' in JSON object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {  // NOLINT(misc-no-recursion)
+    ++pos_;  // consume '['
+    JsonValue array = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      PPA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) {
+        return Error("unterminated JSON array");
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return array;
+      }
+      return Error("expected ',' or ']' in JSON array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) {
+          break;
+        }
+        char escape = text_[pos_ + 1];
+        pos_ += 2;
+        switch (escape) {
+          case '"':
+            out.push_back('"');
+            break;
+          case '\\':
+            out.push_back('\\');
+            break;
+          case '/':
+            out.push_back('/');
+            break;
+          case 'b':
+            out.push_back('\b');
+            break;
+          case 'f':
+            out.push_back('\f');
+            break;
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return Error("truncated \\u escape in JSON string");
+            }
+            int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_ + static_cast<size_t>(i)];
+              int digit;
+              if (h >= '0' && h <= '9') {
+                digit = h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                digit = h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                digit = h - 'A' + 10;
+              } else {
+                return Error("invalid \\u escape in JSON string");
+              }
+              code = code * 16 + digit;
+            }
+            pos_ += 4;
+            // UTF-8 encode the code point (surrogate pairs are passed
+            // through as-is; the builder never emits them).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape in JSON string");
+        }
+        continue;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return Error("unterminated JSON string");
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("invalid JSON number");
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    if (!is_double) {
+      long long i = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() + token.size()) {
+        return JsonValue(static_cast<int64_t>(i));
+      }
+      // Fall through: out-of-range integers re-parse as doubles.
+    }
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("invalid JSON number");
+    }
+    return JsonValue(d);
+  }
+
+  Status Expect(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return Error("invalid JSON literal");
+    }
+    pos_ += literal.size();
+    return OkStatus();
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  Status Error(std::string_view message) const {
+    return InvalidArgument(std::string(message) + " (offset " +
+                           std::to_string(pos_) + ")");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+StatusOr<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [existing, value] : members_) {
+    if (existing == key) {
+      return &value;
+    }
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(size_t i) const {
+  PPA_CHECK(kind_ == Kind::kArray) << "at on non-array JSON value";
+  PPA_CHECK(i < elements_.size()) << "JSON array index out of range";
+  return elements_[i];
+}
+
+bool JsonValue::AsBool() const {
+  PPA_CHECK(kind_ == Kind::kBool) << "AsBool on non-bool JSON value";
+  return bool_;
+}
+
+int64_t JsonValue::AsInt() const {
+  PPA_CHECK(is_number()) << "AsInt on non-number JSON value";
+  return kind_ == Kind::kInt ? int_ : static_cast<int64_t>(double_);
+}
+
+double JsonValue::AsDouble() const {
+  PPA_CHECK(is_number()) << "AsDouble on non-number JSON value";
+  return kind_ == Kind::kDouble ? double_ : static_cast<double>(int_);
+}
+
+const std::string& JsonValue::AsString() const {
+  PPA_CHECK(kind_ == Kind::kString) << "AsString on non-string JSON value";
+  return string_;
+}
 
 JsonValue& JsonValue::Set(std::string_view key, JsonValue value) {
   PPA_CHECK(kind_ == Kind::kObject) << "Set on non-object JSON value";

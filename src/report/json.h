@@ -8,13 +8,16 @@
 #include <utility>
 #include <vector>
 
+#include "common/status_or.h"
+
 namespace ppa {
 
-/// Minimal JSON document builder used to export experiment results for
-/// plotting. Supports the JSON value kinds, preserves object insertion
-/// order, escapes strings correctly, and serializes doubles with enough
-/// precision to round-trip. Build-only (no parser): results flow out of
-/// the simulator, never back in.
+/// Minimal JSON document used to export experiment results for plotting
+/// and to load chaos-repro artifacts back in. Supports the JSON value
+/// kinds, preserves object insertion order, escapes strings correctly,
+/// and serializes doubles with enough precision to round-trip. The
+/// parser (JsonValue::Parse) accepts exactly what Serialize/Pretty emit
+/// plus arbitrary standard JSON.
 class JsonValue {
  public:
   /// null by default.
@@ -38,10 +41,45 @@ class JsonValue {
     return v;
   }
 
+  /// Parses a JSON document. Accepts anything Serialize/Pretty emit plus
+  /// arbitrary standard JSON; rejects trailing garbage, trailing commas,
+  /// comments, and documents nested deeper than an internal limit.
+  [[nodiscard]] static StatusOr<JsonValue> Parse(std::string_view text);
+
   /// True iff this value is an object.
   [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
   /// True iff this value is an array.
   [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  /// True iff this value is null.
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  /// True iff this value is a bool.
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  /// True iff this value is a number (integer or double).
+  [[nodiscard]] bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  /// True iff this value is a string.
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const;
+  /// Array element access; must be an array and `i < size()`.
+  [[nodiscard]] const JsonValue& at(size_t i) const;
+  /// Object members in insertion order; empty for non-objects.
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>&
+  members() const {
+    return members_;
+  }
+
+  /// The bool payload; must be a bool.
+  [[nodiscard]] bool AsBool() const;
+  /// The numeric payload as an integer; must be a number (doubles
+  /// truncate toward zero).
+  [[nodiscard]] int64_t AsInt() const;
+  /// The numeric payload as a double; must be a number.
+  [[nodiscard]] double AsDouble() const;
+  /// The string payload; must be a string.
+  [[nodiscard]] const std::string& AsString() const;
 
   /// Sets a key on an object (last write wins but keeps first position);
   /// returns *this for chaining. Must be an object.
@@ -60,6 +98,8 @@ class JsonValue {
 
  private:
   enum class Kind { kNull, kBool, kInt, kDouble, kString, kObject, kArray };
+
+  class Parser;
 
   void SerializeTo(std::string* out, int indent, int depth) const;
   static void EscapeTo(std::string* out, std::string_view s);

@@ -361,13 +361,17 @@ StatusOr<Topology> StreamingJob::ObservedTopology() {
 
 Status StreamingJob::ActivateReplica(TaskId t) {
   std::unique_ptr<TaskRuntime> rep = MakeRuntime(t);
-  const TaskCheckpoint* cp = checkpoints_.Latest(t);
-  if (cp != nullptr) {
+  const std::vector<TaskCheckpoint>* chain = checkpoints_.Chain(t);
+  if (chain != nullptr) {
     // "Send the corresponding checkpoint to the destination node and
     // initialize the replica's state with it" (Sec. V-C); the replica then
     // catches up from the upstream output buffers, which the checkpoint
-    // trimming protocol guarantees still cover everything past cp.
-    PPA_RETURN_IF_ERROR(rep->Restore(cp->blob));
+    // trimming protocol guarantees still cover everything past the chain.
+    // The chain's base is a full snapshot; later elements are deltas.
+    PPA_RETURN_IF_ERROR(rep->Restore((*chain)[0].blob));
+    for (size_t i = 1; i < chain->size(); ++i) {
+      PPA_RETURN_IF_ERROR(rep->ApplyDelta((*chain)[i].blob));
+    }
   } else {
     // No checkpoint yet: direct state transfer from the primary.
     PPA_ASSIGN_OR_RETURN(std::string blob,
@@ -624,13 +628,20 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
     trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowBegin,
                   -1, -1, batch);
     tentative_window_open_ = true;
-  } else if (!tentative && tentative_window_open_ &&
-             undetected_failures_.empty() && recovering_.empty()) {
+    tentative_window_last_batch_ = batch;
+  } else if (tentative) {
+    tentative_window_last_batch_ =
+        std::max(tentative_window_last_batch_, batch);
+  } else if (tentative_window_open_ && undetected_failures_.empty() &&
+             recovering_.empty()) {
     // Stable emissions from unaffected sinks do not close the window
     // while a failure is still being recovered; the first stable batch
-    // after full recovery does.
+    // after full recovery does. The closing event carries the last
+    // *tentative* batch, so [first_batch, last_batch] is the degraded
+    // range even when the closing sink replays batches from before the
+    // window opened.
     trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowEnd,
-                  -1, -1, batch);
+                  -1, -1, tentative_window_last_batch_);
     tentative_window_open_ = false;
   }
   // Live fidelity timeseries: one OF/IC sample per sink delivery while a
@@ -1036,6 +1047,42 @@ Status StreamingJob::InjectCorrelatedFailure(bool include_sources) {
   }
   for (int node : nodes) {
     PPA_RETURN_IF_ERROR(InjectNodeFailure(node));
+  }
+  return OkStatus();
+}
+
+Status StreamingJob::ReviveNode(int node) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  if (node < 0 || node >= cluster_.num_nodes()) {
+    return InvalidArgument("bad node id");
+  }
+  if (cluster_.NodeAlive(node)) {
+    return FailedPrecondition("node is alive");
+  }
+  cluster_.ReviveNode(node);
+  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
+  return OkStatus();
+}
+
+Status StreamingJob::ReviveDomain(int domain) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  const std::vector<int> nodes = cluster_.NodesInDomain(domain);
+  if (nodes.empty()) {
+    return NotFound("no nodes in failure domain");
+  }
+  bool revived_any = false;
+  for (int node : nodes) {
+    if (!cluster_.NodeAlive(node)) {
+      PPA_RETURN_IF_ERROR(ReviveNode(node));
+      revived_any = true;
+    }
+  }
+  if (!revived_any) {
+    return FailedPrecondition("every node in the domain is alive");
   }
   return OkStatus();
 }

@@ -158,6 +158,15 @@ class StreamingJob {
   /// all processing nodes but keeps the sources feeding data).
   Status InjectCorrelatedFailure(bool include_sources = false);
 
+  /// Brings a previously failed node back. The node becomes eligible for
+  /// replica placement and future failures again; tasks whose primaries
+  /// live on it keep whatever recovery state the normal detection path
+  /// gave them (revival never resurrects a failed runtime by itself).
+  Status ReviveNode(int node);
+
+  /// Revives every failed node of a failure domain (rack power restored).
+  Status ReviveDomain(int domain);
+
   /// True when no task is failed or awaiting recovery completion.
   [[nodiscard]] bool AllRecovered() const;
 
@@ -337,6 +346,10 @@ class StreamingJob {
   /// A tentative-output window is open (kTentativeWindowBegin emitted,
   /// end not yet seen).
   bool tentative_window_open_ = false;
+  /// Highest batch any sink delivered tentatively in the open window;
+  /// recorded as the window's closing batch (a lagging recovered sink may
+  /// close the window while replaying batches below the window start).
+  int64_t tentative_window_last_batch_ = -1;
   /// Recovered tasks whose backlog has not yet reached the frontier
   /// (kTaskCaughtUp pending).
   std::set<TaskId> catching_up_;

@@ -1,0 +1,271 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include "chaos/campaign.h"
+#include "chaos/chaos_case.h"
+#include "chaos/chaos_run.h"
+#include "chaos/generator.h"
+#include "chaos/minimizer.h"
+#include "common/random.h"
+
+namespace ppa {
+namespace chaos {
+namespace {
+
+using ::testing::HasSubstr;
+
+TEST(GeneratorTest, SameSeedSameCase) {
+  auto a = GenerateChaosCase(ChaosIntensity::Medium(), 12345);
+  auto b = GenerateChaosCase(ChaosIntensity::Medium(), 12345);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  EXPECT_EQ(ChaosCaseToJson(*a).Serialize(), ChaosCaseToJson(*b).Serialize());
+}
+
+TEST(GeneratorTest, DifferentSeedsDiverge) {
+  auto a = GenerateChaosCase(ChaosIntensity::Medium(), 1);
+  auto b = GenerateChaosCase(ChaosIntensity::Medium(), 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(ChaosCaseToJson(*a).Serialize(), ChaosCaseToJson(*b).Serialize());
+}
+
+TEST(GeneratorTest, IntensityBoundsEventCount) {
+  ChaosIntensity intensity = ChaosIntensity::Low();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    auto c = GenerateChaosCase(intensity, seed);
+    ASSERT_TRUE(c.ok()) << c.status();
+    EXPECT_GE(static_cast<int>(c->events.size()), intensity.min_events);
+    EXPECT_LE(static_cast<int>(c->events.size()), intensity.max_events);
+    EXPECT_GT(c->run_for_seconds, 0.0);
+    EXPECT_GE(c->budget, 1);
+  }
+}
+
+TEST(GeneratorTest, IntensityPresetNamesParse) {
+  EXPECT_TRUE(ChaosIntensityFromString("low").ok());
+  EXPECT_TRUE(ChaosIntensityFromString("medium").ok());
+  EXPECT_TRUE(ChaosIntensityFromString("high").ok());
+  EXPECT_EQ(ChaosIntensityFromString("extreme").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChaosCaseJsonTest, RoundTrips) {
+  auto generated = GenerateChaosCase(ChaosIntensity::High(), 777);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  auto parsed = ParseChaosCaseJson(ChaosCaseToJson(*generated).Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, *generated);
+}
+
+TEST(ChaosCaseJsonTest, RejectsMissingFields) {
+  auto missing = ParseChaosCaseJson("{\"seed\":1}");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_THAT(missing.status().message(), HasSubstr("missing"));
+  EXPECT_EQ(ParseChaosCaseJson("[1,2]").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChaosRunTest, GeneratedCaseExecutesCleanly) {
+  auto generated = GenerateChaosCase(ChaosIntensity::Medium(), 42);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  auto report = RunChaosCase(*generated);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->seed, 42u);
+  EXPECT_EQ(report->events_scheduled, generated->events.size());
+  EXPECT_EQ(report->events_executed, generated->events.size());
+  EXPECT_GT(report->sink_records, 0u);
+  EXPECT_GE(report->end_seconds, generated->run_for_seconds);
+  EXPECT_TRUE(report->violations.empty())
+      << report->violations[0].invariant << ": "
+      << report->violations[0].message;
+}
+
+TEST(ChaosRunTest, RejectsBrokenCases) {
+  ChaosCase broken;
+  broken.topology_spec = "not a spec";
+  EXPECT_FALSE(RunChaosCase(broken).ok());
+  auto generated = GenerateChaosCase(ChaosIntensity::Low(), 7);
+  ASSERT_TRUE(generated.ok());
+  ChaosCase negative = *generated;
+  negative.run_for_seconds = -1.0;
+  EXPECT_EQ(RunChaosCase(negative).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CampaignTest, SmokeCampaignPassesAndIsJobCountInvariant) {
+  CampaignOptions options;
+  options.base_seed = 99;
+  options.num_seeds = 6;
+  options.intensity = ChaosIntensity::Medium();
+  options.jobs = 1;
+  auto serial = RunCampaign(options);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  EXPECT_EQ(serial->num_failed, 0);
+  EXPECT_EQ(serial->num_violations, 0);
+  ASSERT_EQ(serial->results.size(), 6u);
+  for (const CampaignCaseResult& result : serial->results) {
+    EXPECT_EQ(result.seed,
+              DeriveSeed(options.base_seed,
+                         static_cast<uint64_t>(result.index)));
+  }
+  options.jobs = 3;
+  auto parallel = RunCampaign(options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(CampaignReportToJson(*serial).Serialize(),
+            CampaignReportToJson(*parallel).Serialize());
+}
+
+TEST(CampaignTest, RejectsBadOptions) {
+  CampaignOptions options;
+  options.num_seeds = -1;
+  EXPECT_EQ(RunCampaign(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.num_seeds = 1;
+  options.jobs = 0;
+  EXPECT_EQ(RunCampaign(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// A planted bug for the minimizer: the "failure" reproduces iff the
+/// schedule still contains BOTH the node-1 failure and a reconcile. All
+/// other events (and all structure) are noise the minimizer must strip.
+CaseOracle PlantedBugOracle(int* calls) {
+  return [calls](const ChaosCase& candidate)
+             -> StatusOr<std::vector<ChaosViolation>> {
+    if (calls != nullptr) {
+      ++*calls;
+    }
+    bool has_failure = false;
+    bool has_reconcile = false;
+    for (const ScenarioEvent& event : candidate.events) {
+      has_failure |= event.kind == ScenarioEvent::Kind::kNodeFailure &&
+                     event.node == 1;
+      has_reconcile |= event.kind == ScenarioEvent::Kind::kReconcile;
+    }
+    std::vector<ChaosViolation> violations;
+    if (has_failure && has_reconcile) {
+      violations.push_back({"planted-bug", "node-1 failure then reconcile"});
+    }
+    return violations;
+  };
+}
+
+ChaosCase NoisyFailingCase() {
+  ChaosCase chaos_case;
+  chaos_case.seed = 1;
+  chaos_case.topology_spec =
+      "operator src 2 rate=40\n"
+      "operator mid 2 selectivity=0.8\n"
+      "operator sink 1 selectivity=0.8\n"
+      "edge src mid one-to-one\n"
+      "edge mid sink merge\n";
+  chaos_case.num_worker_nodes = 8;
+  chaos_case.num_standby_nodes = 6;
+  chaos_case.budget = 2;
+  chaos_case.initial_plan = {0, 2};
+  chaos_case.run_for_seconds = 300.0;
+  // 22 events; only #7 (fail-node 1) and #15 (reconcile) matter.
+  for (int i = 0; i < 22; ++i) {
+    ScenarioEvent event;
+    event.at = Duration::Seconds(10.0 * (i + 1));
+    if (i == 7) {
+      event.kind = ScenarioEvent::Kind::kNodeFailure;
+      event.node = 1;
+    } else if (i == 15) {
+      event.kind = ScenarioEvent::Kind::kReconcile;
+    } else if (i % 3 == 0) {
+      event.kind = ScenarioEvent::Kind::kNodeFailure;
+      event.node = 2 + (i % 5);
+    } else if (i % 3 == 1) {
+      event.kind = ScenarioEvent::Kind::kReviveNode;
+      event.node = 2 + (i % 5);
+    } else {
+      event.kind = ScenarioEvent::Kind::kApplyPlan;
+      event.plan = {static_cast<TaskId>(i % 4)};
+    }
+    chaos_case.events.push_back(event);
+  }
+  return chaos_case;
+}
+
+TEST(MinimizerTest, ShrinksPlantedBugToItsEssentialEvents) {
+  const ChaosCase failing = NoisyFailingCase();
+  ASSERT_GE(failing.events.size(), 20u);
+  int calls = 0;
+  const CaseOracle oracle = PlantedBugOracle(&calls);
+  auto minimized = MinimizeFailingCase(failing, oracle);
+  ASSERT_TRUE(minimized.ok()) << minimized.status();
+  EXPECT_EQ(minimized->invariant, "planted-bug");
+  EXPECT_LE(minimized->minimized.events.size(), 3u)
+      << "ddmin must strip the 20 noise events";
+  EXPECT_EQ(minimized->oracle_calls, calls)
+      << "every oracle call is accounted (baseline included)";
+
+  // The minimized schedule still reproduces the same invariant failure...
+  auto replay = oracle(minimized->minimized);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay->size(), 1u);
+  EXPECT_EQ((*replay)[0].invariant, "planted-bug");
+  // ...and both essential events survived.
+  bool has_failure = false;
+  bool has_reconcile = false;
+  for (const ScenarioEvent& event : minimized->minimized.events) {
+    has_failure |= event.kind == ScenarioEvent::Kind::kNodeFailure &&
+                   event.node == 1;
+    has_reconcile |= event.kind == ScenarioEvent::Kind::kReconcile;
+  }
+  EXPECT_TRUE(has_failure);
+  EXPECT_TRUE(has_reconcile);
+  // Structure shrinking kicked in too: the oracle ignores structure, so
+  // the cluster surplus and run duration must have collapsed.
+  EXPECT_LT(minimized->minimized.num_standby_nodes,
+            failing.num_standby_nodes);
+  EXPECT_LT(minimized->minimized.run_for_seconds, failing.run_for_seconds);
+  EXPECT_LT(minimized->minimized.initial_plan.size(),
+            failing.initial_plan.size());
+}
+
+TEST(MinimizerTest, PassingCaseIsRejected) {
+  ChaosCase passing = NoisyFailingCase();
+  passing.events.clear();
+  auto minimized = MinimizeFailingCase(passing, PlantedBugOracle(nullptr));
+  EXPECT_EQ(minimized.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MinimizerTest, RespectsOracleBudget) {
+  int calls = 0;
+  MinimizeOptions options;
+  options.max_oracle_calls = 5;
+  auto minimized = MinimizeFailingCase(NoisyFailingCase(),
+                                       PlantedBugOracle(&calls), options);
+  ASSERT_TRUE(minimized.ok()) << minimized.status();
+  EXPECT_LE(calls, 6) << "baseline + at most max_oracle_calls candidates";
+}
+
+TEST(MinimizerTest, BuiltinOracleShrinksARealFailure) {
+  // Plant a real bug via an invariant the runtime cannot satisfy: an
+  // event whose node id does not exist resolves to InvalidArgument,
+  // which event-sanity reports. The minimizer must isolate that event.
+  auto generated = GenerateChaosCase(ChaosIntensity::Medium(), 11);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  ChaosCase failing = *generated;
+  ScenarioEvent bad;
+  bad.at = Duration::Seconds(1.0);
+  bad.kind = ScenarioEvent::Kind::kNodeFailure;
+  bad.node = 999;
+  failing.events.insert(failing.events.begin() + 2, bad);
+  auto minimized = MinimizeFailingCase(failing, BuiltinOracle());
+  ASSERT_TRUE(minimized.ok()) << minimized.status();
+  EXPECT_EQ(minimized->invariant, "event-sanity");
+  ASSERT_EQ(minimized->minimized.events.size(), 1u);
+  EXPECT_EQ(minimized->minimized.events[0].node, 999);
+}
+
+}  // namespace
+}  // namespace chaos
+}  // namespace ppa

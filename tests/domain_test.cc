@@ -32,6 +32,46 @@ TEST(FailureDomainTest, AssignmentAndLookup) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(FailureDomainTest, ReassignmentMovesNodeBetweenDomains) {
+  Cluster cluster(4, 2);
+  PPA_CHECK_OK(cluster.AssignDomain(0, 100));
+  PPA_CHECK_OK(cluster.AssignDomain(1, 100));
+  PPA_CHECK_OK(cluster.AssignDomain(0, 200));
+  EXPECT_EQ(cluster.DomainOf(0), 200);
+  EXPECT_EQ(cluster.NodesInDomain(100), std::vector<int>{1});
+  EXPECT_EQ(cluster.NodesInDomain(200), std::vector<int>{0});
+  // The vacated singleton domain (node 0's default) stays empty.
+  EXPECT_TRUE(cluster.NodesInDomain(0).empty());
+}
+
+TEST(FailureDomainTest, MembershipSurvivesFailureAndRevival) {
+  Cluster cluster(3, 1);
+  PPA_CHECK_OK(cluster.AssignDomain(0, 7));
+  PPA_CHECK_OK(cluster.AssignDomain(2, 7));
+  cluster.FailNode(2);
+  // Domain membership is static wiring (the rack a node sits in), not
+  // liveness: a dead node still belongs to its domain.
+  EXPECT_EQ(cluster.NodesInDomain(7), (std::vector<int>{0, 2}));
+  EXPECT_FALSE(cluster.NodeAlive(2));
+  cluster.ReviveNode(2);
+  EXPECT_TRUE(cluster.NodeAlive(2));
+  EXPECT_EQ(cluster.NodesInDomain(7), (std::vector<int>{0, 2}));
+}
+
+TEST(FailureDomainTest, ReplicaPlacementFallsBackInsideDomainUnderScarcity) {
+  Cluster cluster(2, 2);
+  Topology topo = MakeChain(1, 1, 1, PartitionScheme::kOneToOne,
+                            PartitionScheme::kOneToOne);
+  cluster.PlacePrimariesRoundRobin(topo);
+  // Every standby shares the primary's domain; out-of-domain placement is
+  // impossible, but the replica must still land somewhere.
+  PPA_CHECK_OK(cluster.AssignDomain(0, 7));
+  PPA_CHECK_OK(cluster.AssignDomain(2, 7));
+  PPA_CHECK_OK(cluster.AssignDomain(3, 7));
+  PPA_CHECK_OK(cluster.PlaceReplicaAuto(0));
+  EXPECT_GE(cluster.NodeOfReplica(0), 2);
+}
+
 TEST(FailureDomainTest, ReplicaPlacementAvoidsPrimaryDomain) {
   Cluster cluster(2, 3);
   Topology topo = MakeChain(1, 1, 1, PartitionScheme::kOneToOne,
@@ -130,6 +170,47 @@ TEST(FailureDomainTest, CrossDomainReplicaSurvivesRackOutage) {
     }
   }
   EXPECT_TRUE(job->AllRecovered());
+}
+
+TEST(FailureDomainTest, ReviveNodeRestoresEligibility) {
+  EventLoop loop;
+  auto job = MakeDomainJob(&loop);
+  EXPECT_EQ(job->ReviveNode(0).code(), StatusCode::kFailedPrecondition)
+      << "revival requires a started job";
+  PPA_CHECK_OK(job->Start());
+  EXPECT_EQ(job->ReviveNode(-1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(job->ReviveNode(99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(job->ReviveNode(0).code(), StatusCode::kFailedPrecondition)
+      << "node 0 is alive";
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
+  PPA_CHECK_OK(job->InjectNodeFailure(2));
+  EXPECT_FALSE(job->cluster().NodeAlive(2));
+  PPA_CHECK_OK(job->ReviveNode(2));
+  EXPECT_TRUE(job->cluster().NodeAlive(2));
+  EXPECT_EQ(job->trace().CountOf(obs::TraceEventKind::kNodeRevived), 1);
+  // Revival restores node eligibility, never task runtimes: recovery is
+  // still in flight for the primaries the failure killed.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
+  EXPECT_TRUE(job->AllRecovered());
+}
+
+TEST(FailureDomainTest, ReviveDomainRevivesOnlyDeadNodes) {
+  EventLoop loop;
+  auto job = MakeDomainJob(&loop);
+  PPA_CHECK_OK(job->cluster().AssignDomain(2, 42));
+  PPA_CHECK_OK(job->cluster().AssignDomain(3, 42));
+  PPA_CHECK_OK(job->Start());
+  EXPECT_EQ(job->ReviveDomain(777).code(), StatusCode::kNotFound);
+  EXPECT_EQ(job->ReviveDomain(42).code(), StatusCode::kFailedPrecondition)
+      << "every node in the domain is alive";
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
+  PPA_CHECK_OK(job->InjectDomainFailure(42));
+  EXPECT_FALSE(job->cluster().NodeAlive(2));
+  EXPECT_FALSE(job->cluster().NodeAlive(3));
+  PPA_CHECK_OK(job->ReviveDomain(42));
+  EXPECT_TRUE(job->cluster().NodeAlive(2));
+  EXPECT_TRUE(job->cluster().NodeAlive(3));
+  EXPECT_EQ(job->trace().CountOf(obs::TraceEventKind::kNodeRevived), 2);
 }
 
 TEST(DomainAnalysisTest, CoverageAndFidelityPerDomain) {

@@ -124,6 +124,111 @@ at 40   reconcile
   EXPECT_NE(job->replica(3), nullptr);
 }
 
+TEST(ScenarioParserTest, ParsesReviveVerbs) {
+  Topology topo = MakeScenarioTopology();
+  auto events = ParseScenario(topo, R"(
+at 5 revive-node 3
+at 6 revive-domain 42
+)");
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].kind, ScenarioEvent::Kind::kReviveNode);
+  EXPECT_EQ((*events)[0].node, 3);
+  EXPECT_EQ((*events)[1].kind, ScenarioEvent::Kind::kReviveDomain);
+  EXPECT_EQ((*events)[1].domain, 42);
+}
+
+std::vector<ScenarioEvent> AllKindsTimeline() {
+  std::vector<ScenarioEvent> events(7);
+  events[0].at = Duration::Seconds(1);
+  events[0].kind = ScenarioEvent::Kind::kNodeFailure;
+  events[0].node = 2;
+  events[1].at = Duration::Seconds(2.5);
+  events[1].kind = ScenarioEvent::Kind::kDomainFailure;
+  events[1].domain = 42;
+  events[2].at = Duration::Seconds(3);
+  events[2].kind = ScenarioEvent::Kind::kCorrelatedFailure;
+  events[2].include_sources = true;
+  events[3].at = Duration::Seconds(4);
+  events[3].kind = ScenarioEvent::Kind::kApplyPlan;
+  events[3].plan = {1, 3, 4};
+  events[4].at = Duration::Seconds(5);
+  events[4].kind = ScenarioEvent::Kind::kReconcile;
+  events[5].at = Duration::Seconds(6);
+  events[5].kind = ScenarioEvent::Kind::kReviveNode;
+  events[5].node = 2;
+  events[6].at = Duration::Seconds(7);
+  events[6].kind = ScenarioEvent::Kind::kReviveDomain;
+  events[6].domain = 42;
+  return events;
+}
+
+TEST(ScenarioJsonTest, RoundTripsEveryEventKind) {
+  const std::vector<ScenarioEvent> events = AllKindsTimeline();
+  auto parsed = ParseScenarioJson(ScenarioToJson(events).Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, events);
+}
+
+TEST(ScenarioJsonTest, GoldenWireFormat) {
+  std::vector<ScenarioEvent> events(1);
+  events[0].at = Duration::Micros(12500000);
+  events[0].kind = ScenarioEvent::Kind::kApplyPlan;
+  events[0].plan = {1, 3};
+  EXPECT_EQ(ScenarioToJson(events).Serialize(),
+            "[{\"at_us\":12500000,\"kind\":\"apply-plan\",\"plan\":[1,3]}]");
+}
+
+TEST(ScenarioJsonTest, RejectsMalformedEvents) {
+  EXPECT_EQ(ParseScenarioJson("{}").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseScenarioJson("[{\"at_us\":1}]").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_THAT(
+      ParseScenarioJson("[{\"at_us\":1,\"kind\":\"explode\"}]")
+          .status()
+          .message(),
+      HasSubstr("event 0"));
+  EXPECT_EQ(ParseScenarioJson("[{\"at_us\":1,\"kind\":\"fail-node\"}]")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioRunnerTest, EmptyFirstRunStillClaimsTheRunner) {
+  EventLoop loop;
+  auto job = MakeScenarioJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  ScenarioRunner runner(job.get(), &loop);
+  EXPECT_TRUE(runner.finished());  // Nothing scheduled yet.
+  PPA_CHECK_OK(runner.Run({}));
+  EXPECT_TRUE(runner.finished());
+  // A runner drives exactly one timeline, even an empty one.
+  std::vector<ScenarioEvent> events(1);
+  events[0].kind = ScenarioEvent::Kind::kReconcile;
+  EXPECT_EQ(runner.Run(std::move(events)).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ScenarioRunnerTest, RevivedNodeCanFailAgain) {
+  EventLoop loop;
+  auto job = MakeScenarioJob(&loop);
+  PPA_CHECK_OK(job->Start());
+  auto events = ParseScenario(job->topology(), R"(
+at 8  fail-node 2
+at 20 revive-node 2
+at 30 fail-node 2
+)");
+  ASSERT_TRUE(events.ok()) << events.status();
+  ScenarioRunner runner(job.get(), &loop);
+  PPA_CHECK_OK(runner.Run(*std::move(events)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(50));
+  ASSERT_TRUE(runner.finished());
+  EXPECT_TRUE(runner.FirstError().ok()) << runner.FirstError();
+  EXPECT_EQ(job->recovery_reports().size(), 2u);
+  EXPECT_EQ(job->trace().CountOf(obs::TraceEventKind::kNodeRevived), 1);
+}
+
 TEST(ScenarioRunnerTest, RecordsEventFailures) {
   EventLoop loop;
   auto job = MakeScenarioJob(&loop);
