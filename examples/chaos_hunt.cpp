@@ -10,7 +10,11 @@
 //     --seeds <n>          cases to run (default 64)
 //     --intensity <low|medium|high>   generator preset (default medium)
 //     --minimize           shrink failing cases with delta debugging
+//     --multi              hunt multi-tenant service cases instead of
+//                          single jobs (2-8 tenants on one shared
+//                          cluster; --minimize is ignored)
 //     --replay <file>      run one chaos-case JSON instead of a campaign
+//                          (a multi-tenant case when --multi is given)
 //     --report <file>      write the campaign report as JSON
 //     --repro_dir <dir>    write failing (minimized when available)
 //                          cases as <dir>/repro_<seed>.json
@@ -35,6 +39,7 @@
 #include "bench/driver.h"
 #include "chaos/campaign.h"
 #include "chaos/chaos_run.h"
+#include "chaos/multi_tenant.h"
 #include "report/experiment_report.h"
 
 namespace {
@@ -49,6 +54,45 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   std::ostringstream contents;
   contents << in.rdbuf();
   return contents.str();
+}
+
+void PrintViolations(const std::vector<chaos::ChaosViolation>& violations) {
+  for (const chaos::ChaosViolation& violation : violations) {
+    std::printf("VIOLATION [%s] %s\n", violation.invariant.c_str(),
+                violation.message.c_str());
+  }
+}
+
+int ReplayMulti(const std::string& path) {
+  auto text = ReadFile(path);
+  PPA_CHECK_OK(text.status());
+  auto mt_case = chaos::ParseMultiTenantCaseJson(*text);
+  if (!mt_case.ok()) {
+    std::fprintf(stderr, "bad multi-tenant case: %s\n",
+                 mt_case.status().ToString().c_str());
+    return 2;
+  }
+  auto report = chaos::RunMultiTenantCase(*mt_case);
+  if (!report.ok()) {
+    std::fprintf(stderr, "replay failed to execute: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("seed %llu: %zu tenants (%zu admitted, %zu queued), "
+              "%zu/%zu events, %zu sink records, %zu recoveries, "
+              "%zu arbitrations, ended @%.1fs\n",
+              static_cast<unsigned long long>(report->seed),
+              report->tenants_submitted, report->tenants_admitted,
+              report->tenants_queued, report->events_executed,
+              report->events_scheduled, report->sink_records,
+              report->recoveries, report->arbitrations,
+              report->end_seconds);
+  if (report->violations.empty()) {
+    std::printf("all invariants held\n");
+    return 0;
+  }
+  PrintViolations(report->violations);
+  return 1;
 }
 
 int Replay(const std::string& path) {
@@ -87,6 +131,7 @@ int Run(int argc, char** argv) {
   bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
   chaos::CampaignOptions options;
   options.intensity = chaos::ChaosIntensity::Medium();
+  bool multi = false;
   std::string replay_path, report_path, repro_dir;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -105,6 +150,8 @@ int Run(int argc, char** argv) {
       options.intensity = *parsed;
     } else if (std::strcmp(argv[i], "--minimize") == 0) {
       options.minimize = true;
+    } else if (std::strcmp(argv[i], "--multi") == 0) {
+      multi = true;
     } else if (std::strcmp(argv[i], "--replay") == 0) {
       replay_path = need_value("--replay");
     } else if (std::strcmp(argv[i], "--report") == 0) {
@@ -117,11 +164,57 @@ int Run(int argc, char** argv) {
     }
   }
   if (!replay_path.empty()) {
-    return Replay(replay_path);
+    return multi ? ReplayMulti(replay_path) : Replay(replay_path);
   }
 
   options.base_seed = driver.seed_or(1);
   options.jobs = driver.jobs();
+  if (multi) {
+    auto campaign = chaos::RunMultiTenantCampaign(options);
+    PPA_CHECK_OK(campaign.status());
+    for (const chaos::MultiTenantCampaignCaseResult& result :
+         campaign->results) {
+      if (!result.failed()) {
+        continue;
+      }
+      if (!result.error.empty()) {
+        std::printf("case %d (seed %llu): ERROR %s\n", result.index,
+                    static_cast<unsigned long long>(result.seed),
+                    result.error.c_str());
+      } else {
+        for (const chaos::ChaosViolation& violation :
+             result.report.violations) {
+          std::printf("case %d (seed %llu): VIOLATION [%s] %s\n",
+                      result.index,
+                      static_cast<unsigned long long>(result.seed),
+                      violation.invariant.c_str(),
+                      violation.message.c_str());
+        }
+      }
+      if (!repro_dir.empty()) {
+        const std::string path = repro_dir + "/repro_" +
+                                 std::to_string(result.seed) + ".json";
+        PPA_CHECK_OK(WriteJsonFile(
+            path, chaos::MultiTenantCaseToJson(result.mt_case)));
+        std::printf("  repro written to %s\n", path.c_str());
+      }
+    }
+    std::printf("%d/%d multi-tenant cases passed (%d violations)\n",
+                options.num_seeds - campaign->num_failed,
+                options.num_seeds, campaign->num_violations);
+    if (!report_path.empty()) {
+      PPA_CHECK_OK(WriteJsonFile(
+          report_path, chaos::MultiTenantCampaignReportToJson(*campaign)));
+      std::printf("report written to %s\n", report_path.c_str());
+    }
+    driver.metrics().Add(
+        "campaign", chaos::MultiTenantCampaignReportToJson(*campaign));
+    const int driver_exit = driver.Finish("chaos_hunt");
+    if (driver_exit != 0) {
+      return driver_exit;
+    }
+    return campaign->num_failed == 0 ? 0 : 1;
+  }
   auto campaign = chaos::RunCampaign(options);
   PPA_CHECK_OK(campaign.status());
 

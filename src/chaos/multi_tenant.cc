@@ -1,0 +1,813 @@
+#include "chaos/multi_tenant.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "exp/parallel_runner.h"
+#include "exp/run_spec.h"
+#include "topology/random_topology.h"
+#include "topology/serialize.h"
+
+namespace ppa {
+namespace chaos {
+
+JobConfig MultiTenantCase::ToJobConfig() const {
+  JobConfig config = JobConfig::PpaDefaults();
+  config.batch_interval = Duration::Seconds(batch_interval_seconds);
+  config.detection_interval = Duration::Seconds(detection_interval_seconds);
+  config.checkpoint_interval = Duration::Seconds(checkpoint_interval_seconds);
+  config.num_worker_nodes = num_worker_nodes;
+  config.num_standby_nodes = num_standby_nodes;
+  config.window_batches = window_batches;
+  return config;
+}
+
+service::ServiceConfig MultiTenantCase::ToServiceConfig() const {
+  service::ServiceConfig config;
+  config.num_worker_nodes = num_worker_nodes;
+  config.num_standby_nodes = num_standby_nodes;
+  config.worker_slots_per_node = worker_slots_per_node;
+  config.standby_slots_per_node = standby_slots_per_node;
+  config.arbitration_slot = Duration::Seconds(arbitration_slot_seconds);
+  return config;
+}
+
+JsonValue MultiTenantCaseToJson(const MultiTenantCase& mt_case) {
+  JsonValue json = JsonValue::Object();
+  json.Set("seed", static_cast<int64_t>(mt_case.seed));
+  json.Set("num_worker_nodes", mt_case.num_worker_nodes);
+  json.Set("num_standby_nodes", mt_case.num_standby_nodes);
+  json.Set("worker_slots_per_node", mt_case.worker_slots_per_node);
+  json.Set("standby_slots_per_node", mt_case.standby_slots_per_node);
+  json.Set("arbitration_slot_seconds", mt_case.arbitration_slot_seconds);
+  json.Set("batch_interval_seconds", mt_case.batch_interval_seconds);
+  json.Set("detection_interval_seconds", mt_case.detection_interval_seconds);
+  json.Set("checkpoint_interval_seconds",
+           mt_case.checkpoint_interval_seconds);
+  json.Set("window_batches", mt_case.window_batches);
+  JsonValue domains = JsonValue::Array();
+  for (int domain : mt_case.node_domains) {
+    domains.Append(domain);
+  }
+  json.Set("node_domains", std::move(domains));
+  JsonValue tenants = JsonValue::Array();
+  for (const TenantCase& tenant : mt_case.tenants) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("topology_spec", tenant.topology_spec);
+    entry.Set("replica_budget", tenant.replica_budget);
+    entry.Set("priority", tenant.priority);
+    JsonValue plan = JsonValue::Array();
+    for (TaskId t : tenant.initial_plan) {
+      plan.Append(static_cast<int64_t>(t));
+    }
+    entry.Set("initial_plan", std::move(plan));
+    JsonValue affinity = JsonValue::Array();
+    for (int node : tenant.worker_affinity) {
+      affinity.Append(static_cast<int64_t>(node));
+    }
+    entry.Set("worker_affinity", std::move(affinity));
+    tenants.Append(std::move(entry));
+  }
+  json.Set("tenants", std::move(tenants));
+  json.Set("events", ScenarioToJson(mt_case.events));
+  json.Set("run_for_seconds", mt_case.run_for_seconds);
+  return json;
+}
+
+namespace {
+
+StatusOr<const JsonValue*> Require(const JsonValue& json, const char* key) {
+  const JsonValue* value = json.Find(key);
+  if (value == nullptr) {
+    return InvalidArgument(std::string("multi-tenant case is missing '") +
+                           key + "'");
+  }
+  return value;
+}
+
+StatusOr<double> RequireNumber(const JsonValue& json, const char* key) {
+  PPA_ASSIGN_OR_RETURN(const JsonValue* value, Require(json, key));
+  if (!value->is_number()) {
+    return InvalidArgument(std::string("'") + key + "' must be a number");
+  }
+  return value->AsDouble();
+}
+
+StatusOr<int64_t> RequireInt(const JsonValue& json, const char* key) {
+  PPA_ASSIGN_OR_RETURN(const JsonValue* value, Require(json, key));
+  if (!value->is_number()) {
+    return InvalidArgument(std::string("'") + key + "' must be a number");
+  }
+  return value->AsInt();
+}
+
+StatusOr<TenantCase> TenantCaseFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return InvalidArgument("tenant case must be a JSON object");
+  }
+  TenantCase tenant;
+  PPA_ASSIGN_OR_RETURN(const JsonValue* spec,
+                       Require(json, "topology_spec"));
+  if (!spec->is_string()) {
+    return InvalidArgument("'topology_spec' must be a string");
+  }
+  tenant.topology_spec = spec->AsString();
+  PPA_ASSIGN_OR_RETURN(int64_t budget, RequireInt(json, "replica_budget"));
+  tenant.replica_budget = static_cast<int>(budget);
+  PPA_ASSIGN_OR_RETURN(int64_t priority, RequireInt(json, "priority"));
+  tenant.priority = static_cast<int>(priority);
+  PPA_ASSIGN_OR_RETURN(const JsonValue* plan, Require(json, "initial_plan"));
+  if (!plan->is_array()) {
+    return InvalidArgument("'initial_plan' must be an array");
+  }
+  for (size_t i = 0; i < plan->size(); ++i) {
+    if (!plan->at(i).is_number()) {
+      return InvalidArgument("'initial_plan' entries must be task ids");
+    }
+    tenant.initial_plan.push_back(static_cast<TaskId>(plan->at(i).AsInt()));
+  }
+  PPA_ASSIGN_OR_RETURN(const JsonValue* affinity,
+                       Require(json, "worker_affinity"));
+  if (!affinity->is_array()) {
+    return InvalidArgument("'worker_affinity' must be an array");
+  }
+  for (size_t i = 0; i < affinity->size(); ++i) {
+    if (!affinity->at(i).is_number()) {
+      return InvalidArgument("'worker_affinity' entries must be node ids");
+    }
+    tenant.worker_affinity.push_back(
+        static_cast<int>(affinity->at(i).AsInt()));
+  }
+  return tenant;
+}
+
+}  // namespace
+
+StatusOr<MultiTenantCase> MultiTenantCaseFromJson(const JsonValue& json) {
+  if (!json.is_object()) {
+    return InvalidArgument("multi-tenant case must be a JSON object");
+  }
+  MultiTenantCase mt_case;
+  PPA_ASSIGN_OR_RETURN(int64_t seed, RequireInt(json, "seed"));
+  mt_case.seed = static_cast<uint64_t>(seed);
+  PPA_ASSIGN_OR_RETURN(int64_t workers, RequireInt(json, "num_worker_nodes"));
+  mt_case.num_worker_nodes = static_cast<int>(workers);
+  PPA_ASSIGN_OR_RETURN(int64_t standbys,
+                       RequireInt(json, "num_standby_nodes"));
+  mt_case.num_standby_nodes = static_cast<int>(standbys);
+  PPA_ASSIGN_OR_RETURN(int64_t worker_slots,
+                       RequireInt(json, "worker_slots_per_node"));
+  mt_case.worker_slots_per_node = static_cast<int>(worker_slots);
+  PPA_ASSIGN_OR_RETURN(int64_t standby_slots,
+                       RequireInt(json, "standby_slots_per_node"));
+  mt_case.standby_slots_per_node = static_cast<int>(standby_slots);
+  PPA_ASSIGN_OR_RETURN(mt_case.arbitration_slot_seconds,
+                       RequireNumber(json, "arbitration_slot_seconds"));
+  PPA_ASSIGN_OR_RETURN(mt_case.batch_interval_seconds,
+                       RequireNumber(json, "batch_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(mt_case.detection_interval_seconds,
+                       RequireNumber(json, "detection_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(mt_case.checkpoint_interval_seconds,
+                       RequireNumber(json, "checkpoint_interval_seconds"));
+  PPA_ASSIGN_OR_RETURN(mt_case.window_batches,
+                       RequireInt(json, "window_batches"));
+  PPA_ASSIGN_OR_RETURN(const JsonValue* domains,
+                       Require(json, "node_domains"));
+  if (!domains->is_array()) {
+    return InvalidArgument("'node_domains' must be an array");
+  }
+  for (size_t i = 0; i < domains->size(); ++i) {
+    if (!domains->at(i).is_number()) {
+      return InvalidArgument("'node_domains' entries must be ints");
+    }
+    mt_case.node_domains.push_back(
+        static_cast<int>(domains->at(i).AsInt()));
+  }
+  PPA_ASSIGN_OR_RETURN(const JsonValue* tenants, Require(json, "tenants"));
+  if (!tenants->is_array()) {
+    return InvalidArgument("'tenants' must be an array");
+  }
+  for (size_t i = 0; i < tenants->size(); ++i) {
+    PPA_ASSIGN_OR_RETURN(TenantCase tenant,
+                         TenantCaseFromJson(tenants->at(i)));
+    mt_case.tenants.push_back(std::move(tenant));
+  }
+  PPA_ASSIGN_OR_RETURN(const JsonValue* events, Require(json, "events"));
+  PPA_ASSIGN_OR_RETURN(mt_case.events, ScenarioFromJson(*events));
+  PPA_ASSIGN_OR_RETURN(mt_case.run_for_seconds,
+                       RequireNumber(json, "run_for_seconds"));
+  return mt_case;
+}
+
+StatusOr<MultiTenantCase> ParseMultiTenantCaseJson(std::string_view text) {
+  PPA_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(text));
+  return MultiTenantCaseFromJson(json);
+}
+
+namespace {
+
+/// Rejects timeline kinds the service layer cannot execute (plan swaps
+/// and reconciles are per-tenant operations; correlated failures need a
+/// single job's placement to resolve).
+Status ValidateTimeline(const std::vector<ScenarioEvent>& events) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    switch (events[i].kind) {
+      case ScenarioEvent::Kind::kNodeFailure:
+      case ScenarioEvent::Kind::kDomainFailure:
+      case ScenarioEvent::Kind::kReviveNode:
+      case ScenarioEvent::Kind::kReviveDomain:
+        break;
+      default:
+        return InvalidArgument(
+            "event " + std::to_string(i) +
+            ": service timelines support only node/domain failures and "
+            "revivals");
+    }
+    if (events[i].at < Duration::Zero()) {
+      return InvalidArgument("event " + std::to_string(i) +
+                             " has a negative offset");
+    }
+  }
+  return OkStatus();
+}
+
+/// The single-job ChaosCase the per-job builtin invariants read their
+/// scalars (window guard, budget ceiling, liveness bound) from when
+/// applied to one tenant of a multi-tenant run.
+ChaosCase TenantShim(const MultiTenantCase& mt_case, const TenantCase& tenant) {
+  ChaosCase shim;
+  shim.seed = mt_case.seed;
+  shim.topology_spec = tenant.topology_spec;
+  shim.batch_interval_seconds = mt_case.batch_interval_seconds;
+  shim.detection_interval_seconds = mt_case.detection_interval_seconds;
+  shim.checkpoint_interval_seconds = mt_case.checkpoint_interval_seconds;
+  shim.num_worker_nodes = mt_case.num_worker_nodes;
+  shim.num_standby_nodes = mt_case.num_standby_nodes;
+  shim.window_batches = mt_case.window_batches;
+  shim.initial_plan = tenant.initial_plan;
+  shim.budget = tenant.replica_budget;
+  shim.run_for_seconds = mt_case.run_for_seconds;
+  return shim;
+}
+
+/// Service-level event-sanity: every scheduled event fired, and resolved
+/// to a status a random schedule may legitimately produce.
+void CheckEventSanity(const std::vector<Status>& outcomes, size_t scheduled,
+                      std::vector<ChaosViolation>* violations) {
+  if (outcomes.size() < scheduled) {
+    violations->push_back(
+        {"event-sanity", "not every scheduled service event executed"});
+  }
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const StatusCode code = outcomes[i].code();
+    const bool acceptable = code == StatusCode::kOk ||
+                            code == StatusCode::kFailedPrecondition ||
+                            code == StatusCode::kNotFound ||
+                            code == StatusCode::kResourceExhausted;
+    if (!acceptable) {
+      violations->push_back({"event-sanity",
+                             "event " + std::to_string(i) + " resolved to " +
+                                 outcomes[i].ToString()});
+    }
+  }
+}
+
+/// End-state per-tenant ceiling: placed replicas never exceed the
+/// tenant's budget (zero while degraded) plus its currently-failed tasks
+/// (whose replicas may be the recovery path).
+void CheckTenantBudgets(service::ClusterService* svc,
+                        std::vector<ChaosViolation>* violations) {
+  for (int id : svc->TenantIds()) {
+    StreamingJob* job = svc->job(id);
+    if (job == nullptr || job->stopped()) {
+      continue;
+    }
+    const service::TenantSpec* spec = svc->spec(id);
+    const service::TenantPhase phase = svc->PhaseOf(id).value();
+    const int64_t budget = phase == service::TenantPhase::kDegraded
+                               ? 0
+                               : spec->replica_budget;
+    const int64_t failed =
+        static_cast<int64_t>(job->UnrecoveredTasks().ToVector().size());
+    const int64_t placed =
+        static_cast<int64_t>(job->cluster().PlacedReplicas());
+    if (placed > budget + failed) {
+      violations->push_back(
+          {"tenant-replica-budget",
+           "tenant " + std::to_string(id) + " holds " +
+               std::to_string(placed) + " placed replicas, ceiling " +
+               std::to_string(budget) + " + " + std::to_string(failed) +
+               " failed tasks"});
+    }
+  }
+}
+
+/// Every logged arbitration decision must match the deterministic policy
+/// order with rank-proportional holds.
+void CheckArbitrationOrder(const service::ClusterService& svc,
+                           Duration slot,
+                           std::vector<ChaosViolation>* violations) {
+  const std::vector<service::ArbitrationDecision>& log =
+      svc.arbitration_log();
+  for (size_t d = 0; d < log.size(); ++d) {
+    const service::ArbitrationDecision& decision = log[d];
+    std::vector<service::ArbitrationClaim> claims;
+    claims.reserve(decision.order.size());
+    for (const service::ArbitrationHold& hold : decision.order) {
+      claims.push_back(hold.claim);
+    }
+    const std::vector<service::ArbitrationClaim> expected =
+        service::ArbitrationOrder(claims);
+    for (size_t i = 0; i < decision.order.size(); ++i) {
+      if (decision.order[i].claim.tenant != expected[i].tenant) {
+        violations->push_back(
+            {"arbitration-order",
+             "decision " + std::to_string(d) + " ranks tenant " +
+                 std::to_string(decision.order[i].claim.tenant) + " at " +
+                 std::to_string(i) + " but the policy puts tenant " +
+                 std::to_string(expected[i].tenant) + " there"});
+        break;
+      }
+      const Duration want = slot * static_cast<int64_t>(i);
+      if (decision.order[i].hold != want) {
+        violations->push_back(
+            {"arbitration-order",
+             "decision " + std::to_string(d) + " holds rank " +
+                 std::to_string(i) + " for " +
+                 std::to_string(decision.order[i].hold.seconds()) +
+                 "s, expected " + std::to_string(want.seconds()) + "s"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<MultiTenantRunReport> RunMultiTenantCase(
+    const MultiTenantCase& mt_case) {
+  if (mt_case.tenants.empty()) {
+    return InvalidArgument("multi-tenant case has no tenants");
+  }
+  if (mt_case.run_for_seconds <= 0) {
+    return InvalidArgument("run_for_seconds must be positive");
+  }
+  PPA_RETURN_IF_ERROR(ValidateTimeline(mt_case.events));
+  const JobConfig config = mt_case.ToJobConfig();
+  PPA_RETURN_IF_ERROR(config.Validate());
+  const service::ServiceConfig service_config = mt_case.ToServiceConfig();
+  PPA_RETURN_IF_ERROR(service_config.Validate());
+
+  EventLoop loop;
+  service::ClusterService svc(service_config, &loop);
+  const int num_nodes =
+      service_config.num_worker_nodes + service_config.num_standby_nodes;
+  if (!mt_case.node_domains.empty()) {
+    if (static_cast<int>(mt_case.node_domains.size()) != num_nodes) {
+      return InvalidArgument("node_domains size does not match the cluster");
+    }
+    for (int node = 0; node < num_nodes; ++node) {
+      PPA_RETURN_IF_ERROR(svc.AssignDomain(
+          node, mt_case.node_domains[static_cast<size_t>(node)]));
+    }
+  }
+
+  MultiTenantRunReport report;
+  report.seed = mt_case.seed;
+  report.tenants_submitted = mt_case.tenants.size();
+  std::vector<int> ids;
+  ids.reserve(mt_case.tenants.size());
+  for (const TenantCase& tenant : mt_case.tenants) {
+    service::TenantSpec spec;
+    spec.topology_spec = tenant.topology_spec;
+    spec.config = config;
+    spec.replica_budget = tenant.replica_budget;
+    spec.priority = tenant.priority;
+    spec.initial_plan = tenant.initial_plan;
+    spec.worker_affinity = tenant.worker_affinity;
+    PPA_ASSIGN_OR_RETURN(const int id, svc.Submit(std::move(spec)));
+    ids.push_back(id);
+    PPA_ASSIGN_OR_RETURN(const service::TenantPhase phase, svc.PhaseOf(id));
+    if (phase == service::TenantPhase::kQueued) {
+      ++report.tenants_queued;
+    } else {
+      ++report.tenants_admitted;
+    }
+  }
+
+  std::vector<Status> outcomes;
+  outcomes.reserve(mt_case.events.size());
+  for (const ScenarioEvent& event : mt_case.events) {
+    loop.Schedule(TimePoint::Zero() + event.at, [&svc, &outcomes, event] {
+      switch (event.kind) {
+        case ScenarioEvent::Kind::kNodeFailure:
+          outcomes.push_back(svc.InjectNodeFailure(event.node));
+          break;
+        case ScenarioEvent::Kind::kDomainFailure:
+          outcomes.push_back(svc.InjectDomainFailure(event.domain));
+          break;
+        case ScenarioEvent::Kind::kReviveNode:
+          outcomes.push_back(svc.ReviveNode(event.node));
+          break;
+        case ScenarioEvent::Kind::kReviveDomain:
+          outcomes.push_back(svc.ReviveDomain(event.domain));
+          break;
+        default:
+          outcomes.push_back(
+              Unimplemented("unsupported service-level event"));
+          break;
+      }
+    });
+  }
+  report.events_scheduled = mt_case.events.size();
+
+  loop.RunUntil(TimePoint::Zero() +
+                Duration::Seconds(mt_case.run_for_seconds));
+  // Recovery grace + quiet tail, mirroring RunChaosCase: bounded room for
+  // unfired events and in-flight recoveries, then a few more batches so
+  // the first post-recovery stable emission closes the tentative windows.
+  const TimePoint grace_cap = loop.now() + Duration::Seconds(1800.0);
+  while ((outcomes.size() < mt_case.events.size() || !svc.AllRecovered()) &&
+         loop.now() < grace_cap) {
+    loop.RunUntil(loop.now() + config.detection_interval);
+  }
+  loop.RunUntil(loop.now() + config.batch_interval * 5);
+
+  for (const int id : ids) {
+    StreamingJob* job = svc.job(id);
+    if (job == nullptr || job->stopped() || !job->AllRecovered()) {
+      continue;
+    }
+    auto reconciled = job->ReconcileTentativeOutputs();
+    if (!reconciled.ok() &&
+        reconciled.status().code() != StatusCode::kFailedPrecondition) {
+      return reconciled.status();
+    }
+  }
+  const TimePoint end_time = loop.now();
+  report.events_executed = outcomes.size();
+  report.end_seconds = end_time.seconds();
+  report.arbitrations = svc.arbitration_log().size();
+  report.degradations = static_cast<size_t>(svc.stats().degradations);
+  report.promotions = static_cast<size_t>(svc.stats().promotions);
+
+  // Per-tenant oracle pass: a fault-free golden twin per admitted tenant
+  // (fresh loop, no replicas, run for the tenant's own admitted-to-end
+  // span — batch contents depend only on the batch index, so the grouped
+  // (task, batch) comparison aligns regardless of cluster shape), then
+  // the per-job builtin invariants minus event-sanity (the service owns
+  // the timeline, so event outcomes are judged once below).
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    const StreamingJob* job = svc.job(id);
+    if (job == nullptr) {
+      continue;  // Still queued: never produced output.
+    }
+    report.sink_records += job->sink_records().size();
+    report.recoveries += job->recovery_reports().size();
+    if (job->stopped()) {
+      // No evict events exist at this layer, so a stopped job means
+      // admission double-charged capacity and gave up on a queued tenant.
+      report.violations.push_back(
+          {"admission-sanity", "tenant " + std::to_string(id) +
+                                   " was evicted during the run"});
+      continue;
+    }
+    PPA_ASSIGN_OR_RETURN(const TimePoint admitted_at, svc.AdmittedAt(id));
+    const Topology* topology = svc.topology(id);
+    EventLoop golden_loop;
+    auto golden = std::make_unique<StreamingJob>(*topology, config,
+                                                 &golden_loop);
+    PPA_RETURN_IF_ERROR(
+        exp::BindGenericWorkload(*topology, config, golden.get()));
+    PPA_RETURN_IF_ERROR(
+        golden->SetActiveReplicaSet(TaskSet(topology->num_tasks())));
+    PPA_RETURN_IF_ERROR(golden->Start());
+    golden_loop.RunUntil(TimePoint::Zero() + (end_time - admitted_at));
+
+    const ChaosCase shim = TenantShim(mt_case, mt_case.tenants[i]);
+    ChaosRunContext context;
+    context.chaos_case = &shim;
+    context.job = job;
+    context.golden = golden.get();
+    context.event_outcomes = &outcomes;
+    context.scenario_finished = outcomes.size() == mt_case.events.size();
+    context.end_time = end_time;
+    std::vector<ChaosViolation> tenant_violations;
+    for (const Invariant* invariant : BuiltinInvariants()) {
+      if (invariant->name() == "event-sanity") {
+        continue;
+      }
+      invariant->Check(context, &tenant_violations);
+    }
+    for (ChaosViolation& violation : tenant_violations) {
+      violation.message =
+          "tenant " + std::to_string(id) + ": " + violation.message;
+      report.violations.push_back(std::move(violation));
+    }
+  }
+
+  CheckEventSanity(outcomes, mt_case.events.size(), &report.violations);
+  CheckTenantBudgets(&svc, &report.violations);
+  CheckArbitrationOrder(svc, service_config.arbitration_slot,
+                        &report.violations);
+  return report;
+}
+
+StatusOr<MultiTenantCase> GenerateMultiTenantCase(
+    const ChaosIntensity& intensity, uint64_t seed) {
+  if (intensity.min_events < 0 ||
+      intensity.max_events < intensity.min_events) {
+    return InvalidArgument("bad chaos intensity event range");
+  }
+  Rng rng(seed);
+  MultiTenantCase mt_case;
+  mt_case.seed = seed;
+
+  const int num_tenants = static_cast<int>(rng.NextInt(2, 8));
+  RandomTopologyOptions topo_options;
+  topo_options.min_operators = 2;
+  topo_options.max_operators = 4;
+  topo_options.min_parallelism = 1;
+  topo_options.max_parallelism = 2;
+  topo_options.join_fraction = 0.25;
+  topo_options.source_rate = 40.0;
+  topo_options.selectivity = 0.8;
+
+  // Zipf-skewed budgets: most tenants get little or no replication while
+  // a few hog the standby pool — the interesting starvation regime.
+  const ZipfGenerator budget_zipf(5, 1.2);
+  int total_tasks = 0;
+  int total_budget = 0;
+  int max_budget = 0;
+  for (int i = 0; i < num_tenants; ++i) {
+    TenantCase tenant;
+    PPA_ASSIGN_OR_RETURN(Topology topology,
+                         GenerateRandomTopology(topo_options, &rng));
+    tenant.topology_spec = ToSpec(topology);
+    const int num_tasks = topology.num_tasks();
+    total_tasks += num_tasks;
+    tenant.priority = static_cast<int>(rng.NextInt(0, 3));
+    tenant.replica_budget =
+        std::min(num_tasks, static_cast<int>(budget_zipf.Sample(&rng)));
+    total_budget += tenant.replica_budget;
+    max_budget = std::max(max_budget, tenant.replica_budget);
+    std::vector<TaskId> tasks(static_cast<size_t>(num_tasks));
+    for (int t = 0; t < num_tasks; ++t) {
+      tasks[static_cast<size_t>(t)] = t;
+    }
+    rng.Shuffle(&tasks);
+    tasks.resize(static_cast<size_t>(tenant.replica_budget));
+    std::sort(tasks.begin(), tasks.end());
+    tenant.initial_plan = std::move(tasks);
+    mt_case.tenants.push_back(std::move(tenant));
+  }
+
+  // Workers always fit every tenant eventually; standbys are deliberately
+  // undersized ~40% of the time (still fitting the largest single budget,
+  // so starvation shows up as queueing and degradation, not permanent
+  // rejection).
+  mt_case.worker_slots_per_node = static_cast<int>(rng.NextInt(2, 4));
+  mt_case.num_worker_nodes =
+      (total_tasks + mt_case.worker_slots_per_node - 1) /
+          mt_case.worker_slots_per_node +
+      static_cast<int>(rng.NextInt(1, 3));
+  mt_case.standby_slots_per_node = static_cast<int>(rng.NextInt(2, 4));
+  const bool starved = rng.NextBool(0.4);
+  const int standby_capacity =
+      starved ? std::max({1, max_budget,
+                          static_cast<int>(0.6 * total_budget)})
+              : total_budget + static_cast<int>(rng.NextInt(0, 4));
+  mt_case.num_standby_nodes =
+      std::max(1, (standby_capacity + mt_case.standby_slots_per_node - 1) /
+                      mt_case.standby_slots_per_node);
+  const int num_nodes =
+      mt_case.num_worker_nodes + mt_case.num_standby_nodes;
+
+  mt_case.arbitration_slot_seconds =
+      static_cast<double>(rng.NextInt(1, 4));
+  mt_case.window_batches = rng.NextInt(5, 15);
+  mt_case.checkpoint_interval_seconds =
+      static_cast<double>(rng.NextInt(5, 20));
+
+  const int num_domains = static_cast<int>(rng.NextInt(2, 4));
+  mt_case.node_domains.resize(static_cast<size_t>(num_nodes));
+  for (int node = 0; node < num_nodes; ++node) {
+    mt_case.node_domains[static_cast<size_t>(node)] =
+        static_cast<int>(rng.NextUint64(static_cast<uint64_t>(num_domains)));
+  }
+
+  // Generator-side dead-node bookkeeping, as in GenerateChaosCase: a
+  // stale guess only yields an acceptable FailedPrecondition outcome.
+  std::vector<bool> dead(static_cast<size_t>(num_nodes), false);
+  auto dead_nodes = [&dead] {
+    std::vector<int> nodes;
+    for (size_t node = 0; node < dead.size(); ++node) {
+      if (dead[node]) {
+        nodes.push_back(static_cast<int>(node));
+      }
+    }
+    return nodes;
+  };
+
+  const int num_events = static_cast<int>(
+      rng.NextInt(intensity.min_events, intensity.max_events));
+  const double detection = mt_case.detection_interval_seconds;
+  double cursor = 5.0 + rng.NextDouble() * 10.0;
+  for (int i = 0; i < num_events; ++i) {
+    if (i > 0) {
+      if (rng.NextBool(intensity.overlap_probability)) {
+        // Same instant: races through the loop's same-tick FIFO.
+      } else if (rng.NextBool(intensity.failure_during_recovery_bias)) {
+        cursor += 0.5 + rng.NextDouble() * (detection + 5.0);
+      } else {
+        cursor += detection + 5.0 + rng.NextDouble() * 20.0;
+      }
+    }
+    ScenarioEvent event;
+    event.at = Duration::Seconds(cursor);
+    const double draw = rng.NextDouble();
+    if (draw < intensity.revive_probability && !dead_nodes().empty()) {
+      const std::vector<int> candidates = dead_nodes();
+      if (rng.NextBool(0.3)) {
+        event.kind = ScenarioEvent::Kind::kReviveDomain;
+        const int node = candidates[rng.NextUint64(candidates.size())];
+        event.domain = mt_case.node_domains[static_cast<size_t>(node)];
+        for (int n = 0; n < num_nodes; ++n) {
+          if (mt_case.node_domains[static_cast<size_t>(n)] == event.domain) {
+            dead[static_cast<size_t>(n)] = false;
+          }
+        }
+      } else {
+        event.kind = ScenarioEvent::Kind::kReviveNode;
+        event.node = candidates[rng.NextUint64(candidates.size())];
+        dead[static_cast<size_t>(event.node)] = false;
+      }
+    } else if (rng.NextDouble() < intensity.domain_failure_fraction +
+                                      intensity.correlated_failure_fraction) {
+      // Correlated mass is folded into domain failures: a domain outage IS
+      // the cross-tenant correlated failure at this layer.
+      event.kind = ScenarioEvent::Kind::kDomainFailure;
+      event.domain = static_cast<int>(
+          rng.NextUint64(static_cast<uint64_t>(num_domains)));
+      for (int n = 0; n < num_nodes; ++n) {
+        if (mt_case.node_domains[static_cast<size_t>(n)] == event.domain) {
+          dead[static_cast<size_t>(n)] = true;
+        }
+      }
+    } else {
+      event.kind = ScenarioEvent::Kind::kNodeFailure;
+      // Half the node kills target the standby pool: killing standbys is
+      // what forces budget starvation and degradation cascades.
+      if (rng.NextBool(0.5)) {
+        event.node =
+            mt_case.num_worker_nodes +
+            static_cast<int>(rng.NextUint64(
+                static_cast<uint64_t>(mt_case.num_standby_nodes)));
+      } else {
+        event.node = static_cast<int>(
+            rng.NextUint64(static_cast<uint64_t>(num_nodes)));
+      }
+      dead[static_cast<size_t>(event.node)] = true;
+    }
+    mt_case.events.push_back(std::move(event));
+  }
+
+  mt_case.run_for_seconds =
+      cursor + 30.0 + static_cast<double>(rng.NextInt(0, 15));
+  return mt_case;
+}
+
+namespace {
+
+/// Generates and runs case `index`. Never fails: execution errors land in
+/// the result's `error` field so one broken case cannot take down the
+/// campaign.
+MultiTenantCampaignCaseResult RunOneMultiTenantCase(
+    const CampaignOptions& options, int index) {
+  MultiTenantCampaignCaseResult result;
+  result.index = index;
+  result.seed = DeriveSeed(options.base_seed, static_cast<uint64_t>(index));
+  StatusOr<MultiTenantCase> generated =
+      GenerateMultiTenantCase(options.intensity, result.seed);
+  if (!generated.ok()) {
+    result.error = "generate: " + generated.status().ToString();
+    return result;
+  }
+  result.mt_case = *std::move(generated);
+  StatusOr<MultiTenantRunReport> report = RunMultiTenantCase(result.mt_case);
+  if (!report.ok()) {
+    result.error = "run: " + report.status().ToString();
+    return result;
+  }
+  result.report = *std::move(report);
+  return result;
+}
+
+JsonValue MultiTenantCaseResultToJson(
+    const MultiTenantCampaignCaseResult& result) {
+  JsonValue json = JsonValue::Object();
+  json.Set("index", result.index);
+  json.Set("seed", static_cast<int64_t>(result.seed));
+  json.Set("failed", result.failed());
+  if (!result.error.empty()) {
+    json.Set("error", result.error);
+    json.Set("case", MultiTenantCaseToJson(result.mt_case));
+    return json;
+  }
+  json.Set("tenants_submitted",
+           static_cast<int64_t>(result.report.tenants_submitted));
+  json.Set("tenants_admitted",
+           static_cast<int64_t>(result.report.tenants_admitted));
+  json.Set("tenants_queued",
+           static_cast<int64_t>(result.report.tenants_queued));
+  json.Set("events_scheduled",
+           static_cast<int64_t>(result.report.events_scheduled));
+  json.Set("events_executed",
+           static_cast<int64_t>(result.report.events_executed));
+  json.Set("sink_records", static_cast<int64_t>(result.report.sink_records));
+  json.Set("recoveries", static_cast<int64_t>(result.report.recoveries));
+  json.Set("arbitrations",
+           static_cast<int64_t>(result.report.arbitrations));
+  json.Set("degradations",
+           static_cast<int64_t>(result.report.degradations));
+  json.Set("promotions", static_cast<int64_t>(result.report.promotions));
+  json.Set("end_seconds", result.report.end_seconds);
+  JsonValue violations = JsonValue::Array();
+  for (const ChaosViolation& violation : result.report.violations) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("invariant", violation.invariant);
+    entry.Set("message", violation.message);
+    violations.Append(std::move(entry));
+  }
+  json.Set("violations", std::move(violations));
+  if (result.failed()) {
+    json.Set("case", MultiTenantCaseToJson(result.mt_case));
+  }
+  return json;
+}
+
+JsonValue MultiTenantIntensityToJson(const ChaosIntensity& intensity) {
+  JsonValue json = JsonValue::Object();
+  json.Set("min_events", intensity.min_events);
+  json.Set("max_events", intensity.max_events);
+  json.Set("overlap_probability", intensity.overlap_probability);
+  json.Set("failure_during_recovery_bias",
+           intensity.failure_during_recovery_bias);
+  json.Set("revive_probability", intensity.revive_probability);
+  json.Set("domain_failure_fraction", intensity.domain_failure_fraction);
+  json.Set("correlated_failure_fraction",
+           intensity.correlated_failure_fraction);
+  return json;
+}
+
+}  // namespace
+
+StatusOr<MultiTenantCampaignReport> RunMultiTenantCampaign(
+    const CampaignOptions& options) {
+  if (options.num_seeds < 0) {
+    return InvalidArgument("num_seeds must be non-negative");
+  }
+  if (options.jobs < 1) {
+    return InvalidArgument("jobs must be at least 1");
+  }
+  exp::ParallelRunnerOptions runner_options;
+  runner_options.jobs = options.jobs;
+  exp::ParallelRunner runner(runner_options);
+  MultiTenantCampaignReport report;
+  report.options = options;
+  report.results = runner.Map<MultiTenantCampaignCaseResult>(
+      options.num_seeds,
+      [&options](int index) { return RunOneMultiTenantCase(options, index); });
+  for (const MultiTenantCampaignCaseResult& result : report.results) {
+    if (result.failed()) {
+      ++report.num_failed;
+    }
+    report.num_violations +=
+        static_cast<int>(result.report.violations.size());
+  }
+  return report;
+}
+
+JsonValue MultiTenantCampaignReportToJson(
+    const MultiTenantCampaignReport& report) {
+  JsonValue json = JsonValue::Object();
+  json.Set("base_seed", static_cast<int64_t>(report.options.base_seed));
+  json.Set("num_seeds", report.options.num_seeds);
+  json.Set("intensity", MultiTenantIntensityToJson(report.options.intensity));
+  json.Set("num_failed", report.num_failed);
+  json.Set("num_violations", report.num_violations);
+  JsonValue cases = JsonValue::Array();
+  for (const MultiTenantCampaignCaseResult& result : report.results) {
+    cases.Append(MultiTenantCaseResultToJson(result));
+  }
+  json.Set("cases", std::move(cases));
+  return json;
+}
+
+}  // namespace chaos
+}  // namespace ppa

@@ -1,0 +1,177 @@
+#ifndef PPA_CHAOS_MULTI_TENANT_H_
+#define PPA_CHAOS_MULTI_TENANT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/campaign.h"
+#include "chaos/generator.h"
+#include "chaos/invariants.h"
+#include "common/status_or.h"
+#include "report/json.h"
+#include "runtime/scenario.h"
+#include "service/cluster_service.h"
+
+namespace ppa {
+namespace chaos {
+
+/// One tenant of a multi-tenant chaos case.
+struct TenantCase {
+  /// Topology as ParseTopologySpec() text.
+  std::string topology_spec;
+  /// Replica budget committed against the shared standby pool.
+  int replica_budget = 0;
+  /// QoS priority (0 = most critical).
+  int priority = 0;
+  /// Tasks actively replicated at admission.
+  std::vector<TaskId> initial_plan;
+  /// If non-empty, primaries may only land on these worker nodes (lets
+  /// scripted drills pin tenants into specific failure domains).
+  std::vector<int> worker_affinity;
+
+  bool operator==(const TenantCase&) const = default;
+};
+
+/// A self-contained multi-tenant chaos experiment: a shared-cluster shape,
+/// 2-8 tenants with (possibly skewed) replica budgets and priorities, a
+/// failure-domain assignment, and a service-level fault timeline. Like
+/// ChaosCase it round-trips through JSON for replay.
+struct MultiTenantCase {
+  /// Seed the case was generated from (provenance only).
+  uint64_t seed = 1;
+
+  /// Shared-cluster shape (service::ServiceConfig).
+  int num_worker_nodes = 8;
+  int num_standby_nodes = 4;
+  int worker_slots_per_node = 4;
+  int standby_slots_per_node = 4;
+  double arbitration_slot_seconds = 2.0;
+
+  /// Job-configuration scalars shared by every tenant.
+  double batch_interval_seconds = 1.0;
+  double detection_interval_seconds = 5.0;
+  double checkpoint_interval_seconds = 15.0;
+  int64_t window_batches = 10;
+
+  /// Failure-domain id per pool node (empty keeps singleton domains).
+  std::vector<int> node_domains;
+
+  std::vector<TenantCase> tenants;
+
+  /// Service-level fault timeline. Only node/domain failures and revivals
+  /// are meaningful at the service layer; other kinds are rejected.
+  std::vector<ScenarioEvent> events;
+
+  /// Simulated duration before the recovery grace period begins.
+  double run_for_seconds = 60.0;
+
+  bool operator==(const MultiTenantCase&) const = default;
+
+  /// JobConfig::PpaDefaults() overridden with this case's scalars.
+  [[nodiscard]] JobConfig ToJobConfig() const;
+  /// The service shape this case runs on.
+  [[nodiscard]] service::ServiceConfig ToServiceConfig() const;
+};
+
+/// Serializes a case as a stable-field-order JSON object.
+[[nodiscard]] JsonValue MultiTenantCaseToJson(const MultiTenantCase& mt_case);
+
+/// Inverse of MultiTenantCaseToJson.
+[[nodiscard]] StatusOr<MultiTenantCase> MultiTenantCaseFromJson(
+    const JsonValue& json);
+
+/// Parses a case from JSON text.
+[[nodiscard]] StatusOr<MultiTenantCase> ParseMultiTenantCaseJson(
+    std::string_view text);
+
+/// Outcome of one executed multi-tenant case.
+struct MultiTenantRunReport {
+  uint64_t seed = 0;
+  size_t tenants_submitted = 0;
+  /// Tenants admitted immediately at submission.
+  size_t tenants_admitted = 0;
+  /// Tenants that had to queue at submission.
+  size_t tenants_queued = 0;
+  size_t events_scheduled = 0;
+  size_t events_executed = 0;
+  /// Sink records summed over every admitted tenant.
+  size_t sink_records = 0;
+  /// Recoveries summed over every admitted tenant.
+  size_t recoveries = 0;
+  /// Arbitration incidents the service decided.
+  size_t arbitrations = 0;
+  /// Degradations/promotions the standby rebalancer performed.
+  size_t degradations = 0;
+  size_t promotions = 0;
+  double end_seconds = 0.0;
+  /// Per-tenant violations are prefixed "tenant <id>: ".
+  std::vector<ChaosViolation> violations;
+};
+
+/// Executes one multi-tenant case deterministically:
+///  1. builds a ClusterService from the case, assigns domains, submits
+///     every tenant;
+///  2. schedules the service-level fault timeline, runs for
+///     `run_for_seconds`, then a bounded recovery grace and a quiet tail
+///     (mirroring RunChaosCase), then reconciles every tenant;
+///  3. replays a fault-free single-job golden twin per admitted tenant
+///     and checks the per-job builtin invariants (exactly-once-stable,
+///     fidelity-bounds, liveness, replica-budget, timeline-sanity)
+///     against each tenant;
+///  4. checks the service-level invariants: event-sanity over the
+///     timeline outcomes, tenant-replica-budget (every tenant's placed
+///     replicas respect its — possibly degraded-to-zero — ceiling), and
+///     arbitration-order (the logged decisions match the deterministic
+///     policy order with rank-proportional holds).
+[[nodiscard]] StatusOr<MultiTenantRunReport> RunMultiTenantCase(
+    const MultiTenantCase& mt_case);
+
+/// Generates a random-but-valid multi-tenant case from `seed`: 2-8
+/// tenants with small random topologies, Zipf-skewed replica budgets,
+/// random priorities, a shared cluster that is sometimes deliberately
+/// standby-starved, a random domain assignment, and a failure/revival
+/// timeline drawn per `intensity` with a bias toward standby-killing
+/// events (budget-starvation pressure). Pure function of
+/// (intensity, seed).
+[[nodiscard]] StatusOr<MultiTenantCase> GenerateMultiTenantCase(
+    const ChaosIntensity& intensity, uint64_t seed);
+
+/// Outcome of one multi-tenant campaign case.
+struct MultiTenantCampaignCaseResult {
+  int index = 0;
+  uint64_t seed = 0;
+  MultiTenantCase mt_case;
+  std::string error;
+  MultiTenantRunReport report;
+
+  [[nodiscard]] bool failed() const {
+    return !error.empty() || !report.violations.empty();
+  }
+};
+
+/// Outcome of a whole multi-tenant campaign.
+struct MultiTenantCampaignReport {
+  CampaignOptions options;
+  std::vector<MultiTenantCampaignCaseResult> results;
+  int num_failed = 0;
+  int num_violations = 0;
+};
+
+/// Runs `options.num_seeds` generated multi-tenant cases across
+/// `options.jobs` threads (options.minimize is ignored — the minimizer is
+/// single-job only). Results come back in index order, so the report is a
+/// pure function of the options and byte-identical across jobs counts.
+[[nodiscard]] StatusOr<MultiTenantCampaignReport> RunMultiTenantCampaign(
+    const CampaignOptions& options);
+
+/// Serializes a multi-tenant campaign report (stable field order, no
+/// wall-clock data; failing cases embed the replayable case JSON).
+[[nodiscard]] JsonValue MultiTenantCampaignReportToJson(
+    const MultiTenantCampaignReport& report);
+
+}  // namespace chaos
+}  // namespace ppa
+
+#endif  // PPA_CHAOS_MULTI_TENANT_H_

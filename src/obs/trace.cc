@@ -37,6 +37,8 @@ std::string_view TraceEventKindToString(TraceEventKind kind) {
       return "reconcile-done";
     case TraceEventKind::kNodeRevived:
       return "node-revived";
+    case TraceEventKind::kRecoveryArbitrated:
+      return "recovery-arbitrated";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ enum class TraceEventKind : uint8_t {
   kReconcileDone,
   /// A previously failed cluster node came back. node = node id.
   kNodeRevived,
+  /// The cross-job recovery arbiter (src/service) held this job's
+  /// recovery behind higher-ranked tenants. a = hold in microseconds,
+  /// b = failed tasks covered by the held detection.
+  kRecoveryArbitrated,
 };
 
 /// Stable wire/name of a trace event kind (e.g. "node-failure").

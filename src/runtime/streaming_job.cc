@@ -52,12 +52,22 @@ Duration RecoveryReport::PassiveLatency() const {
 
 StreamingJob::StreamingJob(Topology topology, JobConfig config,
                            EventLoop* loop)
+    : StreamingJob(std::move(topology), config, loop,
+                   std::make_shared<NodePool>(config.num_worker_nodes,
+                                              config.num_standby_nodes)) {}
+
+StreamingJob::StreamingJob(Topology topology, JobConfig config,
+                           EventLoop* loop, std::shared_ptr<NodePool> pool)
     : topology_(std::move(topology)),
       config_(config),
       loop_(loop),
       router_(&topology_),
-      cluster_(config.num_worker_nodes, config.num_standby_nodes),
+      cluster_(std::move(pool)),
       active_set_(topology_.num_tasks()) {
+  // A shared pool defines the real cluster shape; keep the config's view
+  // of it consistent (Start() checks num_standby_nodes, for example).
+  config_.num_worker_nodes = cluster_.num_workers();
+  config_.num_standby_nodes = cluster_.num_standbys();
   PPA_CHECK_OK(config_.Validate());
   if (config_.ft_mode == FtMode::kPpa) {
     config_.tentative_outputs = true;
@@ -234,7 +244,7 @@ Status StreamingJob::Start() {
   }
 
   // Recurring engine events.
-  loop_->ScheduleAfter(Duration::Zero(), [this] { OnBatchTick(); });
+  ScheduleManaged(Duration::Zero(), [this] { OnBatchTick(); });
   if (config_.ft_mode == FtMode::kCheckpoint ||
       config_.ft_mode == FtMode::kPpa) {
     const int n = topology_.num_tasks();
@@ -245,20 +255,20 @@ Status StreamingJob::Start() {
                                    (t + 1) / (n + 1)) -
                   config_.checkpoint_interval / 2;
       }
-      loop_->ScheduleAfter(offset, [this, t] { OnCheckpoint(t); });
+      ScheduleManaged(offset, [this, t] { OnCheckpoint(t); });
     }
   }
   if (!active_set_.empty() || config_.ft_mode == FtMode::kNone ||
       config_.ft_mode == FtMode::kActiveReplication) {
-    loop_->ScheduleAfter(config_.replica_sync_interval,
-                         [this] { OnReplicaSync(); });
+    ScheduleManaged(config_.replica_sync_interval,
+                    [this] { OnReplicaSync(); });
   }
-  loop_->ScheduleAfter(config_.detection_interval, [this] { OnDetection(); });
+  ScheduleManaged(config_.detection_interval, [this] { OnDetection(); });
   observed_emitted_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
   observed_processed_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
   observed_at_ = loop_->now();
   if (adaptation_interval_ > Duration::Zero()) {
-    loop_->ScheduleAfter(adaptation_interval_, [this] { OnAdaptation(); });
+    ScheduleManaged(adaptation_interval_, [this] { OnAdaptation(); });
   }
   return OkStatus();
 }
@@ -443,7 +453,7 @@ void StreamingJob::OnAdaptation() {
                        << plan.status().ToString();
     }
   }
-  loop_->ScheduleAfter(adaptation_interval_, [this] { OnAdaptation(); });
+  ScheduleManaged(adaptation_interval_, [this] { OnAdaptation(); });
 }
 
 void StreamingJob::OnBatchTick() {
@@ -459,7 +469,7 @@ void StreamingJob::OnBatchTick() {
   obs::Add(m_batch_ticks_);
   obs::Set(m_buffered_tuples_, static_cast<double>(buffered));
   NoteCaughtUpTasks();
-  loop_->ScheduleAfter(config_.batch_interval, [this] { OnBatchTick(); });
+  ScheduleManaged(config_.batch_interval, [this] { OnBatchTick(); });
 }
 
 void StreamingJob::NoteCaughtUpTasks() {
@@ -722,8 +732,8 @@ void StreamingJob::OnCheckpoint(TaskId t) {
              static_cast<double>(checkpoints_.TotalBlobBytes()));
     TrimUpstreamBuffers(t);
   }
-  loop_->ScheduleAfter(config_.checkpoint_interval,
-                       [this, t] { OnCheckpoint(t); });
+  ScheduleManaged(config_.checkpoint_interval,
+                  [this, t] { OnCheckpoint(t); });
 }
 
 void StreamingJob::TrimUpstreamBuffers(TaskId checkpointed) {
@@ -789,8 +799,8 @@ void StreamingJob::OnReplicaSync() {
       }
     }
   }
-  loop_->ScheduleAfter(config_.replica_sync_interval,
-                       [this] { OnReplicaSync(); });
+  ScheduleManaged(config_.replica_sync_interval,
+                  [this] { OnReplicaSync(); });
 }
 
 int64_t StreamingJob::EstimateReplayTuples(TaskId t, int64_t from_batch) const {
@@ -872,6 +882,21 @@ void StreamingJob::OnDetection() {
     }
     report.schedule =
         ComputeRecoverySchedule(topology_, report.specs, config_.recovery);
+    if (arbiter_ != nullptr) {
+      // Cross-job arbitration: higher-ranked tenants of the shared
+      // cluster recover first; this job's completions all shift by the
+      // arbiter's hold (replica activation and checkpoint replay alike).
+      const Duration hold = arbiter_(report.specs);
+      if (hold > Duration::Zero()) {
+        report.arbitration_hold = hold;
+        for (auto& [task, completion] : report.schedule.completion) {
+          completion += hold;
+        }
+        trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryArbitrated,
+                      -1, -1, hold.micros(),
+                      static_cast<int64_t>(report.specs.size()));
+      }
+    }
     for (const TaskRecoverySpec& spec : report.specs) {
       recovering_[spec.task] = spec.kind;
       if (config_.tentative_outputs &&
@@ -894,7 +919,7 @@ void StreamingJob::OnDetection() {
         obs::Observe(m_recovery_passive_latency_s_, offset.seconds());
       }
       obs::Observe(m_recovery_latency_s_, offset.seconds());
-      loop_->ScheduleAfter(offset, [this, t = spec.task, k = spec.kind] {
+      ScheduleManaged(offset, [this, t = spec.task, k = spec.kind] {
         CompleteRecovery(t, k);
       });
     }
@@ -905,7 +930,7 @@ void StreamingJob::OnDetection() {
   if (config_.ft_mode == FtMode::kNone) {
     undetected_failures_.clear();
   }
-  loop_->ScheduleAfter(config_.detection_interval, [this] { OnDetection(); });
+  ScheduleManaged(config_.detection_interval, [this] { OnDetection(); });
 }
 
 void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
@@ -945,6 +970,10 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
         rep->TrimOutputBuffer(frontier_);
       }
       primaries_[static_cast<size_t>(t)] = std::move(rep);
+      // The placement follows the takeover: the standby node now hosts
+      // the primary and its replica slot is free again.
+      PPA_CHECK_OK(cluster_.PromoteReplicaToPrimary(t));
+      active_set_.Remove(t);
       break;
     }
     case RecoveryKind::kCheckpoint: {
@@ -968,6 +997,17 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
       break;
     }
   }
+  // A replica that died with its standby node cannot serve anyone again
+  // (revivals never resurrect replica runtimes); drop its registration so
+  // the consumed slot returns to the budget for a future plan apply.
+  auto stale = replicas_.find(t);
+  if (stale != replicas_.end() && !stale->second->alive()) {
+    replicas_.erase(stale);
+    cluster_.RemoveReplica(t);
+    active_set_.Remove(t);
+    trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
+    obs::Add(m_replica_deactivations_);
+  }
   trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryDone, t, -1,
                 static_cast<int64_t>(kind));
   catching_up_.insert(t);
@@ -986,6 +1026,19 @@ Status StreamingJob::InjectNodeFailure(int node) {
     return FailedPrecondition("node already failed");
   }
   cluster_.FailNode(node);
+  return NotifyNodeFailed(node);
+}
+
+Status StreamingJob::NotifyNodeFailed(int node) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  if (node < 0 || node >= cluster_.num_nodes()) {
+    return InvalidArgument("bad node id");
+  }
+  if (stopped_) {
+    return OkStatus();
+  }
   obs::Add(m_node_failures_);
   last_failure_time_ = loop_->now();
   last_failure_batch_ = frontier_;
@@ -1064,6 +1117,65 @@ Status StreamingJob::ReviveNode(int node) {
   cluster_.ReviveNode(node);
   trace_.Record(loop_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
   return OkStatus();
+}
+
+Status StreamingJob::NotifyNodeRevived(int node) {
+  if (!started_) {
+    return FailedPrecondition("job not started");
+  }
+  if (node < 0 || node >= cluster_.num_nodes()) {
+    return InvalidArgument("bad node id");
+  }
+  if (stopped_) {
+    return OkStatus();
+  }
+  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
+  return OkStatus();
+}
+
+Status StreamingJob::SetRecoveryArbiter(RecoveryArbiter arbiter) {
+  if (started_) {
+    return FailedPrecondition("SetRecoveryArbiter must precede Start");
+  }
+  arbiter_ = std::move(arbiter);
+  return OkStatus();
+}
+
+void StreamingJob::ScheduleManaged(Duration delay, std::function<void()> fn) {
+  if (stopped_) {
+    return;
+  }
+  auto id = std::make_shared<uint64_t>(0);
+  *id = loop_->ScheduleAfter(
+      delay, [this, id, fn = std::move(fn)] {
+        pending_events_.erase(*id);
+        fn();
+      });
+  pending_events_.insert(*id);
+}
+
+void StreamingJob::Stop() {
+  if (stopped_) {
+    return;
+  }
+  stopped_ = true;
+  for (uint64_t id : pending_events_) {
+    (void)loop_->Cancel(id);
+  }
+  pending_events_.clear();
+}
+
+TaskSet StreamingJob::UnrecoveredTasks() const {
+  TaskSet failed(topology_.num_tasks());
+  if (!started_) {
+    return failed;
+  }
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    if (!primaries_[static_cast<size_t>(t)]->alive()) {
+      failed.Add(t);
+    }
+  }
+  return failed;
 }
 
 Status StreamingJob::ReviveDomain(int domain) {

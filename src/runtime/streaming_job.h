@@ -75,8 +75,12 @@ struct RecoveryReport {
   TimePoint detection_time;
   /// Failed tasks and how each is being recovered.
   std::vector<TaskRecoverySpec> specs;
-  /// Completion offsets relative to detection_time.
+  /// Completion offsets relative to detection_time (inclusive of any
+  /// cross-job arbitration hold).
   RecoverySchedule schedule;
+  /// Extra delay the cross-job recovery arbiter imposed on every
+  /// completion of this detection (zero without an arbiter).
+  Duration arbitration_hold = Duration::Zero();
 
   /// The paper's recovery latency: detection to last task recovered.
   Duration TotalLatency() const { return schedule.MaxLatency(); }
@@ -99,6 +103,12 @@ struct RecoveryReport {
 class StreamingJob {
  public:
   StreamingJob(Topology topology, JobConfig config, EventLoop* loop);
+  /// A tenant job on a *shared* cluster (multi-tenant ClusterService):
+  /// node liveness, domains, and load are shared with every other job
+  /// constructed over `pool`; `config`'s cluster-shape fields are
+  /// overridden by the pool's. Task placement stays private to this job.
+  StreamingJob(Topology topology, JobConfig config, EventLoop* loop,
+               std::shared_ptr<NodePool> pool);
   ~StreamingJob();
 
   StreamingJob(const StreamingJob&) = delete;
@@ -166,6 +176,38 @@ class StreamingJob {
 
   /// Revives every failed node of a failure domain (rack power restored).
   Status ReviveDomain(int domain);
+
+  /// Reacts to a node failure that already happened in the *shared* node
+  /// pool (the multi-tenant service fails the node once, then notifies
+  /// every tenant job): marks this job's primaries/replicas hosted on
+  /// `node` failed and records the failure, without touching pool
+  /// liveness. InjectNodeFailure == pool FailNode + NotifyNodeFailed.
+  Status NotifyNodeFailed(int node);
+
+  /// Shared-pool counterpart of ReviveNode: records the revival in this
+  /// job's trace without touching pool liveness.
+  Status NotifyNodeRevived(int node);
+
+  /// Cross-job recovery arbitration hook (src/service): consulted once
+  /// per detection that found failures, after the recovery schedule is
+  /// computed; the returned hold is added to every completion offset of
+  /// the detection, delaying replica activation and checkpoint replay
+  /// behind higher-ranked tenants. Must be set before Start().
+  using RecoveryArbiter =
+      std::function<Duration(const std::vector<TaskRecoverySpec>& specs)>;
+  Status SetRecoveryArbiter(RecoveryArbiter arbiter);
+
+  /// Cancels every pending event of this job on the loop and stops all
+  /// recurring engine activity (tenant eviction). Irreversible; the job's
+  /// records, metrics, and traces stay readable.
+  void Stop();
+  /// True once Stop() ran.
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Tasks whose primary copy is currently dead (detected or not,
+  /// recovery not yet completed) — the fidelity-at-risk input of the
+  /// cross-job arbiter.
+  [[nodiscard]] TaskSet UnrecoveredTasks() const;
 
   /// True when no task is failed or awaiting recovery completion.
   [[nodiscard]] bool AllRecovered() const;
@@ -283,11 +325,23 @@ class StreamingJob {
   /// Emits kTaskCaughtUp for recovered tasks that reached the frontier.
   void NoteCaughtUpTasks();
 
+  /// Schedules `fn` after `delay` and tracks the event id so Stop() can
+  /// cancel it. Every recurring/deferred job event goes through here
+  /// (one loop Schedule call per call, so event ids are unchanged from
+  /// scheduling directly).
+  void ScheduleManaged(Duration delay, std::function<void()> fn);
+
   /// Estimated tuples `t` must replay for checkpoint recovery, counted
   /// from real upstream buffers where available.
   int64_t EstimateReplayTuples(TaskId t, int64_t from_batch) const;
 
   bool started_ = false;
+  bool stopped_ = false;
+  /// Pending loop event ids Stop() must cancel (ordered for
+  /// deterministic cancellation).
+  std::set<uint64_t> pending_events_;
+  /// Cross-job recovery arbiter (nullptr outside the service).
+  RecoveryArbiter arbiter_;
   Topology topology_;
   JobConfig config_;
   EventLoop* loop_;

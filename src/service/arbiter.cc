@@ -1,0 +1,42 @@
+#include "service/arbiter.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ppa {
+namespace service {
+
+std::vector<ArbitrationClaim> ArbitrationOrder(
+    std::vector<ArbitrationClaim> claims) {
+  std::sort(claims.begin(), claims.end(),
+            [](const ArbitrationClaim& a, const ArbitrationClaim& b) {
+              if (a.priority != b.priority) {
+                return a.priority < b.priority;
+              }
+              if (a.fidelity_at_risk != b.fidelity_at_risk) {
+                return a.fidelity_at_risk > b.fidelity_at_risk;
+              }
+              return a.tenant < b.tenant;
+            });
+  return claims;
+}
+
+JsonValue ArbitrationDecisionToJson(const ArbitrationDecision& decision) {
+  JsonValue root = JsonValue::Object();
+  root.Set("t_s", decision.at.seconds());
+  JsonValue order = JsonValue::Array();
+  for (const ArbitrationHold& hold : decision.order) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("tenant", hold.claim.tenant);
+    entry.Set("priority", hold.claim.priority);
+    entry.Set("fidelity_at_risk", hold.claim.fidelity_at_risk);
+    entry.Set("failed_tasks", hold.claim.failed_tasks);
+    entry.Set("hold_s", hold.hold.seconds());
+    order.Append(std::move(entry));
+  }
+  root.Set("order", std::move(order));
+  return root;
+}
+
+}  // namespace service
+}  // namespace ppa

@@ -1,0 +1,57 @@
+#ifndef PPA_SERVICE_ARBITER_H_
+#define PPA_SERVICE_ARBITER_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "report/json.h"
+
+namespace ppa {
+namespace service {
+
+/// One tenant's stake in a recovery incident: it has unrecovered primary
+/// failures and wants the shared standby pool's attention.
+struct ArbitrationClaim {
+  /// Tenant id (service-assigned, dense in submission order).
+  int tenant = -1;
+  /// The tenant's QoS priority (0 = most critical).
+  int priority = 0;
+  /// 1 - OF(failed tasks): the fraction of this tenant's output weight
+  /// that stays degraded until its recovery completes.
+  double fidelity_at_risk = 0.0;
+  /// Number of unrecovered tasks backing the claim.
+  int failed_tasks = 0;
+};
+
+/// The cross-job recovery-arbitration policy, as a deterministic total
+/// order: priority ascending (critical tenants first), then
+/// fidelity-at-risk descending (most-degraded output first), then tenant
+/// id ascending. Pure and stable: equal claims keep their relative rank
+/// by tenant id, so the order is identical on every run and worker count.
+[[nodiscard]] std::vector<ArbitrationClaim> ArbitrationOrder(
+    std::vector<ArbitrationClaim> claims);
+
+/// The hold assigned to one ranked claim: rank * arbitration_slot, so the
+/// top-ranked tenant recovers immediately and each following tenant waits
+/// one more slot.
+struct ArbitrationHold {
+  ArbitrationClaim claim;
+  Duration hold = Duration::Zero();
+};
+
+/// One arbitration incident: the instant it was decided and every claim
+/// in rank order with its hold.
+struct ArbitrationDecision {
+  TimePoint at;
+  std::vector<ArbitrationHold> order;
+};
+
+/// JSON object for one decision, with a stable field order (suitable for
+/// byte-identity comparisons across worker counts).
+[[nodiscard]] JsonValue ArbitrationDecisionToJson(
+    const ArbitrationDecision& decision);
+
+}  // namespace service
+}  // namespace ppa
+
+#endif  // PPA_SERVICE_ARBITER_H_
