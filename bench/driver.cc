@@ -14,6 +14,7 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   std::string trace_path;
   std::string jobs_value;
   std::string seed_value;
+  std::string commit_value;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg = argv[i];
@@ -43,6 +44,10 @@ Driver Driver::FromArgs(int* argc, char** argv) {
       driver.seed_ = std::strtoull(seed_value.c_str(), nullptr, 10);
       continue;
     }
+    if (match("--commit", &commit_value)) {
+      driver.commit_ = commit_value;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   *argc = kept;
@@ -52,6 +57,13 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   driver.metrics_ = BenchMetricsSink(metrics_path);
   driver.traces_ = ChromeTraceSink(trace_path);
   return driver;
+}
+
+void Driver::StampBenchReport(JsonValue* report,
+                              std::string_view suite) const {
+  report->Set("schema_version", kBenchSchemaVersion);
+  report->Set("suite", std::string(suite));
+  report->Set("commit", commit_);
 }
 
 exp::ParallelRunner& Driver::runner() {

@@ -4,11 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "exp/parallel_runner.h"
+#include "report/json.h"
 
 namespace ppa {
 namespace bench {
@@ -25,6 +27,10 @@ namespace bench {
 ///                              (default 1; 0 = all hardware threads).
 ///                              Results are byte-identical for any value.
 ///   --seed <n>                 base RNG seed of randomized experiments
+///   --commit <sha>             source revision stamped into BENCH_*.json
+///                              reports (default "unknown"; passed
+///                              explicitly — binaries never shell out or
+///                              read the environment)
 class Driver {
  public:
   /// Parses the shared flags and strips them from argv (updating *argc),
@@ -39,6 +45,19 @@ class Driver {
   [[nodiscard]] uint64_t seed_or(uint64_t fallback) const {
     return has_seed_ ? seed_ : fallback;
   }
+
+  /// The --commit value ("unknown" when the flag was absent).
+  [[nodiscard]] const std::string& commit() const { return commit_; }
+
+  /// Stamps the standard BENCH_*.json header onto a report so the perf
+  /// trajectory is machine-diffable across PRs: `schema_version` (bumped
+  /// only on incompatible shape changes), `suite` (the benchmark's
+  /// stable name), and `commit` (from --commit). Every BENCH_*.json
+  /// writer must call this before serializing.
+  void StampBenchReport(JsonValue* report, std::string_view suite) const;
+
+  /// The `schema_version` StampBenchReport writes.
+  static constexpr int kBenchSchemaVersion = 1;
 
   /// Metrics sink (no-op unless --metrics_out was given).
   BenchMetricsSink& metrics() { return metrics_; }
@@ -68,6 +87,7 @@ class Driver {
   int jobs_ = 1;
   bool has_seed_ = false;
   uint64_t seed_ = 0;
+  std::string commit_ = "unknown";
   BenchMetricsSink metrics_;
   ChromeTraceSink traces_;
   std::unique_ptr<exp::ParallelRunner> runner_;

@@ -12,13 +12,13 @@
 // Cells run sequentially regardless of --jobs: each cell is wall-timed,
 // and concurrent cells would contend and skew each other's clocks.
 
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/driver.h"
+#include "common/wall_clock.h"
 #include "report/experiment_report.h"
 #include "service/cluster_service.h"
 #include "sim/event_loop.h"
@@ -59,8 +59,9 @@ Cell RunCell(int tenants, int tasks_per_tenant) {
   config.num_worker_nodes = (total_tasks + 3) / 4 + 2;
   config.num_standby_nodes = (tenants + 3) / 4 + 1;
 
-  // ppa-lint: allow(wall-clock): the sim/wall ratio is the benchmark output.
-  const auto wall_start = std::chrono::steady_clock::now();
+  // The sim/wall ratio is the benchmark output; WallClockSeconds is the
+  // allowlisted shim for exactly this meta-level measurement.
+  const double wall_start = WallClockSeconds();
   EventLoop loop;
   service::ClusterService svc(config, &loop);
   for (int node = 0; node < config.num_worker_nodes + config.num_standby_nodes;
@@ -78,8 +79,7 @@ Cell RunCell(int tenants, int tasks_per_tenant) {
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kFailureAtSeconds));
   PPA_CHECK_OK(svc.InjectDomainFailure(0));
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kSimSeconds));
-  // ppa-lint: allow(wall-clock): paired with wall_start above.
-  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_end = WallClockSeconds();
 
   Cell cell;
   cell.tenants = tenants;
@@ -92,8 +92,7 @@ Cell RunCell(int tenants, int tasks_per_tenant) {
       cell.recoveries += static_cast<int64_t>(job->recovery_reports().size());
     }
   }
-  cell.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_start).count();
+  cell.wall_seconds = wall_end - wall_start;
   return cell;
 }
 
@@ -152,6 +151,7 @@ int main(int argc, char** argv) {
   }
 
   JsonValue report = JsonValue::Object();
+  driver.StampBenchReport(&report, "scale_service");
   report.Set("benchmark", std::string("scale_service"));
   report.Set("sim_seconds", kSimSeconds);
   report.Set("failure_at_seconds", kFailureAtSeconds);

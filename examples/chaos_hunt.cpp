@@ -18,6 +18,8 @@
 //     --report <file>      write the campaign report as JSON
 //     --repro_dir <dir>    write failing (minimized when available)
 //                          cases as <dir>/repro_<seed>.json
+//     --progress           live per-case progress line on stderr (ticks
+//                          in completion order; the report is unchanged)
 //
 // Shared experiment flags (parsed by bench::Driver):
 //     --jobs <n>           worker threads; the report is byte-identical
@@ -40,6 +42,7 @@
 #include "chaos/campaign.h"
 #include "chaos/chaos_run.h"
 #include "chaos/multi_tenant.h"
+#include "exp/progress.h"
 #include "report/experiment_report.h"
 
 namespace {
@@ -132,6 +135,7 @@ int Run(int argc, char** argv) {
   chaos::CampaignOptions options;
   options.intensity = chaos::ChaosIntensity::Medium();
   bool multi = false;
+  bool progress = false;
   std::string replay_path, report_path, repro_dir;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -158,6 +162,8 @@ int Run(int argc, char** argv) {
       report_path = need_value("--report");
     } else if (std::strcmp(argv[i], "--repro_dir") == 0) {
       repro_dir = need_value("--repro_dir");
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      progress = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -169,6 +175,18 @@ int Run(int argc, char** argv) {
 
   options.base_seed = driver.seed_or(1);
   options.jobs = driver.jobs();
+  // The meter's sink runs serialized under its own lock, so concurrent
+  // workers never interleave a progress line. stderr only: the report
+  // and stdout stay byte-identical with or without --progress.
+  exp::ProgressMeter meter;
+  if (progress) {
+    const int total = options.num_seeds;
+    meter.set_sink([total](exp::ProgressMeter::Snapshot snap) {
+      std::fprintf(stderr, "case %d/%d done (%d failed)\n", snap.done,
+                   total, snap.failed);
+    });
+    options.progress = &meter;
+  }
   if (multi) {
     auto campaign = chaos::RunMultiTenantCampaign(options);
     PPA_CHECK_OK(campaign.status());

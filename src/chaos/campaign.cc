@@ -12,7 +12,8 @@ namespace {
 /// Generates, runs, and (optionally) minimizes case `index`. Never
 /// fails: execution errors land in the result's `error` field so one
 /// broken case cannot take down the campaign.
-CampaignCaseResult RunOneCase(const CampaignOptions& options, int index) {
+CampaignCaseResult RunOneCaseInner(const CampaignOptions& options,
+                                   int index) {
   CampaignCaseResult result;
   result.index = index;
   result.seed = DeriveSeed(options.base_seed, static_cast<uint64_t>(index));
@@ -38,6 +39,16 @@ CampaignCaseResult RunOneCase(const CampaignOptions& options, int index) {
       result.minimized_invariant = std::move(minimized->invariant);
       result.minimize_oracle_calls = minimized->oracle_calls;
     }
+  }
+  return result;
+}
+
+/// RunOneCaseInner plus the progress tick: the tick happens on the
+/// worker, in completion order, and never touches the result.
+CampaignCaseResult RunOneCase(const CampaignOptions& options, int index) {
+  CampaignCaseResult result = RunOneCaseInner(options, index);
+  if (options.progress != nullptr) {
+    options.progress->Record(result.failed());
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include "chaos/generator.h"
 #include "chaos/minimizer.h"
 #include "common/status_or.h"
+#include "exp/progress.h"
 #include "report/json.h"
 
 namespace ppa {
@@ -30,6 +31,11 @@ struct CampaignOptions {
   /// Worker threads; results are in submission order regardless, so a
   /// campaign report is byte-identical across jobs counts.
   int jobs = 1;
+  /// Optional live progress tally, ticked once per finished case from
+  /// whatever worker ran it (completion order, not index order). Purely
+  /// observational: it never influences the report, which stays a pure
+  /// function of the other options. Not owned; may be null.
+  exp::ProgressMeter* progress = nullptr;
 };
 
 /// Outcome of one campaign case. `error` is non-empty when the case could

@@ -781,8 +781,16 @@ StatusOr<MultiTenantCampaignReport> RunMultiTenantCampaign(
   MultiTenantCampaignReport report;
   report.options = options;
   report.results = runner.Map<MultiTenantCampaignCaseResult>(
-      options.num_seeds,
-      [&options](int index) { return RunOneMultiTenantCase(options, index); });
+      options.num_seeds, [&options](int index) {
+        MultiTenantCampaignCaseResult result =
+            RunOneMultiTenantCase(options, index);
+        // Progress ticks on the worker in completion order; the report
+        // itself stays a pure function of the options.
+        if (options.progress != nullptr) {
+          options.progress->Record(result.failed());
+        }
+        return result;
+      });
   for (const MultiTenantCampaignCaseResult& result : report.results) {
     if (result.failed()) {
       ++report.num_failed;

@@ -2,10 +2,21 @@
 
 #include <atomic>
 
+#include "common/thread_annotations.h"
+
 namespace ppa {
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kInfo};
+
+/// Serializes sink writes so log lines emitted by concurrent threads
+/// (pool workers, the future execution backend) never interleave
+/// mid-line. Leaked on purpose: logging must stay usable during static
+/// destruction, after a function-local static's destructor would run.
+Mutex& LogSinkMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 std::string_view LevelName(LogLevel level) {
   switch (level) {
@@ -40,9 +51,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    MutexLock lock(&LogSinkMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (level_ == LogLevel::kFatal) {
+    // Outside the lock scope so the fatal line is flushed and the sink
+    // mutex is released before the process dies.
     std::abort();
   }
 }

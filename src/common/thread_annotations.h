@@ -1,0 +1,170 @@
+#ifndef PPA_COMMON_THREAD_ANNOTATIONS_H_
+#define PPA_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang thread-safety-analysis (TSA) annotations plus the capability-
+// annotated ppa::Mutex / ppa::MutexLock / ppa::CondVar wrappers every
+// module outside src/common/ must use instead of the raw <mutex> types
+// (enforced by ppa_lint's `no-raw-mutex` rule, see DESIGN.md §14).
+//
+// Under Clang the macros expand to the TSA attributes and
+// `-Wthread-safety -Werror=thread-safety` turns lock-discipline mistakes
+// into compile errors; under other compilers they expand to nothing, so
+// annotated code stays portable.
+//
+// How to annotate a class (the full pattern is DESIGN.md §14):
+//
+//   class Account {
+//    public:
+//     void Deposit(int64_t cents) PPA_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       balance_ += cents;
+//     }
+//    private:
+//     Mutex mu_;
+//     int64_t balance_ PPA_GUARDED_BY(mu_) = 0;
+//   };
+
+#if defined(__clang__) && (!defined(SWIG))
+#define PPA_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define PPA_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on non-Clang
+#endif
+
+/// Declares a type as a capability (a lockable resource TSA tracks).
+#define PPA_CAPABILITY(x) PPA_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define PPA_SCOPED_CAPABILITY \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated data member may only be read or written while holding
+/// the named mutex.
+#define PPA_GUARDED_BY(x) PPA_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The pointed-to data (not the pointer itself) is protected by the
+/// named mutex.
+#define PPA_PT_GUARDED_BY(x) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// The annotated function must be called with the listed capabilities
+/// held (and they stay held across the call).
+#define PPA_REQUIRES(...) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+/// The annotated function must be called with the listed capabilities
+/// NOT held (it acquires and releases them internally).
+#define PPA_EXCLUDES(...) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// The annotated function acquires the listed capabilities and does not
+/// release them before returning.
+#define PPA_ACQUIRE(...) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+/// The annotated function releases the listed capabilities, which must
+/// be held on entry.
+#define PPA_RELEASE(...) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+/// The annotated function acquires the capability iff it returns the
+/// given value (e.g. a TryLock returning true).
+#define PPA_TRY_ACQUIRE(...) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The annotated function returns a reference to the named capability.
+#define PPA_RETURN_CAPABILITY(x) \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Escape hatch: suppresses thread-safety analysis inside one function.
+/// Every use must carry a comment explaining why the analysis is wrong.
+#define PPA_NO_THREAD_SAFETY_ANALYSIS \
+  PPA_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace ppa {
+
+class CondVar;
+
+/// A capability-annotated wrapper over std::mutex. The only mutex type
+/// allowed outside src/common/ (ppa_lint rule `no-raw-mutex`): holding
+/// discipline is then machine-checked by Clang's -Wthread-safety pass
+/// instead of reviewed by hand.
+class PPA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Acquires the mutex, blocking until it is free. Prefer MutexLock.
+  void Lock() PPA_ACQUIRE() { mu_.lock(); }
+
+  /// Releases the mutex, which must be held by the calling thread.
+  void Unlock() PPA_RELEASE() { mu_.unlock(); }
+
+  /// Acquires the mutex iff it was free; returns whether it was acquired.
+  [[nodiscard]] bool TryLock() PPA_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // CondVar::Wait releases/reacquires mu_.
+  std::mutex mu_;
+};
+
+/// RAII lock of a ppa::Mutex, annotated as a scoped capability so TSA
+/// knows the mutex is held for exactly the enclosing scope.
+class PPA_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Acquires `*mu` for the lifetime of this object.
+  explicit MutexLock(Mutex* mu) PPA_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+
+  ~MutexLock() PPA_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with ppa::Mutex. Wait() must be called with
+/// the mutex held (enforced by TSA through PPA_REQUIRES); the lock is
+/// released while blocked and reacquired before returning, so guarded
+/// state is never touched unlocked — the annotation-visible lock handoff
+/// the raw std::condition_variable API obscures.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `*mu`, blocks until notified, and reacquires
+  /// `*mu` before returning. Spurious wakeups are possible: always wait
+  /// in a loop that rechecks the predicate.
+  void Wait(Mutex* mu) PPA_REQUIRES(mu) {
+    // The caller already holds mu (typically through a MutexLock); adopt
+    // it for the wait, then release ownership back to the caller's RAII
+    // scope so the capability accounting stays balanced.
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Wakes one waiter (if any).
+  void NotifyOne() { cv_.notify_one(); }
+
+  /// Wakes every waiter.
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_COMMON_THREAD_ANNOTATIONS_H_

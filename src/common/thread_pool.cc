@@ -21,10 +21,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& t : threads_) {
     t.join();
   }
@@ -34,23 +34,24 @@ void ThreadPool::Submit(std::function<void()> fn) {
   PPA_CHECK(fn != nullptr) << "ThreadPool::Submit requires a task";
   size_t shard;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PPA_CHECK(!stop_) << "Submit after ThreadPool destruction began";
     shard = next_shard_++ % workers_.size();
     ++queued_;
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[shard]->mu);
-    workers_[shard]->tasks.push_back(std::move(fn));
+    Worker& target = *workers_[shard];
+    MutexLock lock(&target.mu);
+    target.tasks.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 bool ThreadPool::RunOneTask(size_t self) {
   std::function<void()> task;
   {
     Worker& own = *workers_[self];
-    std::lock_guard<std::mutex> lock(own.mu);
+    MutexLock lock(&own.mu);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -59,7 +60,7 @@ bool ThreadPool::RunOneTask(size_t self) {
   if (task == nullptr) {
     for (size_t k = 1; k < workers_.size() && task == nullptr; ++k) {
       Worker& victim = *workers_[(self + k) % workers_.size()];
-      std::lock_guard<std::mutex> lock(victim.mu);
+      MutexLock lock(&victim.mu);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.front());
         victim.tasks.pop_front();
@@ -70,7 +71,7 @@ bool ThreadPool::RunOneTask(size_t self) {
     return false;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     --queued_;
   }
   task();
@@ -82,14 +83,17 @@ void ThreadPool::WorkerLoop(size_t self) {
     if (RunOneTask(self)) {
       continue;
     }
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    MutexLock lock(&mu_);
+    // The predicate recheck loop makes the cv handoff visible to the
+    // thread-safety analysis: Wait requires mu_ held, releases it while
+    // blocked, and reacquires it before the predicate is read again.
+    while (!stop_ && queued_ == 0) {
+      cv_.Wait(&mu_);
+    }
     if (queued_ > 0) {
       continue;  // Claim it through RunOneTask (another worker may win).
     }
-    if (stop_) {
-      return;
-    }
+    return;  // stop_ was set and the queue is drained.
   }
 }
 

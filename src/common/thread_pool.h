@@ -1,13 +1,13 @@
 #ifndef PPA_COMMON_THREAD_POOL_H_
 #define PPA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace ppa {
 
@@ -40,7 +40,7 @@ class ThreadPool {
 
   /// Enqueues a task. Safe from any thread, including workers (a task may
   /// submit follow-up tasks while the pool is live).
-  void Submit(std::function<void()> fn);
+  void Submit(std::function<void()> fn) PPA_EXCLUDES(mu_);
 
   /// Hardware concurrency, at least 1 — the natural `--jobs 0` expansion.
   static int DefaultParallelism();
@@ -49,24 +49,26 @@ class ThreadPool {
   /// One worker's deque; `mu` guards only the deque so stealing never
   /// contends with the pool-wide bookkeeping lock.
   struct Worker {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks PPA_GUARDED_BY(mu);
   };
 
   /// Pops (own back) or steals (sibling front) one task and runs it.
-  bool RunOneTask(size_t self);
-  void WorkerLoop(size_t self);
+  bool RunOneTask(size_t self) PPA_EXCLUDES(mu_);
+  void WorkerLoop(size_t self) PPA_EXCLUDES(mu_);
 
+  // Sized in the constructor before any worker starts; immutable after.
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Joined only by the destructor, after every worker has exited.
   std::vector<std::thread> threads_;
 
   // Pool-wide bookkeeping: count of queued-but-unclaimed tasks and the
   // stop flag, with the condition variable idle workers sleep on.
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int64_t queued_ = 0;
-  size_t next_shard_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  int64_t queued_ PPA_GUARDED_BY(mu_) = 0;
+  size_t next_shard_ PPA_GUARDED_BY(mu_) = 0;
+  bool stop_ PPA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppa

@@ -1,0 +1,15 @@
+#include "common/wall_clock.h"
+
+#include <chrono>
+
+namespace ppa {
+
+// ppa-lint: allow-file(wall-clock): this shim IS the allowlisted read.
+
+double WallClockSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace ppa

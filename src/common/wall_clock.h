@@ -1,0 +1,22 @@
+#ifndef PPA_COMMON_WALL_CLOCK_H_
+#define PPA_COMMON_WALL_CLOCK_H_
+
+namespace ppa {
+
+/// The project's only sanctioned host-clock read. Everything that models
+/// or measures *simulated* behavior uses the virtual clock
+/// (common/sim_time.h); the one legitimate use of real time is meta-level
+/// measurement of the simulator itself (events/sec, sim/wall ratio in
+/// bench/). Funneling that through this shim keeps the rest of src/ free
+/// of wall-clock reads — machine-enforced by ppa_lint's hard
+/// `no-wallclock-in-sim` rule, which allowlists exactly this file.
+///
+/// Returns seconds on a monotonic clock with an arbitrary epoch: only
+/// differences between two reads are meaningful, and two runs of the
+/// same experiment will NOT see the same values — never let a result
+/// depend on one.
+[[nodiscard]] double WallClockSeconds();
+
+}  // namespace ppa
+
+#endif  // PPA_COMMON_WALL_CLOCK_H_

@@ -1,0 +1,18 @@
+#include "exp/progress.h"
+
+namespace ppa {
+namespace exp {
+
+void ProgressMeter::Record(bool failed) {
+  MutexLock lock(&mu_);
+  ++done_;
+  if (failed) {
+    ++failed_;
+  }
+  if (sink_ != nullptr) {
+    sink_(Snapshot{done_, failed_});
+  }
+}
+
+}  // namespace exp
+}  // namespace ppa

@@ -1,0 +1,59 @@
+#ifndef PPA_EXP_PROGRESS_H_
+#define PPA_EXP_PROGRESS_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace ppa {
+namespace exp {
+
+/// Thread-safe progress tally for a parallel sweep. Workers call
+/// Record() as each mapped run finishes (in whatever order the pool
+/// schedules them); an optional sink observes every update under the
+/// meter's mutex, so progress lines from concurrent workers never
+/// interleave. Progress is observational only — it must feed stderr or a
+/// UI, never a result, because completion order is nondeterministic
+/// while the sweep's *results* stay keyed to submission indices.
+class ProgressMeter {
+ public:
+  /// One consistent view of the tally.
+  struct Snapshot {
+    int done = 0;
+    int failed = 0;
+  };
+
+  ProgressMeter() = default;
+
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Installs the observer invoked (serialized, under the meter's lock)
+  /// after every Record. Call before handing the meter to workers.
+  void set_sink(std::function<void(Snapshot)> sink) PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    sink_ = std::move(sink);
+  }
+
+  /// Counts one finished run (and whether it failed), then notifies the
+  /// sink. Safe to call from any worker thread.
+  void Record(bool failed) PPA_EXCLUDES(mu_);
+
+  /// Returns a consistent snapshot of the tally.
+  [[nodiscard]] Snapshot snapshot() const PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return Snapshot{done_, failed_};
+  }
+
+ private:
+  mutable Mutex mu_;
+  int done_ PPA_GUARDED_BY(mu_) = 0;
+  int failed_ PPA_GUARDED_BY(mu_) = 0;
+  std::function<void(Snapshot)> sink_ PPA_GUARDED_BY(mu_);
+};
+
+}  // namespace exp
+}  // namespace ppa
+
+#endif  // PPA_EXP_PROGRESS_H_

@@ -1,0 +1,61 @@
+#ifndef PPA_TOOLS_DEPS_LINT_DEPS_LINT_H_
+#define PPA_TOOLS_DEPS_LINT_DEPS_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ppa {
+namespace depslint {
+
+/// One source file handed to the checker: its repo-relative path (with
+/// '/' separators) and full text. The checker is a pure function of the
+/// file set, so tests can run it on in-memory trees.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One layering finding, formatted like a compiler diagnostic.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Formats a diagnostic as "file:line: [rule] message".
+[[nodiscard]] std::string FormatDiagnostic(const Diagnostic& d);
+
+/// The layer rank of a src/ module name ("common", "planner", ...), or -1
+/// when the module is not in the layering contract (DESIGN.md §14).
+/// Lower ranks are lower layers; an include edge is legal only when its
+/// target module has a strictly lower rank (or is the same module).
+[[nodiscard]] int ModuleRank(std::string_view module);
+
+/// The module a repo-relative path belongs to: the directory under src/
+/// ("src/planner/..." -> "planner"), with src/report/json.* carved out as
+/// its own low-layer "json" module (the JSON value type predates the
+/// experiment-report layer and everything serializes through it). Paths
+/// outside src/ return "" — they sit above the DAG and may include
+/// anything.
+[[nodiscard]] std::string ModuleOf(std::string_view path);
+
+/// Checks the whole file set against the include-layering contract.
+/// Rules:
+///   layer           a src/ file includes a module whose rank is not
+///                   strictly lower than its own (includes same-rank
+///                   siblings and src -> bench/tests/tools edges).
+///   unknown-module  a src/ file, or a project header it includes, sits
+///                   in a directory the rank table does not know; the
+///                   table in deps_lint.cc must grow with the codebase.
+///   cycle           the quoted-include graph over the given files has a
+///                   cycle (reported once per cycle, at the back edge).
+/// Diagnostics are sorted by file, then line.
+[[nodiscard]] std::vector<Diagnostic> CheckLayering(
+    const std::vector<SourceFile>& files);
+
+}  // namespace depslint
+}  // namespace ppa
+
+#endif  // PPA_TOOLS_DEPS_LINT_DEPS_LINT_H_

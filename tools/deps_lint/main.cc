@@ -1,0 +1,104 @@
+// deps_lint: enforces the include-layering contract (DESIGN.md §14) over
+// the C++ sources. Run from CMake/ctest as
+//   deps_lint --root <repo_root> [relative paths...]
+// With no explicit paths it checks src/, tests/, bench/, examples/, and
+// tools/. Exits 0 iff the quoted-include graph respects the layer DAG and
+// is acyclic. See tools/deps_lint/deps_lint.h for the rule list.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/deps_lint/deps_lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasLintableExtension(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Repo-relative '/'-separated path string.
+std::string RelPath(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+bool IsExcluded(const std::string& rel) {
+  // Fixture files are intentionally full of violations.
+  return rel.find("testdata/") != std::string::npos ||
+         rel.find("build") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help") {
+      std::cout << "usage: deps_lint [--root <dir>] [paths...]\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tests", "bench", "examples", "tools"};
+  }
+
+  std::vector<ppa::depslint::SourceFile> files;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::vector<fs::path> found;
+    if (fs::is_directory(abs)) {
+      for (const auto& entry : fs::recursive_directory_iterator(abs)) {
+        if (entry.is_regular_file() && HasLintableExtension(entry.path()) &&
+            !IsExcluded(RelPath(entry.path(), root))) {
+          found.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(abs)) {
+      found.push_back(abs);
+    } else {
+      std::cerr << "deps_lint: no such file or directory: " << abs << "\n";
+      return 2;
+    }
+    // Directory iteration order is OS-dependent; sort for stable output.
+    std::sort(found.begin(), found.end());
+    for (const fs::path& f : found) {
+      std::ifstream in(f, std::ios::binary);
+      if (!in) {
+        std::cerr << "deps_lint: cannot read " << f << "\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back({RelPath(f, root), buf.str()});
+    }
+  }
+
+  int failures = 0;
+  for (const ppa::depslint::Diagnostic& d :
+       ppa::depslint::CheckLayering(files)) {
+    std::cerr << ppa::depslint::FormatDiagnostic(d) << "\n";
+    ++failures;
+  }
+  if (failures > 0) {
+    std::cerr << "deps_lint: " << failures << " finding(s) in "
+              << files.size() << " file(s)\n";
+    return 1;
+  }
+  std::cout << "deps_lint: OK (" << files.size() << " files)\n";
+  return 0;
+}

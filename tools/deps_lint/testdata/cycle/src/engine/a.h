@@ -1,0 +1,3 @@
+// Fixture: a.h and b.h include each other — deps_lint must report a
+// [cycle] diagnostic for this tree.
+#include "engine/b.h"

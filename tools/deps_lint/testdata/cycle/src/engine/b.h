@@ -1,0 +1,2 @@
+// Fixture: the other half of the planted include cycle.
+#include "engine/a.h"

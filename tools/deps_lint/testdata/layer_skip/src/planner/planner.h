@@ -1,0 +1,2 @@
+// Fixture: a legal planner header (its own include points down-DAG).
+#include "topology/types.h"

@@ -1,0 +1,3 @@
+// Fixture: topology (layer 1) reaching up into planner (layer 4) —
+// deps_lint must report a [layer] diagnostic for this tree.
+#include "planner/planner.h"

@@ -1,0 +1,1 @@
+// Fixture: a leaf header with no project includes.

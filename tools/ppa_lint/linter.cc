@@ -283,12 +283,16 @@ class FileLinter {
 
   std::vector<Diagnostic> Run() {
     CheckBannedTokens();
+    CheckConcurrencyTokens();
     CheckUnorderedIteration();
     if (EndsWith(path_, ".h")) {
       CheckHeaderGuard();
     }
     if (IsPublicHeader()) {
       CheckDoxygen();
+    }
+    if (InSrc() && EndsWith(path_, ".h")) {
+      CheckGuardedMemberDoc();
     }
     return std::move(diags_);
   }
@@ -297,6 +301,9 @@ class FileLinter {
   bool InSrc() const { return StartsWith(path_, "src/"); }
   bool InCommon() const { return StartsWith(path_, "src/common/"); }
   bool IsRandomImpl() const { return StartsWith(path_, "src/common/random."); }
+  bool IsWallClockShim() const {
+    return StartsWith(path_, "src/common/wall_clock.");
+  }
   bool IsPublicHeader() const {
     if (!InSrc() || !EndsWith(path_, ".h")) {
       return false;
@@ -310,6 +317,14 @@ class FileLinter {
     if (!supp_.Allows(rule, line)) {
       diags_.push_back({path_, line, rule, message});
     }
+  }
+
+  /// Reports ignoring allow()/allow-file() comments — for rules whose
+  /// violations must never be waved through inline (the only escape hatch
+  /// is the path allowlist baked into the rule itself).
+  void ReportHard(const std::string& rule, int line,
+                  const std::string& message) {
+    diags_.push_back({path_, line, rule, message});
   }
 
   // --- Determinism & error-handling token rules ----------------------------
@@ -392,6 +407,136 @@ class FileLinter {
           line.find("<random>") != std::string::npos) {
         Report("random", lineno,
                "<random>: use the seeded ppa::Rng (common/random.h)");
+      }
+    }
+  }
+
+  // --- Concurrency & sim-clock rules (v2) ----------------------------------
+
+  void CheckConcurrencyTokens() {
+    // no-raw-mutex / no-raw-thread apply to src/ outside src/common/ (the
+    // annotated wrappers themselves live in common/). no-wallclock-in-sim
+    // applies to all of src/ except the one sanctioned timing shim, and is
+    // deliberately NOT suppressible: an allow() comment on a wall-clock
+    // read inside simulated behavior would silently trade away the repo's
+    // byte-reproducibility guarantee.
+    const bool concurrency = InSrc() && !InCommon();
+    const bool simclock = InSrc() && !IsWallClockShim();
+    if (!concurrency && !simclock) {
+      return;
+    }
+    struct TokenRule {
+      const char* rule;
+      const char* token;
+      bool call_only;
+      const char* message;
+    };
+    static const TokenRule kConcurrencyRules[] = {
+        {"no-raw-mutex", "mutex", false,
+         "raw std::mutex escapes -Wthread-safety; use ppa::Mutex "
+         "(common/thread_annotations.h)"},
+        {"no-raw-mutex", "recursive_mutex", false,
+         "raw mutex escapes -Wthread-safety; use ppa::Mutex "
+         "(common/thread_annotations.h)"},
+        {"no-raw-mutex", "timed_mutex", false,
+         "raw mutex escapes -Wthread-safety; use ppa::Mutex "
+         "(common/thread_annotations.h)"},
+        {"no-raw-mutex", "shared_mutex", false,
+         "raw mutex escapes -Wthread-safety; use ppa::Mutex "
+         "(common/thread_annotations.h)"},
+        {"no-raw-mutex", "lock_guard", false,
+         "use ppa::MutexLock (common/thread_annotations.h) so lock scopes "
+         "are checked by -Wthread-safety"},
+        {"no-raw-mutex", "unique_lock", false,
+         "use ppa::MutexLock (common/thread_annotations.h) so lock scopes "
+         "are checked by -Wthread-safety"},
+        {"no-raw-mutex", "scoped_lock", false,
+         "use ppa::MutexLock (common/thread_annotations.h) so lock scopes "
+         "are checked by -Wthread-safety"},
+        {"no-raw-mutex", "condition_variable", false,
+         "use ppa::CondVar (common/thread_annotations.h); its Wait() "
+         "declares the required capability"},
+        {"no-raw-thread", "thread", false,
+         "raw std::thread; run work on ppa::ThreadPool "
+         "(common/thread_pool.h) or add an annotated wrapper to common/"},
+        {"no-raw-thread", "jthread", false,
+         "raw std::jthread; run work on ppa::ThreadPool "
+         "(common/thread_pool.h) or add an annotated wrapper to common/"},
+        {"no-raw-thread", "async", true,
+         "std::async spawns unmanaged threads; run work on "
+         "ppa::ThreadPool (common/thread_pool.h)"},
+        {"no-raw-thread", "pthread_create", true,
+         "raw pthread; run work on ppa::ThreadPool "
+         "(common/thread_pool.h) or add an annotated wrapper to common/"},
+    };
+    static const TokenRule kSimClockRules[] = {
+        {"no-wallclock-in-sim", "time", true, ""},
+        {"no-wallclock-in-sim", "clock", true, ""},
+        {"no-wallclock-in-sim", "gettimeofday", true, ""},
+        {"no-wallclock-in-sim", "clock_gettime", true, ""},
+        {"no-wallclock-in-sim", "system_clock", false, ""},
+        {"no-wallclock-in-sim", "steady_clock", false, ""},
+        {"no-wallclock-in-sim", "high_resolution_clock", false, ""},
+    };
+    static const char* kSimClockMessage =
+        "wall-clock read under src/ (not suppressible): simulated behavior "
+        "must use the virtual clock (common/sim_time.h); meta-level timing "
+        "goes through the allowlisted common/wall_clock.h shim";
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      int lineno = static_cast<int>(i) + 1;
+      const bool is_include = line.find("#include") != std::string::npos;
+      if (concurrency) {
+        // Include lines report once on the header itself; the type tokens
+        // inside <mutex>/<thread> would double up.
+        if (!is_include) {
+          for (const TokenRule& r : kConcurrencyRules) {
+            for (size_t pos : FindToken(line, r.token)) {
+              if (r.call_only &&
+                  !IsFreeOrStdCall(line, pos, std::strlen(r.token))) {
+                continue;
+              }
+              Report(r.rule, lineno, std::string(r.token) + ": " + r.message);
+            }
+          }
+        } else {
+          for (const char* header :
+               {"<mutex>", "<shared_mutex>", "<condition_variable>"}) {
+            if (line.find(header) != std::string::npos) {
+              Report("no-raw-mutex", lineno,
+                     std::string(header) +
+                         ": include common/thread_annotations.h instead");
+            }
+          }
+          for (const char* header : {"<thread>", "<pthread.h>"}) {
+            if (line.find(header) != std::string::npos) {
+              Report("no-raw-thread", lineno,
+                     std::string(header) +
+                         ": include common/thread_pool.h instead");
+            }
+          }
+        }
+      }
+      if (simclock) {
+        if (!is_include) {
+          for (const TokenRule& r : kSimClockRules) {
+            for (size_t pos : FindToken(line, r.token)) {
+              if (r.call_only &&
+                  !IsFreeOrStdCall(line, pos, std::strlen(r.token))) {
+                continue;
+              }
+              ReportHard(r.rule, lineno,
+                         std::string(r.token) + ": " + kSimClockMessage);
+            }
+          }
+        } else {
+          for (const char* header : {"<ctime>", "<sys/time.h>"}) {
+            if (line.find(header) != std::string::npos) {
+              ReportHard("no-wallclock-in-sim", lineno,
+                         std::string(header) + ": " + kSimClockMessage);
+            }
+          }
+        }
       }
     }
   }
@@ -738,6 +883,232 @@ class FileLinter {
     }
   }
 
+  // --- guarded-member-doc --------------------------------------------------
+
+  /// One data-member candidate gathered inside a class body.
+  struct MemberDecl {
+    int line = 0;  // 1-based line of the declaration's first token
+    std::string name;
+    bool annotated = false;   // carries PPA_GUARDED_BY / PPA_PT_GUARDED_BY
+    bool mutex_like = false;  // is itself a mutex / condvar member
+  };
+
+  /// A brace scope; only class/struct scopes accumulate members.
+  struct ClassScope {
+    bool is_class = false;
+    std::string name;
+    bool has_mutex = false;
+    std::vector<MemberDecl> members;
+  };
+
+  /// True when the member's own line or the line above carries a comment.
+  bool HasCommentAt(int line) const {  // 1-based
+    for (int l : {line - 1, line - 2}) {
+      if (l >= 0 && l < static_cast<int>(file_.comments.size()) &&
+          !Trim(file_.comments[static_cast<size_t>(l)]).empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// The first plausible class name after the class/struct keyword
+  /// (skipping ALL_CAPS attribute macros like PPA_CAPABILITY).
+  static std::string ClassNameOf(const std::string& stmt_text) {
+    size_t pos = std::string::npos;
+    size_t len = 0;
+    for (const char* kw : {"class", "struct"}) {
+      std::vector<size_t> hits = FindToken(stmt_text, kw);
+      if (!hits.empty() && hits[0] < pos) {
+        pos = hits[0];
+        len = std::strlen(kw);
+      }
+    }
+    if (pos == std::string::npos) {
+      return "<anonymous>";
+    }
+    std::string cur;
+    std::string last;
+    for (size_t k = pos + len; k <= stmt_text.size(); ++k) {
+      if (k < stmt_text.size() && IsIdentChar(stmt_text[k])) {
+        cur.push_back(stmt_text[k]);
+        continue;
+      }
+      if (!cur.empty()) {
+        bool has_lower = false;
+        for (char c : cur) {
+          if (std::islower(static_cast<unsigned char>(c)) != 0) {
+            has_lower = true;
+          }
+        }
+        if (has_lower) {
+          return cur;
+        }
+        last = cur;
+        cur.clear();
+      }
+    }
+    return last.empty() ? "<anonymous>" : last;
+  }
+
+  /// Classifies one class-body statement; records it on `scope` when it
+  /// is a (non-static, non-const) data member.
+  void RecordMember(ClassScope* scope, const Stmt& stmt) {
+    std::string text = Trim(stmt.text);
+    if (text.empty()) {
+      return;
+    }
+    MemberDecl m;
+    m.line = stmt.start_line;
+    m.annotated = text.find("PPA_GUARDED_BY") != std::string::npos ||
+                  text.find("PPA_PT_GUARDED_BY") != std::string::npos;
+    for (const char* t :
+         {"Mutex", "mutex", "shared_mutex", "CondVar", "condition_variable"}) {
+      if (!FindToken(text, t).empty()) {
+        m.mutex_like = true;
+      }
+    }
+    std::string first;
+    for (char c : text) {
+      if (!IsIdentChar(c)) {
+        break;
+      }
+      first.push_back(c);
+    }
+    // Statements that are never unguarded mutable state: nested types,
+    // access to other members, immutable/static data, declarations.
+    static const std::set<std::string> kSkipFirst = {
+        "using",     "typedef",  "friend",   "static",  "constexpr",
+        "const",     "enum",     "class",    "struct",  "public",
+        "private",   "protected", "template", "virtual", "explicit",
+        "operator",  "static_assert"};
+    if (first.empty() || kSkipFirst.count(first) != 0 ||
+        !FindToken(text, "operator").empty()) {
+      return;
+    }
+    if (m.annotated) {
+      scope->has_mutex = scope->has_mutex || m.mutex_like;
+      scope->members.push_back(std::move(m));
+      return;
+    }
+    // Split off any default initializer ("= value") at bracket depth 0,
+    // then decide function vs data member from the declaration's tail.
+    std::string head;
+    int depth = 0;
+    for (char c : text) {
+      if (c == '=' && depth == 0) {
+        break;
+      }
+      if (c == '(' || c == '<' || c == '[') {
+        ++depth;
+      } else if (c == ')' || c == '>' || c == ']') {
+        --depth;
+      }
+      head.push_back(c);
+    }
+    head = Trim(head);
+    if (head.empty() || !IsIdentChar(head.back())) {
+      return;  // "...)": function; "...]": array (out of scope here)
+    }
+    size_t e = head.size();
+    size_t b = e;
+    while (b > 0 && IsIdentChar(head[b - 1])) {
+      --b;
+    }
+    std::string tail = head.substr(b, e - b);
+    static const std::set<std::string> kFuncTail = {
+        "const", "override", "final", "noexcept", "default", "delete", "0"};
+    if (kFuncTail.count(tail) != 0) {
+      return;  // "...) const" / "= 0" / "= delete": a function
+    }
+    m.name = tail;
+    scope->has_mutex = scope->has_mutex || m.mutex_like;
+    scope->members.push_back(std::move(m));
+  }
+
+  void EvaluateClass(const ClassScope& scope) {
+    if (!scope.has_mutex) {
+      return;
+    }
+    for (const MemberDecl& m : scope.members) {
+      if (m.mutex_like || m.annotated || HasCommentAt(m.line)) {
+        continue;
+      }
+      Report("guarded-member-doc", m.line,
+             "class " + scope.name + " holds a mutex; member " + m.name +
+                 " needs PPA_GUARDED_BY(...) or a comment saying why it "
+                 "needs no guard (DESIGN.md §14)");
+    }
+  }
+
+  void CheckGuardedMemberDoc() {
+    std::vector<ClassScope> scopes;
+    Stmt stmt;
+    int paren_depth = 0;
+    auto top_is_class = [&] {
+      return !scopes.empty() && scopes.back().is_class;
+    };
+    for (size_t i = 0; i < file_.code.size(); ++i) {
+      const std::string& line = file_.code[i];
+      int lineno = static_cast<int>(i) + 1;
+      if (StartsWith(Trim(line), "#")) {
+        continue;  // preprocessor
+      }
+      for (char c : line) {
+        if (c == '(') {
+          ++paren_depth;
+        } else if (c == ')') {
+          --paren_depth;
+        } else if (c == '{' && paren_depth == 0) {
+          ClassScope scope;
+          if (FindToken(stmt.text, "enum").empty() &&
+              (!FindToken(stmt.text, "class").empty() ||
+               !FindToken(stmt.text, "struct").empty())) {
+            scope.is_class = true;
+            scope.name = ClassNameOf(stmt.text);
+          }
+          scopes.push_back(std::move(scope));
+          stmt = Stmt{};
+          continue;
+        } else if (c == '}' && paren_depth == 0) {
+          if (!scopes.empty()) {
+            if (scopes.back().is_class) {
+              EvaluateClass(scopes.back());
+            }
+            scopes.pop_back();
+          }
+          stmt = Stmt{};
+          continue;
+        } else if (c == ';' && paren_depth == 0) {
+          if (top_is_class()) {
+            RecordMember(&scopes.back(), stmt);
+          }
+          stmt = Stmt{};
+          continue;
+        } else if (c == ':' && paren_depth == 0 && top_is_class()) {
+          std::string t = Trim(stmt.text);
+          if (t == "public" || t == "private" || t == "protected") {
+            stmt = Stmt{};  // access specifier, not part of a declaration
+            continue;
+          }
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+          if (!stmt.text.empty() && stmt.text.back() != ' ') {
+            stmt.text.push_back(' ');
+          }
+        } else {
+          if (stmt.text.empty()) {
+            stmt.start_line = lineno;
+          }
+          stmt.text.push_back(c);
+        }
+      }
+      if (!stmt.text.empty() && stmt.text.back() != ' ') {
+        stmt.text.push_back(' ');
+      }
+    }
+  }
+
   std::string path_;
   Scrubbed file_;
   Suppressions supp_;
@@ -756,6 +1127,8 @@ const std::vector<std::string>& AllRuleNames() {
   static const std::vector<std::string> kRules = {
       "wall-clock",   "random",       "getenv", "unordered-iteration",
       "exceptions",   "abort",        "header-guard", "doxygen",
+      "no-raw-mutex", "no-raw-thread", "no-wallclock-in-sim",
+      "guarded-member-doc",
   };
   return kRules;
 }

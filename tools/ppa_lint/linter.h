@@ -58,6 +58,29 @@ struct Diagnostic {
 ///   doxygen              namespace-scope classes/structs/enums and free
 ///                        function declarations in public headers
 ///                        (src/*/*.h) carry a /// comment.
+///
+/// Concurrency & determinism rules (v2, DESIGN.md §14):
+///
+///   no-raw-mutex         no std::mutex / lock_guard / unique_lock /
+///                        condition_variable under src/ outside
+///                        src/common/: use the capability-annotated
+///                        ppa::Mutex / MutexLock / CondVar
+///                        (common/thread_annotations.h) so Clang's
+///                        -Wthread-safety pass checks the lock discipline.
+///   no-raw-thread        no std::thread / std::jthread / std::async /
+///                        pthread_create under src/ outside src/common/:
+///                        concurrency goes through ppa::ThreadPool (or an
+///                        annotated wrapper added to common/).
+///   no-wallclock-in-sim  hard ban (NOT suppressible with allow
+///                        comments) on wall-clock reads anywhere under
+///                        src/ except the allowlisted timing shim
+///                        common/wall_clock.*: byte-reproducibility dies
+///                        the moment simulated behavior can observe host
+///                        time.
+///   guarded-member-doc   in src/ headers, a class holding a mutex must
+///                        annotate every other data member with
+///                        PPA_GUARDED_BY(...) or carry a comment (on or
+///                        above the member) saying why it needs no guard.
 [[nodiscard]] std::vector<Diagnostic> LintFile(const std::string& path,
                                                std::string_view content);
 

@@ -51,10 +51,44 @@ bool HasFinding(const std::vector<Diagnostic>& diags, const std::string& rule,
 
 TEST(PpaLintFixtures, WallClock) {
   auto diags = LintFixture("bad", "src/engine/wall_clock.cc");
-  EXPECT_EQ(Rules(diags), std::set<std::string>{"wall-clock"});
+  // Under src/ every wall-clock read trips both the legacy suppressible
+  // rule and the hard sim-determinism rule.
+  EXPECT_EQ(Rules(diags),
+            (std::set<std::string>{"wall-clock", "no-wallclock-in-sim"}));
   EXPECT_TRUE(HasFinding(diags, "wall-clock", 8));   // system_clock
   EXPECT_TRUE(HasFinding(diags, "wall-clock", 10));  // steady_clock
   EXPECT_TRUE(HasFinding(diags, "wall-clock", 12));  // time(
+  EXPECT_TRUE(HasFinding(diags, "no-wallclock-in-sim", 8));
+  EXPECT_TRUE(HasFinding(diags, "no-wallclock-in-sim", 12));
+}
+
+TEST(PpaLintFixtures, RawMutex) {
+  auto diags = LintFixture("bad", "src/engine/raw_mutex.cc");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"no-raw-mutex"});
+  EXPECT_TRUE(HasFinding(diags, "no-raw-mutex", 3));   // #include <mutex>
+  EXPECT_TRUE(HasFinding(diags, "no-raw-mutex", 7));   // std::mutex
+  EXPECT_TRUE(HasFinding(diags, "no-raw-mutex", 10));  // lock_guard
+}
+
+TEST(PpaLintFixtures, RawThread) {
+  auto diags = LintFixture("bad", "src/engine/raw_thread.cc");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"no-raw-thread"});
+  EXPECT_TRUE(HasFinding(diags, "no-raw-thread", 2));  // #include <thread>
+  EXPECT_TRUE(HasFinding(diags, "no-raw-thread", 7));  // std::thread
+}
+
+TEST(PpaLintFixtures, WallClockInSimIsNotSuppressible) {
+  auto diags = LintFixture("bad", "src/engine/wallclock_sim.cc");
+  // The allow() comment silences wall-clock but the hard rule survives.
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"no-wallclock-in-sim"});
+  EXPECT_TRUE(HasFinding(diags, "no-wallclock-in-sim", 10));
+}
+
+TEST(PpaLintFixtures, UnguardedMember) {
+  auto diags = LintFixture("bad", "src/engine/unguarded_member.h");
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"guarded-member-doc"});
+  EXPECT_TRUE(HasFinding(diags, "guarded-member-doc", 20));  // total_
+  EXPECT_EQ(diags.size(), 1u);  // count_ annotated, limit_ commented
 }
 
 TEST(PpaLintFixtures, Random) {
@@ -108,8 +142,8 @@ TEST(PpaLintFixtures, MissingDoxygen) {
 }
 
 TEST(PpaLintFixtures, GoodTreeIsClean) {
-  for (const char* path :
-       {"src/engine/clean.h", "src/engine/suppressed.cc"}) {
+  for (const char* path : {"src/engine/clean.h", "src/engine/annotated.h",
+                           "bench/suppressed.cc"}) {
     auto diags = LintFixture("good", path);
     EXPECT_TRUE(diags.empty())
         << path << ": " << (diags.empty() ? "" : FormatDiagnostic(diags[0]));
@@ -130,8 +164,42 @@ TEST(PpaLintRules, MemberAndForeignNamespaceCallsAreNotWallClock) {
 
 TEST(PpaLintRules, StdQualifiedTimeIsWallClock) {
   auto diags = LintFile("src/obs/trace.cc", "long t = std::time(nullptr);\n");
-  ASSERT_EQ(diags.size(), 1u);
-  EXPECT_EQ(diags[0].rule, "wall-clock");
+  EXPECT_EQ(Rules(diags),
+            (std::set<std::string>{"wall-clock", "no-wallclock-in-sim"}));
+}
+
+TEST(PpaLintRules, ConcurrencyRulesExemptCommon) {
+  std::string body = "#include <mutex>\nstd::mutex mu;\n";
+  EXPECT_TRUE(LintFile("src/common/thread_pool.cc", body).empty());
+  auto diags = LintFile("src/exp/runner.cc", body);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"no-raw-mutex"});
+  EXPECT_EQ(diags.size(), 2u);  // include line + declaration line
+}
+
+TEST(PpaLintRules, WallClockShimIsTheOnlySimClockAllowlist) {
+  std::string body =
+      "// ppa-lint: allow-file(wall-clock)\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(LintFile("src/common/wall_clock.cc", body).empty());
+  auto diags = LintFile("src/sim/event_loop.cc", body);
+  EXPECT_EQ(Rules(diags), std::set<std::string>{"no-wallclock-in-sim"});
+}
+
+TEST(PpaLintRules, GuardedMemberDocRequiresAMutexMember) {
+  // Plain structs without a mutex owe no annotations, and a method
+  // taking a Mutex* does not make the class mutex-holding.
+  std::string header =
+      "#ifndef PPA_ENGINE_X_H_\n"
+      "#define PPA_ENGINE_X_H_\n"
+      "namespace ppa {\n"
+      "/// A plain aggregate.\n"
+      "struct Snapshot {\n"
+      "  int done = 0;\n"
+      "  int failed = 0;\n"
+      "};\n"
+      "}  // namespace ppa\n"
+      "#endif\n";
+  EXPECT_TRUE(LintFile("src/engine/x.h", header).empty());
 }
 
 TEST(PpaLintRules, CommentsAndStringsAreScrubbed) {
@@ -265,9 +333,13 @@ TEST(PpaLintRules, FormatDiagnosticShape) {
 
 TEST(PpaLintRules, AllRuleNamesIsStable) {
   const auto& rules = AllRuleNames();
-  EXPECT_EQ(rules.size(), 8u);
-  EXPECT_NE(std::find(rules.begin(), rules.end(), "unordered-iteration"),
-            rules.end());
+  EXPECT_EQ(rules.size(), 12u);
+  for (const char* rule :
+       {"unordered-iteration", "no-raw-mutex", "no-raw-thread",
+        "no-wallclock-in-sim", "guarded-member-doc"}) {
+    EXPECT_NE(std::find(rules.begin(), rules.end(), rule), rules.end())
+        << rule;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,13 @@
+// Fixture: raw synchronization primitives (linted as
+// src/engine/raw_mutex.cc).
+#include <mutex>
+
+namespace ppa {
+
+std::mutex mu;  // line 7: mutex
+
+void Critical() {
+  std::lock_guard<std::mutex> lock(mu);  // line 10: lock_guard + mutex
+}
+
+}  // namespace ppa

@@ -1,0 +1,11 @@
+// Fixture: raw thread spawning (linted as src/engine/raw_thread.cc).
+#include <thread>
+
+namespace ppa {
+
+void Spawn() {
+  std::thread t([] {});  // line 7: thread
+  t.join();
+}
+
+}  // namespace ppa

@@ -1,0 +1,27 @@
+#ifndef PPA_ENGINE_UNGUARDED_MEMBER_H_
+#define PPA_ENGINE_UNGUARDED_MEMBER_H_
+
+// Fixture: a mutex-holding class with one member that is neither
+// annotated nor explained (linted as src/engine/unguarded_member.h).
+
+#include "common/thread_annotations.h"
+
+namespace ppa {
+
+/// Counts events across threads.
+class Counter {
+ public:
+  /// Adds one.
+  void Increment() PPA_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  int count_ PPA_GUARDED_BY(mu_) = 0;
+  int total_ = 0;
+  // Written once before the threads start; never mutated afterwards.
+  int limit_ = 100;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_ENGINE_UNGUARDED_MEMBER_H_

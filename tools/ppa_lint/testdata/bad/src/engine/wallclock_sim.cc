@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads inside simulated code; the allow() comment
+// must silence the suppressible wall-clock rule but NOT
+// no-wallclock-in-sim (linted as src/engine/wallclock_sim.cc).
+#include <chrono>
+
+namespace ppa {
+
+double Now() {
+  // ppa-lint: allow(wall-clock, no-wallclock-in-sim)
+  auto t = std::chrono::steady_clock::now();  // line 10
+  (void)t;
+  return 0.0;
+}
+
+}  // namespace ppa

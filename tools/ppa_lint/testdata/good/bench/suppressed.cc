@@ -1,5 +1,6 @@
-// Fixture: every violation here is suppressed (linted as
-// src/engine/suppressed.cc), so the file must produce zero diagnostics.
+// Fixture: every suppressible violation here is suppressed (linted as
+// bench/suppressed.cc — outside src/, where inline wall-clock allows
+// remain legitimate), so the file must produce zero diagnostics.
 // ppa-lint: allow-file(abort)
 #include <cstdlib>
 #include <ctime>

@@ -1,0 +1,26 @@
+#ifndef PPA_ENGINE_ANNOTATED_H_
+#define PPA_ENGINE_ANNOTATED_H_
+
+// Fixture: the approved concurrency idiom — annotated ppa primitives,
+// every member guarded or explained (linted as src/engine/annotated.h).
+
+#include "common/thread_annotations.h"
+
+namespace ppa {
+
+/// Counts events across threads.
+class AnnotatedCounter {
+ public:
+  /// Adds one.
+  void Increment() PPA_EXCLUDES(mu_);
+
+ private:
+  Mutex mu_;
+  int count_ PPA_GUARDED_BY(mu_) = 0;
+  // Set in the constructor, immutable afterwards: no guard needed.
+  int limit_ = 100;
+};
+
+}  // namespace ppa
+
+#endif  // PPA_ENGINE_ANNOTATED_H_
