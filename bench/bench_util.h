@@ -185,6 +185,63 @@ class ChromeTraceSink {
   JsonValue trace_;
 };
 
+/// Captures one flight-record dump (a report::JobFlightRecordToJson /
+/// obs::FlightRecordToJson value) and writes it to the configured path.
+/// Mirrors ChromeTraceSink: one document holds one post-mortem, so the
+/// first captured run wins; constructed with an empty path (no
+/// `--flight_record_out` flag, see bench::Driver) every call is a no-op,
+/// and Write() falls back to a valid empty record so the flag always
+/// produces a parseable file.
+class FlightRecordSink {
+ public:
+  FlightRecordSink() = default;
+  explicit FlightRecordSink(std::string path) : path_(std::move(path)) {}
+
+  bool enabled() const { return !path_.empty(); }
+  bool captured() const { return captured_; }
+
+  /// Keeps `record` if none was captured yet.
+  void Capture(JsonValue record) {
+    if (enabled() && !captured_) {
+      record_ = std::move(record);
+      captured_ = true;
+    }
+  }
+
+  /// Writes the captured record (or an empty valid one) to the
+  /// configured path. Returns false after printing to stderr on
+  /// filesystem errors; true otherwise, including when disabled.
+  bool Write() {
+    if (!enabled()) {
+      return true;
+    }
+    if (!captured_) {
+      record_ = JsonValue::Object();
+      record_.Set("capacity", 0);
+      record_.Set("dropped", 0);
+      record_.Set("recorded", 0);
+      record_.Set("events", JsonValue::Array());
+    }
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write flight record to %s\n",
+                   path_.c_str());
+      return false;
+    }
+    const std::string text = record_.Pretty();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("flight record written to %s\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  bool captured_ = false;
+  JsonValue record_;
+};
+
 /// Chrome/Perfetto trace of a live job, with task ids labeled through
 /// the job's topology (drop-in argument for ChromeTraceSink::Capture).
 inline JsonValue JobChromeTrace(const StreamingJob& job) {

@@ -1,7 +1,9 @@
 #include "bench/driver.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "common/thread_pool.h"
 
@@ -12,6 +14,7 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   Driver driver;
   std::string metrics_path;
   std::string trace_path;
+  std::string flight_path;
   std::string jobs_value;
   std::string seed_value;
   std::string commit_value;
@@ -31,7 +34,12 @@ Driver Driver::FromArgs(int* argc, char** argv) {
       return false;
     };
     if (match("--metrics_out", &metrics_path) ||
-        match("--chrome_trace_out", &trace_path)) {
+        match("--chrome_trace_out", &trace_path) ||
+        match("--flight_record_out", &flight_path)) {
+      continue;
+    }
+    if (arg == "--progress") {
+      driver.progress_ = true;
       continue;
     }
     if (match("--jobs", &jobs_value)) {
@@ -56,7 +64,21 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   }
   driver.metrics_ = BenchMetricsSink(metrics_path);
   driver.traces_ = ChromeTraceSink(trace_path);
+  driver.flight_ = FlightRecordSink(flight_path);
   return driver;
+}
+
+exp::ProgressMeter* Driver::StartProgress(int total, std::string label) {
+  if (!progress_) {
+    return nullptr;
+  }
+  meter_ = std::make_unique<exp::ProgressMeter>();
+  meter_->set_sink(
+      [total, label = std::move(label)](exp::ProgressMeter::Snapshot s) {
+        std::fprintf(stderr, "%s %d/%d done (%d failed)\n", label.c_str(),
+                     s.done, total, s.failed);
+      });
+  return meter_.get();
 }
 
 void Driver::StampBenchReport(JsonValue* report,
@@ -78,6 +100,7 @@ exp::ParallelRunner& Driver::runner() {
 int Driver::Finish(std::string_view benchmark) {
   bool ok = metrics_.Write(benchmark);
   ok = traces_.Write() && ok;
+  ok = flight_.Write() && ok;
   return ok ? 0 : 1;
 }
 

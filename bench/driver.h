@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "exp/parallel_runner.h"
+#include "exp/progress.h"
 #include "report/json.h"
 
 namespace ppa {
@@ -23,6 +24,12 @@ namespace bench {
 /// `--flag value` forms):
 ///   --metrics_out <file>       write labeled metrics snapshots as JSON
 ///   --chrome_trace_out <file>  write a Chrome/Perfetto trace
+///   --flight_record_out <file> write the first captured flight record
+///                              (the job's bounded post-mortem event
+///                              ring) as JSON
+///   --progress                 print live completion tallies to stderr
+///                              (observational only — stdout and every
+///                              report stay byte-identical)
 ///   --jobs <n>                 worker threads for independent runs
 ///                              (default 1; 0 = all hardware threads).
 ///                              Results are byte-identical for any value.
@@ -65,6 +72,20 @@ class Driver {
   /// Trace sink (no-op unless --chrome_trace_out was given).
   ChromeTraceSink& traces() { return traces_; }
 
+  /// Flight-record sink (no-op unless --flight_record_out was given).
+  FlightRecordSink& flight() { return flight_; }
+
+  /// True when --progress was given.
+  [[nodiscard]] bool progress() const { return progress_; }
+
+  /// With --progress: returns a fresh meter (owned by the driver,
+  /// replacing any previous one) whose updates print
+  /// "<label> <done>/<total> done (<failed> failed)" to stderr. Without
+  /// the flag: nullptr — callers pass the meter to workers only when
+  /// non-null. Progress is observational only; it never touches stdout
+  /// or the sinks.
+  exp::ProgressMeter* StartProgress(int total, std::string label);
+
   /// The runner independent runs execute on; created on first use with
   /// jobs() workers and reused for every subsequent Map.
   exp::ParallelRunner& runner();
@@ -77,7 +98,7 @@ class Driver {
     return runner().Map<T>(count, fn);
   }
 
-  /// Writes both sinks; returns the process exit code (0 on success, 1
+  /// Writes all sinks; returns the process exit code (0 on success, 1
   /// when a sink could not be written).
   [[nodiscard]] int Finish(std::string_view benchmark);
 
@@ -87,9 +108,12 @@ class Driver {
   int jobs_ = 1;
   bool has_seed_ = false;
   uint64_t seed_ = 0;
+  bool progress_ = false;
   std::string commit_ = "unknown";
   BenchMetricsSink metrics_;
   ChromeTraceSink traces_;
+  FlightRecordSink flight_;
+  std::unique_ptr<exp::ProgressMeter> meter_;
   std::unique_ptr<exp::ParallelRunner> runner_;
 };
 

@@ -17,14 +17,16 @@
 //                          (a multi-tenant case when --multi is given)
 //     --report <file>      write the campaign report as JSON
 //     --repro_dir <dir>    write failing (minimized when available)
-//                          cases as <dir>/repro_<seed>.json
-//     --progress           live per-case progress line on stderr (ticks
-//                          in completion order; the report is unchanged)
+//                          cases as <dir>/repro_<seed>.json, each with
+//                          its flight-recorder post-mortem beside it as
+//                          <dir>/repro_<seed>_flight.json
 //
 // Shared experiment flags (parsed by bench::Driver):
 //     --jobs <n>           worker threads; the report is byte-identical
 //                          for any value
 //     --seed <n>           base seed of the campaign (default 1)
+//     --progress           live per-case progress line on stderr (ticks
+//                          in completion order; the report is unchanged)
 //     --metrics_out <file> / --chrome_trace_out <file>
 //
 // Exit code: 0 when every case passed, 1 when any case failed or errored.
@@ -135,7 +137,6 @@ int Run(int argc, char** argv) {
   chaos::CampaignOptions options;
   options.intensity = chaos::ChaosIntensity::Medium();
   bool multi = false;
-  bool progress = false;
   std::string replay_path, report_path, repro_dir;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -162,8 +163,6 @@ int Run(int argc, char** argv) {
       report_path = need_value("--report");
     } else if (std::strcmp(argv[i], "--repro_dir") == 0) {
       repro_dir = need_value("--repro_dir");
-    } else if (std::strcmp(argv[i], "--progress") == 0) {
-      progress = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -175,18 +174,10 @@ int Run(int argc, char** argv) {
 
   options.base_seed = driver.seed_or(1);
   options.jobs = driver.jobs();
-  // The meter's sink runs serialized under its own lock, so concurrent
-  // workers never interleave a progress line. stderr only: the report
-  // and stdout stay byte-identical with or without --progress.
-  exp::ProgressMeter meter;
-  if (progress) {
-    const int total = options.num_seeds;
-    meter.set_sink([total](exp::ProgressMeter::Snapshot snap) {
-      std::fprintf(stderr, "case %d/%d done (%d failed)\n", snap.done,
-                   total, snap.failed);
-    });
-    options.progress = &meter;
-  }
+  // The shared --progress meter ticks once per finished case from
+  // whatever worker ran it, serialized under the meter's lock. stderr
+  // only: the report and stdout stay byte-identical with or without it.
+  options.progress = driver.StartProgress(options.num_seeds, "case");
   if (multi) {
     auto campaign = chaos::RunMultiTenantCampaign(options);
     PPA_CHECK_OK(campaign.status());
@@ -261,6 +252,21 @@ int Run(int argc, char** argv) {
                                std::to_string(result.seed) + ".json";
       PPA_CHECK_OK(WriteJsonFile(path, chaos::ChaosCaseToJson(repro)));
       std::printf("  repro written to %s\n", path.c_str());
+      // The post-mortem matching the written repro: the minimized
+      // rerun's flight record when the repro is minimized, the original
+      // case's otherwise.
+      const JsonValue& flight = result.has_minimized &&
+                                        !result.minimized_flight_record
+                                             .is_null()
+                                    ? result.minimized_flight_record
+                                    : result.report.flight_record;
+      if (!flight.is_null()) {
+        const std::string flight_path =
+            repro_dir + "/repro_" + std::to_string(result.seed) +
+            "_flight.json";
+        PPA_CHECK_OK(WriteJsonFile(flight_path, flight));
+        std::printf("  flight record written to %s\n", flight_path.c_str());
+      }
     }
   }
   std::printf("%d/%d cases passed (%d violations)\n",

@@ -208,6 +208,7 @@ int Run(int argc, char** argv) {
   }
   driver.metrics().Add("profile", JobProfileToJson(job));
   driver.traces().Capture(JobChromeTraceToJson(job));
+  driver.flight().Capture(JobFlightRecordToJson(job));
   if (!dot_path.empty()) {
     std::ofstream out(dot_path);
     out << ToDot(*topo, mode == FtMode::kPpa ? &plan.replicated : nullptr);

@@ -38,6 +38,13 @@ CampaignCaseResult RunOneCaseInner(const CampaignOptions& options,
       result.minimized = std::move(minimized->minimized);
       result.minimized_invariant = std::move(minimized->invariant);
       result.minimize_oracle_calls = minimized->oracle_calls;
+      // One deterministic rerun of the shrunk case to capture its own
+      // post-mortem (the original case's flight record describes the
+      // unshrunk timeline).
+      StatusOr<ChaosRunReport> rerun = RunChaosCase(result.minimized);
+      if (rerun.ok()) {
+        result.minimized_flight_record = std::move(rerun->flight_record);
+      }
     }
   }
   return result;
@@ -96,11 +103,17 @@ JsonValue CaseResultToJson(const CampaignCaseResult& result) {
   json.Set("violations", std::move(violations));
   if (result.failed()) {
     json.Set("case", ChaosCaseToJson(result.chaos_case));
+    if (!result.report.flight_record.is_null()) {
+      json.Set("flight_record", result.report.flight_record);
+    }
     if (result.has_minimized) {
       JsonValue minimized = JsonValue::Object();
       minimized.Set("invariant", result.minimized_invariant);
       minimized.Set("oracle_calls", result.minimize_oracle_calls);
       minimized.Set("case", ChaosCaseToJson(result.minimized));
+      if (!result.minimized_flight_record.is_null()) {
+        minimized.Set("flight_record", result.minimized_flight_record);
+      }
       json.Set("minimized", std::move(minimized));
     }
   }

@@ -54,6 +54,10 @@ struct CampaignCaseResult {
   ChaosCase minimized;
   std::string minimized_invariant;
   int minimize_oracle_calls = 0;
+  /// Flight record of one rerun of the minimized case (JSON null when
+  /// no minimized case exists or the rerun stopped failing), so the
+  /// *shrunk* repro ships its own post-mortem too.
+  JsonValue minimized_flight_record;
 
   /// True when the case either failed to execute or broke an invariant.
   [[nodiscard]] bool failed() const {

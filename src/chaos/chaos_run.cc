@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "exp/run_spec.h"
+#include "report/experiment_report.h"
 #include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
 #include "sim/event_loop.h"
@@ -120,6 +121,11 @@ StatusOr<ChaosRunReport> RunChaosCase(
   report.end_seconds = end_time.seconds();
   for (const Invariant* invariant : invariants) {
     invariant->Check(context, &report.violations);
+  }
+  if (!report.violations.empty()) {
+    // Attach the post-mortem: the flight recorder's bounded tail of
+    // trace events leading up to the end of the failing run.
+    report.flight_record = JobFlightRecordToJson(*job);
   }
   return report;
 }

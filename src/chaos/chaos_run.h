@@ -7,6 +7,7 @@
 #include "chaos/chaos_case.h"
 #include "chaos/invariants.h"
 #include "common/status_or.h"
+#include "report/json.h"
 
 namespace ppa {
 namespace chaos {
@@ -24,6 +25,11 @@ struct ChaosRunReport {
   /// Final sim time the run (and its golden twin) reached, in seconds.
   double end_seconds = 0.0;
   std::vector<ChaosViolation> violations;
+  /// The job's flight record (obs::FlightRecordToJson shape) — the last
+  /// trace events before the end of the run — filled only when
+  /// `violations` is non-empty, so every failing case ships its
+  /// post-mortem. JSON null otherwise.
+  JsonValue flight_record;
 };
 
 /// Executes one chaos case deterministically and checks `invariants`

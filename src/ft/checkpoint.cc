@@ -7,13 +7,17 @@ namespace ppa {
 void CheckpointStore::AttachMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     bytes_histogram_ = nullptr;
+    chain_deltas_histogram_ = nullptr;
     full_counter_ = nullptr;
     delta_counter_ = nullptr;
+    store_bytes_gauge_ = nullptr;
     return;
   }
   bytes_histogram_ = registry->histogram("checkpoint.bytes");
+  chain_deltas_histogram_ = registry->histogram("checkpoint.chain_deltas");
   full_counter_ = registry->counter("checkpoint.full");
   delta_counter_ = registry->counter("checkpoint.delta");
+  store_bytes_gauge_ = registry->gauge("checkpoint.store_blob_bytes");
 }
 
 void CheckpointStore::Put(TaskCheckpoint checkpoint, Duration modeled_cost) {
@@ -25,6 +29,16 @@ void CheckpointStore::Put(TaskCheckpoint checkpoint, Duration modeled_cost) {
                     checkpoint.taken_at, checkpoint.taken_at + modeled_cost);
   }
   auto& chain = chains_[checkpoint.task];
+  if (!chain.empty()) {
+    // How long the replaced chain got before this rebase.
+    obs::Observe(chain_deltas_histogram_,
+                 static_cast<double>(chain.size() - 1));
+    for (const TaskCheckpoint& cp : chain) {
+      total_bytes_ -= static_cast<int64_t>(cp.blob.size());
+    }
+  }
+  total_bytes_ += static_cast<int64_t>(checkpoint.blob.size());
+  obs::Set(store_bytes_gauge_, static_cast<double>(total_bytes_));
   chain.clear();
   chain.push_back(std::move(checkpoint));
 }
@@ -45,6 +59,8 @@ Status CheckpointStore::PutDelta(TaskCheckpoint checkpoint,
     obs::RecordSpan(spans_, obs::SpanCategory::kCheckpoint, checkpoint.task,
                     checkpoint.taken_at, checkpoint.taken_at + modeled_cost);
   }
+  total_bytes_ += static_cast<int64_t>(checkpoint.blob.size());
+  obs::Set(store_bytes_gauge_, static_cast<double>(total_bytes_));
   it->second.push_back(std::move(checkpoint));
   return OkStatus();
 }
@@ -78,16 +94,6 @@ int64_t CheckpointStore::ChainStateTuples(TaskId task) const {
   int64_t total = 0;
   for (const TaskCheckpoint& cp : *chain) {
     total += cp.state_tuples;
-  }
-  return total;
-}
-
-int64_t CheckpointStore::TotalBlobBytes() const {
-  int64_t total = 0;
-  for (const auto& [task, chain] : chains_) {
-    for (const TaskCheckpoint& cp : chain) {
-      total += static_cast<int64_t>(cp.blob.size());
-    }
   }
   return total;
 }

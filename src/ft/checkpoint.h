@@ -70,14 +70,23 @@ class CheckpointStore {
   size_t size() const { return chains_.size(); }
 
   /// Total serialized bytes held on the standby nodes (all chains).
-  int64_t TotalBlobBytes() const;
+  /// O(1): maintained incrementally by Put/PutDelta, so per-checkpoint
+  /// gauge updates stay cheap at thousands of tasks.
+  int64_t TotalBlobBytes() const { return total_bytes_; }
 
   /// Drops everything (used between experiment repetitions).
-  void Clear() { chains_.clear(); }
+  void Clear() {
+    chains_.clear();
+    total_bytes_ = 0;
+    obs::Set(store_bytes_gauge_, 0.0);
+  }
 
-  /// Publishes "checkpoint.bytes" (per-checkpoint blob size histogram)
-  /// and the "checkpoint.full"/"checkpoint.delta" counters to `registry`
-  /// (nullptr detaches).
+  /// Publishes "checkpoint.bytes" (per-checkpoint blob size histogram),
+  /// the "checkpoint.full"/"checkpoint.delta" counters, the
+  /// "checkpoint.store_blob_bytes" gauge (TotalBlobBytes after every
+  /// Put/PutDelta/Clear), and the "checkpoint.chain_deltas" histogram
+  /// (deltas a chain accumulated before a full checkpoint rebased it) to
+  /// `registry` (nullptr detaches).
   void AttachMetrics(obs::MetricsRegistry* registry);
 
   /// Registers a span profiler (nullptr detaches): every Put/PutDelta
@@ -87,9 +96,13 @@ class CheckpointStore {
 
  private:
   std::map<TaskId, std::vector<TaskCheckpoint>> chains_;
+  /// Sum of blob sizes over all chains (incremental TotalBlobBytes).
+  int64_t total_bytes_ = 0;
   obs::Histogram* bytes_histogram_ = nullptr;
+  obs::Histogram* chain_deltas_histogram_ = nullptr;
   obs::Counter* full_counter_ = nullptr;
   obs::Counter* delta_counter_ = nullptr;
+  obs::Gauge* store_bytes_gauge_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
 };
 

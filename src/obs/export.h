@@ -39,6 +39,12 @@ JsonValue TimelinesToJson(const std::vector<RecoveryTimeline>& timelines,
 /// "closed":..}.
 JsonValue TentativeWindowsToJson(const std::vector<TentativeWindow>& windows);
 
+/// {"capacity":..,"dropped":..,"retained":..} — how much of the run the
+/// trace ring actually kept. capacity 0 means unbounded; a non-zero
+/// dropped count flags that trace-derived views (timelines, windows) saw
+/// a truncated history.
+JsonValue TraceStatsToJson(const TraceLog& trace);
+
 /// Array of {"category":..,"task":..,"begin_s":..,"end_s":..,
 /// "total_s":..,"self_s":..,"depth":..} in span-open order.
 JsonValue SpansToJson(const SpanProfiler& spans,
@@ -47,6 +53,15 @@ JsonValue SpansToJson(const SpanProfiler& spans,
 /// {"<category>":{"count":..,"total_s":..,"self_s":..},...} for every
 /// span category (zeros included, in enum order).
 JsonValue SpanAggregateToJson(const SpanProfiler& spans);
+
+/// The hot-path table: spans aggregated per (category, task) and ranked
+/// by self time descending (ties broken by category then task, so the
+/// ranking is deterministic). At most `top_n` rows, each
+/// {"category":..,"task":..,"count":..,"total_s":..,"self_s":..}; the
+/// "task" key is omitted for taskless spans (e.g. the run root).
+JsonValue HotSpansToJson(const SpanProfiler& spans,
+                         const TaskLabeler& labeler = nullptr,
+                         size_t top_n = 10);
 
 /// Array of {"t_s":..,"batch":..,"sink":..,"tentative":..,
 /// "output_fidelity":..,"internal_completeness":..,"failed_tasks":..}

@@ -1,0 +1,28 @@
+#include "obs/flight_recorder.h"
+
+#include "obs/export.h"
+
+namespace ppa {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  ring_.set_enabled(capacity > 0);
+  // With capacity 0 the ring is disabled outright; never leave a
+  // zero-capacity (= unbounded) enabled ring behind.
+  ring_.set_capacity(capacity);
+}
+
+JsonValue FlightRecordToJson(
+    const FlightRecorder& recorder,
+    const std::function<std::string(int64_t)>& labeler) {
+  JsonValue out = JsonValue::Object();
+  out.Set("capacity", static_cast<int64_t>(recorder.capacity()));
+  out.Set("dropped", static_cast<int64_t>(recorder.dropped()));
+  out.Set("recorded", static_cast<int64_t>(recorder.size() +
+                                           recorder.dropped()));
+  out.Set("events", TraceToJson(recorder.ring(), labeler));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ppa

@@ -1,0 +1,73 @@
+#ifndef PPA_OBS_FLIGHT_RECORDER_H_
+#define PPA_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/trace.h"
+#include "report/json.h"
+
+namespace ppa {
+namespace obs {
+
+/// Always-on bounded post-mortem ring: the last `capacity` trace events
+/// of a run, independent of the full TraceLog's enabled state. The full
+/// trace is gated by JobConfig::observability and grows with the run;
+/// the flight recorder is the black box that survives at scale — O(1)
+/// memory, deterministic content (events carry only sim-time data), and
+/// cheap enough to leave on everywhere. It is fed by attaching its ring
+/// as the mirror of the run's main TraceLog (TraceLog::set_mirror), so
+/// recording sites stay single-writer; when a chaos invariant fails or a
+/// run is dumped via --flight_record_out, FlightRecordToJson serializes
+/// the ring's last-N-events view of what the system was doing in the
+/// moments before.
+///
+/// Ring discipline is TraceLog's: once full, each new event evicts the
+/// oldest one deterministically and dropped() counts the evictions, so
+/// two identical runs always dump byte-identical flight records.
+class FlightRecorder {
+ public:
+  /// Default ring size: enough to cover several detection intervals of a
+  /// busy job without ever mattering for memory.
+  static constexpr size_t kDefaultCapacity = 256;
+
+  /// A zero capacity disables recording entirely (the ring stays empty).
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// The bounded ring; attach it as a TraceLog mirror to feed it.
+  TraceLog& ring() { return ring_; }
+  const TraceLog& ring() const { return ring_; }
+
+  /// True when the recorder was constructed with a non-zero capacity.
+  bool enabled() const { return ring_.enabled(); }
+  size_t capacity() const { return ring_.capacity(); }
+  /// Events evicted from the ring so far (silent-truncation visibility).
+  uint64_t dropped() const { return ring_.dropped(); }
+  /// Events currently retained.
+  size_t size() const { return ring_.size(); }
+
+  void Clear() { ring_.Clear(); }
+
+ private:
+  TraceLog ring_;
+};
+
+/// Serializes a flight record:
+/// {"capacity":..,"dropped":..,"recorded":..,"events":[...]} where
+/// `recorded` counts every event ever fed to the ring (retained +
+/// dropped) and `events` is the retained tail in TraceToJson shape.
+/// Tasks are labeled through `labeler` when provided. Contains only
+/// sim-time data, so identical runs serialize byte-identically.
+JsonValue FlightRecordToJson(
+    const FlightRecorder& recorder,
+    const std::function<std::string(int64_t)>& labeler = nullptr);
+
+}  // namespace obs
+}  // namespace ppa
+
+#endif  // PPA_OBS_FLIGHT_RECORDER_H_

@@ -161,6 +161,11 @@ JsonValue JobChromeTraceToJson(const StreamingJob& job) {
                                 MakeTaskLabeler(&job.topology()));
 }
 
+JsonValue JobFlightRecordToJson(const StreamingJob& job) {
+  return obs::FlightRecordToJson(job.flight_recorder(),
+                                 MakeTaskLabeler(&job.topology()));
+}
+
 Status WriteJsonFile(const std::string& path, const JsonValue& value) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {

@@ -40,6 +40,12 @@ JsonValue JobProfileToJson(const StreamingJob& job);
 /// the written file in chrome://tracing or https://ui.perfetto.dev.
 JsonValue JobChromeTraceToJson(const StreamingJob& job);
 
+/// The job's flight record (obs::FlightRecordToJson with topology task
+/// labels): the last config().flight_recorder_capacity trace events,
+/// available even when observability is off. The post-mortem attachment
+/// of chaos repros and --flight_record_out dumps.
+JsonValue JobFlightRecordToJson(const StreamingJob& job);
+
 /// Writes `value` pretty-printed to `path` (truncates). Filesystem errors
 /// are returned as Internal.
 Status WriteJsonFile(const std::string& path, const JsonValue& value);

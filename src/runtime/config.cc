@@ -37,6 +37,9 @@ Status JobConfig::Validate() const {
   if (max_delta_chain < 1) {
     return InvalidArgument("max_delta_chain must be at least 1");
   }
+  if (flight_recorder_capacity < 0) {
+    return InvalidArgument("flight_recorder_capacity must be non-negative");
+  }
   return OkStatus();
 }
 

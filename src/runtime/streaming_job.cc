@@ -63,7 +63,10 @@ StreamingJob::StreamingJob(Topology topology, JobConfig config,
       loop_(loop),
       router_(&topology_),
       cluster_(std::move(pool)),
-      active_set_(topology_.num_tasks()) {
+      active_set_(topology_.num_tasks()),
+      flight_(config.flight_recorder_capacity > 0
+                  ? static_cast<size_t>(config.flight_recorder_capacity)
+                  : 0) {
   // A shared pool defines the real cluster shape; keep the config's view
   // of it consistent (Start() checks num_standby_nodes, for example).
   config_.num_worker_nodes = cluster_.num_workers();
@@ -84,6 +87,12 @@ StreamingJob::StreamingJob(Topology topology, JobConfig config,
 
 void StreamingJob::InitObservability() {
   trace_.set_enabled(config_.observability);
+  // The flight recorder mirrors the trace *before* the observability
+  // gate: the bounded post-mortem ring keeps recording even when the
+  // full trace is off.
+  if (flight_.enabled()) {
+    trace_.set_mirror(&flight_.ring());
+  }
   spans_.set_enabled(config_.observability);
   fidelity_.set_enabled(config_.observability);
   m_sink_task_latency_stable_.assign(
@@ -108,6 +117,10 @@ void StreamingJob::InitObservability() {
   m_sink_tentative_ = metrics_.counter("sink.tentative_records");
   m_sink_corrections_ = metrics_.counter("sink.correction_records");
   m_buffered_tuples_ = metrics_.gauge("job.buffered_tuples");
+  m_output_buffer_batches_ = metrics_.gauge("engine.output_buffer_batches");
+  m_buffered_bytes_estimate_ =
+      metrics_.gauge("engine.buffered_bytes_estimate");
+  m_router_max_fanout_ = metrics_.gauge("router.max_fanout");
   m_checkpoint_bytes_total_ = metrics_.gauge("checkpoint.store_bytes");
   m_checkpoint_duration_us_ = metrics_.histogram("checkpoint.duration_us");
   m_checkpoint_state_tuples_ = metrics_.histogram("checkpoint.state_tuples");
@@ -133,6 +146,20 @@ void StreamingJob::InitObservability() {
   cluster_.AttachMetrics(&metrics_);
   checkpoints_.AttachMetrics(&metrics_);
   checkpoints_.AttachSpans(&spans_);
+  // Static routing-fanout profile: consumer-set size of every
+  // (producer task, downstream operator) edge. Fixed by the topology, so
+  // record it once here rather than per routed batch.
+  obs::Histogram* edge_fanout = metrics_.histogram("router.edge_fanout");
+  int64_t max_fanout = 0;
+  for (TaskId t = 0; t < topology_.num_tasks(); ++t) {
+    for (OperatorId to_op : topology_.op(topology_.task(t).op).downstream) {
+      const int64_t fanout =
+          static_cast<int64_t>(router_.Consumers(t, to_op).size());
+      edge_fanout->Record(static_cast<double>(fanout));
+      max_fanout = std::max(max_fanout, fanout);
+    }
+  }
+  obs::Set(m_router_max_fanout_, static_cast<double>(max_fanout));
 }
 
 StreamingJob::~StreamingJob() = default;
@@ -468,6 +495,20 @@ void StreamingJob::OnBatchTick() {
   peak_buffered_tuples_ = std::max(peak_buffered_tuples_, buffered);
   obs::Add(m_batch_ticks_);
   obs::Set(m_buffered_tuples_, static_cast<double>(buffered));
+  if (m_output_buffer_batches_ != nullptr) {
+    int64_t batches = 0;
+    for (const auto& rt : primaries_) {
+      batches += static_cast<int64_t>(rt->output_buffer().size());
+    }
+    obs::Set(m_output_buffer_batches_, static_cast<double>(batches));
+    // Floor estimate of replay-buffer memory: tuples and batch headers at
+    // their in-memory struct size (keys are small ints here, so payload
+    // bytes are the structs themselves).
+    obs::Set(m_buffered_bytes_estimate_,
+             static_cast<double>(
+                 buffered * static_cast<int64_t>(sizeof(Tuple)) +
+                 batches * static_cast<int64_t>(sizeof(BatchOutput))));
+  }
   NoteCaughtUpTasks();
   ScheduleManaged(config_.batch_interval, [this] { OnBatchTick(); });
 }

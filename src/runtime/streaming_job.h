@@ -15,6 +15,7 @@
 #include "ft/checkpoint.h"
 #include "ft/recovery_model.h"
 #include "obs/fidelity_timeseries.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
@@ -257,6 +258,11 @@ class StreamingJob {
   const obs::FidelityTimeseries& fidelity_timeseries() const {
     return fidelity_;
   }
+  /// The always-on bounded post-mortem ring: the last
+  /// config().flight_recorder_capacity trace events, recorded even when
+  /// config().observability is false (chaos repros and crash dumps read
+  /// this). Empty when the capacity is 0.
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
 
   /// Cumulative normal-processing CPU microseconds of a task.
   double ProcessingCostUs(TaskId t) const {
@@ -395,6 +401,10 @@ class StreamingJob {
   /// obs::Add/Set/Observe helpers make every call site null-safe.
   obs::MetricsRegistry metrics_;
   obs::TraceLog trace_;
+  /// Always-on bounded tail of trace_ (fed as its mirror), sized by
+  /// config_.flight_recorder_capacity. Unlike everything else here it is
+  /// NOT gated by config_.observability.
+  obs::FlightRecorder flight_;
   obs::SpanProfiler spans_;
   obs::FidelityTimeseries fidelity_;
   /// A tentative-output window is open (kTentativeWindowBegin emitted,
@@ -422,6 +432,9 @@ class StreamingJob {
   obs::Counter* m_sink_tentative_ = nullptr;
   obs::Counter* m_sink_corrections_ = nullptr;
   obs::Gauge* m_buffered_tuples_ = nullptr;
+  obs::Gauge* m_output_buffer_batches_ = nullptr;
+  obs::Gauge* m_buffered_bytes_estimate_ = nullptr;
+  obs::Gauge* m_router_max_fanout_ = nullptr;
   obs::Gauge* m_checkpoint_bytes_total_ = nullptr;
   obs::Histogram* m_checkpoint_duration_us_ = nullptr;
   obs::Histogram* m_checkpoint_state_tuples_ = nullptr;

@@ -34,6 +34,7 @@ bool EventLoop::Cancel(uint64_t event_id) {
   }
   // Lazily cancelled: the queue entry is skipped when popped.
   cancelled_.insert(event_id);
+  obs::Add(cancelled_counter_);
   obs::Set(queue_depth_gauge_, static_cast<double>(live_.size()));
   return true;
 }
@@ -41,11 +42,15 @@ bool EventLoop::Cancel(uint64_t event_id) {
 void EventLoop::AttachMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     events_counter_ = nullptr;
+    cancelled_counter_ = nullptr;
     queue_depth_gauge_ = nullptr;
+    queue_occupancy_ = nullptr;
     return;
   }
   events_counter_ = registry->counter("sim.events_processed");
+  cancelled_counter_ = registry->counter("sim.events_cancelled");
   queue_depth_gauge_ = registry->gauge("sim.queue_depth");
+  queue_occupancy_ = registry->histogram("sim.queue_occupancy");
 }
 
 bool EventLoop::RunOne(TimePoint deadline) {
@@ -65,6 +70,7 @@ bool EventLoop::RunOne(TimePoint deadline) {
     ++events_processed_;
     obs::Add(events_counter_);
     obs::Set(queue_depth_gauge_, static_cast<double>(live_.size()));
+    obs::Observe(queue_occupancy_, static_cast<double>(live_.size()));
     event.fn();
     return true;
   }

@@ -51,9 +51,13 @@ class EventLoop {
   /// cancelled).
   size_t pending() const { return live_.size(); }
 
-  /// Publishes "sim.events_processed" and "sim.queue_depth" to
-  /// `registry` (nullptr detaches). Recording never feeds back into
-  /// scheduling, so attaching metrics cannot change a simulation.
+  /// Publishes "sim.events_processed", "sim.queue_depth",
+  /// "sim.events_cancelled" (Cancel() calls that hit a live event), and
+  /// "sim.queue_occupancy" (a histogram of the pending-event count
+  /// sampled at each executed event — the loop's load profile over the
+  /// run, where the gauge only keeps min/max/last) to `registry`
+  /// (nullptr detaches). Recording never feeds back into scheduling, so
+  /// attaching metrics cannot change a simulation.
   void AttachMetrics(obs::MetricsRegistry* registry);
 
   /// Registers a span profiler (nullptr detaches): each RunUntil /
@@ -89,7 +93,9 @@ class EventLoop {
   /// Cancelled ids whose queue entries are lazily skipped when popped.
   std::unordered_set<uint64_t> cancelled_;
   obs::Counter* events_counter_ = nullptr;
+  obs::Counter* cancelled_counter_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Histogram* queue_occupancy_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
 };
 

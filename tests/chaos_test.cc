@@ -97,6 +97,72 @@ TEST(ChaosRunTest, RejectsBrokenCases) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ChaosRunTest, FailingRunAttachesAFlightRecord) {
+  // Plant a guaranteed invariant violation (an event targeting a node
+  // that does not exist fails event-sanity) and check the report ships
+  // the flight-recorder post-mortem alongside the violations.
+  auto generated = GenerateChaosCase(ChaosIntensity::Medium(), 11);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  ChaosCase failing = *generated;
+  ScenarioEvent bad;
+  bad.at = Duration::Seconds(1.0);
+  bad.kind = ScenarioEvent::Kind::kNodeFailure;
+  bad.node = 999;
+  failing.events.insert(failing.events.begin(), bad);
+  auto report = RunChaosCase(failing);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->violations.empty());
+  ASSERT_FALSE(report->flight_record.is_null());
+  const JsonValue* events = report->flight_record.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->size(), 0u) << "the ring saw the run's trace events";
+  ASSERT_NE(report->flight_record.Find("capacity"), nullptr);
+
+  // Passing runs carry no post-mortem: the record stays JSON null and
+  // out of the campaign artifact.
+  auto clean = RunChaosCase(*generated);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  ASSERT_TRUE(clean->violations.empty());
+  EXPECT_TRUE(clean->flight_record.is_null());
+}
+
+TEST(CampaignTest, FailingCaseJsonEmbedsTheFlightRecord) {
+  // A hand-assembled campaign report around a real failing run: the
+  // serialized artifact must embed the flight record inside the failing
+  // case entry (the dump a CI artifact viewer opens first).
+  auto generated = GenerateChaosCase(ChaosIntensity::Medium(), 11);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  ChaosCase failing = *generated;
+  ScenarioEvent bad;
+  bad.at = Duration::Seconds(1.0);
+  bad.kind = ScenarioEvent::Kind::kNodeFailure;
+  bad.node = 999;
+  failing.events.insert(failing.events.begin(), bad);
+  auto run = RunChaosCase(failing);
+  ASSERT_TRUE(run.ok()) << run.status();
+  ASSERT_FALSE(run->violations.empty());
+
+  CampaignReport campaign;
+  campaign.options.num_seeds = 1;
+  CampaignCaseResult result;
+  result.index = 0;
+  result.seed = 11;
+  result.chaos_case = failing;
+  result.report = *run;
+  campaign.results.push_back(std::move(result));
+  campaign.num_failed = 1;
+  campaign.num_violations =
+      static_cast<int>(campaign.results[0].report.violations.size());
+
+  const JsonValue json = CampaignReportToJson(campaign);
+  const JsonValue* cases = json.Find("cases");
+  ASSERT_NE(cases, nullptr);
+  ASSERT_EQ(cases->size(), 1u);
+  const JsonValue* flight = cases->at(0).Find("flight_record");
+  ASSERT_NE(flight, nullptr) << "failing case artifact lacks the dump";
+  EXPECT_GT(flight->Find("events")->size(), 0u);
+}
+
 TEST(CampaignTest, SmokeCampaignPassesAndIsJobCountInvariant) {
   CampaignOptions options;
   options.base_seed = 99;

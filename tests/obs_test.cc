@@ -12,6 +12,7 @@
 
 #include "engine/operators.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
@@ -136,6 +137,127 @@ TEST(MetricsTest, NullSafeHelpersIgnoreNullptr) {
   obs::Counter* c = registry.counter("c");
   obs::Add(c, 2);
   EXPECT_EQ(c->value(), 2);
+}
+
+TEST(MetricsTest, SingleBucketHistogramSaturates) {
+  // One finite bucket plus the overflow: everything at or below the
+  // bound lands in bucket 0, and percentiles clamp to the observed
+  // extremes instead of interpolating past them.
+  obs::Histogram h({10.0});
+  ASSERT_EQ(h.bucket_counts().size(), 2u);
+  for (int i = 0; i < 100; ++i) {
+    h.Record(10.0);
+  }
+  EXPECT_EQ(h.bucket_counts()[0], 100);
+  EXPECT_EQ(h.bucket_counts()[1], 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 10.0);
+}
+
+TEST(MetricsTest, ValueAboveLastBoundGoesToOverflow) {
+  obs::Histogram h({1.0, 10.0});
+  h.Record(10.5);
+  h.Record(1e12);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 0);
+  EXPECT_EQ(h.bucket_counts()[1], 0);
+  EXPECT_EQ(h.bucket_counts()[2], 2);
+  // The overflow bucket has no upper bound; percentiles stay within the
+  // observed range rather than inventing one.
+  EXPECT_DOUBLE_EQ(h.min(), 10.5);
+  EXPECT_DOUBLE_EQ(h.max(), 1e12);
+  EXPECT_LE(h.Percentile(99), 1e12);
+  EXPECT_GE(h.Percentile(1), 10.5);
+}
+
+TEST(MetricsTest, RecordingOrderDoesNotChangeTheHistogram) {
+  // Accumulation is a commutative fold: the same multiset of samples
+  // must produce identical stats, buckets, and percentiles no matter
+  // the arrival order (parallel-runner cells feed histograms in
+  // submission order, so this is what keeps reports deterministic).
+  obs::Histogram ascending({10.0, 50.0, 100.0});
+  obs::Histogram descending({10.0, 50.0, 100.0});
+  for (int v = 1; v <= 100; ++v) {
+    ascending.Record(static_cast<double>(v));
+    descending.Record(static_cast<double>(101 - v));
+  }
+  EXPECT_EQ(ascending.count(), descending.count());
+  EXPECT_DOUBLE_EQ(ascending.sum(), descending.sum());
+  EXPECT_DOUBLE_EQ(ascending.min(), descending.min());
+  EXPECT_DOUBLE_EQ(ascending.max(), descending.max());
+  ASSERT_EQ(ascending.bucket_counts(), descending.bucket_counts());
+  for (double p : {1.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(ascending.Percentile(p), descending.Percentile(p));
+  }
+  EXPECT_EQ(obs::HistogramToJson(ascending).Serialize(),
+            obs::HistogramToJson(descending).Serialize());
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsTheNewestEvents) {
+  obs::FlightRecorder recorder(4);
+  ASSERT_TRUE(recorder.enabled());
+  EXPECT_EQ(recorder.capacity(), 4u);
+  for (int i = 0; i < 10; ++i) {
+    recorder.ring().Record(TimePoint::Zero() + Duration::Seconds(i),
+                           TraceEventKind::kTaskFailed, i, 0);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  // The retained tail is the newest four, oldest first.
+  const auto& events = recorder.ring().events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().task, 6);
+  EXPECT_EQ(events.back().task, 9);
+}
+
+TEST(FlightRecorderTest, MirrorRecordsEvenWithTheTraceDisabled) {
+  // The always-on property: the main trace is off (observability
+  // disabled), yet its mirror — the flight-recorder ring — still sees
+  // every Record call.
+  obs::FlightRecorder recorder(8);
+  obs::TraceLog trace;
+  trace.set_enabled(false);
+  trace.set_mirror(&recorder.ring());
+  trace.Record(TimePoint::Zero(), TraceEventKind::kNodeFailure, -1, 2);
+  trace.Record(TimePoint::Zero() + Duration::Seconds(1),
+               TraceEventKind::kTaskFailed, 5, 2);
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.ring().events()[1].task, 5);
+}
+
+TEST(FlightRecorderTest, ZeroCapacityDisablesRecording) {
+  obs::FlightRecorder recorder(0);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.ring().Record(TimePoint::Zero(), TraceEventKind::kNodeFailure);
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  // The dump degrades to a valid empty record, not an error.
+  JsonValue dump = obs::FlightRecordToJson(recorder);
+  EXPECT_EQ(dump.Find("recorded")->AsInt(), 0);
+  EXPECT_EQ(dump.Find("events")->size(), 0u);
+}
+
+TEST(FlightRecorderTest, DumpIsByteIdenticalForIdenticalRuns) {
+  auto feed = [](obs::FlightRecorder* recorder) {
+    for (int i = 0; i < 7; ++i) {
+      recorder->ring().Record(TimePoint::Zero() + Duration::Seconds(i),
+                              TraceEventKind::kCheckpointBegin, i % 3, i,
+                              i * 2, i * 3);
+    }
+  };
+  obs::FlightRecorder a(4);
+  obs::FlightRecorder b(4);
+  feed(&a);
+  feed(&b);
+  const JsonValue dump_a = obs::FlightRecordToJson(a);
+  const JsonValue dump_b = obs::FlightRecordToJson(b);
+  EXPECT_EQ(dump_a.Serialize(), dump_b.Serialize());
+  // Shape: capacity/dropped/recorded plus the retained tail.
+  EXPECT_EQ(dump_a.Find("capacity")->AsInt(), 4);
+  EXPECT_EQ(dump_a.Find("dropped")->AsInt(), 3);
+  EXPECT_EQ(dump_a.Find("recorded")->AsInt(), 7);
+  EXPECT_EQ(dump_a.Find("events")->size(), 4u);
 }
 
 TEST(TraceTest, SameInstantEventsKeepInsertionOrder) {

@@ -1,0 +1,93 @@
+#ifndef PPA_TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+#define PPA_TOOLS_BENCH_DIFF_BENCH_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status_or.h"
+#include "report/json.h"
+
+namespace ppa {
+namespace benchdiff {
+
+/// Comparison knobs. Deterministic counters always gate exactly; wall
+/// metrics are report-only unless `fail_on_wall` is set, since wall time
+/// depends on the machine the benchmark ran on.
+struct DiffOptions {
+  /// Maximum tolerated relative change of a wall metric in its bad
+  /// direction (0.25 = 25%). Improvements never count as regressions.
+  double wall_tolerance = 0.25;
+  /// Make wall-metric regressions fail the gate too.
+  bool fail_on_wall = false;
+};
+
+/// One compared field of one matched cell.
+struct FieldDelta {
+  /// Canonical cell key, e.g. "nodes=256 workers=192 total_tasks=...".
+  std::string cell;
+  std::string field;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / baseline; 0 when baseline is 0 and current
+  /// is too, ±1 when baseline is 0 and current is not.
+  double rel_change = 0.0;
+  /// True for the exact-equality counters (events_processed,
+  /// sink_records, recoveries), false for wall metrics.
+  bool deterministic = false;
+  /// Counter mismatch, or wall metric beyond tolerance in its bad
+  /// direction.
+  bool regression = false;
+};
+
+/// Outcome of diffing two BENCH_*.json reports.
+struct DiffReport {
+  std::string baseline_suite;
+  std::string current_suite;
+  std::string baseline_commit;
+  std::string current_commit;
+  /// Cell keys present on only one side. Any entry fails the gate:
+  /// coverage changes are as load-bearing as counter changes.
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_current;
+  /// Every compared field of every matched cell, in baseline cell order
+  /// then field order — deterministic for fixed inputs.
+  std::vector<FieldDelta> deltas;
+  /// The options the diff ran with (echoed into the rendered reports).
+  double wall_tolerance = 0.25;
+  bool fail_on_wall = false;
+  int deterministic_mismatches = 0;
+  int wall_regressions = 0;
+
+  /// True when the diff should fail a CI gate: any deterministic
+  /// mismatch, any unmatched cell, or (with fail_on_wall) any wall
+  /// regression.
+  [[nodiscard]] bool gate_failed() const {
+    return deterministic_mismatches > 0 || !only_in_baseline.empty() ||
+           !only_in_current.empty() ||
+           (fail_on_wall && wall_regressions > 0);
+  }
+};
+
+/// Diffs two benchmark reports cell by cell. Cells match when their key
+/// members — every scalar member that is neither a deterministic counter
+/// nor a wall metric (e.g. nodes, tenants, sim_seconds) — are equal.
+/// Counters must be exactly equal; wall metrics are compared against
+/// `options.wall_tolerance` in their bad direction (events_per_sec and
+/// sim_wall_ratio falling, wall_seconds rising) and skipped when absent
+/// on either side (e.g. a --no_wall run). Fails on malformed reports
+/// (no "cells" array, non-object cells, duplicate cell keys).
+[[nodiscard]] StatusOr<DiffReport> DiffBenchReports(
+    const JsonValue& baseline, const JsonValue& current,
+    const DiffOptions& options);
+
+/// Renders the diff as a markdown table plus a PASS/FAIL verdict line.
+[[nodiscard]] std::string DiffReportToMarkdown(const DiffReport& report);
+
+/// Serializes the diff (options, unmatched cells, per-field deltas,
+/// verdict) for machine consumption.
+[[nodiscard]] JsonValue DiffReportToJson(const DiffReport& report);
+
+}  // namespace benchdiff
+}  // namespace ppa
+
+#endif  // PPA_TOOLS_BENCH_DIFF_BENCH_DIFF_H_

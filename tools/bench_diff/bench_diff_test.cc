@@ -1,0 +1,233 @@
+#include "tools/bench_diff/bench_diff.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppa {
+namespace benchdiff {
+namespace {
+
+/// One benchmark cell in the BENCH_*.json schema.
+JsonValue MakeCell(int nodes, int64_t events, int64_t sinks,
+                   int64_t recoveries, double events_per_sec = -1.0,
+                   double sim_wall_ratio = -1.0,
+                   double wall_seconds = -1.0) {
+  JsonValue cell = JsonValue::Object();
+  cell.Set("nodes", nodes);
+  cell.Set("sim_seconds", 30.0);
+  cell.Set("events_processed", events);
+  cell.Set("sink_records", sinks);
+  cell.Set("recoveries", recoveries);
+  if (events_per_sec >= 0.0) {
+    cell.Set("events_per_sec", events_per_sec);
+  }
+  if (sim_wall_ratio >= 0.0) {
+    cell.Set("sim_wall_ratio", sim_wall_ratio);
+  }
+  if (wall_seconds >= 0.0) {
+    cell.Set("wall_seconds", wall_seconds);
+  }
+  return cell;
+}
+
+JsonValue MakeReport(std::vector<JsonValue> cells,
+                     const std::string& commit = "abc") {
+  JsonValue report = JsonValue::Object();
+  report.Set("schema_version", 1);
+  report.Set("suite", "scale_cluster");
+  report.Set("commit", commit);
+  JsonValue array = JsonValue::Array();
+  for (JsonValue& cell : cells) {
+    array.Append(std::move(cell));
+  }
+  report.Set("cells", std::move(array));
+  return report;
+}
+
+TEST(BenchDiffTest, SelfCompareIsClean) {
+  JsonValue report = MakeReport(
+      {MakeCell(256, 1000, 100, 2, 5e6, 120.0, 0.5),
+       MakeCell(1024, 4000, 400, 2, 4e6, 90.0, 2.0)});
+  auto diff = DiffBenchReports(report, report, DiffOptions{});
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  EXPECT_EQ(diff->deterministic_mismatches, 0);
+  EXPECT_EQ(diff->wall_regressions, 0);
+  EXPECT_TRUE(diff->only_in_baseline.empty());
+  EXPECT_TRUE(diff->only_in_current.empty());
+  EXPECT_FALSE(diff->gate_failed());
+  // 2 cells x (3 counters + 3 wall metrics).
+  EXPECT_EQ(diff->deltas.size(), 12u);
+}
+
+TEST(BenchDiffTest, CounterChangeFailsGate) {
+  JsonValue baseline = MakeReport({MakeCell(256, 1000, 100, 2)});
+  JsonValue current = MakeReport({MakeCell(256, 1001, 100, 2)});
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->deterministic_mismatches, 1);
+  EXPECT_TRUE(diff->gate_failed());
+  bool found = false;
+  for (const FieldDelta& delta : diff->deltas) {
+    if (delta.field == "events_processed") {
+      found = true;
+      EXPECT_TRUE(delta.deterministic);
+      EXPECT_TRUE(delta.regression);
+      EXPECT_DOUBLE_EQ(delta.baseline, 1000.0);
+      EXPECT_DOUBLE_EQ(delta.current, 1001.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchDiffTest, MissingCounterOnOneSideIsAMismatch) {
+  JsonValue baseline = MakeReport({MakeCell(256, 1000, 100, 2)});
+  JsonValue current = MakeReport({MakeCell(256, 1000, 100, 2)});
+  // Drop "recoveries" from the current cell by rebuilding it without one.
+  JsonValue cell = JsonValue::Object();
+  cell.Set("nodes", 256);
+  cell.Set("sim_seconds", 30.0);
+  cell.Set("events_processed", static_cast<int64_t>(1000));
+  cell.Set("sink_records", static_cast<int64_t>(100));
+  current = MakeReport({std::move(cell)});
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->deterministic_mismatches, 1);
+  EXPECT_TRUE(diff->gate_failed());
+}
+
+TEST(BenchDiffTest, UnmatchedCellsFailGate) {
+  JsonValue baseline = MakeReport(
+      {MakeCell(256, 1000, 100, 2), MakeCell(1024, 4000, 400, 2)});
+  JsonValue current = MakeReport(
+      {MakeCell(256, 1000, 100, 2), MakeCell(4096, 9000, 900, 2)});
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->only_in_baseline.size(), 1u);
+  ASSERT_EQ(diff->only_in_current.size(), 1u);
+  EXPECT_NE(diff->only_in_baseline[0].find("nodes=1024"), std::string::npos);
+  EXPECT_NE(diff->only_in_current[0].find("nodes=4096"), std::string::npos);
+  EXPECT_TRUE(diff->gate_failed());
+  EXPECT_EQ(diff->deterministic_mismatches, 0);
+}
+
+TEST(BenchDiffTest, WallRegressionIsReportOnlyByDefault) {
+  JsonValue baseline = MakeReport({MakeCell(256, 1000, 100, 2, 5e6)});
+  JsonValue current = MakeReport({MakeCell(256, 1000, 100, 2, 2e6)});
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->wall_regressions, 1);
+  EXPECT_FALSE(diff->gate_failed());
+
+  DiffOptions gating;
+  gating.fail_on_wall = true;
+  auto gated = DiffBenchReports(baseline, current, gating);
+  ASSERT_TRUE(gated.ok());
+  EXPECT_TRUE(gated->gate_failed());
+}
+
+TEST(BenchDiffTest, WallImprovementAndTolerantChangePass) {
+  // +60% throughput (good direction) and wall_seconds -60% (good): no
+  // regression no matter how large.
+  JsonValue baseline =
+      MakeReport({MakeCell(256, 1000, 100, 2, 5e6, 100.0, 1.0)});
+  JsonValue faster =
+      MakeReport({MakeCell(256, 1000, 100, 2, 8e6, 160.0, 0.4)});
+  auto diff = DiffBenchReports(baseline, faster, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->wall_regressions, 0);
+
+  // -10% throughput stays inside the default 25% tolerance.
+  JsonValue slightly =
+      MakeReport({MakeCell(256, 1000, 100, 2, 4.5e6, 90.0, 1.1)});
+  auto small = DiffBenchReports(baseline, slightly, DiffOptions{});
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->wall_regressions, 0);
+}
+
+TEST(BenchDiffTest, WallSecondsRisingIsTheBadDirection) {
+  JsonValue baseline =
+      MakeReport({MakeCell(256, 1000, 100, 2, -1.0, -1.0, 1.0)});
+  JsonValue slower =
+      MakeReport({MakeCell(256, 1000, 100, 2, -1.0, -1.0, 2.0)});
+  auto diff = DiffBenchReports(baseline, slower, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->wall_regressions, 1);
+}
+
+TEST(BenchDiffTest, AbsentWallMetricsAreSkipped) {
+  // A --no_wall current run against a baseline with wall data: counters
+  // still gate, wall rows are simply absent.
+  JsonValue baseline =
+      MakeReport({MakeCell(256, 1000, 100, 2, 5e6, 100.0, 1.0)});
+  JsonValue no_wall = MakeReport({MakeCell(256, 1000, 100, 2)});
+  auto diff = DiffBenchReports(baseline, no_wall, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->deltas.size(), 3u);
+  EXPECT_EQ(diff->wall_regressions, 0);
+  EXPECT_FALSE(diff->gate_failed());
+}
+
+TEST(BenchDiffTest, MalformedReportsAreRejected) {
+  JsonValue not_a_report = JsonValue::Object();
+  JsonValue ok = MakeReport({MakeCell(256, 1000, 100, 2)});
+  EXPECT_FALSE(DiffBenchReports(not_a_report, ok, DiffOptions{}).ok());
+  EXPECT_FALSE(DiffBenchReports(ok, not_a_report, DiffOptions{}).ok());
+  // Duplicate cell keys make the match ambiguous.
+  JsonValue dup = MakeReport(
+      {MakeCell(256, 1000, 100, 2), MakeCell(256, 999, 100, 2)});
+  EXPECT_FALSE(DiffBenchReports(dup, ok, DiffOptions{}).ok());
+  EXPECT_FALSE(DiffBenchReports(ok, dup, DiffOptions{}).ok());
+}
+
+TEST(BenchDiffTest, MarkdownCarriesVerdictAndMismatchRows) {
+  JsonValue baseline = MakeReport({MakeCell(256, 1000, 100, 2)}, "old");
+  JsonValue current = MakeReport({MakeCell(256, 1000, 101, 2)}, "new");
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  std::string md = DiffReportToMarkdown(*diff);
+  EXPECT_NE(md.find("GATE: FAIL"), std::string::npos);
+  EXPECT_NE(md.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(md.find("sink_records"), std::string::npos);
+  EXPECT_NE(md.find("`old` -> `new`"), std::string::npos);
+
+  auto clean = DiffBenchReports(baseline, baseline, DiffOptions{});
+  ASSERT_TRUE(clean.ok());
+  EXPECT_NE(DiffReportToMarkdown(*clean).find("GATE: PASS"),
+            std::string::npos);
+}
+
+TEST(BenchDiffTest, JsonReportRoundTripsThroughTheParser) {
+  JsonValue baseline = MakeReport({MakeCell(256, 1000, 100, 2, 5e6)});
+  JsonValue current = MakeReport({MakeCell(256, 1001, 100, 2, 2e6)});
+  auto diff = DiffBenchReports(baseline, current, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  JsonValue json = DiffReportToJson(*diff);
+  auto parsed = JsonValue::Parse(json.Pretty());
+  ASSERT_TRUE(parsed.ok());
+  const JsonValue* failed = parsed->Find("gate_failed");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_TRUE(failed->AsBool());
+  const JsonValue* deltas = parsed->Find("deltas");
+  ASSERT_NE(deltas, nullptr);
+  EXPECT_EQ(deltas->size(), 4u);
+}
+
+TEST(BenchDiffTest, DeltasAreInBaselineCellThenFieldOrder) {
+  JsonValue baseline = MakeReport(
+      {MakeCell(1024, 4000, 400, 2), MakeCell(256, 1000, 100, 2)});
+  auto diff = DiffBenchReports(baseline, baseline, DiffOptions{});
+  ASSERT_TRUE(diff.ok());
+  ASSERT_EQ(diff->deltas.size(), 6u);
+  EXPECT_NE(diff->deltas[0].cell.find("nodes=1024"), std::string::npos);
+  EXPECT_EQ(diff->deltas[0].field, "events_processed");
+  EXPECT_EQ(diff->deltas[1].field, "sink_records");
+  EXPECT_EQ(diff->deltas[2].field, "recoveries");
+  EXPECT_NE(diff->deltas[3].cell.find("nodes=256"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace benchdiff
+}  // namespace ppa

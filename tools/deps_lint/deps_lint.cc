@@ -159,6 +159,18 @@ int ModuleRank(std::string_view module) {
   return it == kRanks.end() ? -1 : it->second;
 }
 
+std::string ToolOf(std::string_view path) {
+  if (!StartsWith(path, "tools/")) {
+    return "";
+  }
+  std::string_view rest = path.substr(6);
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) {
+    return "";  // a file directly under tools/ — not inside a tool
+  }
+  return std::string(rest.substr(0, slash));
+}
+
 std::string ModuleOf(std::string_view path) {
   if (!StartsWith(path, "src/")) {
     return "";
@@ -179,6 +191,27 @@ std::vector<Diagnostic> CheckLayering(const std::vector<SourceFile>& files) {
   std::map<std::string, std::vector<IncludeEdge>> graph;
   for (const SourceFile& file : files) {
     graph[file.path] = ParseIncludes(file.content);
+  }
+
+  // Tool-isolation check: each tools/<name>/ directory is a standalone
+  // checker; one tool including another couples their release cadence
+  // and defeats the "pure library + CLI" pattern. Shared code belongs in
+  // src/ (where the layer rules apply).
+  for (const auto& [path, edges] : graph) {
+    std::string tool = ToolOf(path);
+    if (tool.empty()) {
+      continue;
+    }
+    for (const IncludeEdge& edge : edges) {
+      std::string target_tool = ToolOf(edge.target);
+      if (!target_tool.empty() && target_tool != tool) {
+        diags.push_back({path, edge.line, "tool-isolation",
+                         "tools/" + tool + "/ must not include tools/" +
+                             target_tool +
+                             "/: tools are standalone; move shared code "
+                             "into src/"});
+      }
+    }
   }
 
   // Layer / unknown-module checks: only src/ files carry obligations.

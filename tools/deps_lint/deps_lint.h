@@ -41,6 +41,12 @@ struct Diagnostic {
 /// anything.
 [[nodiscard]] std::string ModuleOf(std::string_view path);
 
+/// The tool a path belongs to: the directory under tools/
+/// ("tools/deps_lint/main.cc" -> "deps_lint"). "" for paths outside
+/// tools/. Tools are standalone checkers: a file of one tool must not
+/// include another tool's headers (the tool-isolation rule).
+[[nodiscard]] std::string ToolOf(std::string_view path);
+
 /// Checks the whole file set against the include-layering contract.
 /// Rules:
 ///   layer           a src/ file includes a module whose rank is not
@@ -51,6 +57,8 @@ struct Diagnostic {
 ///                   table in deps_lint.cc must grow with the codebase.
 ///   cycle           the quoted-include graph over the given files has a
 ///                   cycle (reported once per cycle, at the back edge).
+///   tool-isolation  a tools/<a>/ file includes a tools/<b>/ header:
+///                   tools are standalone; shared code belongs in src/.
 /// Diagnostics are sorted by file, then line.
 [[nodiscard]] std::vector<Diagnostic> CheckLayering(
     const std::vector<SourceFile>& files);

@@ -116,6 +116,34 @@ TEST(DepsLintCheck, AngleAndCommentedIncludesAreIgnored) {
   EXPECT_TRUE(CheckLayering(files).empty());
 }
 
+TEST(DepsLintModules, ToolOfNamesTheDirectoryUnderTools) {
+  EXPECT_EQ(ToolOf("tools/deps_lint/deps_lint.h"), "deps_lint");
+  EXPECT_EQ(ToolOf("tools/bench_diff/main.cc"), "bench_diff");
+  EXPECT_EQ(ToolOf("src/obs/trace.h"), "");
+  EXPECT_EQ(ToolOf("tools/README.md"), "");
+}
+
+TEST(DepsLintCheck, CrossToolIncludeIsReported) {
+  std::vector<SourceFile> files = {
+      {"tools/bench_diff/main.cc",
+       "#include \"tools/deps_lint/deps_lint.h\"\n"},
+  };
+  auto diags = CheckLayering(files);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "tool-isolation");
+  EXPECT_EQ(diags[0].file, "tools/bench_diff/main.cc");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(DepsLintCheck, IntraToolAndToolToSrcIncludesAreLegal) {
+  std::vector<SourceFile> files = {
+      {"tools/bench_diff/main.cc",
+       "#include \"tools/bench_diff/bench_diff.h\"\n"
+       "#include \"report/json.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(files).empty());
+}
+
 TEST(DepsLintCheck, FormatDiagnosticShape) {
   Diagnostic d{"src/sim/x.cc", 3, "layer", "msg"};
   EXPECT_EQ(FormatDiagnostic(d), "src/sim/x.cc:3: [layer] msg");
