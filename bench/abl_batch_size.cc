@@ -39,18 +39,18 @@ int main(int argc, char** argv) {
             /*rate_per_source_task=*/1000.0,
             /*window_batches=*/static_cast<int64_t>(10.0 / batch_seconds));
         PPA_CHECK_OK(workload.status());
-        EventLoop loop;
+        auto be = backend::MakeBackend(backend::BackendKind::kSim);
         JobConfig config = bench::PaperJobConfig(FtMode::kCheckpoint);
         config.batch_interval = Duration::Seconds(batch_seconds);
         config.checkpoint_interval = Duration::Seconds(15);
-        StreamingJob job(workload->topo, config, &loop);
+        StreamingJob job(workload->topo, config, JobRuntimeDeps(be.get()));
         PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
         auto nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
         PPA_CHECK_OK(nodes.status());
         PPA_CHECK_OK(job.Start());
-        loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40.4));
+        be->RunUntil(TimePoint::Zero() + Duration::Seconds(40.4));
         PPA_CHECK_OK(job.InjectNodeFailure((*nodes)[4]));
-        loop.RunUntil(TimePoint::Zero() + Duration::Seconds(70));
+        be->RunUntil(TimePoint::Zero() + Duration::Seconds(70));
         PPA_CHECK(job.recovery_reports().size() == 1);
         CellResult cell;
         cell.recovery_seconds =

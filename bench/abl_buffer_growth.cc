@@ -24,14 +24,14 @@ struct CellResult {
 CellResult RunOne(FtMode mode, int interval_seconds, bool want_obs) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
-  EventLoop loop;
+  auto be = backend::MakeBackend(backend::BackendKind::kSim);
   JobConfig config = bench::PaperJobConfig(mode);
   config.checkpoint_interval = Duration::Seconds(interval_seconds);
-  StreamingJob job(workload->topo, config, &loop);
+  StreamingJob job(workload->topo, config, JobRuntimeDeps(be.get()));
   PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
   PPA_CHECK_OK(PlaceSyntheticRecoveryWorkload(*workload, &job).status());
   PPA_CHECK_OK(job.Start());
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(90));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(90));
   CellResult cell;
   cell.peak_buffered = job.PeakBufferedTuples();
   if (want_obs) {

@@ -24,19 +24,19 @@ struct CellResult {
 CellResult RunOne(int interval_seconds, bool delta, bool want_obs) {
   auto workload = MakeSyntheticRecoveryWorkload(1000.0, 30);
   PPA_CHECK_OK(workload.status());
-  EventLoop loop;
+  auto be = backend::MakeBackend(backend::BackendKind::kSim);
   JobConfig config = bench::PaperJobConfig(FtMode::kCheckpoint);
   config.checkpoint_interval = Duration::Seconds(interval_seconds);
   config.delta_checkpoints = delta;
   config.max_delta_chain = 8;
-  StreamingJob job(workload->topo, config, &loop);
+  StreamingJob job(workload->topo, config, JobRuntimeDeps(be.get()));
   PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
   auto nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
   PPA_CHECK_OK(nodes.status());
   PPA_CHECK_OK(job.Start());
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40.4));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(40.4));
   PPA_CHECK_OK(job.InjectNodeFailure((*nodes)[4]));
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(70));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(70));
 
   CellResult cell;
   PPA_CHECK(job.recovery_reports().size() == 1);

@@ -6,10 +6,10 @@
 #include <memory>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "bench/bench_util.h"
 #include "common/status_or.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
 #include "workloads/accuracy.h"
 
 namespace ppa {
@@ -17,8 +17,9 @@ namespace bench {
 
 /// How a tentative-accuracy experiment is run and evaluated.
 struct AccuracyExperiment {
-  /// Builds and binds a job on the given loop; must be repeatable.
-  std::function<std::unique_ptr<StreamingJob>(EventLoop*)> make_job;
+  /// Builds and binds a job on the given backend; must be repeatable.
+  std::function<std::unique_ptr<StreamingJob>(backend::ExecutionBackend*)>
+      make_job;
   /// Accuracy functional: (test records, reference records, from, to).
   std::function<double(const std::vector<SinkRecord>&,
                        const std::vector<SinkRecord>&, int64_t, int64_t)>
@@ -51,22 +52,24 @@ struct AccuracyResult {
 inline StatusOr<AccuracyResult> MeasureTentativeAccuracy(
     const AccuracyExperiment& experiment, const TaskSet& plan) {
   // Reference run.
-  EventLoop clean_loop;
-  std::unique_ptr<StreamingJob> clean = experiment.make_job(&clean_loop);
+  std::unique_ptr<backend::ExecutionBackend> clean_be =
+      backend::MakeBackend(backend::BackendKind::kSim);
+  std::unique_ptr<StreamingJob> clean = experiment.make_job(clean_be.get());
   PPA_RETURN_IF_ERROR(clean->Start());
-  clean_loop.RunUntil(TimePoint::Zero() +
-                      Duration::Seconds(experiment.run_for_seconds));
+  clean_be->RunUntil(TimePoint::Zero() +
+                     Duration::Seconds(experiment.run_for_seconds));
 
   // Failure run.
-  EventLoop loop;
-  std::unique_ptr<StreamingJob> job = experiment.make_job(&loop);
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(backend::BackendKind::kSim);
+  std::unique_ptr<StreamingJob> job = experiment.make_job(be.get());
   PPA_RETURN_IF_ERROR(job->SetActiveReplicaSet(plan));
   PPA_RETURN_IF_ERROR(job->Start());
-  loop.RunUntil(TimePoint::Zero() +
-                Duration::Seconds(experiment.fail_at_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(experiment.fail_at_seconds));
   PPA_RETURN_IF_ERROR(job->InjectCorrelatedFailure(/*include_sources=*/true));
-  loop.RunUntil(TimePoint::Zero() +
-                Duration::Seconds(experiment.run_for_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(experiment.run_for_seconds));
   if (job->recovery_reports().empty()) {
     return Internal("no recovery report");
   }

@@ -2,17 +2,18 @@
 #define PPA_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "common/status_or.h"
 #include "obs/chrome_trace.h"
 #include "obs/export.h"
 #include "report/json.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
 #include "topology/task_set.h"
 #include "workloads/synthetic_recovery.h"
 
@@ -278,6 +279,10 @@ struct Fig6Options {
   /// the technique's relevant period (checkpoint age / replica sync age is
   /// otherwise sampled at a single arbitrary phase).
   int repetitions = 3;
+  /// Execution substrate the experiment runs on (bench::Driver's
+  /// --backend flag; virtual-time results are backend-independent by the
+  /// parity contract, but wall-clock cost is not).
+  backend::BackendKind backend = backend::BackendKind::kSim;
 };
 
 namespace internal {
@@ -288,12 +293,13 @@ inline StatusOr<Fig6Result> RunFig6Once(const Fig6Options& options) {
       SyntheticRecoveryWorkload workload,
       MakeSyntheticRecoveryWorkload(options.rate_per_task,
                                     options.window_batches));
-  EventLoop loop;
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(options.backend);
   JobConfig config = PaperJobConfig(options.mode);
   config.checkpoint_interval = options.checkpoint_interval;
   config.replica_sync_interval = options.replica_sync_interval;
   config.window_batches = options.window_batches;
-  StreamingJob job(workload.topo, config, &loop);
+  StreamingJob job(workload.topo, config, JobRuntimeDeps(be.get()));
   PPA_RETURN_IF_ERROR(BindSyntheticRecoveryWorkload(workload, &job));
   PPA_ASSIGN_OR_RETURN(std::vector<int> synthetic_nodes,
                        PlaceSyntheticRecoveryWorkload(workload, &job));
@@ -301,8 +307,8 @@ inline StatusOr<Fig6Result> RunFig6Once(const Fig6Options& options) {
     PPA_RETURN_IF_ERROR(job.SetActiveReplicaSet(*options.active_set));
   }
   PPA_RETURN_IF_ERROR(job.Start());
-  loop.RunUntil(TimePoint::Zero() +
-                Duration::Seconds(options.fail_at_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(options.fail_at_seconds));
   if (options.inject_failure) {
     if (options.correlated) {
       for (int node : synthetic_nodes) {
@@ -313,7 +319,8 @@ inline StatusOr<Fig6Result> RunFig6Once(const Fig6Options& options) {
           synthetic_nodes[static_cast<size_t>(options.single_node_index)]));
     }
   }
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(options.run_for_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(options.run_for_seconds));
 
   Fig6Result result;
   if (options.inject_failure) {

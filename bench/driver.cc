@@ -18,6 +18,7 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   std::string jobs_value;
   std::string seed_value;
   std::string commit_value;
+  std::string backend_value;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg = argv[i];
@@ -56,6 +57,17 @@ Driver Driver::FromArgs(int* argc, char** argv) {
       driver.commit_ = commit_value;
       continue;
     }
+    if (match("--backend", &backend_value)) {
+      StatusOr<backend::BackendKind> kind =
+          backend::ParseBackendKind(backend_value);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "--backend: %s\n",
+                     kind.status().ToString().c_str());
+        std::exit(2);
+      }
+      driver.backend_ = *kind;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   *argc = kept;
@@ -86,6 +98,7 @@ void Driver::StampBenchReport(JsonValue* report,
   report->Set("schema_version", kBenchSchemaVersion);
   report->Set("suite", std::string(suite));
   report->Set("commit", commit_);
+  report->Set("backend", backend_name());
 }
 
 exp::ParallelRunner& Driver::runner() {

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "bench/bench_util.h"
 #include "exp/parallel_runner.h"
 #include "exp/progress.h"
@@ -38,6 +39,10 @@ namespace bench {
 ///                              reports (default "unknown"; passed
 ///                              explicitly — binaries never shell out or
 ///                              read the environment)
+///   --backend <sim|threads>    execution substrate for binaries that
+///                              honour it (default sim). Stamped into
+///                              BENCH_*.json headers and cell keys so
+///                              bench_diff never cross-compares backends.
 class Driver {
  public:
   /// Parses the shared flags and strips them from argv (updating *argc),
@@ -56,10 +61,29 @@ class Driver {
   /// The --commit value ("unknown" when the flag was absent).
   [[nodiscard]] const std::string& commit() const { return commit_; }
 
+  /// The --backend value (BackendKind::kSim when the flag was absent).
+  [[nodiscard]] backend::BackendKind backend_kind() const {
+    return backend_;
+  }
+
+  /// The --backend value's flag spelling ("sim" / "threads") — the string
+  /// StampBenchReport writes and binaries suffix into cell keys.
+  [[nodiscard]] std::string backend_name() const {
+    return backend::BackendKindToString(backend_);
+  }
+
+  /// A fresh backend of the --backend kind (default options).
+  [[nodiscard]] std::unique_ptr<backend::ExecutionBackend> MakeBackend()
+      const {
+    return backend::MakeBackend(backend_);
+  }
+
   /// Stamps the standard BENCH_*.json header onto a report so the perf
   /// trajectory is machine-diffable across PRs: `schema_version` (bumped
   /// only on incompatible shape changes), `suite` (the benchmark's
-  /// stable name), and `commit` (from --commit). Every BENCH_*.json
+  /// stable name), `commit` (from --commit), and `backend` (from
+  /// --backend — a sim report and a threads report are different
+  /// trajectories, never diffed against each other). Every BENCH_*.json
   /// writer must call this before serializing.
   void StampBenchReport(JsonValue* report, std::string_view suite) const;
 
@@ -110,6 +134,7 @@ class Driver {
   uint64_t seed_ = 0;
   bool progress_ = false;
   std::string commit_ = "unknown";
+  backend::BackendKind backend_ = backend::BackendKind::kSim;
   BenchMetricsSink metrics_;
   ChromeTraceSink traces_;
   FlightRecordSink flight_;

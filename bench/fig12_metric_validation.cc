@@ -112,9 +112,9 @@ int main(int argc, char** argv) {
   auto q1 = MakeTopKWorkload(source, /*count_window_batches=*/15, /*k=*/100);
   PPA_CHECK_OK(q1.status());
   bench::AccuracyExperiment q1_exp;
-  q1_exp.make_job = [&q1](EventLoop* loop) {
+  q1_exp.make_job = [&q1](backend::ExecutionBackend* be) {
     auto job = std::make_unique<StreamingJob>(q1->topo, AccuracyJobConfig(),
-                                              loop);
+                                              JobRuntimeDeps(be));
     PPA_CHECK_OK(BindTopKWorkload(*q1, job.get()));
     return job;
   };
@@ -132,9 +132,9 @@ int main(int argc, char** argv) {
                                  /*location_rate_per_task=*/1000);
   PPA_CHECK_OK(q2.status());
   bench::AccuracyExperiment q2_exp;
-  q2_exp.make_job = [&q2](EventLoop* loop) {
+  q2_exp.make_job = [&q2](backend::ExecutionBackend* be) {
     auto job = std::make_unique<StreamingJob>(q2->topo, AccuracyJobConfig(),
-                                              loop);
+                                              JobRuntimeDeps(be));
     PPA_CHECK_OK(BindIncidentWorkload(*q2, &schedule, job.get()));
     return job;
   };

@@ -126,9 +126,9 @@ int main(int argc, char** argv) {
                              TopKParallelism::Reduced());
   PPA_CHECK_OK(q1.status());
   bench::AccuracyExperiment q1_exp;
-  q1_exp.make_job = [&q1](EventLoop* loop) {
+  q1_exp.make_job = [&q1](backend::ExecutionBackend* be) {
     auto job = std::make_unique<StreamingJob>(q1->topo, AccuracyJobConfig(),
-                                              loop);
+                                              JobRuntimeDeps(be));
     PPA_CHECK_OK(BindTopKWorkload(*q1, job.get()));
     return job;
   };
@@ -147,9 +147,9 @@ int main(int argc, char** argv) {
                                  IncidentParallelism::Reduced());
   PPA_CHECK_OK(q2.status());
   bench::AccuracyExperiment q2_exp;
-  q2_exp.make_job = [&q2](EventLoop* loop) {
+  q2_exp.make_job = [&q2](backend::ExecutionBackend* be) {
     auto job = std::make_unique<StreamingJob>(q2->topo, AccuracyJobConfig(),
-                                              loop);
+                                              JobRuntimeDeps(be));
     PPA_CHECK_OK(BindIncidentWorkload(*q2, &schedule, job.get()));
     return job;
   };

@@ -15,22 +15,29 @@
 //                 byte-identical across machines and --jobs counts (the
 //                 CI determinism check compares two such runs)
 //
+// The shared --backend flag selects the execution substrate: sim
+// (default) measures simulator throughput; threads runs the same cells on
+// the real worker-pool backend, so events/sec is genuine wall-clock
+// dispatch rate. The backend is part of every cell key, keeping the two
+// trajectories separate in bench_diff.
+//
 // Cells run sequentially regardless of --jobs: each cell is wall-timed,
 // and concurrent cells would contend and skew each other's clocks.
 
 #include <cstdio>
 #include <cstring>
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "backend/execution_backend.h"
 #include "bench/driver.h"
 #include "common/wall_clock.h"
 #include "exp/run_spec.h"
 #include "obs/export.h"
 #include "report/experiment_report.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
 #include "topology/serialize.h"
 
 namespace {
@@ -70,7 +77,7 @@ struct Cell {
   JsonValue hot_spans;
 };
 
-Cell RunCell(int nodes) {
+Cell RunCell(int nodes, backend::BackendKind backend_kind) {
   const int workers = nodes * 3 / 4;
   const int width = workers / 2;
 
@@ -82,10 +89,13 @@ Cell RunCell(int nodes) {
   PPA_CHECK_OK(topo.status());
 
   // The sim/wall ratio is the benchmark output; WallClockSeconds is the
-  // allowlisted shim for exactly this meta-level measurement.
+  // allowlisted shim for exactly this meta-level measurement. With
+  // --backend=threads the same wall metrics measure the real worker-pool
+  // dispatch rate instead of the single-thread simulator.
   const double wall_start = WallClockSeconds();
-  EventLoop loop;
-  StreamingJob job(*topo, config, &loop);
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(backend_kind);
+  StreamingJob job(*topo, config, JobRuntimeDeps(be.get()));
   PPA_CHECK_OK(exp::BindGenericWorkload(*topo, config, &job));
   for (int node = 0; node < nodes; ++node) {
     PPA_CHECK_OK(job.cluster().AssignDomain(node, node / kDomainSize));
@@ -106,9 +116,9 @@ Cell RunCell(int nodes) {
   PPA_CHECK_OK(job.SetActiveReplicaSet(plan));
   PPA_CHECK_OK(job.Start());
 
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kFailureAtSeconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(kFailureAtSeconds));
   PPA_CHECK_OK(job.InjectDomainFailure(0));
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kSimSeconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(kSimSeconds));
   const double wall_end = WallClockSeconds();
 
   Cell cell;
@@ -118,7 +128,7 @@ Cell RunCell(int nodes) {
   cell.total_tasks = topo->num_tasks();
   cell.replicas = plan.size();
   cell.domains = (nodes + kDomainSize - 1) / kDomainSize;
-  cell.events_processed = loop.events_processed();
+  cell.events_processed = be->events_processed();
   cell.sink_records = static_cast<int64_t>(job.sink_records().size());
   cell.recoveries = static_cast<int64_t>(job.recovery_reports().size());
   cell.wall_seconds = wall_end - wall_start;
@@ -160,7 +170,7 @@ int main(int argc, char** argv) {
                            "cell");
   JsonValue cells = JsonValue::Array();
   for (int nodes : node_counts) {
-    const Cell cell = RunCell(nodes);
+    const Cell cell = RunCell(nodes, driver.backend_kind());
     if (progress != nullptr) {
       progress->Record(false);
     }
@@ -176,6 +186,9 @@ int main(int argc, char** argv) {
                 events_per_sec, sim_wall_ratio, cell.wall_seconds);
 
     JsonValue entry = JsonValue::Object();
+    // Part of the bench_diff cell key: a sim cell and a threads cell are
+    // different measurements and must never be diffed against each other.
+    entry.Set("backend", driver.backend_name());
     entry.Set("nodes", cell.nodes);
     entry.Set("workers", cell.workers);
     entry.Set("standby", cell.standby);

@@ -14,14 +14,15 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "bench/driver.h"
 #include "common/wall_clock.h"
 #include "report/experiment_report.h"
 #include "service/cluster_service.h"
-#include "sim/event_loop.h"
 
 namespace {
 
@@ -51,7 +52,8 @@ struct Cell {
   double wall_seconds = 0.0;
 };
 
-Cell RunCell(int tenants, int tasks_per_tenant) {
+Cell RunCell(int tenants, int tasks_per_tenant,
+             backend::BackendKind backend_kind) {
   const int total_tasks = tenants * tasks_per_tenant;
   service::ServiceConfig config;
   config.worker_slots_per_node = 4;
@@ -62,8 +64,9 @@ Cell RunCell(int tenants, int tasks_per_tenant) {
   // The sim/wall ratio is the benchmark output; WallClockSeconds is the
   // allowlisted shim for exactly this meta-level measurement.
   const double wall_start = WallClockSeconds();
-  EventLoop loop;
-  service::ClusterService svc(config, &loop);
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(backend_kind);
+  service::ClusterService svc(config, be.get());
   for (int node = 0; node < config.num_worker_nodes + config.num_standby_nodes;
        ++node) {
     PPA_CHECK_OK(svc.AssignDomain(node, node / 4));
@@ -76,15 +79,15 @@ Cell RunCell(int tenants, int tasks_per_tenant) {
     spec.initial_plan = {1};
     PPA_CHECK_OK(svc.Submit(std::move(spec)).status());
   }
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kFailureAtSeconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(kFailureAtSeconds));
   PPA_CHECK_OK(svc.InjectDomainFailure(0));
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(kSimSeconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(kSimSeconds));
   const double wall_end = WallClockSeconds();
 
   Cell cell;
   cell.tenants = tenants;
   cell.tasks_per_tenant = tasks_per_tenant;
-  cell.events_processed = loop.events_processed();
+  cell.events_processed = be->events_processed();
   for (int id : svc.TenantIds()) {
     const StreamingJob* job = svc.job(id);
     if (job != nullptr) {
@@ -123,7 +126,7 @@ int main(int argc, char** argv) {
   JsonValue cells = JsonValue::Array();
   for (int tenants : tenant_counts) {
     for (int tasks : task_counts) {
-      const Cell cell = RunCell(tenants, tasks);
+      const Cell cell = RunCell(tenants, tasks, driver.backend_kind());
       const double events_per_sec =
           cell.wall_seconds > 0
               ? static_cast<double>(cell.events_processed) / cell.wall_seconds
@@ -136,6 +139,8 @@ int main(int argc, char** argv) {
                   events_per_sec, sim_wall_ratio, cell.wall_seconds);
 
       JsonValue entry = JsonValue::Object();
+      // Part of the bench_diff cell key (see scale_cluster).
+      entry.Set("backend", driver.backend_name());
       entry.Set("tenants", cell.tenants);
       entry.Set("tasks_per_tenant", cell.tasks_per_tenant);
       entry.Set("total_tasks", cell.tenants * cell.tasks_per_tenant);

@@ -25,6 +25,10 @@
 //     --jobs <n>           worker threads; the report is byte-identical
 //                          for any value
 //     --seed <n>           base seed of the campaign (default 1)
+//     --backend <sim|threads>  substrate the cases execute on; golden
+//                          twins and the minimizer oracle always stay
+//                          on the sim, so "threads" is a fault-injected
+//                          parity sweep (DESIGN.md §16)
 //     --progress           live per-case progress line on stderr (ticks
 //                          in completion order; the report is unchanged)
 //     --metrics_out <file> / --chrome_trace_out <file>
@@ -136,6 +140,10 @@ int Run(int argc, char** argv) {
   bench::Driver driver = bench::Driver::FromArgs(&argc, argv);
   chaos::CampaignOptions options;
   options.intensity = chaos::ChaosIntensity::Medium();
+  // --backend=threads turns the campaign into a fault-injected parity
+  // sweep: cases execute on the threaded backend while golden twins and
+  // the minimizer oracle stay on the deterministic sim (DESIGN.md §16).
+  options.backend = driver.backend_kind();
   bool multi = false;
   std::string replay_path, report_path, repro_dir;
   for (int i = 1; i < argc; ++i) {
@@ -178,6 +186,14 @@ int Run(int argc, char** argv) {
   // whatever worker ran it, serialized under the meter's lock. stderr
   // only: the report and stdout stay byte-identical with or without it.
   options.progress = driver.StartProgress(options.num_seeds, "case");
+  if (multi &&
+      options.backend != backend::BackendKind::kSim) {
+    // Multi-tenant cases drive the whole service + tenants on one sim
+    // strand; a threaded sweep for them is future work.
+    std::fprintf(stderr,
+                 "--multi ignores --backend=%s (runs on the sim)\n",
+                 backend::BackendKindToString(options.backend).c_str());
+  }
   if (multi) {
     auto campaign = chaos::RunMultiTenantCampaign(options);
     PPA_CHECK_OK(campaign.status());

@@ -20,7 +20,7 @@
 #include "runtime/domain_analysis.h"
 #include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 #include "workloads/synthetic_recovery.h"
 
 int main(int argc, char** argv) {
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
                                                 /*window_batches=*/10);
   PPA_CHECK_OK(workload.status());
 
-  EventLoop loop;
+  backend::SimBackend loop;
   JobConfig config;
   config.ft_mode = FtMode::kPpa;
   config.num_worker_nodes = 19;
@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   config.detection_interval = Duration::Seconds(5);
   config.window_batches = 10;
   config.delta_checkpoints = true;  // Cheap frequent checkpoints.
-  StreamingJob job(workload->topo, config, &loop);
+  StreamingJob job(workload->topo, config, JobRuntimeDeps(&loop));
   PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
   auto synthetic_nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
   PPA_CHECK_OK(synthetic_nodes.status());
@@ -94,7 +94,7 @@ int main(int argc, char** argv) {
         impact.fidelity);
   }
 
-  ScenarioRunner scenario(&job, &loop);
+  ScenarioRunner scenario(&job);
   if (scenario_path.empty()) {
     loop.RunUntil(TimePoint::Zero() + Duration::Seconds(fail_at));
     std::printf("t=%.0fs: rack 102 loses power (5 worker nodes)\n", fail_at);

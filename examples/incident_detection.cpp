@@ -9,7 +9,7 @@
 #include "fidelity/metrics.h"
 #include "planner/structure_aware_planner.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 #include "workloads/accuracy.h"
 #include "workloads/incident.h"
 
@@ -59,8 +59,8 @@ int main() {
       ComputeInternalCompleteness(topo, reports_failed));
 
   // Reference clean run.
-  EventLoop clean_loop;
-  StreamingJob clean(topo, IncidentConfig(), &clean_loop);
+  backend::SimBackend clean_loop;
+  StreamingJob clean(topo, IncidentConfig(), JobRuntimeDeps(&clean_loop));
   PPA_CHECK_OK(BindIncidentWorkload(*workload, &schedule, &clean));
   PPA_CHECK_OK(clean.Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
@@ -69,8 +69,8 @@ int main() {
   StructureAwarePlanner planner;
   auto plan = planner.Plan(PlanRequest(topo, topo.num_tasks() / 2));
   PPA_CHECK_OK(plan.status());
-  EventLoop loop;
-  StreamingJob job(topo, IncidentConfig(), &loop);
+  backend::SimBackend loop;
+  StreamingJob job(topo, IncidentConfig(), JobRuntimeDeps(&loop));
   PPA_CHECK_OK(BindIncidentWorkload(*workload, &schedule, &job));
   PPA_CHECK_OK(job.SetActiveReplicaSet(plan->replicated));
   PPA_CHECK_OK(job.Start());

@@ -18,7 +18,7 @@
 
 #include "report/experiment_report.h"
 #include "service/cluster_service.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 
 int main(int argc, char** argv) {
   using namespace ppa;
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     report_path = argv[3];
   }
 
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 12;
   config.num_standby_nodes = 8;

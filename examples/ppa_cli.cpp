@@ -27,6 +27,10 @@
 //                          https://ui.perfetto.dev)
 //     --jobs <n>           accepted for tooling uniformity (one run only)
 //     --seed <n>           seed forwarded to the planner
+//     --backend <sim|threads>  execution substrate: sim (default) is
+//                          the deterministic simulator; threads runs
+//                          the same job on the real worker-pool
+//                          backend in wall-clock time
 //
 // Example spec + scenario live in the repository README.
 
@@ -38,13 +42,13 @@
 #include <sstream>
 #include <string>
 
+#include "backend/execution_backend.h"
 #include "bench/driver.h"
 #include "exp/run_spec.h"
 #include "planner/planner.h"
 #include "report/experiment_report.h"
 #include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
 #include "topology/serialize.h"
 
 namespace {
@@ -134,13 +138,15 @@ int Run(int argc, char** argv) {
   std::printf("topology: %d operators, %d tasks\n", topo->num_operators(),
               topo->num_tasks());
 
-  EventLoop loop;
+  // --backend picks the substrate; the job only sees the
+  // ExecutionBackend interface, so sim and threads drive identically.
+  std::unique_ptr<backend::ExecutionBackend> be = driver.MakeBackend();
   JobConfig config;
   config.ft_mode = mode;
   config.num_worker_nodes = std::max(4, topo->num_tasks());
   config.num_standby_nodes = std::max(2, topo->num_tasks() / 2);
   config.window_batches = window;
-  StreamingJob job(*topo, config, &loop);
+  StreamingJob job(*topo, config, JobRuntimeDeps(be.get()));
 
   // Generic bindings: deterministic synthetic sources at the spec's rates,
   // sliding-window aggregates with the spec's selectivities elsewhere.
@@ -165,7 +171,7 @@ int Run(int argc, char** argv) {
   }
   PPA_CHECK_OK(job.Start());
 
-  ScenarioRunner runner(&job, &loop);
+  ScenarioRunner runner(&job);
   if (!scenario_path.empty()) {
     auto script = ReadFile(scenario_path);
     PPA_CHECK_OK(script.status());
@@ -183,7 +189,7 @@ int Run(int argc, char** argv) {
     PPA_CHECK_OK(runner.Run(*std::move(events)));
   }
 
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(seconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(seconds));
   if (!runner.FirstError().ok()) {
     std::fprintf(stderr, "scenario event failed: %s\n",
                  runner.FirstError().ToString().c_str());

@@ -14,7 +14,7 @@
 #include "fidelity/metrics.h"
 #include "planner/planner.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 #include "topology/topology.h"
 #include "workloads/synthetic_recovery.h"
 
@@ -89,13 +89,13 @@ int main() {
   // failure at t=20s, tentative outputs while passive recovery runs.
   auto sa_plan = CreatePlanner(PlannerKind::kStructureAware)
                      ->Plan(PlanRequest(topo, budget));
-  EventLoop loop;
+  backend::SimBackend loop;
   JobConfig config;
   config.ft_mode = FtMode::kPpa;
   config.num_worker_nodes = 11;
   config.num_standby_nodes = 6;
   config.checkpoint_interval = Duration::Seconds(10);
-  StreamingJob job(topo, config, &loop);
+  StreamingJob job(topo, config, JobRuntimeDeps(&loop));
   PPA_CHECK_OK(job.BindSource(logs, [] {
     return std::make_unique<SyntheticSource>(200, 512, 1);
   }));

@@ -8,7 +8,7 @@
 
 #include "planner/structure_aware_planner.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 #include "workloads/accuracy.h"
 #include "workloads/topk.h"
 
@@ -43,8 +43,9 @@ int main() {
               workload->topo.num_tasks());
 
   // Reference run without failures.
-  EventLoop clean_loop;
-  StreamingJob clean(workload->topo, TopKConfig(), &clean_loop);
+  backend::SimBackend clean_loop;
+  StreamingJob clean(workload->topo, TopKConfig(),
+                     JobRuntimeDeps(&clean_loop));
   PPA_CHECK_OK(BindTopKWorkload(*workload, &clean));
   PPA_CHECK_OK(clean.Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(70));
@@ -58,8 +59,8 @@ int main() {
   std::printf("structure-aware plan: %d replicas, worst-case OF %.3f\n",
               plan->resource_usage(), plan->output_fidelity);
 
-  EventLoop loop;
-  StreamingJob job(workload->topo, TopKConfig(), &loop);
+  backend::SimBackend loop;
+  StreamingJob job(workload->topo, TopKConfig(), JobRuntimeDeps(&loop));
   PPA_CHECK_OK(BindTopKWorkload(*workload, &job));
   PPA_CHECK_OK(job.SetActiveReplicaSet(plan->replicated));
   PPA_CHECK_OK(job.Start());

@@ -1,0 +1,118 @@
+#ifndef PPA_BACKEND_BOUNDED_QUEUE_H_
+#define PPA_BACKEND_BOUNDED_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace ppa {
+namespace backend {
+
+/// Outcome of BoundedMpscQueue::Push.
+enum class PushOutcome {
+  /// Enqueued; a consumer drain is already claimed, nothing to do.
+  kQueued,
+  /// Enqueued AND the push claimed the drain: the caller must arrange for
+  /// exactly one consumer to call Pop until it returns false.
+  kMustDrain,
+  /// The queue is closed; the item was dropped.
+  kClosed,
+};
+
+/// A bounded multi-producer single-consumer mailbox with blocking
+/// backpressure and a drain-claim handshake.
+///
+/// Any number of producers may Push concurrently; when the queue is at
+/// capacity, Push blocks until a consumer makes room (that blocking IS
+/// the backpressure contract of the threaded backend, DESIGN.md §16).
+/// Consumption is single-threaded by construction: at most one drain is
+/// "claimed" at a time. A Push that finds the queue unclaimed claims it
+/// and returns kMustDrain — the caller then starts the one consumer
+/// (e.g. submits a drain task to a thread pool). The consumer calls Pop
+/// repeatedly; when the queue is empty Pop releases the claim and returns
+/// false, atomically with the emptiness check, so a racing Push either
+/// sees the item consumed or becomes the new claimant. Items therefore
+/// come out in FIFO order with a happens-before edge from each Push to
+/// its Pop.
+template <typename T>
+class BoundedMpscQueue {
+ public:
+  explicit BoundedMpscQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedMpscQueue(const BoundedMpscQueue&) = delete;
+  BoundedMpscQueue& operator=(const BoundedMpscQueue&) = delete;
+
+  /// Enqueues `item`, blocking while the queue is full. See PushOutcome.
+  PushOutcome Push(T item) PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.size() >= capacity_ && !closed_) {
+      has_room_.Wait(&mu_);
+    }
+    if (closed_) {
+      return PushOutcome::kClosed;
+    }
+    items_.push_back(std::move(item));
+    if (!drain_claimed_) {
+      drain_claimed_ = true;
+      return PushOutcome::kMustDrain;
+    }
+    return PushOutcome::kQueued;
+  }
+
+  /// Dequeues the oldest item into `*out` and returns true. When the
+  /// queue is empty — or closed, in which case leftover items are
+  /// discarded unrun — releases the drain claim and returns false. Only
+  /// the claimed consumer may call this.
+  [[nodiscard]] bool Pop(T* out) PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (closed_) {
+      items_.clear();
+      drain_claimed_ = false;
+      return false;
+    }
+    if (items_.empty()) {
+      drain_claimed_ = false;
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    has_room_.NotifyAll();
+    return true;
+  }
+
+  /// Closes the queue: blocked and future pushes return kClosed, and the
+  /// next Pop discards whatever is still queued (a stopping backend must
+  /// not run callbacks whose owners may already be tearing down).
+  void Close() PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    closed_ = true;
+    has_room_.NotifyAll();
+  }
+
+  /// Queued-but-unpopped item count (racy by nature; for tests/metrics).
+  [[nodiscard]] size_t size() const PPA_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+
+  mutable Mutex mu_;
+  /// Producers sleep here while the queue is at capacity.
+  CondVar has_room_;
+  /// FIFO payload; bounded at capacity_ by the Push wait loop.
+  std::deque<T> items_ PPA_GUARDED_BY(mu_);
+  /// True while some consumer owns the right to drain (see class doc).
+  bool drain_claimed_ PPA_GUARDED_BY(mu_) = false;
+  /// Once true, Push rejects; Pop keeps draining what is left.
+  bool closed_ PPA_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace backend
+}  // namespace ppa
+
+#endif  // PPA_BACKEND_BOUNDED_QUEUE_H_

@@ -1,0 +1,32 @@
+#include "backend/execution_backend.h"
+
+#include "common/status.h"
+
+namespace ppa {
+namespace backend {
+
+ExecutionBackend::~ExecutionBackend() = default;
+
+std::string BackendKindToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kThreads:
+      return "threads";
+  }
+  return "sim";  // unreachable; keeps non-exhaustive-switch warnings quiet
+}
+
+StatusOr<BackendKind> ParseBackendKind(std::string_view text) {
+  if (text == "sim") {
+    return BackendKind::kSim;
+  }
+  if (text == "threads") {
+    return BackendKind::kThreads;
+  }
+  return InvalidArgument("unknown backend '" + std::string(text) +
+                         "' (expected sim or threads)");
+}
+
+}  // namespace backend
+}  // namespace ppa

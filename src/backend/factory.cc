@@ -1,0 +1,20 @@
+#include "backend/execution_backend.h"
+#include "backend/sim_backend.h"
+#include "backend/threaded_backend.h"
+
+namespace ppa {
+namespace backend {
+
+std::unique_ptr<ExecutionBackend> MakeBackend(
+    BackendKind kind, const ThreadedBackendOptions& options) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return std::make_unique<SimBackend>();
+    case BackendKind::kThreads:
+      return std::make_unique<ThreadedBackend>(options);
+  }
+  return std::make_unique<SimBackend>();  // unreachable
+}
+
+}  // namespace backend
+}  // namespace ppa

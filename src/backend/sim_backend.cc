@@ -1,0 +1,14 @@
+#include "backend/sim_backend.h"
+
+namespace ppa {
+namespace backend {
+
+SimBackend::SimBackend()
+    : owned_(std::make_unique<EventLoop>()), loop_(owned_.get()) {}
+
+SimBackend::SimBackend(EventLoop* loop) : loop_(loop) {}
+
+SimBackend::~SimBackend() = default;
+
+}  // namespace backend
+}  // namespace ppa

@@ -24,7 +24,8 @@ CampaignCaseResult RunOneCaseInner(const CampaignOptions& options,
     return result;
   }
   result.chaos_case = *std::move(generated);
-  StatusOr<ChaosRunReport> report = RunChaosCase(result.chaos_case);
+  StatusOr<ChaosRunReport> report =
+      RunChaosCase(result.chaos_case, BuiltinInvariants(), options.backend);
   if (!report.ok()) {
     result.error = "run: " + report.status().ToString();
     return result;
@@ -40,7 +41,8 @@ CampaignCaseResult RunOneCaseInner(const CampaignOptions& options,
       result.minimize_oracle_calls = minimized->oracle_calls;
       // One deterministic rerun of the shrunk case to capture its own
       // post-mortem (the original case's flight record describes the
-      // unshrunk timeline).
+      // unshrunk timeline). The rerun stays on the sim, like the
+      // minimizer oracle that produced the shrunk case.
       StatusOr<ChaosRunReport> rerun = RunChaosCase(result.minimized);
       if (rerun.ok()) {
         result.minimized_flight_record = std::move(rerun->flight_record);
@@ -151,6 +153,7 @@ JsonValue CampaignReportToJson(const CampaignReport& report) {
   JsonValue json = JsonValue::Object();
   json.Set("base_seed", static_cast<int64_t>(report.options.base_seed));
   json.Set("num_seeds", report.options.num_seeds);
+  json.Set("backend", backend::BackendKindToString(report.options.backend));
   json.Set("minimize", report.options.minimize);
   json.Set("intensity", IntensityToJson(report.options.intensity));
   json.Set("num_failed", report.num_failed);

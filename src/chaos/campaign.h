@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "chaos/chaos_case.h"
 #include "chaos/chaos_run.h"
 #include "chaos/generator.h"
@@ -25,6 +26,10 @@ struct CampaignOptions {
   int num_seeds = 64;
   /// Generator preset shared by every case.
   ChaosIntensity intensity;
+  /// Execution substrate every case runs on. The golden twin and the
+  /// minimizer oracle always stay on the deterministic sim, so a threads
+  /// campaign is a fault-injected parity sweep of the threaded backend.
+  backend::BackendKind backend = backend::BackendKind::kSim;
   /// Shrink every failing case with MinimizeFailingCase. Minimization
   /// runs inside the mapped case so it parallelizes with the campaign.
   bool minimize = false;

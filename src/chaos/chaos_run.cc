@@ -3,11 +3,11 @@
 #include <memory>
 #include <utility>
 
+#include "backend/execution_backend.h"
 #include "exp/run_spec.h"
 #include "report/experiment_report.h"
 #include "runtime/scenario.h"
 #include "runtime/streaming_job.h"
-#include "sim/event_loop.h"
 #include "topology/serialize.h"
 
 namespace ppa {
@@ -17,12 +17,11 @@ namespace {
 /// Builds, binds, and configures a job for `chaos_case` but does not
 /// start it. `replicate` selects whether the case's initial plan is
 /// activated (the chaos run) or no replicas at all (the golden run).
-StatusOr<std::unique_ptr<StreamingJob>> MakeJob(const ChaosCase& chaos_case,
-                                                const Topology& topology,
-                                                const JobConfig& config,
-                                                EventLoop* loop,
-                                                bool replicate) {
-  auto job = std::make_unique<StreamingJob>(topology, config, loop);
+StatusOr<std::unique_ptr<StreamingJob>> MakeJob(
+    const ChaosCase& chaos_case, const Topology& topology,
+    const JobConfig& config, backend::ExecutionBackend* be, bool replicate) {
+  auto job =
+      std::make_unique<StreamingJob>(topology, config, JobRuntimeDeps(be));
   PPA_RETURN_IF_ERROR(
       exp::BindGenericWorkload(topology, config, job.get()));
   const int num_nodes = config.num_worker_nodes + config.num_standby_nodes;
@@ -52,7 +51,8 @@ StatusOr<std::unique_ptr<StreamingJob>> MakeJob(const ChaosCase& chaos_case,
 
 StatusOr<ChaosRunReport> RunChaosCase(
     const ChaosCase& chaos_case,
-    const std::vector<const Invariant*>& invariants) {
+    const std::vector<const Invariant*>& invariants,
+    backend::BackendKind backend_kind) {
   PPA_ASSIGN_OR_RETURN(Topology topology,
                        ParseTopologySpec(chaos_case.topology_spec));
   const JobConfig config = chaos_case.ToJobConfig();
@@ -61,29 +61,30 @@ StatusOr<ChaosRunReport> RunChaosCase(
     return InvalidArgument("run_for_seconds must be positive");
   }
 
-  EventLoop loop;
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(backend_kind);
   PPA_ASSIGN_OR_RETURN(
       std::unique_ptr<StreamingJob> job,
-      MakeJob(chaos_case, topology, config, &loop, /*replicate=*/true));
+      MakeJob(chaos_case, topology, config, be.get(), /*replicate=*/true));
   PPA_RETURN_IF_ERROR(job->Start());
 
-  ScenarioRunner scenario(job.get(), &loop);
+  ScenarioRunner scenario(job.get());
   PPA_RETURN_IF_ERROR(scenario.Run(chaos_case.events));
-  loop.RunUntil(TimePoint::Zero() +
-                Duration::Seconds(chaos_case.run_for_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(chaos_case.run_for_seconds));
 
   // Recovery grace: a dense schedule may still be mid-recovery (or hold
   // unfired events) when the nominal duration ends. Liveness is judged
   // by the invariants, so give the system bounded room to settle rather
   // than failing every run that was cut short.
-  const TimePoint grace_cap = loop.now() + Duration::Seconds(1800.0);
+  const TimePoint grace_cap = be->now() + Duration::Seconds(1800.0);
   while ((!scenario.finished() || !job->AllRecovered()) &&
-         loop.now() < grace_cap) {
-    loop.RunUntil(loop.now() + config.detection_interval);
+         be->now() < grace_cap) {
+    be->RunUntil(be->now() + config.detection_interval);
   }
   // Quiet tail: a few more batches so the first post-recovery stable
   // emission closes the tentative window.
-  loop.RunUntil(loop.now() + config.batch_interval * 5);
+  be->RunUntil(be->now() + config.batch_interval * 5);
 
   if (job->AllRecovered()) {
     auto reconciled = job->ReconcileTentativeOutputs();
@@ -92,17 +93,19 @@ StatusOr<ChaosRunReport> RunChaosCase(
       return reconciled.status();
     }
   }
-  const TimePoint end_time = loop.now();
+  const TimePoint end_time = be->now();
 
   // The fault-free golden twin: same topology, config, bindings, and
-  // domains, no replicas, no events, same end time.
-  EventLoop golden_loop;
+  // domains, no replicas, no events, same end time — always on the
+  // deterministic sim, whatever substrate the chaos run used.
+  std::unique_ptr<backend::ExecutionBackend> golden_be =
+      backend::MakeBackend(backend::BackendKind::kSim);
   PPA_ASSIGN_OR_RETURN(
       std::unique_ptr<StreamingJob> golden,
-      MakeJob(chaos_case, topology, config, &golden_loop,
+      MakeJob(chaos_case, topology, config, golden_be.get(),
               /*replicate=*/false));
   PPA_RETURN_IF_ERROR(golden->Start());
-  golden_loop.RunUntil(end_time);
+  golden_be->RunUntil(end_time);
 
   ChaosRunContext context;
   context.chaos_case = &chaos_case;
@@ -128,6 +131,12 @@ StatusOr<ChaosRunReport> RunChaosCase(
     report.flight_record = JobFlightRecordToJson(*job);
   }
   return report;
+}
+
+StatusOr<ChaosRunReport> RunChaosCase(
+    const ChaosCase& chaos_case,
+    const std::vector<const Invariant*>& invariants) {
+  return RunChaosCase(chaos_case, invariants, backend::BackendKind::kSim);
 }
 
 StatusOr<ChaosRunReport> RunChaosCase(const ChaosCase& chaos_case) {

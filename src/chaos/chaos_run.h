@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "chaos/chaos_case.h"
 #include "chaos/invariants.h"
 #include "common/status_or.h"
@@ -43,11 +44,22 @@ struct ChaosRunReport {
 ///  3. reconciles any outstanding tentative outputs;
 ///  4. replays a fault-free golden run of the same case to the same end
 ///     time and hands both jobs to the invariant oracles.
+///
+/// `backend_kind` selects the substrate the chaos run executes on; the
+/// golden twin always runs on the deterministic sim, so running a case on
+/// BackendKind::kThreads checks the threaded backend against the sim
+/// oracle under fault injection (the parity contract, DESIGN.md §16).
+[[nodiscard]] StatusOr<ChaosRunReport> RunChaosCase(
+    const ChaosCase& chaos_case,
+    const std::vector<const Invariant*>& invariants,
+    backend::BackendKind backend_kind);
+
+/// RunChaosCase on the deterministic sim.
 [[nodiscard]] StatusOr<ChaosRunReport> RunChaosCase(
     const ChaosCase& chaos_case,
     const std::vector<const Invariant*>& invariants);
 
-/// RunChaosCase against BuiltinInvariants().
+/// RunChaosCase against BuiltinInvariants() on the deterministic sim.
 [[nodiscard]] StatusOr<ChaosRunReport> RunChaosCase(
     const ChaosCase& chaos_case);
 

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "common/random.h"
 #include "exp/parallel_runner.h"
 #include "exp/run_spec.h"
@@ -362,8 +363,9 @@ StatusOr<MultiTenantRunReport> RunMultiTenantCase(
   const service::ServiceConfig service_config = mt_case.ToServiceConfig();
   PPA_RETURN_IF_ERROR(service_config.Validate());
 
-  EventLoop loop;
-  service::ClusterService svc(service_config, &loop);
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(backend::BackendKind::kSim);
+  service::ClusterService svc(service_config, be.get());
   const int num_nodes =
       service_config.num_worker_nodes + service_config.num_standby_nodes;
   if (!mt_case.node_domains.empty()) {
@@ -402,7 +404,10 @@ StatusOr<MultiTenantRunReport> RunMultiTenantCase(
   std::vector<Status> outcomes;
   outcomes.reserve(mt_case.events.size());
   for (const ScenarioEvent& event : mt_case.events) {
-    loop.Schedule(TimePoint::Zero() + event.at, [&svc, &outcomes, event] {
+    // Service mutations run on the service's own strand so they stay
+    // serialized with tenant work in deterministic (time, seq) order.
+    (void)be->ScheduleAt(svc.strand(), TimePoint::Zero() + event.at,
+                         [&svc, &outcomes, event] {
       switch (event.kind) {
         case ScenarioEvent::Kind::kNodeFailure:
           outcomes.push_back(svc.InjectNodeFailure(event.node));
@@ -425,17 +430,17 @@ StatusOr<MultiTenantRunReport> RunMultiTenantCase(
   }
   report.events_scheduled = mt_case.events.size();
 
-  loop.RunUntil(TimePoint::Zero() +
-                Duration::Seconds(mt_case.run_for_seconds));
+  be->RunUntil(TimePoint::Zero() +
+               Duration::Seconds(mt_case.run_for_seconds));
   // Recovery grace + quiet tail, mirroring RunChaosCase: bounded room for
   // unfired events and in-flight recoveries, then a few more batches so
   // the first post-recovery stable emission closes the tentative windows.
-  const TimePoint grace_cap = loop.now() + Duration::Seconds(1800.0);
+  const TimePoint grace_cap = be->now() + Duration::Seconds(1800.0);
   while ((outcomes.size() < mt_case.events.size() || !svc.AllRecovered()) &&
-         loop.now() < grace_cap) {
-    loop.RunUntil(loop.now() + config.detection_interval);
+         be->now() < grace_cap) {
+    be->RunUntil(be->now() + config.detection_interval);
   }
-  loop.RunUntil(loop.now() + config.batch_interval * 5);
+  be->RunUntil(be->now() + config.batch_interval * 5);
 
   for (const int id : ids) {
     StreamingJob* job = svc.job(id);
@@ -448,7 +453,7 @@ StatusOr<MultiTenantRunReport> RunMultiTenantCase(
       return reconciled.status();
     }
   }
-  const TimePoint end_time = loop.now();
+  const TimePoint end_time = be->now();
   report.events_executed = outcomes.size();
   report.end_seconds = end_time.seconds();
   report.arbitrations = svc.arbitration_log().size();
@@ -479,15 +484,16 @@ StatusOr<MultiTenantRunReport> RunMultiTenantCase(
     }
     PPA_ASSIGN_OR_RETURN(const TimePoint admitted_at, svc.AdmittedAt(id));
     const Topology* topology = svc.topology(id);
-    EventLoop golden_loop;
-    auto golden = std::make_unique<StreamingJob>(*topology, config,
-                                                 &golden_loop);
+    std::unique_ptr<backend::ExecutionBackend> golden_be =
+        backend::MakeBackend(backend::BackendKind::kSim);
+    auto golden = std::make_unique<StreamingJob>(
+        *topology, config, JobRuntimeDeps(golden_be.get()));
     PPA_RETURN_IF_ERROR(
         exp::BindGenericWorkload(*topology, config, golden.get()));
     PPA_RETURN_IF_ERROR(
         golden->SetActiveReplicaSet(TaskSet(topology->num_tasks())));
     PPA_RETURN_IF_ERROR(golden->Start());
-    golden_loop.RunUntil(TimePoint::Zero() + (end_time - admitted_at));
+    golden_be->RunUntil(TimePoint::Zero() + (end_time - admitted_at));
 
     const ChaosCase shim = TenantShim(mt_case, mt_case.tenants[i]);
     ChaosRunContext context;

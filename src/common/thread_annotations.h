@@ -1,6 +1,7 @@
 #ifndef PPA_COMMON_THREAD_ANNOTATIONS_H_
 #define PPA_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -153,6 +154,20 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
     cv_.wait(lock);
     lock.release();
+  }
+
+  /// Wait() with a wall-duration cap: returns true when notified before
+  /// `seconds` elapsed, false on timeout (the mutex is reacquired either
+  /// way). Spurious wakeups are possible, so treat `true` as "recheck the
+  /// predicate", never as the predicate itself. The cap is a host-side
+  /// pacing bound (backend timer threads); simulation code never branches
+  /// on it.
+  [[nodiscard]] bool WaitFor(Mutex* mu, double seconds) PPA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::duration<double>(seconds));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   /// Wakes one waiter (if any).

@@ -1,0 +1,83 @@
+#include "exp/parity.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ppa {
+namespace exp {
+namespace {
+
+std::vector<SinkRecord> StableRecords(const std::vector<SinkRecord>& all) {
+  std::vector<SinkRecord> stable;
+  stable.reserve(all.size());
+  for (const SinkRecord& r : all) {
+    if (!r.tentative && !r.correction) {
+      stable.push_back(r);
+    }
+  }
+  return stable;
+}
+
+std::string DescribeRecord(const SinkRecord& r) {
+  std::ostringstream os;
+  os << "key=" << r.tuple.key << " value=" << r.tuple.value
+     << " batch=" << r.tuple.batch << " seq=" << r.tuple.seq
+     << " producer=" << r.tuple.producer
+     << " emitted_at=" << r.emitted_at.micros() << "us"
+     << " ingest_at=" << r.ingest_at.micros() << "us";
+  return os.str();
+}
+
+bool SameRecord(const SinkRecord& a, const SinkRecord& b) {
+  return a.tuple == b.tuple && a.emitted_at == b.emitted_at &&
+         a.ingest_at == b.ingest_at;
+}
+
+}  // namespace
+
+StatusOr<ParityReport> RunSpecParity(const RunSpec& spec,
+                                     backend::BackendKind candidate,
+                                     uint64_t derived_seed) {
+  RunSpec baseline_spec = spec;
+  baseline_spec.backend = backend::BackendKind::kSim;
+  RunSpec candidate_spec = spec;
+  candidate_spec.backend = candidate;
+
+  PPA_ASSIGN_OR_RETURN(ExecutedRun baseline,
+                       ExecuteRunCapture(baseline_spec, derived_seed));
+  PPA_ASSIGN_OR_RETURN(ExecutedRun run,
+                       ExecuteRunCapture(candidate_spec, derived_seed));
+
+  ParityReport report;
+  report.baseline_total = baseline.sink_records.size();
+  report.candidate_total = run.sink_records.size();
+  std::vector<SinkRecord> want = StableRecords(baseline.sink_records);
+  std::vector<SinkRecord> got = StableRecords(run.sink_records);
+  report.baseline_stable = want.size();
+  report.candidate_stable = got.size();
+
+  if (want.size() != got.size()) {
+    std::ostringstream os;
+    os << "stable record count differs: sim=" << want.size() << " "
+       << backend::BackendKindToString(candidate) << "=" << got.size();
+    report.mismatch = os.str();
+    return report;
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!SameRecord(want[i], got[i])) {
+      std::ostringstream os;
+      os << "stable record " << i << " differs: sim {"
+         << DescribeRecord(want[i]) << "} vs "
+         << backend::BackendKindToString(candidate) << " {"
+         << DescribeRecord(got[i]) << "}";
+      report.mismatch = os.str();
+      return report;
+    }
+  }
+  report.identical = true;
+  return report;
+}
+
+}  // namespace exp
+}  // namespace ppa

@@ -1,0 +1,48 @@
+#ifndef PPA_EXP_PARITY_H_
+#define PPA_EXP_PARITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "backend/execution_backend.h"
+#include "common/status_or.h"
+#include "exp/run_spec.h"
+
+namespace ppa {
+namespace exp {
+
+/// Outcome of one cross-backend parity comparison (the oracle contract of
+/// DESIGN.md §16): the candidate backend ran the same RunSpec as the
+/// deterministic sim, and its *stable* sink output — every record that is
+/// neither tentative nor a late correction — must match the sim's
+/// record-for-record and field-for-field.
+struct ParityReport {
+  /// True when the candidate's stable output is identical to the sim's.
+  bool identical = false;
+  /// Stable / total record counts of the sim golden run.
+  size_t baseline_stable = 0;
+  size_t baseline_total = 0;
+  /// Stable / total record counts of the candidate run.
+  size_t candidate_stable = 0;
+  size_t candidate_total = 0;
+  /// Human-readable description of the first divergence; empty when
+  /// identical.
+  std::string mismatch;
+};
+
+/// Runs `spec` once on the deterministic sim and once on `candidate`,
+/// with the same derived seed, and compares stable sink outputs (see
+/// ParityReport). The spec's own `backend` field is ignored — this
+/// harness picks both sides. Tentative records and corrections are
+/// excluded: their content is stable-by-contract too, but their
+/// *presence* depends on detection timing that recovery drills perturb;
+/// the stable stream is the user-visible output the paper's guarantees
+/// cover.
+[[nodiscard]] StatusOr<ParityReport> RunSpecParity(
+    const RunSpec& spec, backend::BackendKind candidate,
+    uint64_t derived_seed);
+
+}  // namespace exp
+}  // namespace ppa
+
+#endif  // PPA_EXP_PARITY_H_

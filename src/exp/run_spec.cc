@@ -4,9 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "backend/execution_backend.h"
 #include "engine/operators.h"
 #include "report/experiment_report.h"
-#include "sim/event_loop.h"
 #include "workloads/synthetic_recovery.h"
 
 namespace ppa {
@@ -40,6 +40,13 @@ Status BindGenericWorkload(const Topology& topology, const JobConfig& config,
 }
 
 StatusOr<RunResult> ExecuteRun(const RunSpec& spec, uint64_t derived_seed) {
+  PPA_ASSIGN_OR_RETURN(ExecutedRun run,
+                       ExecuteRunCapture(spec, derived_seed));
+  return std::move(run.result);
+}
+
+StatusOr<ExecutedRun> ExecuteRunCapture(const RunSpec& spec,
+                                        uint64_t derived_seed) {
   if (!spec.make_topology) {
     return InvalidArgument("RunSpec.make_topology is required");
   }
@@ -47,8 +54,9 @@ StatusOr<RunResult> ExecuteRun(const RunSpec& spec, uint64_t derived_seed) {
   Rng rng(derived_seed);
   PPA_ASSIGN_OR_RETURN(Topology topology, spec.make_topology(&rng));
 
-  EventLoop loop;
-  StreamingJob job(topology, spec.config, &loop);
+  std::unique_ptr<backend::ExecutionBackend> be =
+      backend::MakeBackend(spec.backend);
+  StreamingJob job(topology, spec.config, JobRuntimeDeps(be.get()));
   if (spec.bind) {
     PPA_RETURN_IF_ERROR(spec.bind(topology, &job));
   } else {
@@ -70,11 +78,11 @@ StatusOr<RunResult> ExecuteRun(const RunSpec& spec, uint64_t derived_seed) {
   }
   PPA_RETURN_IF_ERROR(job.Start());
 
-  ScenarioRunner scenario(&job, &loop);
+  ScenarioRunner scenario(&job);
   if (!spec.scenario.empty()) {
     PPA_RETURN_IF_ERROR(scenario.Run(spec.scenario));
   }
-  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(spec.run_for_seconds));
+  be->RunUntil(TimePoint::Zero() + Duration::Seconds(spec.run_for_seconds));
   PPA_RETURN_IF_ERROR(scenario.FirstError());
 
   result.sink_records = job.sink_records().size();
@@ -85,7 +93,10 @@ StatusOr<RunResult> ExecuteRun(const RunSpec& spec, uint64_t derived_seed) {
                  report.TotalLatency().seconds());
   }
   result.summary = JobSummaryToJson(job);
-  return result;
+  ExecutedRun run;
+  run.result = std::move(result);
+  run.sink_records = job.sink_records();
+  return run;
 }
 
 StatusOr<std::vector<RunResult>> RunAll(ParallelRunner* runner,

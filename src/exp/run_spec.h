@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "common/random.h"
 #include "common/status_or.h"
 #include "exp/parallel_runner.h"
@@ -50,6 +51,9 @@ struct RunSpec {
   uint64_t seed = 1;
   /// Simulated duration of the run.
   double run_for_seconds = 60.0;
+  /// Execution backend the run is driven on. The spec's *outputs* must
+  /// not depend on it — that's the parity contract (exp/parity.h).
+  backend::BackendKind backend = backend::BackendKind::kSim;
 };
 
 /// Outcome of one executed RunSpec.
@@ -87,10 +91,22 @@ struct RunResult {
 
 /// Executes one spec with the given derived seed: builds the topology,
 /// validates the config, binds operators, optionally plans and activates a
-/// replica set, schedules the scenario, and runs the simulation for
+/// replica set, schedules the scenario, and drives spec.backend for
 /// spec.run_for_seconds of virtual time.
 [[nodiscard]] StatusOr<RunResult> ExecuteRun(const RunSpec& spec,
                                              uint64_t derived_seed);
+
+/// ExecuteRun plus the raw sink records the job emitted, for output
+/// comparisons the aggregate RunResult is too coarse for (the parity
+/// harness diffs these record-by-record).
+struct ExecutedRun {
+  RunResult result;
+  std::vector<SinkRecord> sink_records;
+};
+
+/// Executes one spec and captures its sink output (see ExecutedRun).
+[[nodiscard]] StatusOr<ExecutedRun> ExecuteRunCapture(const RunSpec& spec,
+                                                      uint64_t derived_seed);
 
 /// Executes every spec through the runner and returns results in spec
 /// order. Run i executes with seed DeriveSeed(specs[i].seed, i), so the

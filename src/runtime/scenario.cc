@@ -41,8 +41,7 @@ StatusOr<ScenarioEvent::Kind> ScenarioEventKindFromString(
                          "'");
 }
 
-ScenarioRunner::ScenarioRunner(StreamingJob* job, EventLoop* loop)
-    : job_(job), loop_(loop) {}
+ScenarioRunner::ScenarioRunner(StreamingJob* job) : job_(job) {}
 
 Status ScenarioRunner::Run(std::vector<ScenarioEvent> events) {
   if (ran_) {
@@ -51,9 +50,9 @@ Status ScenarioRunner::Run(std::vector<ScenarioEvent> events) {
   ran_ = true;
   scheduled_ = events.size();
   for (ScenarioEvent& event : events) {
-    loop_->ScheduleAfter(event.at, [this, event = std::move(event)] {
-      Execute(event);
-    });
+    (void)job_->backend()->ScheduleAfterOn(
+        job_->strand(), event.at,
+        [this, event = std::move(event)] { Execute(event); });
   }
   return OkStatus();
 }

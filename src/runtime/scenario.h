@@ -50,14 +50,15 @@ StatusOr<ScenarioEvent::Kind> ScenarioEventKindFromString(
     std::string_view name);
 
 /// Drives a scripted timeline of failures/plan changes against a running
-/// job and records each event's outcome. Events execute on the job's event
-/// loop at their offsets, in order for equal offsets.
+/// job and records each event's outcome. Events execute on the job's
+/// backend strand at their offsets, in order for equal offsets.
 class ScenarioRunner {
  public:
-  /// `job` and `loop` must outlive the runner; the job must be started.
-  ScenarioRunner(StreamingJob* job, EventLoop* loop);
+  /// `job` must outlive the runner and must be started before the
+  /// backend runs; events go to the job's backend and strand.
+  explicit ScenarioRunner(StreamingJob* job);
 
-  /// Schedules every event relative to the loop's current time. A runner
+  /// Schedules every event relative to the backend's current time. A runner
   /// drives exactly one timeline: any second call (even after an empty
   /// first one) returns FailedPrecondition.
   Status Run(std::vector<ScenarioEvent> events);
@@ -75,7 +76,6 @@ class ScenarioRunner {
   void Execute(const ScenarioEvent& event);
 
   StreamingJob* job_;
-  EventLoop* loop_;
   bool ran_ = false;
   size_t scheduled_ = 0;
   size_t executed_ = 0;

@@ -51,18 +51,18 @@ Duration RecoveryReport::PassiveLatency() const {
 }
 
 StreamingJob::StreamingJob(Topology topology, JobConfig config,
-                           EventLoop* loop)
-    : StreamingJob(std::move(topology), config, loop,
-                   std::make_shared<NodePool>(config.num_worker_nodes,
-                                              config.num_standby_nodes)) {}
-
-StreamingJob::StreamingJob(Topology topology, JobConfig config,
-                           EventLoop* loop, std::shared_ptr<NodePool> pool)
+                           JobRuntimeDeps deps)
     : topology_(std::move(topology)),
       config_(config),
-      loop_(loop),
+      backend_(deps.backend),
+      strand_(deps.strand == kAutoStrand ? deps.backend->NewStrand()
+                                         : deps.strand),
+      attach_backend_observability_(deps.attach_backend_observability),
       router_(&topology_),
-      cluster_(std::move(pool)),
+      cluster_(deps.pool != nullptr
+                   ? std::move(deps.pool)
+                   : std::make_shared<NodePool>(config.num_worker_nodes,
+                                                config.num_standby_nodes)),
       active_set_(topology_.num_tasks()),
       flight_(config.flight_recorder_capacity > 0
                   ? static_cast<size_t>(config.flight_recorder_capacity)
@@ -259,15 +259,15 @@ Status StreamingJob::Start() {
   }
   for (TaskId t : active_set_.ToVector()) {
     PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
-    trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaActivated, t,
+    trace_.Record(backend_->now(), obs::TraceEventKind::kReplicaActivated, t,
                   cluster_.NodeOfReplica(t));
     obs::Add(m_replica_activations_);
   }
 
   started_ = true;
-  if (config_.observability) {
-    loop_->AttachMetrics(&metrics_);
-    loop_->AttachSpans(&spans_);
+  if (config_.observability && attach_backend_observability_) {
+    backend_->AttachMetrics(&metrics_);
+    backend_->AttachSpans(&spans_);
   }
 
   // Recurring engine events.
@@ -293,7 +293,7 @@ Status StreamingJob::Start() {
   ScheduleManaged(config_.detection_interval, [this] { OnDetection(); });
   observed_emitted_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
   observed_processed_.assign(static_cast<size_t>(topology_.num_tasks()), 0);
-  observed_at_ = loop_->now();
+  observed_at_ = backend_->now();
   if (adaptation_interval_ > Duration::Zero()) {
     ScheduleManaged(adaptation_interval_, [this] { OnAdaptation(); });
   }
@@ -331,7 +331,7 @@ StatusOr<Topology> StreamingJob::ObservedTopology() {
   if (!started_) {
     return FailedPrecondition("job not started");
   }
-  const double window = (loop_->now() - observed_at_).seconds();
+  const double window = (backend_->now() - observed_at_).seconds();
   TopologyBuilder builder;
   for (const OperatorInfo& oi : topology_.operators()) {
     // Observed selectivity: output tuples per processed input tuple over
@@ -392,7 +392,7 @@ StatusOr<Topology> StreamingJob::ObservedTopology() {
     observed_processed_[static_cast<size_t>(t)] =
         primaries_[static_cast<size_t>(t)]->processed_tuples();
   }
-  observed_at_ = loop_->now();
+  observed_at_ = backend_->now();
   return builder.Build();
 }
 
@@ -418,7 +418,7 @@ Status StreamingJob::ActivateReplica(TaskId t) {
   PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
   rep->AttachMetrics(m_tuples_replica_, m_batches_replica_);
   replicas_[t] = std::move(rep);
-  trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaActivated, t,
+  trace_.Record(backend_->now(), obs::TraceEventKind::kReplicaActivated, t,
                 cluster_.NodeOfReplica(t));
   obs::Add(m_replica_activations_);
   return OkStatus();
@@ -443,7 +443,7 @@ Status StreamingJob::ApplyActiveReplicaSet(const TaskSet& tasks) {
     if (!tasks.Contains(t) && !busy) {
       cluster_.RemoveReplica(t);
       active_set_.Remove(t);
-      trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
+      trace_.Record(backend_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
       obs::Add(m_replica_deactivations_);
       it = replicas_.erase(it);
     } else {
@@ -466,9 +466,9 @@ Status StreamingJob::ApplyActiveReplicaSet(const TaskSet& tasks) {
 void StreamingJob::OnAdaptation() {
   auto observed = ObservedTopology();
   if (observed.ok()) {
-    spans_.Begin(loop_->now(), obs::SpanCategory::kPlannerRun);
+    spans_.Begin(backend_->now(), obs::SpanCategory::kPlannerRun);
     auto plan = adaptation_planner_(*observed);
-    spans_.End(loop_->now());
+    spans_.End(backend_->now());
     if (plan.ok()) {
       Status applied = ApplyActiveReplicaSet(*plan);
       if (!applied.ok()) {
@@ -487,7 +487,7 @@ void StreamingJob::OnBatchTick() {
   if (frontier_ < 0) {
     // Anchor of the latency lineage: batch b's tuples enter the system
     // at first_tick_at_ + b * batch_interval.
-    first_tick_at_ = loop_->now();
+    first_tick_at_ = backend_->now();
   }
   ++frontier_;
   Advance();
@@ -518,7 +518,7 @@ void StreamingJob::NoteCaughtUpTasks() {
     const TaskId t = *it;
     TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
     if (rt->alive() && rt->next_batch() > frontier_) {
-      trace_.Record(loop_->now(), obs::TraceEventKind::kTaskCaughtUp, t, -1,
+      trace_.Record(backend_->now(), obs::TraceEventKind::kTaskCaughtUp, t, -1,
                     frontier_);
       it = catching_up_.erase(it);
     } else {
@@ -608,7 +608,7 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
     }
     bool punctured = false;
     BatchRunContext ctx;
-    ctx.now = loop_->now();
+    ctx.now = backend_->now();
     // Sources (and punctuation-fed batches, which gather no upstream
     // lineage) stamp the batch's nominal tick time.
     ctx.ingest_at = BatchTickTime(b);
@@ -639,7 +639,7 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
               punctured || degraded_batches_.count(b) > 0;
           for (const Tuple& tuple : out.tuples) {
             sink_records_.push_back(SinkRecord{
-                tuple, tentative, loop_->now(), false, out.ingest_at});
+                tuple, tentative, backend_->now(), false, out.ingest_at});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = b;
           RecordSinkBatch(t, b, static_cast<int64_t>(out.tuples.size()),
@@ -662,7 +662,7 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
   if (tentative) {
     obs::Add(m_sink_tentative_, tuples);
   }
-  const double latency_s = (loop_->now() - ingest_at).seconds();
+  const double latency_s = (backend_->now() - ingest_at).seconds();
   obs::Observe(tentative ? m_sink_latency_tentative_ : m_sink_latency_stable_,
                latency_s);
   obs::Observe(tentative
@@ -670,13 +670,13 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
                    : m_sink_task_latency_stable_[static_cast<size_t>(t)],
                latency_s);
   obs::Observe(m_sink_lineage_hops_, static_cast<double>(hops));
-  trace_.Record(loop_->now(),
+  trace_.Record(backend_->now(),
                 tentative ? obs::TraceEventKind::kSinkBatchTentative
                           : obs::TraceEventKind::kSinkBatchStable,
                 t, -1, batch, tuples);
   const bool was_open = tentative_window_open_;
   if (tentative && !tentative_window_open_) {
-    trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowBegin,
+    trace_.Record(backend_->now(), obs::TraceEventKind::kTentativeWindowBegin,
                   -1, -1, batch);
     tentative_window_open_ = true;
     tentative_window_last_batch_ = batch;
@@ -691,7 +691,7 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
     // *tentative* batch, so [first_batch, last_batch] is the degraded
     // range even when the closing sink replays batches from before the
     // window opened.
-    trace_.Record(loop_->now(), obs::TraceEventKind::kTentativeWindowEnd,
+    trace_.Record(backend_->now(), obs::TraceEventKind::kTentativeWindowEnd,
                   -1, -1, tentative_window_last_batch_);
     tentative_window_open_ = false;
   }
@@ -709,7 +709,7 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
       }
     }
     obs::FidelitySample sample;
-    sample.at = loop_->now();
+    sample.at = backend_->now();
     sample.batch = batch;
     sample.sink_task = t;
     sample.tentative = tentative;
@@ -726,12 +726,12 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
 void StreamingJob::OnCheckpoint(TaskId t) {
   TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
   if (rt->alive()) {
-    trace_.Record(loop_->now(), obs::TraceEventKind::kCheckpointBegin, t, -1,
+    trace_.Record(backend_->now(), obs::TraceEventKind::kCheckpointBegin, t, -1,
                   rt->next_batch());
     TaskCheckpoint cp;
     cp.task = t;
     cp.next_batch = rt->next_batch();
-    cp.taken_at = loop_->now();
+    cp.taken_at = backend_->now();
     const bool take_delta =
         config_.delta_checkpoints && rt->SupportsDeltaSnapshots() &&
         checkpoints_.Chain(t) != nullptr &&
@@ -764,7 +764,7 @@ void StreamingJob::OnCheckpoint(TaskId t) {
     // The end event carries the modeled CPU completion time; no loop event
     // is scheduled for it (scheduling one would perturb event ids and break
     // bit-identity with observability off).
-    trace_.Record(loop_->now() + cp_cost, obs::TraceEventKind::kCheckpointEnd,
+    trace_.Record(backend_->now() + cp_cost, obs::TraceEventKind::kCheckpointEnd,
                   t, -1, blob_bytes, static_cast<int64_t>(cp_us));
     obs::Observe(m_checkpoint_duration_us_, cp_us);
     obs::Observe(m_checkpoint_state_tuples_,
@@ -879,11 +879,11 @@ int64_t StreamingJob::EstimateReplayTuples(TaskId t, int64_t from_batch) const {
 
 void StreamingJob::OnDetection() {
   if (!undetected_failures_.empty() && config_.ft_mode != FtMode::kNone) {
-    trace_.Record(loop_->now(), obs::TraceEventKind::kFailureDetected, -1, -1,
+    trace_.Record(backend_->now(), obs::TraceEventKind::kFailureDetected, -1, -1,
                   static_cast<int64_t>(undetected_failures_.size()));
     RecoveryReport report;
     report.failure_time = last_failure_time_;
-    report.detection_time = loop_->now();
+    report.detection_time = backend_->now();
     for (TaskId t : undetected_failures_) {
       TaskRecoverySpec spec;
       spec.task = t;
@@ -933,7 +933,7 @@ void StreamingJob::OnDetection() {
         for (auto& [task, completion] : report.schedule.completion) {
           completion += hold;
         }
-        trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryArbitrated,
+        trace_.Record(backend_->now(), obs::TraceEventKind::kRecoveryArbitrated,
                       -1, -1, hold.micros(),
                       static_cast<int64_t>(report.specs.size()));
       }
@@ -945,13 +945,13 @@ void StreamingJob::OnDetection() {
         punctured_tasks_.insert(spec.task);
       }
       const Duration offset = report.schedule.completion.at(spec.task);
-      trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryStart,
+      trace_.Record(backend_->now(), obs::TraceEventKind::kRecoveryStart,
                     spec.task, -1, static_cast<int64_t>(spec.kind),
                     offset.micros());
       // Recovery completion is already scheduled below, so the span's
       // modeled extent is known at detection time.
-      spans_.Record(obs::SpanCategory::kRecovery, spec.task, loop_->now(),
-                    loop_->now() + offset);
+      spans_.Record(obs::SpanCategory::kRecovery, spec.task, backend_->now(),
+                    backend_->now() + offset);
       if (spec.kind == RecoveryKind::kActiveReplica) {
         obs::Add(m_recoveries_active_);
         obs::Observe(m_recovery_active_latency_s_, offset.seconds());
@@ -1001,7 +1001,7 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
           const bool tentative = degraded_batches_.count(bo.batch) > 0;
           for (const Tuple& tuple : bo.tuples) {
             sink_records_.push_back(SinkRecord{
-                tuple, tentative, loop_->now(), false, bo.ingest_at});
+                tuple, tentative, backend_->now(), false, bo.ingest_at});
           }
           sink_recorded_until_[static_cast<size_t>(t)] = bo.batch;
           RecordSinkBatch(t, bo.batch,
@@ -1046,10 +1046,10 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
     replicas_.erase(stale);
     cluster_.RemoveReplica(t);
     active_set_.Remove(t);
-    trace_.Record(loop_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
+    trace_.Record(backend_->now(), obs::TraceEventKind::kReplicaDeactivated, t);
     obs::Add(m_replica_deactivations_);
   }
-  trace_.Record(loop_->now(), obs::TraceEventKind::kRecoveryDone, t, -1,
+  trace_.Record(backend_->now(), obs::TraceEventKind::kRecoveryDone, t, -1,
                 static_cast<int64_t>(kind));
   catching_up_.insert(t);
   Advance();
@@ -1081,7 +1081,7 @@ Status StreamingJob::NotifyNodeFailed(int node) {
     return OkStatus();
   }
   obs::Add(m_node_failures_);
-  last_failure_time_ = loop_->now();
+  last_failure_time_ = backend_->now();
   last_failure_batch_ = frontier_;
   int64_t primaries_lost = 0;
   for (TaskId t : cluster_.PrimariesOn(node)) {
@@ -1089,14 +1089,14 @@ Status StreamingJob::NotifyNodeFailed(int node) {
       ++primaries_lost;
     }
   }
-  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeFailure, -1, node,
+  trace_.Record(backend_->now(), obs::TraceEventKind::kNodeFailure, -1, node,
                 primaries_lost);
   for (TaskId t : cluster_.PrimariesOn(node)) {
     TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
     if (rt->alive()) {
       rt->MarkFailed();
       undetected_failures_.insert(t);
-      trace_.Record(loop_->now(), obs::TraceEventKind::kTaskFailed, t, node);
+      trace_.Record(backend_->now(), obs::TraceEventKind::kTaskFailed, t, node);
       obs::Add(m_task_failures_);
     }
   }
@@ -1156,7 +1156,7 @@ Status StreamingJob::ReviveNode(int node) {
     return FailedPrecondition("node is alive");
   }
   cluster_.ReviveNode(node);
-  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
+  trace_.Record(backend_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
   return OkStatus();
 }
 
@@ -1170,7 +1170,7 @@ Status StreamingJob::NotifyNodeRevived(int node) {
   if (stopped_) {
     return OkStatus();
   }
-  trace_.Record(loop_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
+  trace_.Record(backend_->now(), obs::TraceEventKind::kNodeRevived, -1, node);
   return OkStatus();
 }
 
@@ -1187,8 +1187,8 @@ void StreamingJob::ScheduleManaged(Duration delay, std::function<void()> fn) {
     return;
   }
   auto id = std::make_shared<uint64_t>(0);
-  *id = loop_->ScheduleAfter(
-      delay, [this, id, fn = std::move(fn)] {
+  *id = backend_->ScheduleAfterOn(
+      strand_, delay, [this, id, fn = std::move(fn)] {
         pending_events_.erase(*id);
         fn();
       });
@@ -1201,7 +1201,7 @@ void StreamingJob::Stop() {
   }
   stopped_ = true;
   for (uint64_t id : pending_events_) {
-    (void)loop_->Cancel(id);
+    (void)backend_->Cancel(id);
   }
   pending_events_.clear();
 }
@@ -1284,7 +1284,7 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
         TaskRuntime* rt = shadow[static_cast<size_t>(t)].get();
         std::vector<Tuple> inputs;
         BatchRunContext ctx;
-        ctx.now = loop_->now();
+        ctx.now = backend_->now();
         ctx.ingest_at = BatchTickTime(b);
         const OperatorId to_op = topology_.task(t).op;
         for (int si : topology_.task(t).in_substreams) {
@@ -1308,7 +1308,7 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
             SinkRecord record;
             record.tuple = tuple;
             record.tentative = false;
-            record.emitted_at = loop_->now();
+            record.emitted_at = backend_->now();
             record.correction = true;
             record.ingest_at = out.ingest_at;
             report.corrected.push_back(record);
@@ -1350,12 +1350,12 @@ StatusOr<ReconciliationReport> StreamingJob::ReconcileTentativeOutputs(
                        report.corrected.end());
   obs::Add(m_sink_corrections_, static_cast<int64_t>(report.corrected.size()));
   // Modeled reconciliation span: the shadow re-execution's CPU time.
-  spans_.Record(obs::SpanCategory::kReconcile, -1, loop_->now(),
-                loop_->now() +
+  spans_.Record(obs::SpanCategory::kReconcile, -1, backend_->now(),
+                backend_->now() +
                     Duration::Micros(static_cast<int64_t>(
                         static_cast<double>(report.reprocessed_tuples) *
                         config_.process_cost_per_tuple_us)));
-  trace_.Record(loop_->now(), obs::TraceEventKind::kReconcileDone, -1, -1,
+  trace_.Record(backend_->now(), obs::TraceEventKind::kReconcileDone, -1, -1,
                 report.missed_outputs, report.spurious_outputs);
   degraded_batches_.clear();
   return report;

@@ -19,9 +19,10 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "backend/execution_backend.h"
 #include "runtime/cluster.h"
 #include "runtime/config.h"
-#include "sim/event_loop.h"
+#include "runtime/job_deps.h"
 #include "topology/task_set.h"
 #include "topology/topology.h"
 
@@ -92,24 +93,27 @@ struct RecoveryReport {
   Duration PassiveLatency() const;
 };
 
-/// A complete simulated streaming job (Sec. V): the query topology bound
-/// to operator implementations, executed batch-synchronously on a virtual
-/// cluster driven by a deterministic event loop, with checkpointing,
-/// active replication, failure injection, recovery, and tentative-output
-/// generation.
+/// A complete streaming job (Sec. V): the query topology bound to
+/// operator implementations, executed batch-synchronously on a virtual
+/// cluster driven by an execution backend (the deterministic simulator,
+/// or real threads with the sim as parity oracle — DESIGN.md §16), with
+/// checkpointing, active replication, failure injection, recovery, and
+/// tentative-output generation.
 ///
 /// Lifecycle: construct -> Bind*() -> SetActiveReplicaSet() (optional) ->
-/// Start() -> loop->RunUntil(...) interleaved with Inject*Failure() ->
+/// Start() -> backend->RunUntil(...) interleaved with Inject*Failure() ->
 /// inspect sink_records() / recovery_reports() / cost counters.
+///
+/// The whole job runs on one backend strand (JobRuntimeDeps::strand), so
+/// its event order is identical on every backend; all public methods are
+/// called either from that strand's callbacks (ScenarioRunner events) or
+/// from the driver thread between drives.
 class StreamingJob {
  public:
-  StreamingJob(Topology topology, JobConfig config, EventLoop* loop);
-  /// A tenant job on a *shared* cluster (multi-tenant ClusterService):
-  /// node liveness, domains, and load are shared with every other job
-  /// constructed over `pool`; `config`'s cluster-shape fields are
-  /// overridden by the pool's. Task placement stays private to this job.
-  StreamingJob(Topology topology, JobConfig config, EventLoop* loop,
-               std::shared_ptr<NodePool> pool);
+  /// `deps.backend` must be non-null and outlive the job; a null
+  /// `deps.pool` gives the job a private cluster sized from `config` (see
+  /// JobRuntimeDeps).
+  StreamingJob(Topology topology, JobConfig config, JobRuntimeDeps deps);
   ~StreamingJob();
 
   StreamingJob(const StreamingJob&) = delete;
@@ -118,6 +122,10 @@ class StreamingJob {
   const Topology& topology() const { return topology_; }
   const JobConfig& config() const { return config_; }
   Cluster& cluster() { return cluster_; }
+  /// The backend running this job's events.
+  backend::ExecutionBackend* backend() const { return backend_; }
+  /// The backend strand every event of this job is scheduled on.
+  uint64_t strand() const { return strand_; }
 
   /// Binds a factory for all tasks of a non-source operator.
   Status BindOperator(OperatorId op, OperatorFactory factory);
@@ -198,9 +206,9 @@ class StreamingJob {
       std::function<Duration(const std::vector<TaskRecoverySpec>& specs)>;
   Status SetRecoveryArbiter(RecoveryArbiter arbiter);
 
-  /// Cancels every pending event of this job on the loop and stops all
-  /// recurring engine activity (tenant eviction). Irreversible; the job's
-  /// records, metrics, and traces stay readable.
+  /// Cancels every pending event of this job on the backend and stops
+  /// all recurring engine activity (tenant eviction). Irreversible; the
+  /// job's records, metrics, and traces stay readable.
   void Stop();
   /// True once Stop() ran.
   [[nodiscard]] bool stopped() const { return stopped_; }
@@ -331,10 +339,10 @@ class StreamingJob {
   /// Emits kTaskCaughtUp for recovered tasks that reached the frontier.
   void NoteCaughtUpTasks();
 
-  /// Schedules `fn` after `delay` and tracks the event id so Stop() can
-  /// cancel it. Every recurring/deferred job event goes through here
-  /// (one loop Schedule call per call, so event ids are unchanged from
-  /// scheduling directly).
+  /// Schedules `fn` on the job's strand after `delay` and tracks the
+  /// event id so Stop() can cancel it. Every recurring/deferred job event
+  /// goes through here (one backend schedule call per call, so event ids
+  /// are unchanged from scheduling directly).
   void ScheduleManaged(Duration delay, std::function<void()> fn);
 
   /// Estimated tuples `t` must replay for checkpoint recovery, counted
@@ -343,14 +351,18 @@ class StreamingJob {
 
   bool started_ = false;
   bool stopped_ = false;
-  /// Pending loop event ids Stop() must cancel (ordered for
+  /// Pending backend event ids Stop() must cancel (ordered for
   /// deterministic cancellation).
   std::set<uint64_t> pending_events_;
   /// Cross-job recovery arbiter (nullptr outside the service).
   RecoveryArbiter arbiter_;
   Topology topology_;
   JobConfig config_;
-  EventLoop* loop_;
+  backend::ExecutionBackend* backend_;
+  /// The one strand all of this job's events run on (see class comment).
+  uint64_t strand_;
+  /// Whether Start() attaches metrics_/spans_ to the backend.
+  bool attach_backend_observability_;
   Router router_;
   Cluster cluster_;
   CheckpointStore checkpoints_;

@@ -52,13 +52,16 @@ Status ServiceConfig::Validate() const {
   return OkStatus();
 }
 
-ClusterService::ClusterService(ServiceConfig config, EventLoop* loop)
+ClusterService::ClusterService(ServiceConfig config,
+                               backend::ExecutionBackend* backend)
     : config_(config),
-      loop_(loop),
+      backend_(backend),
+      strand_(0),
       pool_(std::make_shared<NodePool>(config.num_worker_nodes,
                                        config.num_standby_nodes)) {
   PPA_CHECK_OK(config_.Validate());
-  PPA_CHECK(loop_ != nullptr);
+  PPA_CHECK(backend_ != nullptr);
+  strand_ = backend_->NewStrand();
 }
 
 Status ClusterService::AssignDomain(int node, int domain) {
@@ -362,8 +365,8 @@ bool ClusterService::FitsNow(const Tenant& t) const {
 }
 
 Status ClusterService::AdmitNow(Tenant& t) {
-  auto job = std::make_unique<StreamingJob>(t.topology, t.spec.config, loop_,
-                                            pool_);
+  auto job = std::make_unique<StreamingJob>(
+      t.topology, t.spec.config, JobRuntimeDeps(backend_, pool_, strand_));
   PlacementConstraints constraints;
   constraints.replica_ceiling = t.spec.replica_budget;
   constraints.replica_affinity = t.spec.standby_affinity;
@@ -400,7 +403,7 @@ Status ClusterService::AdmitNow(Tenant& t) {
     return status;
   }
   t.job = std::move(job);
-  t.admitted_at = loop_->now();
+  t.admitted_at = backend_->now();
   t.phase = TenantPhase::kRunning;
   return OkStatus();
 }
@@ -508,7 +511,7 @@ void ClusterService::Arbitrate() {
   }
   const std::vector<ArbitrationClaim> order = ArbitrationOrder(std::move(claims));
   ArbitrationDecision decision;
-  decision.at = loop_->now();
+  decision.at = backend_->now();
   for (size_t rank = 0; rank < order.size(); ++rank) {
     const Duration hold =
         config_.arbitration_slot * static_cast<int64_t>(rank);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "backend/execution_backend.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "common/status_or.h"
@@ -14,7 +15,6 @@
 #include "runtime/streaming_job.h"
 #include "service/arbiter.h"
 #include "service/tenant.h"
-#include "sim/event_loop.h"
 
 namespace ppa {
 namespace service {
@@ -60,7 +60,9 @@ struct AdmissionStats {
 /// Multi-tenant control plane over one shared cluster (the paper studies
 /// one job; production MPSPEs run many, and correlated failures cut
 /// across them). The service owns a NodePool and the tenants' jobs, all
-/// driven by one deterministic event loop:
+/// driven by one execution backend on one shared strand (the tenants of a
+/// shared pool interleave exactly as the deterministic sim would — see
+/// JobRuntimeDeps::strand):
 ///
 ///  - Admission control: Submit() validates a TenantSpec, rejects work
 ///    that can never fit (even on an empty, fully alive cluster), admits
@@ -82,11 +84,13 @@ struct AdmissionStats {
 ///    re-scan the admission queue.
 ///
 /// Everything is deterministic: same specs + same event sequence on the
-/// same loop reproduce identical traces, reports, and arbitration logs.
+/// same backend reproduce identical traces, reports, and arbitration
+/// logs.
 class ClusterService {
  public:
-  /// PPA_CHECK-fails on an invalid config.
-  ClusterService(ServiceConfig config, EventLoop* loop);
+  /// PPA_CHECK-fails on an invalid config. `backend` must outlive the
+  /// service.
+  ClusterService(ServiceConfig config, backend::ExecutionBackend* backend);
 
   ClusterService(const ClusterService&) = delete;
   ClusterService& operator=(const ClusterService&) = delete;
@@ -94,6 +98,10 @@ class ClusterService {
   const ServiceConfig& config() const { return config_; }
   /// The shared physical cluster.
   const NodePool& pool() const { return *pool_; }
+  /// The strand the service and all its tenants run on. Drivers must
+  /// schedule fault timelines onto this strand so service mutations stay
+  /// serialized with (and deterministically ordered against) tenant work.
+  uint64_t strand() const { return strand_; }
 
   /// Assigns a pool node to a failure domain (before or between
   /// admissions; placements already made are not migrated).
@@ -220,7 +228,9 @@ class ClusterService {
   void PromoteTenant(Tenant& t);
 
   ServiceConfig config_;
-  EventLoop* loop_;
+  backend::ExecutionBackend* backend_;
+  /// The single strand the service and every tenant job share.
+  uint64_t strand_;
   std::shared_ptr<NodePool> pool_;
   std::map<int, Tenant> tenants_;
   int next_tenant_id_ = 0;

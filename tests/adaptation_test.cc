@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "planner/structure_aware_planner.h"
 #include "runtime/streaming_job.h"
@@ -65,10 +66,10 @@ class ShiftingSource : public SourceFunction {
   int64_t flip_batch_;
 };
 
-std::unique_ptr<StreamingJob> MakeJob(EventLoop* loop,
+std::unique_ptr<StreamingJob> MakeJob(backend::ExecutionBackend* loop,
                                       int64_t flip_batch = 1 << 20) {
   auto job = std::make_unique<StreamingJob>(MakeAdaptTopology(),
-                                            AdaptConfig(), loop);
+                                            AdaptConfig(), JobRuntimeDeps(loop));
   PPA_CHECK_OK(job->BindSource(0, [flip_batch] {
     return std::make_unique<ShiftingSource>(80, 20, flip_batch);
   }));
@@ -81,17 +82,17 @@ std::unique_ptr<StreamingJob> MakeJob(EventLoop* loop,
 }
 
 TEST(AdaptationTest, ApplyBeforeStartIsRejected) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   EXPECT_EQ(job->ApplyActiveReplicaSet(TaskSet(4)).code(),
             StatusCode::kFailedPrecondition);
 }
 
 TEST(AdaptationTest, RequiresPpaMode) {
-  EventLoop loop;
+  backend::SimBackend loop;
   JobConfig cfg = AdaptConfig();
   cfg.ft_mode = FtMode::kCheckpoint;
-  StreamingJob job(MakeAdaptTopology(), cfg, &loop);
+  StreamingJob job(MakeAdaptTopology(), cfg, JobRuntimeDeps(&loop));
   EXPECT_EQ(job.EnablePlanAdaptation(Duration::Seconds(5),
                                      [](const Topology&) {
                                        return TaskSet(4);
@@ -101,7 +102,7 @@ TEST(AdaptationTest, RequiresPpaMode) {
 }
 
 TEST(AdaptationTest, EnableValidation) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   EXPECT_EQ(job->EnablePlanAdaptation(Duration::Zero(),
                                       [](const Topology&) {
@@ -119,7 +120,7 @@ TEST(AdaptationTest, EnableValidation) {
 }
 
 TEST(AdaptationTest, MidRunActivationCatchesUpAndEnablesTakeover) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
@@ -158,12 +159,12 @@ TEST(AdaptationTest, MidRunActivationCatchesUpAndEnablesTakeover) {
 TEST(AdaptationTest, ActivationPreservesOutputCorrectness) {
   // A failure recovered through a *dynamically* activated replica must
   // still produce output identical to a failure-free run.
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   auto clean = MakeJob(&clean_loop);
   PPA_CHECK_OK(clean->Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
 
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
@@ -181,7 +182,7 @@ TEST(AdaptationTest, ActivationPreservesOutputCorrectness) {
 }
 
 TEST(AdaptationTest, DeactivationReleasesReplica) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   TaskSet initial(4);
   initial.Add(2);
@@ -211,7 +212,7 @@ TEST(AdaptationTest, DeactivationReleasesReplica) {
 }
 
 TEST(AdaptationTest, RecoveringTaskKeepsItsReplica) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   TaskSet initial(4);
   initial.Add(2);
@@ -228,7 +229,7 @@ TEST(AdaptationTest, RecoveringTaskKeepsItsReplica) {
 }
 
 TEST(AdaptationTest, ObservedTopologyTracksRatesAndSelectivity) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(20.5));
@@ -245,7 +246,7 @@ TEST(AdaptationTest, ObservedTopologyTracksRatesAndSelectivity) {
 }
 
 TEST(AdaptationTest, PeriodicAdaptationFollowsTheHotTask) {
-  EventLoop loop;
+  backend::SimBackend loop;
   // Hot task flips from src[0] to src[1] at batch 30.
   auto job = MakeJob(&loop, /*flip_batch=*/30);
   PPA_CHECK_OK(job->EnablePlanAdaptation(

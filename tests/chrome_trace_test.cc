@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "obs/chrome_trace.h"
 #include "obs/export.h"
@@ -175,7 +176,7 @@ struct JobHarness {
     cfg.stagger_checkpoints = false;
     cfg.observability = true;
 
-    job = std::make_unique<StreamingJob>(*std::move(topo), cfg, &loop);
+    job = std::make_unique<StreamingJob>(*std::move(topo), cfg, JobRuntimeDeps(&loop));
     PPA_CHECK_OK(job->BindSource(0, [] {
       return std::make_unique<SyntheticSource>(20, 64, 7);
     }));
@@ -196,7 +197,7 @@ struct JobHarness {
     loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
   }
 
-  EventLoop loop;
+  backend::SimBackend loop;
   std::unique_ptr<StreamingJob> job;
 };
 

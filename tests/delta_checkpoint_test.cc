@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "engine/task_runtime.h"
 #include "ft/checkpoint.h"
@@ -186,7 +187,7 @@ class DeltaJobTest : public ::testing::Test {
     return cfg;
   }
 
-  static std::unique_ptr<StreamingJob> MakeJob(EventLoop* loop, bool delta) {
+  static std::unique_ptr<StreamingJob> MakeJob(backend::ExecutionBackend* loop, bool delta) {
     TopologyBuilder b;
     OperatorId src = b.AddOperator("src", 2);
     OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
@@ -199,7 +200,7 @@ class DeltaJobTest : public ::testing::Test {
     auto topo = b.Build();
     PPA_CHECK(topo.ok());
     auto job = std::make_unique<StreamingJob>(*std::move(topo),
-                                              Config(delta), loop);
+                                              Config(delta), JobRuntimeDeps(loop));
     PPA_CHECK_OK(job->BindSource(0, [] {
       return std::make_unique<SyntheticSource>(20, 64, 7);
     }));
@@ -213,12 +214,12 @@ class DeltaJobTest : public ::testing::Test {
 };
 
 TEST_F(DeltaJobTest, ChainsFormAndRecoveryIsExact) {
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   auto clean = MakeJob(&clean_loop, /*delta=*/false);
   PPA_CHECK_OK(clean->Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(45));
 
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop, /*delta=*/true);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(14.5));
@@ -237,7 +238,7 @@ TEST_F(DeltaJobTest, ChainsFormAndRecoveryIsExact) {
 }
 
 TEST_F(DeltaJobTest, FullBaseTakenAfterChainLimit) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeJob(&loop, /*delta=*/true);
   PPA_CHECK_OK(job->Start());
   // 3 s interval, chain limit 4: by t=40 the chain must have been reset by
@@ -248,7 +249,7 @@ TEST_F(DeltaJobTest, FullBaseTakenAfterChainLimit) {
 
 TEST_F(DeltaJobTest, DeltaCheckpointsAreCheaper) {
   auto run = [&](bool delta) {
-    EventLoop loop;
+    backend::SimBackend loop;
     auto job = MakeJob(&loop, delta);
     PPA_CHECK_OK(job->Start());
     loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));

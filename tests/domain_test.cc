@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "runtime/cluster.h"
 #include "runtime/domain_analysis.h"
@@ -87,7 +88,7 @@ TEST(FailureDomainTest, ReplicaPlacementAvoidsPrimaryDomain) {
       << "the only standby outside the primary's domain must win";
 }
 
-std::unique_ptr<StreamingJob> MakeDomainJob(EventLoop* loop) {
+std::unique_ptr<StreamingJob> MakeDomainJob(backend::ExecutionBackend* loop) {
   TopologyBuilder b;
   OperatorId src = b.AddOperator("src", 2);
   OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
@@ -107,7 +108,7 @@ std::unique_ptr<StreamingJob> MakeDomainJob(EventLoop* loop) {
   cfg.num_worker_nodes = 5;
   cfg.num_standby_nodes = 2;
   cfg.stagger_checkpoints = false;
-  auto job = std::make_unique<StreamingJob>(*std::move(topo), cfg, loop);
+  auto job = std::make_unique<StreamingJob>(*std::move(topo), cfg, JobRuntimeDeps(loop));
   PPA_CHECK_OK(job->BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -120,7 +121,7 @@ std::unique_ptr<StreamingJob> MakeDomainJob(EventLoop* loop) {
 }
 
 TEST(FailureDomainTest, DomainFailureKillsItsNodesTogether) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeDomainJob(&loop);
   // Worker nodes 2 and 3 (hosting mid[0] and mid[1]) share a rack.
   PPA_CHECK_OK(job->cluster().AssignDomain(2, 42));
@@ -140,14 +141,14 @@ TEST(FailureDomainTest, DomainFailureKillsItsNodesTogether) {
 }
 
 TEST(FailureDomainTest, UnknownDomainRejected) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeDomainJob(&loop);
   PPA_CHECK_OK(job->Start());
   EXPECT_EQ(job->InjectDomainFailure(777).code(), StatusCode::kNotFound);
 }
 
 TEST(FailureDomainTest, CrossDomainReplicaSurvivesRackOutage) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeDomainJob(&loop);
   // Rack 1: worker 2 (mid[0]) and standby 5. Rack 2: standby 6.
   PPA_CHECK_OK(job->cluster().AssignDomain(2, 1));
@@ -173,7 +174,7 @@ TEST(FailureDomainTest, CrossDomainReplicaSurvivesRackOutage) {
 }
 
 TEST(FailureDomainTest, ReviveNodeRestoresEligibility) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeDomainJob(&loop);
   EXPECT_EQ(job->ReviveNode(0).code(), StatusCode::kFailedPrecondition)
       << "revival requires a started job";
@@ -195,7 +196,7 @@ TEST(FailureDomainTest, ReviveNodeRestoresEligibility) {
 }
 
 TEST(FailureDomainTest, ReviveDomainRevivesOnlyDeadNodes) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeDomainJob(&loop);
   PPA_CHECK_OK(job->cluster().AssignDomain(2, 42));
   PPA_CHECK_OK(job->cluster().AssignDomain(3, 42));

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "common/random.h"
 #include "engine/operators.h"
 #include "runtime/streaming_job.h"
@@ -51,9 +52,9 @@ Topology MakePropertyTopology(uint64_t seed) {
 }
 
 std::unique_ptr<StreamingJob> MakePropertyJob(const Topology& topo,
-                                              FtMode mode, EventLoop* loop,
+                                              FtMode mode, backend::ExecutionBackend* loop,
                                               uint64_t seed) {
-  auto job = std::make_unique<StreamingJob>(topo, PropertyConfig(mode), loop);
+  auto job = std::make_unique<StreamingJob>(topo, PropertyConfig(mode), JobRuntimeDeps(loop));
   for (const OperatorInfo& oi : topo.operators()) {
     if (oi.upstream.empty()) {
       PPA_CHECK_OK(job->BindSource(oi.id, [seed, id = oi.id] {
@@ -95,13 +96,13 @@ TEST_P(EngineRecoveryPropertyTest, RandomFailureIsSurvivedExactly) {
   Topology topo = MakePropertyTopology(sweep.seed);
 
   // Oracle run.
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   auto clean = MakePropertyJob(topo, sweep.mode, &clean_loop, sweep.seed);
   PPA_CHECK_OK(clean->Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(50));
 
   // Failure run: a random node hosting at least one primary.
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakePropertyJob(topo, sweep.mode, &loop, sweep.seed);
   PPA_CHECK_OK(job->Start());
   Rng rng(sweep.seed * 7 + 1);
@@ -171,12 +172,12 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(SequentialFailuresTest, TwoFailuresBothRecoverExactly) {
   Topology topo = MakePropertyTopology(3);
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   auto clean = MakePropertyJob(topo, FtMode::kCheckpoint, &clean_loop, 3);
   PPA_CHECK_OK(clean->Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
 
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakePropertyJob(topo, FtMode::kCheckpoint, &loop, 3);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
@@ -198,7 +199,7 @@ TEST(SequentialFailuresTest, TwoFailuresBothRecoverExactly) {
 
 TEST(SequentialFailuresTest, RepeatedFailureOfTheSameTaskRecovers) {
   Topology topo = MakePropertyTopology(5);
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakePropertyJob(topo, FtMode::kCheckpoint, &loop, 5);
   PPA_CHECK_OK(job->Start());
   const TaskId victim = topo.op(topo.sink_operators()[0]).tasks[0];

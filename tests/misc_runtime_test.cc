@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "common/logging.h"
 #include "engine/operators.h"
 #include "runtime/streaming_job.h"
@@ -25,7 +26,7 @@ Topology MakeMiscTopology() {
   return *std::move(t);
 }
 
-std::unique_ptr<StreamingJob> MakeMiscJob(EventLoop* loop, FtMode mode) {
+std::unique_ptr<StreamingJob> MakeMiscJob(backend::ExecutionBackend* loop, FtMode mode) {
   JobConfig cfg;
   cfg.ft_mode = mode;
   cfg.batch_interval = Duration::Seconds(1);
@@ -34,7 +35,7 @@ std::unique_ptr<StreamingJob> MakeMiscJob(EventLoop* loop, FtMode mode) {
   cfg.num_worker_nodes = 5;
   cfg.num_standby_nodes = 2;
   cfg.stagger_checkpoints = false;
-  auto job = std::make_unique<StreamingJob>(MakeMiscTopology(), cfg, loop);
+  auto job = std::make_unique<StreamingJob>(MakeMiscTopology(), cfg, JobRuntimeDeps(loop));
   PPA_CHECK_OK(job->BindSource(0, [] {
     return std::make_unique<SyntheticSource>(10, 32, 7);
   }));
@@ -47,7 +48,7 @@ std::unique_ptr<StreamingJob> MakeMiscJob(EventLoop* loop, FtMode mode) {
 }
 
 TEST(FtModeNoneTest, FailedTasksStayDeadAndOutputDegrades) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeMiscJob(&loop, FtMode::kNone);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
@@ -64,7 +65,7 @@ TEST(FtModeNoneTest, FailedTasksStayDeadAndOutputDegrades) {
 }
 
 TEST(StreamingJobTest, CorrelatedFailureSparesSourcesByDefault) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(8.5));
@@ -81,7 +82,7 @@ TEST(StreamingJobTest, CorrelatedFailureSparesSourcesByDefault) {
 }
 
 TEST(StreamingJobTest, CheckpointsSkipDeadTasksAndResumeAfterRecovery) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(9));
@@ -97,14 +98,14 @@ TEST(StreamingJobTest, CheckpointsSkipDeadTasksAndResumeAfterRecovery) {
 }
 
 TEST(StreamingJobTest, ObservedTopologyRequiresStart) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeMiscJob(&loop, FtMode::kPpa);
   EXPECT_EQ(job->ObservedTopology().status().code(),
             StatusCode::kFailedPrecondition);
 }
 
 TEST(StreamingJobTest, DoubleStartRejected) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeMiscJob(&loop, FtMode::kCheckpoint);
   PPA_CHECK_OK(job->Start());
   EXPECT_EQ(job->Start().code(), StatusCode::kFailedPrecondition);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "runtime/streaming_job.h"
 #include "workloads/synthetic_recovery.h"
@@ -25,7 +26,7 @@ Topology MakeReconTopology() {
   return *std::move(t);
 }
 
-std::unique_ptr<StreamingJob> MakeReconJob(EventLoop* loop) {
+std::unique_ptr<StreamingJob> MakeReconJob(backend::ExecutionBackend* loop) {
   JobConfig cfg;
   cfg.ft_mode = FtMode::kPpa;
   cfg.batch_interval = Duration::Seconds(1);
@@ -35,7 +36,7 @@ std::unique_ptr<StreamingJob> MakeReconJob(EventLoop* loop) {
   cfg.num_standby_nodes = 2;
   cfg.stagger_checkpoints = false;
   cfg.window_batches = 5;
-  auto job = std::make_unique<StreamingJob>(MakeReconTopology(), cfg, loop);
+  auto job = std::make_unique<StreamingJob>(MakeReconTopology(), cfg, JobRuntimeDeps(loop));
   PPA_CHECK_OK(job->BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -48,7 +49,7 @@ std::unique_ptr<StreamingJob> MakeReconJob(EventLoop* loop) {
 }
 
 TEST(ReconciliationTest, RequiresRecoveryAndDegradation) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeReconJob(&loop);
   EXPECT_EQ(job->ReconcileTentativeOutputs().status().code(),
             StatusCode::kFailedPrecondition);  // Not started.
@@ -61,12 +62,12 @@ TEST(ReconciliationTest, RequiresRecoveryAndDegradation) {
 
 TEST(ReconciliationTest, CorrectsTheTentativeWindowExactly) {
   // Failure-free oracle.
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   auto clean = MakeReconJob(&clean_loop);
   PPA_CHECK_OK(clean->Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
 
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeReconJob(&loop);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));
@@ -122,7 +123,7 @@ TEST(ReconciliationTest, CorrectsTheTentativeWindowExactly) {
 }
 
 TEST(ReconciliationTest, ReportsCostProportionalToWindow) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeReconJob(&loop);
   PPA_CHECK_OK(job->Start());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(10.5));

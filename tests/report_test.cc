@@ -5,6 +5,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "planner/greedy_planner.h"
 #include "report/experiment_report.h"
@@ -79,14 +80,14 @@ TEST(ReportTest, TopologyAndPlanJson) {
 TEST(ReportTest, JobSummaryCoversRecoveries) {
   auto workload = MakeSyntheticRecoveryWorkload(100, 5);
   ASSERT_TRUE(workload.ok());
-  EventLoop loop;
+  backend::SimBackend loop;
   JobConfig cfg;
   cfg.ft_mode = FtMode::kCheckpoint;
   cfg.detection_interval = Duration::Seconds(2);
   cfg.checkpoint_interval = Duration::Seconds(5);
   cfg.num_worker_nodes = 19;
   cfg.num_standby_nodes = 15;
-  StreamingJob job(workload->topo, cfg, &loop);
+  StreamingJob job(workload->topo, cfg, JobRuntimeDeps(&loop));
   PPA_CHECK_OK(BindSyntheticRecoveryWorkload(*workload, &job));
   auto nodes = PlaceSyntheticRecoveryWorkload(*workload, &job);
   PPA_CHECK_OK(nodes.status());

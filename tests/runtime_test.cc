@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "runtime/cluster.h"
 #include "runtime/streaming_job.h"
@@ -55,9 +56,9 @@ struct RunResult {
 RunResult RunScenario(FtMode mode, int fail_node, double fail_at_seconds,
                       double seconds,
                       const TaskSet* active_set = nullptr) {
-  EventLoop loop;
+  backend::SimBackend loop;
   Topology topo = MakeTestTopology();
-  StreamingJob job(std::move(topo), MakeTestConfig(mode), &loop);
+  StreamingJob job(std::move(topo), MakeTestConfig(mode), JobRuntimeDeps(&loop));
   PPA_CHECK_OK(job.BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -114,16 +115,16 @@ TEST(StreamingJobTest, CleanRunIsDeterministic) {
 }
 
 TEST(StreamingJobTest, UnboundOperatorFailsStart) {
-  EventLoop loop;
+  backend::SimBackend loop;
   StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
-                   &loop);
+                   JobRuntimeDeps(&loop));
   EXPECT_EQ(job.Start().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(StreamingJobTest, BindValidation) {
-  EventLoop loop;
+  backend::SimBackend loop;
   StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
-                   &loop);
+                   JobRuntimeDeps(&loop));
   // Binding an operator factory to a source (and vice versa) is rejected.
   EXPECT_FALSE(job.BindOperator(0, [] {
                     return std::make_unique<PassThroughOperator>();
@@ -198,9 +199,9 @@ TEST(StreamingJobTest, PpaProducesTentativeOutputsDuringRecovery) {
 }
 
 TEST(StreamingJobTest, CorrelatedFailureRecoversEverything) {
-  EventLoop loop;
+  backend::SimBackend loop;
   StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
-                   &loop);
+                   JobRuntimeDeps(&loop));
   PPA_CHECK_OK(job.BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -222,9 +223,9 @@ TEST(StreamingJobTest, CorrelatedFailureRecoversEverything) {
 
 TEST(StreamingJobTest, CorrelatedFailureSlowerThanSingleFailure) {
   RunResult single = RunScenario(FtMode::kCheckpoint, 2, 10.5, 40);
-  EventLoop loop;
+  backend::SimBackend loop;
   StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
-                   &loop);
+                   JobRuntimeDeps(&loop));
   PPA_CHECK_OK(job.BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -250,8 +251,8 @@ TEST(StreamingJobTest, ShorterCheckpointIntervalShortensRecovery) {
   slow_cfg.checkpoint_interval = Duration::Seconds(15);
 
   auto run = [](JobConfig cfg) {
-    EventLoop loop;
-    StreamingJob job(MakeTestTopology(), cfg, &loop);
+    backend::SimBackend loop;
+    StreamingJob job(MakeTestTopology(), cfg, JobRuntimeDeps(&loop));
     PPA_CHECK_OK(job.BindSource(0, [] {
       return std::make_unique<SyntheticSource>(200, 64, 7);
     }));
@@ -272,10 +273,10 @@ TEST(StreamingJobTest, ShorterCheckpointIntervalShortensRecovery) {
 
 TEST(StreamingJobTest, CheckpointCostAccounting) {
   auto run = [](Duration interval) {
-    EventLoop loop;
+    backend::SimBackend loop;
     JobConfig cfg = MakeTestConfig(FtMode::kCheckpoint);
     cfg.checkpoint_interval = interval;
-    StreamingJob job(MakeTestTopology(), cfg, &loop);
+    StreamingJob job(MakeTestTopology(), cfg, JobRuntimeDeps(&loop));
     PPA_CHECK_OK(job.BindSource(0, [] {
       return std::make_unique<SyntheticSource>(100, 64, 7);
     }));
@@ -309,9 +310,9 @@ TEST(StreamingJobTest, FailedRunsAreDeterministicToo) {
 }
 
 TEST(StreamingJobTest, InjectionValidation) {
-  EventLoop loop;
+  backend::SimBackend loop;
   StreamingJob job(MakeTestTopology(), MakeTestConfig(FtMode::kCheckpoint),
-                   &loop);
+                   JobRuntimeDeps(&loop));
   EXPECT_EQ(job.InjectNodeFailure(0).code(),
             StatusCode::kFailedPrecondition);  // Not started.
   PPA_CHECK_OK(job.BindSource(0, [] {

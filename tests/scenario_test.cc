@@ -3,6 +3,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "runtime/scenario.h"
 #include "workloads/synthetic_recovery.h"
@@ -27,7 +28,7 @@ Topology MakeScenarioTopology() {
   return *std::move(t);
 }
 
-std::unique_ptr<StreamingJob> MakeScenarioJob(EventLoop* loop) {
+std::unique_ptr<StreamingJob> MakeScenarioJob(backend::ExecutionBackend* loop) {
   JobConfig cfg;
   cfg.ft_mode = FtMode::kPpa;
   cfg.batch_interval = Duration::Seconds(1);
@@ -38,7 +39,7 @@ std::unique_ptr<StreamingJob> MakeScenarioJob(EventLoop* loop) {
   cfg.stagger_checkpoints = false;
   cfg.window_batches = 5;
   auto job = std::make_unique<StreamingJob>(MakeScenarioTopology(), cfg,
-                                            loop);
+                                            JobRuntimeDeps(loop));
   PPA_CHECK_OK(job->BindSource(0, [] {
     return std::make_unique<SyntheticSource>(20, 64, 7);
   }));
@@ -97,7 +98,7 @@ TEST(ScenarioParserTest, ErrorsCarryLineNumbers) {
 }
 
 TEST(ScenarioRunnerTest, ExecutesTimelineEndToEnd) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeScenarioJob(&loop);
   PPA_CHECK_OK(job->Start());
   auto events = ParseScenario(job->topology(), R"(
@@ -106,7 +107,7 @@ at 12.5 fail-node 2      # mid[0]'s node: passive recovery + punctures
 at 40   reconcile
 )");
   ASSERT_TRUE(events.ok()) << events.status();
-  ScenarioRunner runner(job.get(), &loop);
+  ScenarioRunner runner(job.get());
   PPA_CHECK_OK(runner.Run(*std::move(events)));
   EXPECT_FALSE(runner.finished());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
@@ -196,10 +197,10 @@ TEST(ScenarioJsonTest, RejectsMalformedEvents) {
 }
 
 TEST(ScenarioRunnerTest, EmptyFirstRunStillClaimsTheRunner) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeScenarioJob(&loop);
   PPA_CHECK_OK(job->Start());
-  ScenarioRunner runner(job.get(), &loop);
+  ScenarioRunner runner(job.get());
   EXPECT_TRUE(runner.finished());  // Nothing scheduled yet.
   PPA_CHECK_OK(runner.Run({}));
   EXPECT_TRUE(runner.finished());
@@ -211,7 +212,7 @@ TEST(ScenarioRunnerTest, EmptyFirstRunStillClaimsTheRunner) {
 }
 
 TEST(ScenarioRunnerTest, RevivedNodeCanFailAgain) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeScenarioJob(&loop);
   PPA_CHECK_OK(job->Start());
   auto events = ParseScenario(job->topology(), R"(
@@ -220,7 +221,7 @@ at 20 revive-node 2
 at 30 fail-node 2
 )");
   ASSERT_TRUE(events.ok()) << events.status();
-  ScenarioRunner runner(job.get(), &loop);
+  ScenarioRunner runner(job.get());
   PPA_CHECK_OK(runner.Run(*std::move(events)));
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(50));
   ASSERT_TRUE(runner.finished());
@@ -230,10 +231,10 @@ at 30 fail-node 2
 }
 
 TEST(ScenarioRunnerTest, RecordsEventFailures) {
-  EventLoop loop;
+  backend::SimBackend loop;
   auto job = MakeScenarioJob(&loop);
   PPA_CHECK_OK(job->Start());
-  ScenarioRunner runner(job.get(), &loop);
+  ScenarioRunner runner(job.get());
   std::vector<ScenarioEvent> events(1);
   events[0].at = Duration::Seconds(5);
   events[0].kind = ScenarioEvent::Kind::kNodeFailure;

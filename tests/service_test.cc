@@ -14,7 +14,7 @@
 #include "service/arbiter.h"
 #include "service/cluster_service.h"
 #include "service/tenant.h"
-#include "sim/event_loop.h"
+#include "backend/sim_backend.h"
 
 namespace ppa {
 namespace {
@@ -116,7 +116,7 @@ TEST(ServiceTest, PromoteReplicaToPrimaryMovesPlacementAndFreesSlot) {
 // Admission control edge cases.
 
 TEST(ServiceTest, ZeroStandbyClusterRejectsReplicaBudgets) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 2;
   config.num_standby_nodes = 0;
@@ -146,7 +146,7 @@ TEST(ServiceTest, ZeroStandbyClusterRejectsReplicaBudgets) {
 }
 
 TEST(ServiceTest, JobLargerThanClusterIsRejectedNotQueued) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 2;
   config.num_standby_nodes = 1;
@@ -164,7 +164,7 @@ TEST(ServiceTest, JobLargerThanClusterIsRejectedNotQueued) {
 }
 
 TEST(ServiceTest, QueueAdmitsByPriorityThenArrivalAfterEviction) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 1;
   config.num_standby_nodes = 1;
@@ -201,7 +201,7 @@ TEST(ServiceTest, QueueAdmitsByPriorityThenArrivalAfterEviction) {
 }
 
 TEST(ServiceTest, ReviveDomainReadmitsQueuedTenant) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 4;
   config.num_standby_nodes = 1;
@@ -242,7 +242,7 @@ TEST(ServiceTest, ReviveDomainReadmitsQueuedTenant) {
 // Standby rebalancing: degradation and re-promotion.
 
 TEST(ServiceTest, StandbyLossDegradesLeastImportantTenantAndReviveRestores) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ServiceConfig config;
   config.num_worker_nodes = 2;
   config.num_standby_nodes = 2;
@@ -317,7 +317,7 @@ void SubmitDrillTenants(service::ClusterService* svc) {
 }
 
 /// Runs the drill to completion and returns the service report bytes.
-std::string RunDrillToReport(EventLoop* loop, service::ClusterService* svc) {
+std::string RunDrillToReport(backend::ExecutionBackend* loop, service::ClusterService* svc) {
   SubmitDrillTenants(svc);
   loop->RunUntil(At(10));
   PPA_CHECK_OK(svc->InjectDomainFailure(0));
@@ -331,7 +331,7 @@ std::string RunDrillToReport(EventLoop* loop, service::ClusterService* svc) {
 }
 
 TEST(ServiceDrillTest, DomainFailureArbitratesAcrossFourTenants) {
-  EventLoop loop;
+  backend::SimBackend loop;
   service::ClusterService svc(DrillConfig(), &loop);
   SubmitDrillTenants(&svc);
   EXPECT_EQ(svc.stats().admitted, 16);
@@ -378,9 +378,9 @@ TEST(ServiceDrillTest, DomainFailureArbitratesAcrossFourTenants) {
 }
 
 TEST(ServiceDrillTest, ReportIsByteIdenticalAcrossRuns) {
-  EventLoop loop_a;
+  backend::SimBackend loop_a;
   service::ClusterService svc_a(DrillConfig(), &loop_a);
-  EventLoop loop_b;
+  backend::SimBackend loop_b;
   service::ClusterService svc_b(DrillConfig(), &loop_b);
   EXPECT_EQ(RunDrillToReport(&loop_a, &svc_a),
             RunDrillToReport(&loop_b, &svc_b));

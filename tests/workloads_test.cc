@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "backend/sim_backend.h"
 #include "fidelity/metrics.h"
 #include "planner/structure_aware_planner.h"
 #include "workloads/accuracy.h"
@@ -44,9 +45,9 @@ TEST(SyntheticRecoveryTest, TopologyMatchesFig6) {
 TEST(SyntheticRecoveryTest, PlacementPinsSourcesAndSynthetics) {
   auto w = MakeSyntheticRecoveryWorkload(100, 5);
   ASSERT_TRUE(w.ok());
-  EventLoop loop;
+  backend::SimBackend loop;
   JobConfig cfg = SmallConfig(FtMode::kCheckpoint, 19, 15);
-  StreamingJob job(w->topo, cfg, &loop);
+  StreamingJob job(w->topo, cfg, JobRuntimeDeps(&loop));
   ASSERT_TRUE(BindSyntheticRecoveryWorkload(*w, &job).ok());
   auto nodes = PlaceSyntheticRecoveryWorkload(*w, &job);
   ASSERT_TRUE(nodes.ok());
@@ -63,8 +64,8 @@ TEST(SyntheticRecoveryTest, PlacementPinsSourcesAndSynthetics) {
 TEST(SyntheticRecoveryTest, RunsAndRecoversFromCorrelatedFailure) {
   auto w = MakeSyntheticRecoveryWorkload(100, 5);
   ASSERT_TRUE(w.ok());
-  EventLoop loop;
-  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 19, 15), &loop);
+  backend::SimBackend loop;
+  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 19, 15), JobRuntimeDeps(&loop));
   ASSERT_TRUE(BindSyntheticRecoveryWorkload(*w, &job).ok());
   ASSERT_TRUE(PlaceSyntheticRecoveryWorkload(*w, &job).ok());
   ASSERT_TRUE(job.Start().ok());
@@ -165,8 +166,8 @@ TEST(TopKWorkloadTest, CleanRunProducesStableTopK) {
   opts.url_population = 500;
   auto w = MakeTopKWorkload(opts, /*count_window_batches=*/10, /*k=*/20);
   ASSERT_TRUE(w.ok());
-  EventLoop loop;
-  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 21, 10), &loop);
+  backend::SimBackend loop;
+  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 21, 10), JobRuntimeDeps(&loop));
   ASSERT_TRUE(BindTopKWorkload(*w, &job).ok());
   ASSERT_TRUE(job.Start().ok());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(20));
@@ -195,8 +196,8 @@ TEST(TopKWorkloadTest, PpaTentativeAccuracyDegradesGracefully) {
     int64_t tentative_end_batch = 0;
   };
   auto run = [&](int budget) {
-    EventLoop loop;
-    StreamingJob job(w->topo, ppa_cfg, &loop);
+    backend::SimBackend loop;
+    StreamingJob job(w->topo, ppa_cfg, JobRuntimeDeps(&loop));
     PPA_CHECK_OK(BindTopKWorkload(*w, &job));
     TaskSet plan(w->topo.num_tasks());
     if (budget > 0) {
@@ -222,9 +223,9 @@ TEST(TopKWorkloadTest, PpaTentativeAccuracyDegradesGracefully) {
   };
 
   // Reference: failure-free run.
-  EventLoop clean_loop;
+  backend::SimBackend clean_loop;
   StreamingJob clean(w->topo, SmallConfig(FtMode::kPpa, 21, 21),
-                     &clean_loop);
+                     JobRuntimeDeps(&clean_loop));
   PPA_CHECK_OK(BindTopKWorkload(*w, &clean));
   PPA_CHECK_OK(clean.Start());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
@@ -296,8 +297,8 @@ TEST(IncidentWorkloadTest, CleanRunDetectsScheduledIncidents) {
   IncidentSchedule schedule(opts);
   auto w = MakeIncidentWorkload(opts, /*location_rate_per_task=*/400);
   ASSERT_TRUE(w.ok());
-  EventLoop loop;
-  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 25, 10), &loop);
+  backend::SimBackend loop;
+  StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 25, 10), JobRuntimeDeps(&loop));
   ASSERT_TRUE(BindIncidentWorkload(*w, &schedule, &job).ok());
   ASSERT_TRUE(job.Start().ok());
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
@@ -337,14 +338,14 @@ TEST(IncidentWorkloadTest, JoinRequiresBothStreams) {
   cfg.recovery.task_restart_delay = Duration::Seconds(20);
 
   // Reference: failure-free run.
-  EventLoop clean_loop;
-  StreamingJob clean(w->topo, cfg, &clean_loop);
+  backend::SimBackend clean_loop;
+  StreamingJob clean(w->topo, cfg, JobRuntimeDeps(&clean_loop));
   ASSERT_TRUE(BindIncidentWorkload(*w, &schedule, &clean).ok());
   ASSERT_TRUE(clean.Start().ok());
   clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(30));
 
-  EventLoop loop;
-  StreamingJob job(w->topo, cfg, &loop);
+  backend::SimBackend loop;
+  StreamingJob job(w->topo, cfg, JobRuntimeDeps(&loop));
   ASSERT_TRUE(BindIncidentWorkload(*w, &schedule, &job).ok());
   ASSERT_TRUE(job.SetActiveReplicaSet(TaskSet(w->topo.num_tasks())).ok());
   ASSERT_TRUE(job.Start().ok());
@@ -387,9 +388,9 @@ TEST(TopKWorkloadTest, CheckpointRecoveryReproducesTopKExactly) {
   auto w = MakeTopKWorkload(opts, 8, 20, TopKParallelism::Reduced());
   ASSERT_TRUE(w.ok());
   auto run = [&](int fail_node) {
-    EventLoop loop;
+    backend::SimBackend loop;
     StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 12, 6),
-                     &loop);
+                     JobRuntimeDeps(&loop));
     PPA_CHECK_OK(BindTopKWorkload(*w, &job));
     PPA_CHECK_OK(job.Start());
     if (fail_node >= 0) {
@@ -419,9 +420,9 @@ TEST(IncidentWorkloadTest, CheckpointRecoveryReproducesAlarmsExactly) {
   auto w = MakeIncidentWorkload(opts, 200, IncidentParallelism::Reduced());
   ASSERT_TRUE(w.ok());
   auto run = [&](bool fail) {
-    EventLoop loop;
+    backend::SimBackend loop;
     StreamingJob job(w->topo, SmallConfig(FtMode::kCheckpoint, 16, 8),
-                     &loop);
+                     JobRuntimeDeps(&loop));
     PPA_CHECK_OK(BindIncidentWorkload(*w, &schedule, &job));
     PPA_CHECK_OK(job.Start());
     if (fail) {

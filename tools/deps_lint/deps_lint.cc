@@ -149,11 +149,12 @@ int ModuleRank(std::string_view module) {
       {"topology", 1}, {"json", 1},
       {"obs", 2},      {"fidelity", 2},
       {"sim", 3},      {"engine", 3},   {"ft", 3},
-      {"planner", 4},  {"runtime", 4},
-      {"workloads", 5}, {"report", 5},
-      {"exp", 6},
-      {"service", 7},
-      {"chaos", 8},
+      {"backend", 4},
+      {"planner", 5},  {"runtime", 5},
+      {"workloads", 6}, {"report", 6},
+      {"exp", 7},
+      {"service", 8},
+      {"chaos", 9},
   };
   auto it = kRanks.find(module);
   return it == kRanks.end() ? -1 : it->second;
@@ -245,6 +246,19 @@ std::vector<Diagnostic> CheckLayering(const std::vector<SourceFile>& files) {
         continue;
       }
       if (target == module) {
+        continue;
+      }
+      // Sim-isolation: the deterministic simulator is an implementation
+      // detail of the sim execution backend. Only src/backend/ may include
+      // sim/ headers; everything else (engine, ft, runtime, ...) must go
+      // through backend::ExecutionBackend so the same code runs on real
+      // threads. Emitted instead of the generic layer diagnostic.
+      if (target == "sim" && module != "backend") {
+        diags.push_back(
+            {path, edge.line, "sim-isolation",
+             "include of \"" + edge.target + "\": only src/backend/ may "
+             "depend on the simulator; use backend::ExecutionBackend so "
+             "the code stays backend-neutral (DESIGN.md §16)"});
         continue;
       }
       int target_rank = ModuleRank(target);

@@ -18,6 +18,8 @@ bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
 TEST(DepsLintModules, RanksFollowTheLayeringContract) {
   EXPECT_EQ(ModuleRank("common"), 0);
   EXPECT_LT(ModuleRank("topology"), ModuleRank("planner"));
+  EXPECT_LT(ModuleRank("sim"), ModuleRank("backend"));
+  EXPECT_LT(ModuleRank("backend"), ModuleRank("runtime"));
   EXPECT_LT(ModuleRank("planner"), ModuleRank("exp"));
   EXPECT_LT(ModuleRank("exp"), ModuleRank("service"));
   EXPECT_LT(ModuleRank("service"), ModuleRank("chaos"));
@@ -112,6 +114,33 @@ TEST(DepsLintCheck, AngleAndCommentedIncludesAreIgnored) {
       {"src/topology/types.h",
        "#include <vector>\n"
        "// #include \"planner/planner.h\"\n"},
+  };
+  EXPECT_TRUE(CheckLayering(files).empty());
+}
+
+TEST(DepsLintCheck, OnlyBackendMayIncludeSim) {
+  // engine (same layer as sim) and runtime (above sim) both get the
+  // dedicated sim-isolation diagnostic instead of a generic layer one.
+  std::vector<SourceFile> files = {
+      {"src/engine/task_runtime.cc", "#include \"sim/event_loop.h\"\n"},
+      {"src/ft/checkpoint.cc", "#include \"sim/event_loop.h\"\n"},
+      {"src/runtime/job.cc", "#include \"sim/event_loop.h\"\n"},
+  };
+  auto diags = CheckLayering(files);
+  ASSERT_EQ(diags.size(), 3u);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "sim-isolation") << d.file;
+  }
+  EXPECT_FALSE(HasRule(diags, "layer"));
+}
+
+TEST(DepsLintCheck, BackendAndSimItselfMayIncludeSim) {
+  std::vector<SourceFile> files = {
+      {"src/backend/sim_backend.h", "#include \"sim/event_loop.h\"\n"},
+      {"src/sim/event_loop.cc", "#include \"sim/event_queue.h\"\n"},
+      // The rule only applies to src/: tests and benches drive the sim
+      // directly when they are testing the sim itself.
+      {"bench/sim_probe.cc", "#include \"sim/event_loop.h\"\n"},
   };
   EXPECT_TRUE(CheckLayering(files).empty());
 }

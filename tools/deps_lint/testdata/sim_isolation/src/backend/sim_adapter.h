@@ -1,0 +1,2 @@
+// Legal: the backend module is the one place allowed to wrap the sim.
+#include "sim/event_loop.h"

@@ -1,0 +1,3 @@
+// Planted violation: engine code reaching into the simulator directly.
+// Only src/backend/ may include sim/ headers (DESIGN.md §16).
+#include "sim/event_loop.h"

@@ -1,0 +1,2 @@
+// Stand-in for the real simulator header.
+int sim_marker;
