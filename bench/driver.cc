@@ -19,6 +19,7 @@ Driver Driver::FromArgs(int* argc, char** argv) {
   std::string seed_value;
   std::string commit_value;
   std::string backend_value;
+  std::string mode_value;
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view arg = argv[i];
@@ -68,6 +69,17 @@ Driver Driver::FromArgs(int* argc, char** argv) {
       driver.backend_ = *kind;
       continue;
     }
+    if (match("--recovery_mode", &mode_value)) {
+      StatusOr<af::RecoveryMode> mode =
+          af::RecoveryModeFromString(mode_value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "--recovery_mode: %s\n",
+                     mode.status().ToString().c_str());
+        std::exit(2);
+      }
+      driver.recovery_mode_ = *mode;
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   *argc = kept;
@@ -99,6 +111,7 @@ void Driver::StampBenchReport(JsonValue* report,
   report->Set("suite", std::string(suite));
   report->Set("commit", commit_);
   report->Set("backend", backend_name());
+  report->Set("recovery_mode", recovery_mode_name());
 }
 
 exp::ParallelRunner& Driver::runner() {

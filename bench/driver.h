@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "af/error_budget.h"
 #include "backend/execution_backend.h"
 #include "bench/bench_util.h"
 #include "exp/parallel_runner.h"
@@ -43,6 +44,12 @@ namespace bench {
 ///                              honour it (default sim). Stamped into
 ///                              BENCH_*.json headers and cell keys so
 ///                              bench_diff never cross-compares backends.
+///   --recovery_mode <ppa|approx|hybrid>
+///                              recovery mode (src/af) for binaries that
+///                              honour it (default ppa). Stamped into
+///                              BENCH_*.json headers and cell keys like
+///                              --backend, so exact and approximate
+///                              trajectories never cross-compare.
 class Driver {
  public:
   /// Parses the shared flags and strips them from argv (updating *argc),
@@ -70,6 +77,18 @@ class Driver {
   /// StampBenchReport writes and binaries suffix into cell keys.
   [[nodiscard]] std::string backend_name() const {
     return backend::BackendKindToString(backend_);
+  }
+
+  /// The --recovery_mode value (af::RecoveryMode::kPpa when absent).
+  [[nodiscard]] af::RecoveryMode recovery_mode() const {
+    return recovery_mode_;
+  }
+
+  /// The --recovery_mode value's flag spelling ("ppa" / "approx" /
+  /// "hybrid") — the string StampBenchReport writes and binaries suffix
+  /// into cell keys.
+  [[nodiscard]] std::string recovery_mode_name() const {
+    return std::string(af::RecoveryModeToString(recovery_mode_));
   }
 
   /// A fresh backend of the --backend kind (default options).
@@ -135,6 +154,7 @@ class Driver {
   bool progress_ = false;
   std::string commit_ = "unknown";
   backend::BackendKind backend_ = backend::BackendKind::kSim;
+  af::RecoveryMode recovery_mode_ = af::RecoveryMode::kPpa;
   BenchMetricsSink metrics_;
   ChromeTraceSink traces_;
   FlightRecordSink flight_;

@@ -77,13 +77,15 @@ struct Cell {
   JsonValue hot_spans;
 };
 
-Cell RunCell(int nodes, backend::BackendKind backend_kind) {
+Cell RunCell(int nodes, backend::BackendKind backend_kind,
+             af::RecoveryMode recovery_mode) {
   const int workers = nodes * 3 / 4;
   const int width = workers / 2;
 
   JobConfig config = JobConfig::PpaDefaults();
   config.num_worker_nodes = workers;
   config.num_standby_nodes = nodes - workers;
+  config.recovery_mode = recovery_mode;
 
   auto topo = ParseTopologySpec(WideSpec(width));
   PPA_CHECK_OK(topo.status());
@@ -170,7 +172,8 @@ int main(int argc, char** argv) {
                            "cell");
   JsonValue cells = JsonValue::Array();
   for (int nodes : node_counts) {
-    const Cell cell = RunCell(nodes, driver.backend_kind());
+    const Cell cell =
+        RunCell(nodes, driver.backend_kind(), driver.recovery_mode());
     if (progress != nullptr) {
       progress->Record(false);
     }
@@ -187,8 +190,10 @@ int main(int argc, char** argv) {
 
     JsonValue entry = JsonValue::Object();
     // Part of the bench_diff cell key: a sim cell and a threads cell are
-    // different measurements and must never be diffed against each other.
+    // different measurements and must never be diffed against each other;
+    // same for exact vs approximate recovery.
     entry.Set("backend", driver.backend_name());
+    entry.Set("recovery_mode", driver.recovery_mode_name());
     entry.Set("nodes", cell.nodes);
     entry.Set("workers", cell.workers);
     entry.Set("standby", cell.standby);

@@ -141,6 +141,7 @@ int main(int argc, char** argv) {
       JsonValue entry = JsonValue::Object();
       // Part of the bench_diff cell key (see scale_cluster).
       entry.Set("backend", driver.backend_name());
+      entry.Set("recovery_mode", driver.recovery_mode_name());
       entry.Set("tenants", cell.tenants);
       entry.Set("tasks_per_tenant", cell.tasks_per_tenant);
       entry.Set("total_tasks", cell.tenants * cell.tasks_per_tenant);

@@ -28,7 +28,13 @@
 //     --backend <sim|threads>  substrate the cases execute on; golden
 //                          twins and the minimizer oracle always stay
 //                          on the sim, so "threads" is a fault-injected
-//                          parity sweep (DESIGN.md §16)
+//                          parity sweep (DESIGN.md §16). Rejected (exit
+//                          2) with --multi: multi-tenant campaigns run
+//                          on the sim only
+//     --recovery_mode <ppa|approx|hybrid>  recovery mode stamped into
+//                          every generated case (DESIGN.md §17); the
+//                          error-budget invariant checks the certified
+//                          divergence bound under approx/hybrid
 //     --progress           live per-case progress line on stderr (ticks
 //                          in completion order; the report is unchanged)
 //     --metrics_out <file> / --chrome_trace_out <file>
@@ -144,6 +150,10 @@ int Run(int argc, char** argv) {
   // sweep: cases execute on the threaded backend while golden twins and
   // the minimizer oracle stay on the deterministic sim (DESIGN.md §16).
   options.backend = driver.backend_kind();
+  // --recovery_mode=approx/hybrid stamps every generated case with the
+  // bounded-error recovery contract; the error-budget invariant then
+  // holds measured loss to the certified bound (DESIGN.md §17).
+  options.recovery_mode = driver.recovery_mode();
   bool multi = false;
   std::string replay_path, report_path, repro_dir;
   for (int i = 1; i < argc; ++i) {
@@ -189,10 +199,14 @@ int Run(int argc, char** argv) {
   if (multi &&
       options.backend != backend::BackendKind::kSim) {
     // Multi-tenant cases drive the whole service + tenants on one sim
-    // strand; a threaded sweep for them is future work.
+    // strand; a threaded sweep for them is future work. Hard error, not
+    // a warning: silently running on the sim would mislabel the report
+    // as a threads parity sweep.
     std::fprintf(stderr,
-                 "--multi ignores --backend=%s (runs on the sim)\n",
+                 "--multi does not support --backend=%s; multi-tenant "
+                 "campaigns run on the sim only\n",
                  backend::BackendKindToString(options.backend).c_str());
+    return 2;
   }
   if (multi) {
     auto campaign = chaos::RunMultiTenantCampaign(options);

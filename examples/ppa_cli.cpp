@@ -31,6 +31,10 @@
 //                          the deterministic simulator; threads runs
 //                          the same job on the real worker-pool
 //                          backend in wall-clock time
+//     --recovery_mode <ppa|approx|hybrid>  exact recovery (default),
+//                          bounded-error approximate recovery, or the
+//                          hybrid (replicated tasks exact, rest
+//                          approximate); see DESIGN.md §17
 //
 // Example spec + scenario live in the repository README.
 
@@ -143,9 +147,14 @@ int Run(int argc, char** argv) {
   std::unique_ptr<backend::ExecutionBackend> be = driver.MakeBackend();
   JobConfig config;
   config.ft_mode = mode;
+  config.recovery_mode = driver.recovery_mode();
   config.num_worker_nodes = std::max(4, topo->num_tasks());
   config.num_standby_nodes = std::max(2, topo->num_tasks() / 2);
   config.window_batches = window;
+  if (Status valid = config.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "bad config: %s\n", valid.ToString().c_str());
+    return 2;
+  }
   StreamingJob job(*topo, config, JobRuntimeDeps(be.get()));
 
   // Generic bindings: deterministic synthetic sources at the spec's rates,

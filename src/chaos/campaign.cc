@@ -24,6 +24,7 @@ CampaignCaseResult RunOneCaseInner(const CampaignOptions& options,
     return result;
   }
   result.chaos_case = *std::move(generated);
+  result.chaos_case.recovery_mode = options.recovery_mode;
   StatusOr<ChaosRunReport> report =
       RunChaosCase(result.chaos_case, BuiltinInvariants(), options.backend);
   if (!report.ok()) {
@@ -154,6 +155,9 @@ JsonValue CampaignReportToJson(const CampaignReport& report) {
   json.Set("base_seed", static_cast<int64_t>(report.options.base_seed));
   json.Set("num_seeds", report.options.num_seeds);
   json.Set("backend", backend::BackendKindToString(report.options.backend));
+  json.Set("recovery_mode",
+           std::string(af::RecoveryModeToString(
+               report.options.recovery_mode)));
   json.Set("minimize", report.options.minimize);
   json.Set("intensity", IntensityToJson(report.options.intensity));
   json.Set("num_failed", report.num_failed);

@@ -30,6 +30,10 @@ struct CampaignOptions {
   /// minimizer oracle always stay on the deterministic sim, so a threads
   /// campaign is a fault-injected parity sweep of the threaded backend.
   backend::BackendKind backend = backend::BackendKind::kSim;
+  /// Recovery mode stamped into every generated case (src/af). Non-kPpa
+  /// campaigns exercise checkpoint thinning, and the error-budget
+  /// invariant holds the measured loss to the certified bound.
+  af::RecoveryMode recovery_mode = af::RecoveryMode::kPpa;
   /// Shrink every failing case with MinimizeFailingCase. Minimization
   /// runs inside the mapped case so it parallelizes with the campaign.
   bool minimize = false;

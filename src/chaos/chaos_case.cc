@@ -14,6 +14,12 @@ JobConfig ChaosCase::ToJobConfig() const {
   config.num_standby_nodes = num_standby_nodes;
   config.window_batches = window_batches;
   config.delta_checkpoints = delta_checkpoints;
+  config.recovery_mode = recovery_mode;
+  config.error_budget.task_divergence_records = af_task_divergence_records;
+  // The job budget scales with the per-task one so a handful of thinned
+  // tasks never exhausts it by construction.
+  config.error_budget.job_divergence_records = af_task_divergence_records * 10;
+  config.error_budget.max_certified_loss = af_max_certified_loss;
   return config;
 }
 
@@ -30,6 +36,11 @@ JsonValue ChaosCaseToJson(const ChaosCase& chaos_case) {
   json.Set("num_standby_nodes", chaos_case.num_standby_nodes);
   json.Set("window_batches", chaos_case.window_batches);
   json.Set("delta_checkpoints", chaos_case.delta_checkpoints);
+  json.Set("recovery_mode",
+           std::string(af::RecoveryModeToString(chaos_case.recovery_mode)));
+  json.Set("af_task_divergence_records",
+           chaos_case.af_task_divergence_records);
+  json.Set("af_max_certified_loss", chaos_case.af_max_certified_loss);
   JsonValue domains = JsonValue::Array();
   for (int domain : chaos_case.node_domains) {
     domains.Append(domain);
@@ -108,6 +119,23 @@ StatusOr<ChaosCase> ChaosCaseFromJson(const JsonValue& json) {
     return InvalidArgument("'delta_checkpoints' must be a bool");
   }
   chaos_case.delta_checkpoints = deltas->AsBool();
+  // The af fields are optional with defaults: repro JSONs that predate
+  // approximate fault tolerance parse as exact (kPpa) cases.
+  if (const JsonValue* mode = json.Find("recovery_mode"); mode != nullptr) {
+    if (!mode->is_string()) {
+      return InvalidArgument("'recovery_mode' must be a string");
+    }
+    PPA_ASSIGN_OR_RETURN(chaos_case.recovery_mode,
+                         af::RecoveryModeFromString(mode->AsString()));
+  }
+  if (json.Find("af_task_divergence_records") != nullptr) {
+    PPA_ASSIGN_OR_RETURN(chaos_case.af_task_divergence_records,
+                         RequireInt(json, "af_task_divergence_records"));
+  }
+  if (json.Find("af_max_certified_loss") != nullptr) {
+    PPA_ASSIGN_OR_RETURN(chaos_case.af_max_certified_loss,
+                         RequireNumber(json, "af_max_certified_loss"));
+  }
   PPA_ASSIGN_OR_RETURN(const JsonValue* domains,
                        Require(json, "node_domains"));
   if (!domains->is_array()) {

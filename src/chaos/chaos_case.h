@@ -39,6 +39,15 @@ struct ChaosCase {
   int64_t window_batches = 10;
   bool delta_checkpoints = false;
 
+  /// Recovery mode of the run (src/af). kPpa replays exactly; kApprox /
+  /// kHybrid thin checkpoints within the error budget below. Serialized
+  /// optional-with-default, so pre-af repro JSONs keep parsing.
+  af::RecoveryMode recovery_mode = af::RecoveryMode::kPpa;
+  /// Per-task absolute divergence budget (ErrorBudgetSpec).
+  int64_t af_task_divergence_records = 5000;
+  /// Cap on the certified per-batch output-loss bound.
+  double af_max_certified_loss = 0.25;
+
   /// Failure-domain id of each cluster node (dense, size = worker +
   /// standby nodes). Empty keeps the default singleton domains.
   std::vector<int> node_domains;

@@ -6,9 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include "af/error_budget.h"
 #include "ft/recovery_model.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
+#include "topology/task_set.h"
 
 namespace ppa {
 namespace chaos {
@@ -328,6 +330,112 @@ class TimelineSanityInvariant : public Invariant {
   }
 };
 
+class ErrorBudgetInvariant : public Invariant {
+ public:
+  std::string_view name() const override { return "error-budget"; }
+
+  void Check(const ChaosRunContext& context,
+             std::vector<ChaosViolation>* violations) const override {
+    const auto& certs = context.job->approx_certificates();
+    const int64_t skipped = context.job->trace().CountOf(
+        obs::TraceEventKind::kCheckpointSkipped);
+    if (context.chaos_case->recovery_mode == af::RecoveryMode::kPpa) {
+      // Exact mode must be exactly the pre-af engine: no thinning, no
+      // approximate recoveries, ever.
+      if (skipped > 0) {
+        violations->push_back(
+            {std::string(name()),
+             std::to_string(skipped) +
+                 " checkpoints skipped under recovery_mode=ppa"});
+      }
+      if (!certs.empty()) {
+        violations->push_back(
+            {std::string(name()),
+             std::to_string(certs.size()) +
+                 " approximate recoveries under recovery_mode=ppa"});
+      }
+      return;
+    }
+    // Every certificate honors the declared cap.
+    const double cap = context.chaos_case->af_max_certified_loss;
+    for (const af::ApproxCertificate& cert : certs) {
+      if (cert.certified_loss > cap + 1e-9) {
+        violations->push_back(
+            {std::string(name()),
+             "task " + std::to_string(cert.task) +
+                 " certified loss " + std::to_string(cert.certified_loss) +
+                 " exceeds the declared cap " + std::to_string(cap)});
+      }
+    }
+    if (certs.empty()) {
+      return;
+    }
+    // Golden-twin comparison: in the post-recovery region that an
+    // approximate recovery polluted (the guard window after its resume
+    // point), the measured per-batch output deficit must stay within the
+    // certified OF bound of the forfeiting tasks. Batches emitted while
+    // tasks were failed or catching up degrade for exact-PPA reasons and
+    // are excluded, as is guard slop not attributable to any certificate.
+    const std::map<GroupKey, OutputGroup> golden =
+        GroupStableRecords(*context.golden, /*corrections=*/false);
+    const std::map<GroupKey, OutputGroup> stable =
+        GroupStableRecords(*context.job, /*corrections=*/false);
+    const std::set<int64_t> degraded = DegradedBatches(context);
+    const int64_t guard =
+        context.chaos_case->window_batches *
+        static_cast<int64_t>(context.job->topology().num_operators());
+    const int num_tasks = context.job->topology().num_tasks();
+    for (const auto& [key, golden_group] : golden) {
+      const int64_t batch = key.second;
+      if (degraded.count(batch) > 0) {
+        continue;
+      }
+      TaskSet forfeiters(num_tasks);
+      bool certified = false;
+      for (const af::ApproxCertificate& cert : certs) {
+        if (batch >= cert.resumed_batch &&
+            batch <= cert.resumed_batch + guard) {
+          forfeiters.Add(static_cast<TaskId>(cert.task));
+          certified = true;
+        }
+      }
+      if (!certified) {
+        continue;  // Exact regions are exactly-once-stable's job.
+      }
+      int64_t golden_tuples = 0;
+      for (const auto& [tuple, count] : golden_group) {
+        golden_tuples += count;
+      }
+      int64_t faulty_tuples = 0;
+      auto it = stable.find(key);
+      if (it != stable.end()) {
+        for (const auto& [tuple, count] : it->second) {
+          faulty_tuples += count;
+        }
+      }
+      if (golden_tuples <= 0 || faulty_tuples >= golden_tuples) {
+        continue;
+      }
+      const double deficit =
+          1.0 - static_cast<double>(faulty_tuples) /
+                    static_cast<double>(golden_tuples);
+      const double allowed =
+          af::CertifiedLossBound(context.job->topology(), forfeiters);
+      // Small relative tolerance plus an absolute couple-of-tuples slack:
+      // integer batch boundaries make tiny deficits unavoidable noise.
+      if (deficit > allowed + 0.05 && golden_tuples - faulty_tuples > 2) {
+        violations->push_back(
+            {std::string(name()),
+             "sink task " + std::to_string(key.first) + " batch " +
+                 std::to_string(batch) + " lost " +
+                 std::to_string(deficit) +
+                 " of its golden output; certified bound was " +
+                 std::to_string(allowed)});
+      }
+    }
+  }
+};
+
 class EventSanityInvariant : public Invariant {
  public:
   std::string_view name() const override { return "event-sanity"; }
@@ -368,10 +476,11 @@ const std::vector<const Invariant*>& BuiltinInvariants() {
   static const LivenessInvariant liveness;
   static const ReplicaBudgetInvariant replica_budget;
   static const TimelineSanityInvariant timeline_sanity;
+  static const ErrorBudgetInvariant error_budget;
   static const EventSanityInvariant event_sanity;
   static const std::vector<const Invariant*> all = {
-      &exactly_once,    &fidelity_bounds,  &liveness,
-      &replica_budget,  &timeline_sanity,  &event_sanity,
+      &exactly_once,    &fidelity_bounds,  &liveness,    &replica_budget,
+      &timeline_sanity, &error_budget,     &event_sanity,
   };
   return all;
 }

@@ -68,6 +68,11 @@ class Invariant {
 ///    replicas a plan swap must not tear down).
 ///  - timeline-sanity: recovery phases and tentative windows are
 ///    time-ordered; recovery reports carry no negative latency.
+///  - error-budget: under recovery_mode=ppa no checkpoint is ever
+///    skipped; under approx/hybrid every divergence certificate honors
+///    the declared cap, and the golden-twin per-batch output deficit in
+///    certified post-recovery windows never exceeds the certified OF
+///    bound.
 ///  - event-sanity: every scenario event executed and resolved to an
 ///    acceptable status (OK, or the precondition rejections a random
 ///    schedule legitimately hits), never InvalidArgument/Internal.

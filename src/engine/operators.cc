@@ -164,7 +164,10 @@ Status SlidingWindowAggregateOperator::ApplyDelta(const std::string& delta) {
     PPA_ASSIGN_OR_RETURN(slice.batch, r.GetI64());
     PPA_ASSIGN_OR_RETURN(uint64_t tuples, r.GetU64());
     if (!window_.empty() && slice.batch <= window_.back().batch) {
-      return InvalidArgument("delta slices out of order");
+      return InvalidArgument("delta slices out of order (slice " +
+                             std::to_string(slice.batch) + " <= window back " +
+                             std::to_string(window_.back().batch) +
+                             ", horizon " + std::to_string(horizon) + ")");
     }
     slice.tuples.reserve(tuples);
     for (uint64_t j = 0; j < tuples; ++j) {

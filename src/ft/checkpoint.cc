@@ -10,6 +10,7 @@ void CheckpointStore::AttachMetrics(obs::MetricsRegistry* registry) {
     chain_deltas_histogram_ = nullptr;
     full_counter_ = nullptr;
     delta_counter_ = nullptr;
+    skipped_counter_ = nullptr;
     store_bytes_gauge_ = nullptr;
     return;
   }
@@ -17,6 +18,7 @@ void CheckpointStore::AttachMetrics(obs::MetricsRegistry* registry) {
   chain_deltas_histogram_ = registry->histogram("checkpoint.chain_deltas");
   full_counter_ = registry->counter("checkpoint.full");
   delta_counter_ = registry->counter("checkpoint.delta");
+  skipped_counter_ = registry->counter("checkpoint.skipped");
   store_bytes_gauge_ = registry->gauge("checkpoint.store_blob_bytes");
 }
 
@@ -101,6 +103,25 @@ int64_t CheckpointStore::ChainStateTuples(TaskId task) const {
 int64_t CheckpointStore::CoveredBatch(TaskId task) const {
   const TaskCheckpoint* cp = Latest(task);
   return cp == nullptr ? 0 : cp->next_batch;
+}
+
+void CheckpointStore::NoteSkipped(TaskId task, int64_t next_batch) {
+  int64_t& frontier = skipped_frontier_[task];
+  if (next_batch > frontier) {
+    frontier = next_batch;
+  }
+  obs::Add(skipped_counter_);
+}
+
+int64_t CheckpointStore::SkippedFrontier(TaskId task) const {
+  auto it = skipped_frontier_.find(task);
+  return it == skipped_frontier_.end() ? 0 : it->second;
+}
+
+int64_t CheckpointStore::TrimBatch(TaskId task) const {
+  const int64_t covered = CoveredBatch(task);
+  const int64_t skipped = SkippedFrontier(task);
+  return skipped > covered ? skipped : covered;
 }
 
 }  // namespace ppa

@@ -66,6 +66,23 @@ class CheckpointStore {
   /// the beginning).
   [[nodiscard]] int64_t CoveredBatch(TaskId task) const;
 
+  /// Records a *skipped* (thinned) checkpoint under approximate fault
+  /// tolerance (DESIGN.md §17): no blob is persisted, but upstream
+  /// buffers may be trimmed as if the task had checkpointed at
+  /// `next_batch`. The frontier is monotone and is superseded once a
+  /// persisted chain element covers it.
+  void NoteSkipped(TaskId task, int64_t next_batch);
+
+  /// The thinned coverage frontier of `task`: the highest next_batch a
+  /// skipped checkpoint certified. 0 when the task never skipped.
+  [[nodiscard]] int64_t SkippedFrontier(TaskId task) const;
+
+  /// The batch upstream buffers may trim to for `task`:
+  /// max(CoveredBatch, SkippedFrontier). Under exact recovery this
+  /// equals CoveredBatch; under approximate recovery the gap
+  /// [CoveredBatch, TrimBatch) is exactly what a failure forfeits.
+  [[nodiscard]] int64_t TrimBatch(TaskId task) const;
+
   /// Number of tasks with at least one checkpoint.
   size_t size() const { return chains_.size(); }
 
@@ -77,16 +94,18 @@ class CheckpointStore {
   /// Drops everything (used between experiment repetitions).
   void Clear() {
     chains_.clear();
+    skipped_frontier_.clear();
     total_bytes_ = 0;
     obs::Set(store_bytes_gauge_, 0.0);
   }
 
   /// Publishes "checkpoint.bytes" (per-checkpoint blob size histogram),
-  /// the "checkpoint.full"/"checkpoint.delta" counters, the
-  /// "checkpoint.store_blob_bytes" gauge (TotalBlobBytes after every
-  /// Put/PutDelta/Clear), and the "checkpoint.chain_deltas" histogram
-  /// (deltas a chain accumulated before a full checkpoint rebased it) to
-  /// `registry` (nullptr detaches).
+  /// the "checkpoint.full"/"checkpoint.delta"/"checkpoint.skipped"
+  /// counters, the "checkpoint.store_blob_bytes" gauge (TotalBlobBytes
+  /// after every Put/PutDelta/Clear), and the "checkpoint.chain_deltas"
+  /// histogram (deltas a chain accumulated before a full checkpoint
+  /// rebased it; skipped checkpoints are not chain elements and never
+  /// inflate it) to `registry` (nullptr detaches).
   void AttachMetrics(obs::MetricsRegistry* registry);
 
   /// Registers a span profiler (nullptr detaches): every Put/PutDelta
@@ -96,12 +115,16 @@ class CheckpointStore {
 
  private:
   std::map<TaskId, std::vector<TaskCheckpoint>> chains_;
+  /// Thinned coverage per task (NoteSkipped); kept outside the chains so
+  /// chain length, state tuples, and byte accounting stay blob-exact.
+  std::map<TaskId, int64_t> skipped_frontier_;
   /// Sum of blob sizes over all chains (incremental TotalBlobBytes).
   int64_t total_bytes_ = 0;
   obs::Histogram* bytes_histogram_ = nullptr;
   obs::Histogram* chain_deltas_histogram_ = nullptr;
   obs::Counter* full_counter_ = nullptr;
   obs::Counter* delta_counter_ = nullptr;
+  obs::Counter* skipped_counter_ = nullptr;
   obs::Gauge* store_bytes_gauge_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
 };

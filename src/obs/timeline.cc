@@ -38,6 +38,16 @@ std::vector<RecoveryTimeline> BuildRecoveryTimelines(const TraceLog& trace) {
         }
         break;
       }
+      case TraceEventKind::kDivergenceCertified: {
+        auto it = open.find(e.task);
+        if (it != open.end()) {
+          RecoveryTimeline& tl = timelines[it->second];
+          tl.approx = true;
+          tl.forfeited_records = e.a;
+          tl.certified_loss = static_cast<double>(e.b) / 1e6;
+        }
+        break;
+      }
       case TraceEventKind::kTaskCaughtUp: {
         auto it = open.find(e.task);
         if (it != open.end()) {

@@ -28,6 +28,14 @@ struct RecoveryTimeline {
   bool restored = false;
   bool caught_up = false;
 
+  /// Approximate-recovery certificate (kDivergenceCertified /
+  /// kApproxRecovery within this episode); inert for exact recoveries.
+  bool approx = false;
+  /// Records the thinned gap forfeited instead of replayed.
+  int64_t forfeited_records = 0;
+  /// Certified per-batch output-loss bound, in [0, 1].
+  double certified_loss = 0.0;
+
   /// Failure to restoration; zero while incomplete.
   Duration RestoreLatency() const {
     return restored ? restored_at - failed_at : Duration::Zero();

@@ -39,6 +39,12 @@ std::string_view TraceEventKindToString(TraceEventKind kind) {
       return "node-revived";
     case TraceEventKind::kRecoveryArbitrated:
       return "recovery-arbitrated";
+    case TraceEventKind::kCheckpointSkipped:
+      return "checkpoint-skipped";
+    case TraceEventKind::kApproxRecovery:
+      return "approx-recovery";
+    case TraceEventKind::kDivergenceCertified:
+      return "divergence-certified";
   }
   return "?";
 }

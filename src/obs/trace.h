@@ -62,6 +62,20 @@ enum class TraceEventKind : uint8_t {
   /// recovery behind higher-ranked tenants. a = hold in microseconds,
   /// b = failed tasks covered by the held detection.
   kRecoveryArbitrated,
+  /// A due checkpoint was skipped under approximate fault tolerance
+  /// (DESIGN.md §17): the error budget certified the drift, no blob was
+  /// persisted, and upstream buffers may trim as if it had been taken.
+  /// task, a = next_batch the skip covers, b = unpersisted records.
+  kCheckpointSkipped,
+  /// A task recovered from a thinned chain: restored the persisted
+  /// coverage and fast-forwarded over the certified gap instead of
+  /// replaying it. task, a = restored (persisted) batch, b = resumed
+  /// (thinned-frontier) batch.
+  kApproxRecovery,
+  /// The divergence certificate of an approximate recovery. task,
+  /// a = forfeited records, b = certified output-loss bound in
+  /// parts-per-million.
+  kDivergenceCertified,
 };
 
 /// Stable wire/name of a trace event kind (e.g. "node-failure").

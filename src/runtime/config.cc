@@ -40,6 +40,18 @@ Status JobConfig::Validate() const {
   if (flight_recorder_capacity < 0) {
     return InvalidArgument("flight_recorder_capacity must be non-negative");
   }
+  if (recovery_mode == af::RecoveryMode::kApprox &&
+      ft_mode != FtMode::kCheckpoint && ft_mode != FtMode::kPpa) {
+    return InvalidArgument(
+        "recovery_mode=approx requires a checkpoint-bearing ft_mode "
+        "(checkpoint or ppa)");
+  }
+  if (recovery_mode == af::RecoveryMode::kHybrid && ft_mode != FtMode::kPpa) {
+    return InvalidArgument("recovery_mode=hybrid requires ft_mode=ppa");
+  }
+  if (recovery_mode != af::RecoveryMode::kPpa) {
+    PPA_RETURN_IF_ERROR(error_budget.Validate());
+  }
   return OkStatus();
 }
 

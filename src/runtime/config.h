@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "af/error_budget.h"
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "ft/recovery_model.h"
@@ -42,6 +43,18 @@ struct JobConfig {
   Duration replica_sync_interval = Duration::Seconds(5);
 
   FtMode ft_mode = FtMode::kCheckpoint;
+
+  /// Recovery exactness contract (DESIGN.md §17): kPpa keeps every
+  /// checkpoint (exact recovery, the default); kApprox thins checkpoints
+  /// within `error_budget` for every task; kHybrid keeps the
+  /// actively-replicated (high-weight) tasks exact and thins the rest.
+  /// kApprox requires a checkpoint-bearing ft_mode (kCheckpoint or
+  /// kPpa); kHybrid requires ft_mode = kPpa.
+  af::RecoveryMode recovery_mode = af::RecoveryMode::kPpa;
+
+  /// Divergence tolerance gating checkpoint thinning when
+  /// `recovery_mode` != kPpa (ignored otherwise).
+  af::ErrorBudgetSpec error_budget;
 
   /// Recovery latency cost model.
   RecoveryCostModel recovery;
@@ -92,7 +105,9 @@ struct JobConfig {
   /// Checks the configuration for values the simulation cannot run with:
   /// non-positive batch/detection/checkpoint/replica-sync intervals,
   /// negative CPU costs, `max_delta_chain` < 1, non-positive
-  /// `window_batches`, or a cluster without worker nodes. Returns
+  /// `window_batches`, a cluster without worker nodes, or a
+  /// recovery_mode/ft_mode/error_budget combination outside the af
+  /// contract above. Returns
   /// InvalidArgument naming the offending field; StreamingJob construction
   /// PPA_CHECK-fails on an invalid config.
   [[nodiscard]] Status Validate() const;

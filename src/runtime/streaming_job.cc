@@ -116,6 +116,11 @@ void StreamingJob::InitObservability() {
   m_sink_records_ = metrics_.counter("sink.records");
   m_sink_tentative_ = metrics_.counter("sink.tentative_records");
   m_sink_corrections_ = metrics_.counter("sink.correction_records");
+  if (config_.recovery_mode != af::RecoveryMode::kPpa) {
+    m_af_skipped_ = metrics_.counter("af.checkpoints_skipped");
+    m_af_forfeited_records_ = metrics_.counter("af.forfeited_records");
+    m_af_certified_loss_ = metrics_.histogram("af.certified_loss");
+  }
   m_buffered_tuples_ = metrics_.gauge("job.buffered_tuples");
   m_output_buffer_batches_ = metrics_.gauge("engine.output_buffer_batches");
   m_buffered_bytes_estimate_ =
@@ -270,6 +275,8 @@ Status StreamingJob::Start() {
     backend_->AttachSpans(&spans_);
   }
 
+  divergence_.Reset(topology_.num_tasks(), backend_->now());
+
   // Recurring engine events.
   ScheduleManaged(Duration::Zero(), [this] { OnBatchTick(); });
   if (config_.ft_mode == FtMode::kCheckpoint ||
@@ -414,6 +421,12 @@ Status StreamingJob::ActivateReplica(TaskId t) {
     PPA_ASSIGN_OR_RETURN(std::string blob,
                          primaries_[static_cast<size_t>(t)]->Snapshot());
     PPA_RETURN_IF_ERROR(rep->Restore(blob));
+  }
+  // A previously-thinned task's upstream buffers only cover batches past
+  // the certified skip frontier; seed the replica there (no-op for exact
+  // tasks, where TrimBatch never exceeds the restored coverage).
+  if (checkpoints_.TrimBatch(t) > rep->next_batch()) {
+    rep->FastForward(checkpoints_.TrimBatch(t));
   }
   PPA_RETURN_IF_ERROR(cluster_.PlaceReplicaAuto(t));
   rep->AttachMetrics(m_tuples_replica_, m_batches_replica_);
@@ -625,6 +638,15 @@ bool StreamingJob::TryAdvance(TaskRuntime* rt, bool is_replica) {
                           : static_cast<double>(in_count);
       processing_us_[static_cast<size_t>(t)] +=
           work * config_.process_cost_per_tuple_us;
+      if (config_.recovery_mode != af::RecoveryMode::kPpa) {
+        // Conservative un-persisted drift: every record processed since
+        // the task's last persisted blob could be forfeited by a thinned
+        // recovery (DESIGN.md §17). Cleared when a blob lands.
+        const int64_t records = static_cast<int64_t>(work);
+        divergence_.Observe(t, records,
+                            records * static_cast<int64_t>(sizeof(Tuple)),
+                            topology_.task(t).weight);
+      }
       if (!rt->is_source()) {
         obs::Observe(m_tuples_per_batch_, static_cast<double>(in_count));
       }
@@ -723,9 +745,70 @@ void StreamingJob::RecordSinkBatch(TaskId t, int64_t batch, int64_t tuples,
   }
 }
 
+bool StreamingJob::ApproxEligible(TaskId t) const {
+  switch (config_.recovery_mode) {
+    case af::RecoveryMode::kPpa:
+      return false;
+    case af::RecoveryMode::kApprox:
+      return true;
+    case af::RecoveryMode::kHybrid:
+      // Hybrid placement rule (DESIGN.md §17): tasks under the active
+      // replica plan (the planner's high-weight picks) stay exact; the
+      // rest run under the bounded-error contract.
+      return !active_set_.Contains(t) && replicas_.count(t) == 0;
+  }
+  return false;
+}
+
+bool StreamingJob::ShouldSkipCheckpoint(TaskId t, TaskRuntime* rt) const {
+  if (!ApproxEligible(t)) {
+    return false;
+  }
+  // Nothing new to certify since the frontier last moved: take the (now
+  // cheap) checkpoint and reset the drift instead of chasing a frontier
+  // that stalled.
+  if (rt->next_batch() <= checkpoints_.TrimBatch(t)) {
+    return false;
+  }
+  // Job-wide at-risk drift: every task already running ahead of its
+  // persisted coverage, plus this one. A correlated failure could forfeit
+  // all of them at once, so both the job budget and the certified-loss cap
+  // are evaluated over the union.
+  const af::Divergence& task_drift = divergence_.OfTask(t);
+  af::Divergence job_drift = task_drift;
+  TaskSet at_risk(topology_.num_tasks());
+  at_risk.Add(t);
+  for (TaskId u = 0; u < topology_.num_tasks(); ++u) {
+    if (u != t && checkpoints_.TrimBatch(u) > checkpoints_.CoveredBatch(u)) {
+      job_drift.Add(divergence_.OfTask(u));
+      at_risk.Add(u);
+    }
+  }
+  const af::ErrorBudget budget(config_.error_budget);
+  if (!budget.AllowSkip(task_drift,
+                        divergence_.ElapsedSeconds(t, backend_->now()),
+                        job_drift)) {
+    return false;
+  }
+  return af::CertifiedLossBound(topology_, at_risk) <=
+         config_.error_budget.max_certified_loss;
+}
+
 void StreamingJob::OnCheckpoint(TaskId t) {
   TaskRuntime* rt = primaries_[static_cast<size_t>(t)].get();
-  if (rt->alive()) {
+  if (rt->alive() && ShouldSkipCheckpoint(t, rt)) {
+    // Thinned checkpoint: certify coverage up to the live frontier
+    // without persisting a blob. The snapshot baseline is untouched, so
+    // the next persisted delta spans the gap; upstream buffers may trim
+    // as if the checkpoint had been taken, making the skipped batches
+    // unrecoverable-by-replay — exactly the drift the budget certified.
+    ++checkpoints_skipped_;
+    checkpoints_.NoteSkipped(t, rt->next_batch());
+    trace_.Record(backend_->now(), obs::TraceEventKind::kCheckpointSkipped, t,
+                  -1, rt->next_batch(), divergence_.OfTask(t).records);
+    obs::Add(m_af_skipped_);
+    TrimUpstreamBuffers(t);
+  } else if (rt->alive()) {
     trace_.Record(backend_->now(), obs::TraceEventKind::kCheckpointBegin, t, -1,
                   rt->next_batch());
     TaskCheckpoint cp;
@@ -735,7 +818,8 @@ void StreamingJob::OnCheckpoint(TaskId t) {
     const bool take_delta =
         config_.delta_checkpoints && rt->SupportsDeltaSnapshots() &&
         checkpoints_.Chain(t) != nullptr &&
-        checkpoints_.ChainDeltas(t) < config_.max_delta_chain;
+        checkpoints_.ChainDeltas(t) < config_.max_delta_chain &&
+        checkpoint_rebase_.count(t) == 0;
     if (take_delta) {
       auto delta = rt->SnapshotDelta();
       PPA_CHECK_OK(delta.status());
@@ -759,6 +843,7 @@ void StreamingJob::OnCheckpoint(TaskId t) {
     } else {
       checkpoints_.Put(std::move(cp), cp_cost);
     }
+    checkpoint_rebase_.erase(t);
     ++checkpoint_count_[static_cast<size_t>(t)];
     checkpoint_us_[static_cast<size_t>(t)] += cp_us;
     // The end event carries the modeled CPU completion time; no loop event
@@ -771,6 +856,12 @@ void StreamingJob::OnCheckpoint(TaskId t) {
                  static_cast<double>(state_tuples));
     obs::Set(m_checkpoint_bytes_total_,
              static_cast<double>(checkpoints_.TotalBlobBytes()));
+    checkpoint_bytes_written_ += blob_bytes;
+    if (config_.recovery_mode != af::RecoveryMode::kPpa) {
+      // The blob persists everything processed so far; the drift epoch
+      // restarts here.
+      divergence_.Clear(t, backend_->now());
+    }
     TrimUpstreamBuffers(t);
   }
   ScheduleManaged(config_.checkpoint_interval,
@@ -786,7 +877,9 @@ void StreamingJob::TrimUpstreamBuffers(TaskId checkpointed) {
     int64_t min_covered = INT64_MAX;
     for (int osi : topology_.task(u).out_substreams) {
       const Substream& os = topology_.substreams()[osi];
-      min_covered = std::min(min_covered, checkpoints_.CoveredBatch(os.to));
+      // TrimBatch folds in the skip frontier of thinned consumers; it
+      // equals CoveredBatch whenever the consumer never skipped.
+      min_covered = std::min(min_covered, checkpoints_.TrimBatch(os.to));
       // Consumer replicas read from this buffer as well; keep what they
       // have not yet processed.
       auto rep = replicas_.find(os.to);
@@ -914,10 +1007,12 @@ void StreamingJob::OnDetection() {
         spec.replay_tuples = static_cast<int64_t>(rate * span_sec);
       } else {
         spec.kind = RecoveryKind::kCheckpoint;
-        // Loading a delta chain costs base + every delta.
+        // Loading a delta chain costs base + every delta. A thinned task
+        // resumes at its certified skip frontier, so only batches past it
+        // are replayed (the approximate-recovery speedup).
         spec.state_tuples = checkpoints_.ChainStateTuples(t);
         spec.replay_tuples =
-            EstimateReplayTuples(t, checkpoints_.CoveredBatch(t));
+            EstimateReplayTuples(t, checkpoints_.TrimBatch(t));
       }
       report.specs.push_back(spec);
     }
@@ -1015,6 +1110,12 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
       // the primary and its replica slot is free again.
       PPA_CHECK_OK(cluster_.PromoteReplicaToPrimary(t));
       active_set_.Remove(t);
+      if (checkpoints_.Chain(t) != nullptr) {
+        // The new primary's snapshot marker dates from replica
+        // activation, so its next delta could overlap slices the dead
+        // primary already persisted; rebase with a full snapshot.
+        checkpoint_rebase_.insert(t);
+      }
       break;
     }
     case RecoveryKind::kCheckpoint: {
@@ -1027,6 +1128,40 @@ void StreamingJob::CompleteRecovery(TaskId t, RecoveryKind kind) {
         }
       } else {
         rt->Reset(0);
+      }
+      const int64_t restored = rt->next_batch();
+      const int64_t resume = checkpoints_.TrimBatch(t);
+      if (resume > restored) {
+        // Approximate recovery (DESIGN.md §17): the gap [restored,
+        // resume) was certified at skip time and its upstream buffers
+        // trimmed, so it cannot be replayed; fast-forward over it and
+        // report the divergence certificate into the recovery timeline.
+        // Only a task whose checkpoints were thinned can get here —
+        // TrimBatch equals CoveredBatch for every exact task.
+        rt->FastForward(resume);
+        af::ApproxCertificate cert;
+        cert.task = t;
+        cert.restored_batch = restored;
+        cert.resumed_batch = resume;
+        cert.forfeited = divergence_.OfTask(t);
+        TaskSet self(topology_.num_tasks());
+        self.Add(t);
+        cert.certified_loss = af::CertifiedLossBound(topology_, self);
+        cert.at = backend_->now();
+        trace_.Record(backend_->now(), obs::TraceEventKind::kApproxRecovery,
+                      t, -1, restored, resume);
+        trace_.Record(backend_->now(),
+                      obs::TraceEventKind::kDivergenceCertified, t, -1,
+                      cert.forfeited.records,
+                      static_cast<int64_t>(cert.certified_loss * 1e6));
+        obs::Add(m_af_forfeited_records_, cert.forfeited.records);
+        obs::Observe(m_af_certified_loss_, cert.certified_loss);
+        approx_certificates_.push_back(std::move(cert));
+      }
+      if (config_.recovery_mode != af::RecoveryMode::kPpa) {
+        // Catch-up replay re-observes every batch past the restore point,
+        // so the drift epoch restarts at the restored state.
+        divergence_.Clear(t, backend_->now());
       }
       rt->MarkAlive();
       break;

@@ -7,6 +7,8 @@
 #include <set>
 #include <vector>
 
+#include "af/divergence.h"
+#include "af/error_budget.h"
 #include "common/status.h"
 #include "common/status_or.h"
 #include "engine/operator.h"
@@ -251,6 +253,19 @@ class StreamingJob {
   }
   const CheckpointStore& checkpoint_store() const { return checkpoints_; }
 
+  /// Divergence certificates of every approximate recovery under
+  /// config().recovery_mode != kPpa (DESIGN.md §17); empty for exact
+  /// runs. Checked against the golden twin by the chaos error-budget
+  /// invariant.
+  const std::vector<af::ApproxCertificate>& approx_certificates() const {
+    return approx_certificates_;
+  }
+  /// Total serialized bytes of every persisted checkpoint blob (full and
+  /// delta) this job wrote — the cost axis checkpoint thinning shrinks.
+  int64_t CheckpointBytesWritten() const { return checkpoint_bytes_written_; }
+  /// Due checkpoints skipped under the error budget.
+  int64_t CheckpointsSkipped() const { return checkpoints_skipped_; }
+
   /// The job's metric registry (counters/gauges/histograms named
   /// "subsystem.metric"; empty when config().observability is false).
   const obs::MetricsRegistry& metrics() const { return metrics_; }
@@ -313,6 +328,14 @@ class StreamingJob {
 
   void OnBatchTick();
   void OnCheckpoint(TaskId t);
+  /// True when `t` runs under the bounded-error contract: always for
+  /// kApprox; for kHybrid only while the task is outside the active
+  /// replica plan (the hybrid placement rule of DESIGN.md §17).
+  bool ApproxEligible(TaskId t) const;
+  /// The thinning gate: whether the due checkpoint of `t` may be
+  /// skipped — eligibility, fresh coverage to certify, the error budget
+  /// over the job's at-risk drift, and the certified-loss cap.
+  bool ShouldSkipCheckpoint(TaskId t, TaskRuntime* rt) const;
   void OnReplicaSync();
   void OnDetection();
   void OnAdaptation();
@@ -398,6 +421,20 @@ class StreamingJob {
   std::vector<double> checkpoint_us_;
   std::vector<int64_t> checkpoint_count_;
   int64_t peak_buffered_tuples_ = 0;
+  int64_t checkpoint_bytes_written_ = 0;
+  int64_t checkpoints_skipped_ = 0;
+  /// Tasks whose next persisted checkpoint must be a full rebase: a
+  /// promoted replica's snapshot lineage diverges from the dead
+  /// primary's delta chain (its snapshot marker dates from activation),
+  /// so a delta on top of that chain could duplicate already-persisted
+  /// window slices and corrupt the chain for later restores.
+  std::set<TaskId> checkpoint_rebase_;
+
+  /// Approximate fault tolerance (src/af, DESIGN.md §17): per-task
+  /// un-persisted drift and the certificates of thinned recoveries.
+  /// Inert (never observed into) when recovery_mode == kPpa.
+  af::DivergenceTracker divergence_;
+  std::vector<af::ApproxCertificate> approx_certificates_;
 
   /// Dynamic plan adaptation (Sec. V-C).
   Duration adaptation_interval_ = Duration::Zero();
@@ -443,6 +480,9 @@ class StreamingJob {
   obs::Counter* m_sink_records_ = nullptr;
   obs::Counter* m_sink_tentative_ = nullptr;
   obs::Counter* m_sink_corrections_ = nullptr;
+  obs::Counter* m_af_skipped_ = nullptr;
+  obs::Counter* m_af_forfeited_records_ = nullptr;
+  obs::Histogram* m_af_certified_loss_ = nullptr;
   obs::Gauge* m_buffered_tuples_ = nullptr;
   obs::Gauge* m_output_buffer_batches_ = nullptr;
   obs::Gauge* m_buffered_bytes_estimate_ = nullptr;

@@ -5,6 +5,7 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include "af/error_budget.h"
 #include "chaos/campaign.h"
 #include "chaos/chaos_case.h"
 #include "chaos/chaos_run.h"
@@ -60,6 +61,27 @@ TEST(ChaosCaseJsonTest, RoundTrips) {
   auto parsed = ParseChaosCaseJson(ChaosCaseToJson(*generated).Serialize());
   ASSERT_TRUE(parsed.ok()) << parsed.status();
   EXPECT_EQ(*parsed, *generated);
+}
+
+TEST(ChaosCaseJsonTest, RoundTripsNonDefaultRecoveryModeFields) {
+  auto generated = GenerateChaosCase(ChaosIntensity::Medium(), 99);
+  ASSERT_TRUE(generated.ok()) << generated.status();
+  ChaosCase tweaked = *generated;
+  tweaked.recovery_mode = af::RecoveryMode::kApprox;
+  tweaked.af_task_divergence_records = 1234;
+  tweaked.af_max_certified_loss = 0.625;
+  auto parsed = ParseChaosCaseJson(ChaosCaseToJson(tweaked).Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, tweaked);
+  EXPECT_EQ(parsed->recovery_mode, af::RecoveryMode::kApprox);
+  EXPECT_EQ(parsed->af_task_divergence_records, 1234);
+  EXPECT_DOUBLE_EQ(parsed->af_max_certified_loss, 0.625);
+  // Pre-af case files (no recovery_mode key) still parse, as exact mode.
+  JsonValue json = ChaosCaseToJson(*generated);
+  EXPECT_EQ(generated->recovery_mode, af::RecoveryMode::kPpa);
+  auto legacy = ParseChaosCaseJson(json.Serialize());
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_EQ(legacy->recovery_mode, af::RecoveryMode::kPpa);
 }
 
 TEST(ChaosCaseJsonTest, RejectsMissingFields) {

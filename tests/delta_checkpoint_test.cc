@@ -1,11 +1,15 @@
 #include <memory>
+#include <set>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "backend/sim_backend.h"
 #include "engine/operators.h"
 #include "engine/task_runtime.h"
+#include "af/error_budget.h"
 #include "ft/checkpoint.h"
+#include "obs/metrics.h"
 #include "runtime/streaming_job.h"
 #include "tests/test_topologies.h"
 #include "workloads/synthetic_recovery.h"
@@ -144,6 +148,92 @@ TEST(DeltaSnapshotTest, TaskRuntimeChainRoundTrip) {
   }
 }
 
+TEST(DeltaSnapshotTest, DeltaSpansSkippedGap) {
+  // A skipped checkpoint leaves the snapshot marker untouched, so the
+  // next persisted delta spans the whole gap; restoring through it must
+  // reproduce the live window exactly.
+  SlidingWindowAggregateOperator a(8, 1.0), b(8, 1.0);
+  for (int64_t batch = 0; batch < 3; ++batch) {
+    BatchContext ctx(batch, 0, 1);
+    a.ProcessBatch(&ctx, Batch(batch, 3));
+  }
+  auto base = a.SnapshotState();
+  ASSERT_TRUE(base.ok());
+  // Batches 3-4 pass without any snapshot (the skip), then 5-6 arrive
+  // and the next delta must carry all four fresh slices.
+  for (int64_t batch = 3; batch < 7; ++batch) {
+    BatchContext ctx(batch, 0, 1);
+    a.ProcessBatch(&ctx, Batch(batch, 3));
+  }
+  int64_t fresh = 0;
+  auto delta = a.SnapshotDelta(&fresh);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_EQ(fresh, 4 * 3);
+  ASSERT_TRUE(b.RestoreState(*base).ok());
+  ASSERT_TRUE(b.ApplyDelta(*delta).ok());
+  EXPECT_EQ(b.StateSizeTuples(), a.StateSizeTuples());
+  BatchContext ca(7, 0, 1), cb(7, 0, 1);
+  a.ProcessBatch(&ca, Batch(7, 2));
+  b.ProcessBatch(&cb, Batch(7, 2));
+  ASSERT_EQ(ca.emitted().size(), cb.emitted().size());
+  for (size_t i = 0; i < ca.emitted().size(); ++i) {
+    EXPECT_EQ(ca.emitted()[i].value, cb.emitted()[i].value);
+  }
+}
+
+TEST(CheckpointChainTest, SkipFrontierAdvancesTrimBatch) {
+  CheckpointStore store;
+  // Before any blob exists, the frontier alone defines the trim point:
+  // an empty-chain approximate restore starts from scratch and
+  // fast-forwards to it.
+  EXPECT_EQ(store.Chain(0), nullptr);
+  store.NoteSkipped(0, 6);
+  EXPECT_EQ(store.CoveredBatch(0), 0);
+  EXPECT_EQ(store.SkippedFrontier(0), 6);
+  EXPECT_EQ(store.TrimBatch(0), 6);
+  // A blob persisted behind the frontier does not regress the trim
+  // point...
+  store.Put(TaskCheckpoint{0, 4, "base", 10, TimePoint::Zero()});
+  EXPECT_EQ(store.CoveredBatch(0), 4);
+  EXPECT_EQ(store.TrimBatch(0), 6);
+  // ...and one past it takes over.
+  ASSERT_TRUE(
+      store.PutDelta(TaskCheckpoint{0, 9, "d", 2, TimePoint::Zero()}).ok());
+  EXPECT_EQ(store.TrimBatch(0), 9);
+  // The frontier is monotone: a stale skip note cannot move it back.
+  store.NoteSkipped(0, 3);
+  EXPECT_EQ(store.SkippedFrontier(0), 6);
+  // Other tasks are unaffected.
+  EXPECT_EQ(store.SkippedFrontier(1), 0);
+  EXPECT_EQ(store.TrimBatch(1), 0);
+}
+
+TEST(CheckpointChainTest, ChainDeltaHistogramExactUnderSkips) {
+  // Skipped blobs must be invisible to the chain-shape metrics: the
+  // chain-delta-length histogram records exactly the persisted deltas
+  // replaced at each rebase, and only the skip counter sees the skips.
+  obs::MetricsRegistry registry;
+  CheckpointStore store;
+  store.AttachMetrics(&registry);
+  store.Put(TaskCheckpoint{0, 5, "base", 10, TimePoint::Zero()});
+  store.NoteSkipped(0, 8);
+  ASSERT_TRUE(
+      store.PutDelta(TaskCheckpoint{0, 11, "d1", 3, TimePoint::Zero()}).ok());
+  store.NoteSkipped(0, 14);
+  ASSERT_TRUE(
+      store.PutDelta(TaskCheckpoint{0, 17, "d2", 3, TimePoint::Zero()}).ok());
+  EXPECT_EQ(store.ChainDeltas(0), 2);
+  // Rebase: the replaced chain held exactly 2 deltas, skips not counted.
+  store.Put(TaskCheckpoint{0, 20, "base2", 9, TimePoint::Zero()});
+  const obs::Histogram* chain_hist =
+      registry.histogram("checkpoint.chain_deltas");
+  EXPECT_EQ(chain_hist->count(), 1);
+  EXPECT_EQ(chain_hist->sum(), 2.0);
+  EXPECT_EQ(registry.counter("checkpoint.skipped")->value(), 2);
+  EXPECT_EQ(registry.counter("checkpoint.full")->value(), 2);
+  EXPECT_EQ(registry.counter("checkpoint.delta")->value(), 2);
+}
+
 TEST(CheckpointChainTest, StoreSemantics) {
   CheckpointStore store;
   EXPECT_EQ(store.PutDelta(TaskCheckpoint{0, 5, "d", 10, TimePoint::Zero()})
@@ -187,7 +277,13 @@ class DeltaJobTest : public ::testing::Test {
     return cfg;
   }
 
-  static std::unique_ptr<StreamingJob> MakeJob(backend::ExecutionBackend* loop, bool delta) {
+  static std::unique_ptr<StreamingJob> MakeJob(backend::ExecutionBackend* loop,
+                                               bool delta) {
+    return MakeJobWithConfig(loop, Config(delta));
+  }
+
+  static std::unique_ptr<StreamingJob> MakeJobWithConfig(
+      backend::ExecutionBackend* loop, const JobConfig& config) {
     TopologyBuilder b;
     OperatorId src = b.AddOperator("src", 2);
     OperatorId mid = b.AddOperator("mid", 2, InputCorrelation::kIndependent,
@@ -199,8 +295,8 @@ class DeltaJobTest : public ::testing::Test {
     b.SetSourceRate(src, 40.0);
     auto topo = b.Build();
     PPA_CHECK(topo.ok());
-    auto job = std::make_unique<StreamingJob>(*std::move(topo),
-                                              Config(delta), JobRuntimeDeps(loop));
+    auto job = std::make_unique<StreamingJob>(*std::move(topo), config,
+                                              JobRuntimeDeps(loop));
     PPA_CHECK_OK(job->BindSource(0, [] {
       return std::make_unique<SyntheticSource>(20, 64, 7);
     }));
@@ -245,6 +341,145 @@ TEST_F(DeltaJobTest, FullBaseTakenAfterChainLimit) {
   // a periodic full base at least once and never exceed the limit.
   loop.RunUntil(TimePoint::Zero() + Duration::Seconds(40));
   EXPECT_LE(job->checkpoint_store().ChainDeltas(2), 4);
+}
+
+TEST_F(DeltaJobTest, PromotedReplicaRebasesChain) {
+  // Regression: a promoted replica's snapshot marker dates from its
+  // activation, so taking a delta on top of the dead primary's chain
+  // could duplicate already-persisted window slices and corrupt the
+  // chain for the next restore. The job must rebase with a full
+  // snapshot at the promoted task's next checkpoint instead.
+  backend::SimBackend loop;
+  JobConfig cfg = Config(/*delta=*/true);
+  cfg.ft_mode = FtMode::kPpa;
+  auto job = MakeJobWithConfig(&loop, cfg);
+  TaskSet replicated(5);
+  replicated.Add(2);
+  PPA_CHECK_OK(job->SetActiveReplicaSet(replicated));
+  PPA_CHECK_OK(job->Start());
+  // Let delta checkpoints stack, then kill the primary: the replica
+  // takes over and keeps checkpointing onto the existing chain.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(14.5));
+  EXPECT_GT(job->checkpoint_store().ChainDeltas(2), 0);
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(25.5));
+  EXPECT_TRUE(job->AllRecovered());
+  // Now kill the promoted primary: restoring through the post-promotion
+  // chain must succeed (pre-fix this aborted with "delta slices out of
+  // order") and reproduce the failure-free run exactly.
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  EXPECT_TRUE(job->AllRecovered());
+
+  backend::SimBackend clean_loop;
+  auto clean = MakeJobWithConfig(&clean_loop, cfg);
+  PPA_CHECK_OK(clean->SetActiveReplicaSet(replicated));
+  PPA_CHECK_OK(clean->Start());
+  clean_loop.RunUntil(TimePoint::Zero() + Duration::Seconds(60));
+  // The sink ran ahead in tentative mode while task 2 was down (its
+  // batches there are degraded by design); reconciliation from the
+  // restored state must reproduce the failure-free run exactly, which
+  // it can only do if the post-promotion chain restored exact state.
+  auto report = job->ReconcileTentativeOutputs();
+  ASSERT_TRUE(report.ok()) << report.status();
+  auto key_of = [](const Tuple& t) {
+    return std::to_string(t.batch) + "|" + t.key + "|" +
+           std::to_string(t.value);
+  };
+  std::multiset<std::string> expected;
+  for (const SinkRecord& r : clean->sink_records()) {
+    if (r.tuple.batch >= report->from_batch &&
+        r.tuple.batch <= report->to_batch) {
+      expected.insert(key_of(r.tuple));
+    }
+  }
+  std::multiset<std::string> corrected;
+  for (const SinkRecord& r : report->corrected) {
+    corrected.insert(key_of(r.tuple));
+  }
+  EXPECT_EQ(corrected, expected);
+  // Away from the reconciled span (and past the sink's window tail,
+  // which still carries the degraded slices) the live records agree.
+  const int64_t kWindowBatches = 5;  // matches the fixture's mid operators
+  const int64_t tail = report->to_batch + kWindowBatches;
+  std::multiset<std::string> live_job, live_clean;
+  for (const SinkRecord& r : job->sink_records()) {
+    if (!r.correction &&
+        (r.tuple.batch < report->from_batch || r.tuple.batch > tail)) {
+      live_job.insert(key_of(r.tuple));
+    }
+  }
+  for (const SinkRecord& r : clean->sink_records()) {
+    if (r.tuple.batch < report->from_batch || r.tuple.batch > tail) {
+      live_clean.insert(key_of(r.tuple));
+    }
+  }
+  EXPECT_EQ(live_job, live_clean);
+}
+
+TEST_F(DeltaJobTest, ThinnedChainRestoreFastForwards) {
+  // Approximate mode with a generous budget: checkpoints get skipped,
+  // so the chain covers less than the trim frontier. A failure then
+  // restores the thinned chain and fast-forwards over the certified
+  // gap instead of replaying it.
+  backend::SimBackend loop;
+  JobConfig cfg = Config(/*delta=*/true);
+  cfg.recovery_mode = af::RecoveryMode::kApprox;
+  // ~60 records drift per 3 s checkpoint interval on the mid tasks: the
+  // budget of 100 makes persists and skips alternate, so the chain is
+  // genuinely thinned (persisted deltas spanning skipped gaps).
+  cfg.error_budget.task_divergence_records = 100;
+  cfg.error_budget.job_divergence_records = 10'000;
+  cfg.error_budget.max_certified_loss = 1.0;
+  auto job = MakeJobWithConfig(&loop, cfg);
+  PPA_CHECK_OK(job->Start());
+  // Fail right after a skipped tick so the frontier runs ahead of the
+  // persisted coverage.
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(16.5));
+  EXPECT_GT(job->CheckpointsSkipped(), 0);
+  ASSERT_NE(job->checkpoint_store().Chain(2), nullptr);
+  EXPECT_GT(job->checkpoint_store().TrimBatch(2),
+            job->checkpoint_store().CoveredBatch(2));
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(45));
+  EXPECT_TRUE(job->AllRecovered());
+  ASSERT_FALSE(job->approx_certificates().empty());
+  const af::ApproxCertificate& cert = job->approx_certificates().front();
+  EXPECT_EQ(cert.task, 2);
+  EXPECT_GT(cert.resumed_batch, cert.restored_batch);
+  EXPECT_GT(cert.forfeited.records, 0);
+  EXPECT_GE(cert.certified_loss, 0.0);
+  EXPECT_LE(cert.certified_loss, cfg.error_budget.max_certified_loss);
+  // The sink keeps producing after the approximate resume.
+  EXPECT_GT(job->sink_records().size(), 0u);
+}
+
+TEST_F(DeltaJobTest, EmptyChainApproxRestoreStartsFresh) {
+  // With an effectively unlimited budget every checkpoint is skipped:
+  // the failed task has no chain at all and must restore from scratch,
+  // fast-forwarding to the skip frontier.
+  backend::SimBackend loop;
+  JobConfig cfg = Config(/*delta=*/true);
+  cfg.recovery_mode = af::RecoveryMode::kApprox;
+  cfg.error_budget.task_divergence_records = 100'000'000;
+  cfg.error_budget.job_divergence_records = 1'000'000'000;
+  cfg.error_budget.max_certified_loss = 1.0;
+  auto job = MakeJobWithConfig(&loop, cfg);
+  PPA_CHECK_OK(job->Start());
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(20.5));
+  EXPECT_GT(job->CheckpointsSkipped(), 0);
+  EXPECT_EQ(job->checkpoint_store().Chain(2), nullptr);
+  EXPECT_EQ(job->CheckpointBytesWritten(), 0);
+  PPA_CHECK_OK(job->InjectNodeFailure(job->cluster().NodeOfPrimary(2)));
+  loop.RunUntil(TimePoint::Zero() + Duration::Seconds(45));
+  EXPECT_TRUE(job->AllRecovered());
+  ASSERT_FALSE(job->approx_certificates().empty());
+  const af::ApproxCertificate& cert = job->approx_certificates().front();
+  // Reset(0) leaves the runtime at batch 0; everything up to the skip
+  // frontier is forfeited.
+  EXPECT_EQ(cert.restored_batch, 0);
+  EXPECT_GT(cert.resumed_batch, 0);
+  EXPECT_GT(cert.forfeited.records, 0);
 }
 
 TEST_F(DeltaJobTest, DeltaCheckpointsAreCheaper) {

@@ -13,7 +13,8 @@ namespace {
 /// The deterministic counters: a pure function of the simulated run, so
 /// any change is a behavior change and gates exactly.
 constexpr const char* kCounters[] = {"events_processed", "sink_records",
-                                     "recoveries"};
+                                     "recoveries", "checkpoint_bytes",
+                                     "checkpoints_skipped"};
 
 /// The wall metrics with their bad direction: -1 means falling is bad
 /// (throughput-like), +1 means rising is bad (cost-like).

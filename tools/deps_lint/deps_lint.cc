@@ -148,6 +148,7 @@ int ModuleRank(std::string_view module) {
       {"common", 0},
       {"topology", 1}, {"json", 1},
       {"obs", 2},      {"fidelity", 2},
+      {"af", 3},
       {"sim", 3},      {"engine", 3},   {"ft", 3},
       {"backend", 4},
       {"planner", 5},  {"runtime", 5},
